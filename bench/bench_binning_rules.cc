@@ -1,0 +1,48 @@
+// Ablation (§4.1.1): Sturges' rule vs the Freedman-Diaconis rule for the
+// histogram step. Sturges oversmooths for large n — fewer bins, coarser
+// relevant intervals, less exact clusterings.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/p3c.h"
+#include "src/eval/e4sc.h"
+#include "src/stats/histogram.h"
+
+int main() {
+  using namespace p3c;
+  bench::Banner("Ablation — Sturges vs Freedman-Diaconis binning",
+                "§4.1.1 (Sturge's rule)");
+
+  std::printf("%10s %12s %12s %14s %14s\n", "DB size", "Sturges#bins",
+              "FD#bins", "E4SC(Sturges)", "E4SC(FD)");
+  for (size_t n : {bench::Scaled(2000), bench::Scaled(10000),
+                   bench::Scaled(50000), bench::Scaled(200000)}) {
+    const auto data = bench::MakeWorkload(n, 5, 0.10, 95);
+    const auto gt = eval::FromGroundTruth(data.clusters);
+    double scores[2];
+    int idx = 0;
+    for (stats::BinningRule rule : {stats::BinningRule::kSturges,
+                                    stats::BinningRule::kFreedmanDiaconis}) {
+      core::P3CParams params;
+      params.light = true;
+      params.binning = rule;
+      core::P3CPipeline pipeline{params};
+      auto result = pipeline.Cluster(data.dataset);
+      scores[idx++] =
+          result.ok() ? eval::E4SC(gt, result->ToEvalClustering()) : 0.0;
+    }
+    std::printf("%10zu %12llu %12llu %14.3f %14.3f\n", n,
+                static_cast<unsigned long long>(stats::SturgesBins(n)),
+                static_cast<unsigned long long>(
+                    stats::FreedmanDiaconisBins(n)),
+                scores[0], scores[1]);
+  }
+
+  bench::Rule();
+  std::printf(
+      "Shape check: the FD bin count grows as n^(1/3) while Sturges stays\n"
+      "logarithmic; FD's finer histograms give equal or better E4SC, with\n"
+      "the gap opening as n grows (the paper's motivation for switching).\n");
+  return 0;
+}

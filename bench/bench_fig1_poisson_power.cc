@@ -1,0 +1,65 @@
+// Figure 1: probability to observe "101% * mu" objects in a
+// hyperrectangle, for growing average size mu — i.e. the POWER of the
+// Poisson significance test against a fixed +1% relative deviation
+// (§4.1.2): the probability that a sample drawn with true mean 1.01*mu
+// exceeds the alpha-critical value of the null Poisson(mu). For
+// sufficiently large data sets this probability approaches 100%, although
+// the effect stays negligible — the motivation for the effect-size gate.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdint>
+
+#include "bench/bench_util.h"
+#include "src/stats/effect_size.h"
+#include "src/stats/poisson.h"
+
+namespace {
+
+/// Smallest k with P(Poisson(mu) >= k) <= alpha (the rejection boundary).
+double CriticalValue(double mu, double alpha) {
+  const double log_alpha = std::log(alpha);
+  // Bracket around the Gaussian approximation, then binary search.
+  double lo = mu;
+  double hi = mu + 10.0 * std::sqrt(mu) + 10.0;
+  while (p3c::stats::PoissonLogUpperTail(hi, mu) > log_alpha) hi *= 1.5;
+  while (hi - lo > 0.5) {
+    const double mid = 0.5 * (lo + hi);
+    if (p3c::stats::PoissonLogUpperTail(mid, mu) > log_alpha) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return std::ceil(hi);
+}
+
+}  // namespace
+
+int main() {
+  using namespace p3c;
+  bench::Banner("Figure 1 — Poisson test power vs data set size",
+                "Fig. 1, §4.1.2");
+
+  const double alpha = 0.01;
+  std::printf("%12s %14s %26s %12s\n", "mu", "critical k",
+              "P[reject | true = 1.01 mu]", "Cohen d_cc");
+  for (double mu : {100.0, 1000.0, 5000.0, 10000.0, 25000.0, 50000.0,
+                    75000.0, 100000.0, 250000.0, 500000.0, 1000000.0}) {
+    const double critical = CriticalValue(mu, alpha);
+    // Power: tail of the alternative Poisson(1.01 mu) above the critical
+    // value of the null.
+    const double power =
+        std::exp(stats::PoissonLogUpperTail(critical, 1.01 * mu));
+    std::printf("%12.0f %14.0f %26.4f %12.3f\n", mu, critical, power,
+                stats::CohensDcc(1.01 * mu, mu));
+  }
+
+  bench::Rule();
+  std::printf(
+      "Shape check (paper): the power rises towards ~100%% with growing mu\n"
+      "(the paper's Figure 1 reaches ~1 around mu = 1e5), while the effect\n"
+      "size d_cc stays at 0.01 — far below theta_cc = 0.35, so P3C+'s\n"
+      "combined test never accepts this irrelevant deviation.\n");
+  return 0;
+}

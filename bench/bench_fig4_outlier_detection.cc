@@ -1,0 +1,64 @@
+// Figure 4: E4SC of the full P3C+ pipeline with the naive vs the MVB
+// outlier detector, across database sizes, noise levels (5/10/20%) and
+// cluster counts (3/5/7). Paper sizes 1e4/1e5/1e6 are scaled down by
+// default (x P3C_BENCH_SCALE).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/p3c.h"
+#include "src/eval/e4sc.h"
+
+int main() {
+  using namespace p3c;
+  bench::Banner("Figure 4 — naive vs MVB outlier detection (E4SC)",
+                "Fig. 4(a-c), §7.4.1");
+
+  const std::vector<size_t> sizes = {bench::Scaled(2000),
+                                     bench::Scaled(10000),
+                                     bench::Scaled(40000)};
+  const double noises[] = {0.05, 0.10, 0.20};
+  const size_t cluster_counts[] = {3, 5, 7};
+
+  for (double noise : noises) {
+    std::printf("\nNoise level %.0f%%:\n", noise * 100.0);
+    std::printf("%10s", "DB size");
+    for (size_t k : cluster_counts) {
+      std::printf("  %zuC/NAIVE %zuC/MVB %zuC/MCD", k, k, k);
+    }
+    std::printf("\n");
+    for (size_t n : sizes) {
+      std::printf("%10zu", n);
+      for (size_t k : cluster_counts) {
+        const auto data = bench::MakeWorkload(n, k, noise, 41);
+        const auto gt = eval::FromGroundTruth(data.clusters);
+        double scores[3];
+        int idx = 0;
+        // kMCD is the exact-MVE-class estimator the paper leaves
+        // unevaluated ("will probably result in a better clustering
+        // quality", §7.4.1) — included here as the extension column.
+        for (core::OutlierMode mode :
+             {core::OutlierMode::kNaive, core::OutlierMode::kMVB,
+              core::OutlierMode::kMCD}) {
+          core::P3CParams params;
+          params.outlier = mode;
+          core::P3CPipeline pipeline{params};
+          auto result = pipeline.Cluster(data.dataset);
+          scores[idx++] =
+              result.ok() ? eval::E4SC(gt, result->ToEvalClustering()) : 0.0;
+        }
+        std::printf("  %8.3f %6.3f %6.3f", scores[0], scores[1], scores[2]);
+      }
+      std::printf("\n");
+    }
+  }
+
+  bench::Rule();
+  std::printf(
+      "Shape check (paper): MVB beats NAIVE in (almost) every cell, and\n"
+      "both degrade somewhat at the largest size per noise level. MCD\n"
+      "(this repo's extension; the paper's unevaluated exact-MVE option)\n"
+      "tracks or beats MVB.\n");
+  return 0;
+}

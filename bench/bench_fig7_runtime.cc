@@ -1,0 +1,100 @@
+// Figure 7: runtimes of BoW (Light/MVB), P3C+-MR (Light/MVB/Naive) over
+// growing database sizes (paper: 1e4 .. 5e7 on 112 reducers; scaled).
+// Also prints the per-pipeline MapReduce job counts and shuffle volumes,
+// the quantities §7.5.2 uses to explain the runtime ordering.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/bow/bow.h"
+#include "src/mr/p3c_mr.h"
+
+namespace {
+
+using namespace p3c;
+
+struct MrOutcome {
+  double seconds = 0.0;
+  size_t jobs = 0;
+  uint64_t shuffle_bytes = 0;
+  double projected_hadoop_seconds = 0.0;
+};
+
+MrOutcome RunMr(const data::SyntheticData& data, bool light,
+                core::OutlierMode outlier) {
+  mr::P3CMROptions options;
+  options.params.light = light;
+  options.params.outlier = outlier;
+  mr::P3CMR algo{options};
+  auto result = algo.Cluster(data.dataset);
+  MrOutcome outcome;
+  if (result.ok()) {
+    outcome.seconds = result->seconds;
+    outcome.jobs = algo.metrics().num_jobs();
+    outcome.shuffle_bytes = algo.metrics().TotalShuffleBytes();
+    // Hadoop-style schedulers add tens of seconds per job; 30 s/job
+    // projects the in-process measurements into the paper's regime.
+    outcome.projected_hadoop_seconds =
+        algo.metrics().ProjectedSecondsWithOverhead(30.0);
+  }
+  return outcome;
+}
+
+double RunBow(const data::SyntheticData& data, bow::PluginVariant variant,
+              size_t samples_per_reducer) {
+  bow::BoWOptions options;
+  options.variant = variant;
+  options.samples_per_reducer = samples_per_reducer;
+  bow::BoW algo{options};
+  auto result = algo.Cluster(data.dataset);
+  return result.ok() ? result->seconds : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Figure 7 — runtime comparison", "Fig. 7, §7.5.2");
+
+  const std::vector<size_t> sizes = {
+      bench::Scaled(10000), bench::Scaled(50000), bench::Scaled(100000),
+      bench::Scaled(250000)};
+  const size_t samples_per_reducer = bench::Scaled(5000);
+
+  std::printf("%10s %11s %11s %11s %11s %11s\n", "DB size", "BoW(Light)",
+              "BoW(MVB)", "MR(Light)", "MR(MVB)", "MR(Naive)");
+  std::vector<std::array<MrOutcome, 3>> mr_outcomes;
+  for (size_t n : sizes) {
+    const auto data = bench::MakeWorkload(n, 5, 0.10, 71);
+    const double bow_light =
+        RunBow(data, bow::PluginVariant::kLight, samples_per_reducer);
+    const double bow_mvb =
+        RunBow(data, bow::PluginVariant::kMVB, samples_per_reducer);
+    const MrOutcome mr_light = RunMr(data, true, core::OutlierMode::kMVB);
+    const MrOutcome mr_mvb = RunMr(data, false, core::OutlierMode::kMVB);
+    const MrOutcome mr_naive = RunMr(data, false, core::OutlierMode::kNaive);
+    mr_outcomes.push_back({mr_light, mr_mvb, mr_naive});
+    std::printf("%10zu %10.2fs %10.2fs %10.2fs %10.2fs %10.2fs\n", n,
+                bow_light, bow_mvb, mr_light.seconds, mr_mvb.seconds,
+                mr_naive.seconds);
+  }
+
+  std::printf("\nMapReduce job counts / shuffle volume / projected Hadoop "
+              "time at 30 s/job (largest size):\n");
+  const auto& last = mr_outcomes.back();
+  const char* names[] = {"MR(Light)", "MR(MVB)", "MR(Naive)"};
+  for (int i = 0; i < 3; ++i) {
+    std::printf("  %-10s %3zu jobs, %10llu shuffle bytes, projected %7.0f s\n",
+                names[i], last[i].jobs,
+                static_cast<unsigned long long>(last[i].shuffle_bytes),
+                last[i].projected_hadoop_seconds);
+  }
+
+  bench::Rule();
+  std::printf(
+      "Shape check (paper): all curves grow roughly linearly; the full\n"
+      "P3C+-MR variants are the slowest (more MR jobs: EM iterations plus\n"
+      "the OD block, with MVB ~10-20%% over Naive), while MR-Light runs\n"
+      "close to (or better than) the BoW variants.\n");
+  return 0;
+}

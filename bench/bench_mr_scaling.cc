@@ -1,0 +1,47 @@
+// Scaling of the in-process MapReduce engine: P3C+-MR-Light wall time as
+// the worker count grows (the laptop analog of adding reducers, §7.5.2's
+// workload-distribution discussion).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/mr/p3c_mr.h"
+
+int main() {
+  using namespace p3c;
+  bench::Banner("MapReduce engine scaling — MR-Light vs worker threads",
+                "§7.5.2 (workload properties)");
+
+  const auto data = bench::MakeWorkload(bench::Scaled(200000), 5, 0.10, 99);
+  std::printf("dataset: %zu points x 50 dims; physical cores: %zu\n\n",
+              data.dataset.num_points(), ThreadPool::HardwareConcurrency());
+  std::printf("%10s %10s %10s %10s\n", "threads", "time", "speedup",
+              "splits");
+  double base_seconds = 0.0;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    mr::P3CMROptions options;
+    options.params.light = true;
+    options.runner.num_threads = threads;
+    mr::P3CMR algo{options};
+    auto result = algo.Cluster(data.dataset);
+    if (!result.ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    if (base_seconds == 0.0) base_seconds = result->seconds;
+    const size_t splits =
+        algo.metrics().jobs().empty() ? 0 : algo.metrics().jobs()[0].num_splits;
+    std::printf("%10zu %9.2fs %9.2fx %10zu\n", threads, result->seconds,
+                base_seconds / result->seconds, splits);
+  }
+
+  bench::Rule();
+  std::printf(
+      "Shape check: speedup tracks the worker count up to the machine's\n"
+      "physical cores and flattens beyond (the map phases dominate and\n"
+      "parallelize record-wise, as the paper's load-balancing argument\n"
+      "predicts). On a single-core machine the curve is necessarily "
+      "flat.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+#ifndef P3C_BENCH_BENCH_UTIL_H_
+#define P3C_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the experiment harnesses in bench/: dataset scaling
+// via the P3C_BENCH_SCALE environment variable, paper-style table
+// printing, and the standard synthetic-workload builder of §7.1.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/data/generator.h"
+
+namespace p3c::bench {
+
+/// Multiplier applied to every dataset size in the benches. The paper ran
+/// up to 5e7 points on a 112-reducer Hadoop cluster; the default sizes
+/// here divide that by ~20 for laptop runs. Set P3C_BENCH_SCALE=20 to
+/// reproduce the paper's absolute sizes (given the memory/time).
+inline double ScaleFactor() {
+  const char* env = std::getenv("P3C_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  return v > 0.0 ? v : 1.0;
+}
+
+/// size * scale, at least `floor`.
+inline size_t Scaled(size_t size, size_t floor = 500) {
+  const double scaled = static_cast<double>(size) * ScaleFactor();
+  return scaled < static_cast<double>(floor)
+             ? floor
+             : static_cast<size_t>(scaled);
+}
+
+/// The paper's synthetic workload (§7.1): 50 dimensions, clusters of 2-10
+/// relevant attributes with widths 0.1-0.3, overlapping clusters, uniform
+/// noise. Seed varies with every parameter so no two cells share data.
+inline data::SyntheticData MakeWorkload(size_t num_points, size_t num_clusters,
+                                        double noise_fraction, uint64_t seed,
+                                        size_t num_dims = 50) {
+  data::GeneratorConfig config;
+  config.num_points = num_points;
+  config.num_dims = num_dims;
+  config.num_clusters = num_clusters;
+  config.noise_fraction = noise_fraction;
+  config.seed = seed * 1000003 + num_points * 31 + num_clusters * 7 +
+                static_cast<uint64_t>(noise_fraction * 100.0);
+  Result<data::SyntheticData> data = data::GenerateSynthetic(config);
+  if (!data.ok()) {
+    std::fprintf(stderr, "workload generation failed: %s\n",
+                 data.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(data).value();
+}
+
+/// Prints a horizontal rule sized for the standard tables.
+inline void Rule() {
+  std::printf("-------------------------------------------------------------"
+              "-----------------\n");
+}
+
+/// Prints the standard experiment banner.
+inline void Banner(const char* experiment, const char* paper_ref) {
+  Rule();
+  std::printf("%s\n(reproduces %s; sizes x%g, set P3C_BENCH_SCALE to "
+              "change)\n",
+              experiment, paper_ref, ScaleFactor());
+  Rule();
+}
+
+}  // namespace p3c::bench
+
+#endif  // P3C_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,64 @@
+// Micro-array scenario (the paper's §7.6 'colon cancer' experiment shape):
+// 62 tissue samples x 2000 gene expressions, two classes. The original
+// UCI data is not bundled; a structurally equivalent synthetic micro-array
+// is generated instead (see DESIGN.md §2) and the original P3C is compared
+// to P3C+ by clustering accuracy.
+//
+//   ./build/examples/gene_expression
+
+#include <cstdio>
+
+#include "src/core/p3c.h"
+#include "src/data/colon.h"
+#include "src/eval/accuracy.h"
+
+int main() {
+  using namespace p3c;
+
+  const data::ColonLikeData data = data::MakeColonLikeDataset();
+  std::printf("micro-array: %zu samples, %zu genes (%zu informative), "
+              "40 tumor / 22 normal\n\n",
+              data.dataset.num_points(), data.dataset.num_dims(),
+              data.informative_genes.size());
+
+  struct Variant {
+    const char* name;
+    core::P3CParams params;
+  };
+  // Tiny-n regime: each class has only a handful of samples per histogram
+  // bin, so the effect-size threshold stays at its default while the
+  // Poisson level is the paper's alpha_poi.
+  const Variant variants[] = {
+      {"P3C  (original)", core::OriginalP3CParams()},
+      {"P3C+            ", core::P3CParams{}},
+  };
+
+  for (const Variant& variant : variants) {
+    core::P3CPipeline pipeline{variant.params};
+    Result<core::ClusteringResult> result = pipeline.Cluster(data.dataset);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", variant.name,
+                   result.status().ToString().c_str());
+      continue;
+    }
+    const auto found = result->ToEvalClustering();
+    const double majority = eval::MajorityClassAccuracy(found, data.labels);
+    const double one_to_one = eval::HungarianAccuracy(found, data.labels);
+    std::printf("%s: %zu clusters, majority accuracy %.1f%%, one-to-one "
+                "accuracy %.1f%%\n",
+                variant.name, result->clusters.size(), 100.0 * majority,
+                100.0 * one_to_one);
+    for (size_t c = 0; c < result->clusters.size(); ++c) {
+      const auto& cluster = result->clusters[c];
+      size_t tumor = 0;
+      for (data::PointId p : cluster.points) tumor += data.labels[p] == 1;
+      std::printf("    cluster %zu: %zu samples (%zu tumor), %zu relevant "
+                  "genes\n",
+                  c, cluster.points.size(), tumor, cluster.attrs.size());
+    }
+  }
+  std::printf(
+      "\n(The paper reports 71%% for P3C+ vs 67%% for P3C on the real "
+      "data; the reproduced claim is the direction, P3C+ >= P3C.)\n");
+  return 0;
+}

@@ -1,0 +1,153 @@
+#include "src/baselines/doc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/random.h"
+#include "src/common/stopwatch.h"
+#include "src/core/interval_tightening.h"
+
+namespace p3c::baselines {
+
+namespace {
+
+using data::PointId;
+
+/// The quality function mu(|C|, |D|) = |C| * (1/beta)^|D| in log space
+/// (avoids overflow for large dimension counts).
+double LogQuality(size_t cluster_size, size_t num_dims, double beta) {
+  if (cluster_size == 0) return -std::numeric_limits<double>::infinity();
+  return std::log(static_cast<double>(cluster_size)) +
+         static_cast<double>(num_dims) * std::log(1.0 / beta);
+}
+
+struct Candidate {
+  std::vector<size_t> dims;
+  std::vector<PointId> points;
+  double log_quality = -std::numeric_limits<double>::infinity();
+};
+
+/// One DOC mining round over the still-unassigned points.
+Candidate MineOne(const data::Dataset& dataset,
+                  const std::vector<PointId>& active, size_t min_size,
+                  const DocOptions& options, Rng& rng) {
+  Candidate best;
+  const size_t d = dataset.num_dims();
+
+  std::vector<size_t> dims;
+  for (size_t s = 0; s < options.num_seeds; ++s) {
+    const PointId p = active[rng.UniformInt(active.size())];
+    const auto rp = dataset.Row(p);
+    for (size_t t = 0; t < options.num_discriminating_sets; ++t) {
+      // Relevant dims: those on which every discriminating point stays
+      // within w of the seed.
+      dims.clear();
+      for (size_t j = 0; j < d; ++j) dims.push_back(j);
+      for (size_t x = 0;
+           x < options.discriminating_set_size && !dims.empty(); ++x) {
+        const PointId q = active[rng.UniformInt(active.size())];
+        const auto rq = dataset.Row(q);
+        size_t kept = 0;
+        for (size_t idx = 0; idx < dims.size(); ++idx) {
+          if (std::fabs(rq[dims[idx]] - rp[dims[idx]]) <= options.w) {
+            dims[kept++] = dims[idx];
+          }
+        }
+        dims.resize(kept);
+      }
+      if (dims.empty()) continue;
+
+      // Candidate cluster: points inside the 2w-box around p.
+      std::vector<PointId> points;
+      for (PointId q : active) {
+        const auto rq = dataset.Row(q);
+        bool inside = true;
+        for (size_t j : dims) {
+          if (std::fabs(rq[j] - rp[j]) > options.w) {
+            inside = false;
+            break;
+          }
+        }
+        if (inside) points.push_back(q);
+      }
+      if (points.size() < min_size) continue;
+      const double log_quality =
+          LogQuality(points.size(), dims.size(), options.beta);
+      if (log_quality > best.log_quality) {
+        best.dims = dims;
+        best.points = std::move(points);
+        best.log_quality = log_quality;
+      }
+    }
+  }
+  std::sort(best.dims.begin(), best.dims.end());
+  return best;
+}
+
+}  // namespace
+
+Result<core::ClusteringResult> RunDoc(const data::Dataset& dataset,
+                                      const DocOptions& options) {
+  Stopwatch watch;
+  if (dataset.num_points() == 0 || dataset.num_dims() == 0) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+  if (!dataset.IsNormalized()) {
+    return Status::InvalidArgument("dataset must be normalized to [0, 1]");
+  }
+  if (!(options.alpha > 0.0 && options.alpha <= 1.0)) {
+    return Status::InvalidArgument("alpha must be in (0, 1]");
+  }
+  if (!(options.beta > 0.0 && options.beta < 1.0)) {
+    return Status::InvalidArgument("beta must be in (0, 1)");
+  }
+  if (!(options.w > 0.0)) {
+    return Status::InvalidArgument("w must be positive");
+  }
+
+  Rng rng(options.seed);
+  std::vector<PointId> active(dataset.num_points());
+  for (size_t i = 0; i < active.size(); ++i) {
+    active[i] = static_cast<PointId>(i);
+  }
+
+  core::ClusteringResult result;
+  // alpha is anchored to the ORIGINAL size: once the dense clusters are
+  // peeled off, the leftovers must not qualify just because the active
+  // set shrank.
+  const auto min_size = static_cast<size_t>(std::ceil(
+      options.alpha * static_cast<double>(dataset.num_points())));
+  for (size_t round = 0; round < options.max_clusters && !active.empty();
+       ++round) {
+    Candidate candidate = MineOne(dataset, active, min_size, options, rng);
+    if (candidate.points.empty()) break;
+
+    core::ProjectedCluster cluster;
+    cluster.points = std::move(candidate.points);
+    std::sort(cluster.points.begin(), cluster.points.end());
+    cluster.attrs = std::move(candidate.dims);
+    cluster.intervals =
+        core::TightenIntervals(dataset, cluster.points, cluster.attrs);
+    // Remove mined points from the active set (greedy peeling).
+    std::vector<PointId> remaining;
+    remaining.reserve(active.size() - cluster.points.size());
+    std::set_difference(active.begin(), active.end(), cluster.points.begin(),
+                        cluster.points.end(),
+                        std::back_inserter(remaining));
+    active = std::move(remaining);
+    result.clusters.push_back(std::move(cluster));
+  }
+
+  std::vector<size_t> arel;
+  for (const auto& cluster : result.clusters) {
+    arel.insert(arel.end(), cluster.attrs.begin(), cluster.attrs.end());
+  }
+  std::sort(arel.begin(), arel.end());
+  arel.erase(std::unique(arel.begin(), arel.end()), arel.end());
+  result.arel = std::move(arel);
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace p3c::baselines

@@ -1,0 +1,50 @@
+#ifndef P3C_BASELINES_DOC_H_
+#define P3C_BASELINES_DOC_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/core/result.h"
+#include "src/data/dataset.h"
+
+namespace p3c::baselines {
+
+/// Parameters of DOC. As §2 of the paper notes, DOC "relies on two
+/// user-defined parameters alpha and beta that describe the relative
+/// proportions of objects in a cluster C in order to define C as
+/// optimal" — another usability contrast with the P3C family.
+struct DocOptions {
+  /// Minimum cluster density: a cluster must contain >= alpha * n points.
+  double alpha = 0.08;
+  /// Dimension/size trade-off of the quality function
+  /// mu(|C|, |D|) = |C| * (1/beta)^|D|; beta in (0, 1).
+  double beta = 0.25;
+  /// Half-width of the cluster hyper-box per relevant dimension.
+  double w = 0.15;
+  /// Maximum number of clusters to mine (greedy, one at a time).
+  size_t max_clusters = 16;
+  /// Monte Carlo trials per cluster: outer seed points.
+  size_t num_seeds = 16;
+  /// Discriminating-set draws per seed point.
+  size_t num_discriminating_sets = 32;
+  /// Size of each discriminating set.
+  size_t discriminating_set_size = 6;
+  uint64_t seed = 5;
+};
+
+/// DOC (Procopiuc, Jones, Agarwal, Murali; SIGMOD 2002): Monte Carlo
+/// projected clustering. Implemented as a second related-work baseline
+/// (§2): repeatedly samples a seed point p and a small discriminating
+/// set X; the relevant dimensions are those on which every x in X stays
+/// within w of p; the candidate cluster is the 2w-box around p in those
+/// dimensions; the candidate maximizing mu(|C|, |D|) = |C| (1/beta)^|D|
+/// subject to |C| >= alpha * n wins. Clusters are mined greedily: found
+/// points are removed and the search repeats.
+///
+/// Requires a dataset normalized to [0, 1].
+Result<core::ClusteringResult> RunDoc(const data::Dataset& dataset,
+                                      const DocOptions& options = {});
+
+}  // namespace p3c::baselines
+
+#endif  // P3C_BASELINES_DOC_H_

@@ -1,0 +1,368 @@
+#include "src/baselines/proclus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "src/common/random.h"
+#include "src/common/stopwatch.h"
+#include "src/core/interval_tightening.h"
+
+namespace p3c::baselines {
+
+namespace {
+
+using data::PointId;
+
+double EuclideanDistance(const data::Dataset& dataset, PointId a, PointId b) {
+  const auto ra = dataset.Row(a);
+  const auto rb = dataset.Row(b);
+  double acc = 0.0;
+  for (size_t j = 0; j < ra.size(); ++j) {
+    const double diff = ra[j] - rb[j];
+    acc += diff * diff;
+  }
+  return std::sqrt(acc);
+}
+
+/// Manhattan segmental distance: average |difference| over the medoid's
+/// selected dimensions.
+double SegmentalDistance(const data::Dataset& dataset, PointId point,
+                         PointId medoid, const std::vector<size_t>& dims) {
+  if (dims.empty()) return std::numeric_limits<double>::infinity();
+  const auto rp = dataset.Row(point);
+  const auto rm = dataset.Row(medoid);
+  double acc = 0.0;
+  for (size_t j : dims) acc += std::fabs(rp[j] - rm[j]);
+  return acc / static_cast<double>(dims.size());
+}
+
+/// Greedy farthest-point selection of `count` pivots out of `sample`.
+std::vector<PointId> GreedyPivots(const data::Dataset& dataset,
+                                  std::vector<PointId> sample, size_t count,
+                                  Rng& rng) {
+  std::vector<PointId> pivots;
+  if (sample.empty() || count == 0) return pivots;
+  pivots.push_back(sample[rng.UniformInt(sample.size())]);
+  std::vector<double> min_dist(sample.size(),
+                               std::numeric_limits<double>::infinity());
+  while (pivots.size() < count && pivots.size() < sample.size()) {
+    size_t best = 0;
+    double best_dist = -1.0;
+    for (size_t i = 0; i < sample.size(); ++i) {
+      min_dist[i] = std::min(min_dist[i],
+                             EuclideanDistance(dataset, sample[i],
+                                               pivots.back()));
+      if (min_dist[i] > best_dist) {
+        best_dist = min_dist[i];
+        best = i;
+      }
+    }
+    pivots.push_back(sample[best]);
+  }
+  std::sort(pivots.begin(), pivots.end());
+  pivots.erase(std::unique(pivots.begin(), pivots.end()), pivots.end());
+  return pivots;
+}
+
+/// Per-medoid dimension selection (the FindDimensions routine): pick
+/// k*l dimensions minimizing the standardized average distance z_ij,
+/// with at least 2 per medoid.
+std::vector<std::vector<size_t>> FindDimensions(
+    const data::Dataset& dataset, const std::vector<PointId>& medoids,
+    const std::vector<std::vector<PointId>>& locality, size_t total_dims,
+    size_t min_per_medoid) {
+  const size_t k = medoids.size();
+  const size_t d = dataset.num_dims();
+  // X_ij: average distance along dimension j within medoid i's locality.
+  std::vector<std::vector<double>> x(k, std::vector<double>(d, 0.0));
+  for (size_t i = 0; i < k; ++i) {
+    if (locality[i].empty()) continue;
+    const auto rm = dataset.Row(medoids[i]);
+    for (PointId p : locality[i]) {
+      const auto rp = dataset.Row(p);
+      for (size_t j = 0; j < d; ++j) x[i][j] += std::fabs(rp[j] - rm[j]);
+    }
+    for (size_t j = 0; j < d; ++j) {
+      x[i][j] /= static_cast<double>(locality[i].size());
+    }
+  }
+  // z_ij = (X_ij - Y_i) / sigma_i.
+  struct Entry {
+    double z;
+    size_t medoid;
+    size_t dim;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(k * d);
+  for (size_t i = 0; i < k; ++i) {
+    double mean = 0.0;
+    for (size_t j = 0; j < d; ++j) mean += x[i][j];
+    mean /= static_cast<double>(d);
+    double var = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      const double diff = x[i][j] - mean;
+      var += diff * diff;
+    }
+    const double sigma = std::sqrt(var / static_cast<double>(d > 1 ? d - 1 : 1));
+    for (size_t j = 0; j < d; ++j) {
+      const double z = sigma > 0.0 ? (x[i][j] - mean) / sigma : 0.0;
+      entries.push_back(Entry{z, i, j});
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.z < b.z; });
+
+  std::vector<std::vector<size_t>> dims(k);
+  std::vector<char> taken(k * d, 0);
+  // First: the best `min_per_medoid` dimensions per medoid.
+  for (size_t i = 0; i < k; ++i) {
+    std::vector<std::pair<double, size_t>> per_medoid;
+    per_medoid.reserve(d);
+    for (size_t j = 0; j < d; ++j) per_medoid.emplace_back(x[i][j], j);
+    // Standardization is monotone per medoid; sort by raw X works too,
+    // but use z via entries for uniformity: just sort by x value.
+    std::sort(per_medoid.begin(), per_medoid.end());
+    for (size_t r = 0; r < std::min(min_per_medoid, d); ++r) {
+      dims[i].push_back(per_medoid[r].second);
+      taken[i * d + per_medoid[r].second] = 1;
+    }
+  }
+  // Then: greedily fill up to total_dims with globally smallest z.
+  size_t assigned = 0;
+  for (const auto& v : dims) assigned += v.size();
+  for (const Entry& entry : entries) {
+    if (assigned >= total_dims) break;
+    if (taken[entry.medoid * d + entry.dim]) continue;
+    dims[entry.medoid].push_back(entry.dim);
+    taken[entry.medoid * d + entry.dim] = 1;
+    ++assigned;
+  }
+  for (auto& v : dims) std::sort(v.begin(), v.end());
+  return dims;
+}
+
+/// Assignment by segmental distance; returns per-point medoid index.
+std::vector<int32_t> AssignPoints(const data::Dataset& dataset,
+                                  const std::vector<PointId>& medoids,
+                                  const std::vector<std::vector<size_t>>& dims) {
+  const size_t n = dataset.num_points();
+  std::vector<int32_t> assignment(n, -1);
+  for (size_t i = 0; i < n; ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    int32_t best_medoid = -1;
+    for (size_t m = 0; m < medoids.size(); ++m) {
+      const double dist = SegmentalDistance(
+          dataset, static_cast<PointId>(i), medoids[m], dims[m]);
+      if (dist < best) {
+        best = dist;
+        best_medoid = static_cast<int32_t>(m);
+      }
+    }
+    assignment[i] = best_medoid;
+  }
+  return assignment;
+}
+
+/// Objective: average segmental distance of points to their medoid.
+double Objective(const data::Dataset& dataset,
+                 const std::vector<PointId>& medoids,
+                 const std::vector<std::vector<size_t>>& dims,
+                 const std::vector<int32_t>& assignment) {
+  double acc = 0.0;
+  size_t count = 0;
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    if (assignment[i] < 0) continue;
+    const auto m = static_cast<size_t>(assignment[i]);
+    acc += SegmentalDistance(dataset, static_cast<PointId>(i), medoids[m],
+                             dims[m]);
+    ++count;
+  }
+  return count > 0 ? acc / static_cast<double>(count)
+                   : std::numeric_limits<double>::infinity();
+}
+
+/// Locality sets: points within each medoid's distance to its nearest
+/// fellow medoid.
+std::vector<std::vector<PointId>> LocalitySets(
+    const data::Dataset& dataset, const std::vector<PointId>& medoids) {
+  const size_t k = medoids.size();
+  std::vector<double> delta(k, std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      if (i == j) continue;
+      delta[i] = std::min(delta[i],
+                          EuclideanDistance(dataset, medoids[i], medoids[j]));
+    }
+  }
+  std::vector<std::vector<PointId>> locality(k);
+  for (size_t p = 0; p < dataset.num_points(); ++p) {
+    for (size_t i = 0; i < k; ++i) {
+      if (EuclideanDistance(dataset, static_cast<PointId>(p), medoids[i]) <=
+          delta[i]) {
+        locality[i].push_back(static_cast<PointId>(p));
+      }
+    }
+  }
+  return locality;
+}
+
+}  // namespace
+
+Result<core::ClusteringResult> RunProclus(const data::Dataset& dataset,
+                                          const ProclusOptions& options) {
+  Stopwatch watch;
+  const size_t n = dataset.num_points();
+  const size_t d = dataset.num_dims();
+  if (n == 0 || d == 0) return Status::InvalidArgument("dataset is empty");
+  if (!dataset.IsNormalized()) {
+    return Status::InvalidArgument("dataset must be normalized to [0, 1]");
+  }
+  const size_t k = options.num_clusters;
+  if (k == 0 || k > n) {
+    return Status::InvalidArgument("num_clusters out of range");
+  }
+  if (options.avg_dims < 2 || options.avg_dims > d) {
+    return Status::InvalidArgument("avg_dims must be in [2, num_dims]");
+  }
+
+  Rng rng(options.seed);
+  // ---- Initialization: candidate medoids -------------------------------
+  std::vector<PointId> all(n);
+  std::iota(all.begin(), all.end(), PointId{0});
+  rng.Shuffle(all);
+  const size_t sample_size = std::min(n, options.sample_factor_b * k * 2);
+  std::vector<PointId> sample(all.begin(),
+                              all.begin() + static_cast<long>(sample_size));
+  std::vector<PointId> candidates = GreedyPivots(
+      dataset, sample, std::min(n, options.sample_factor_a * k / 10 + k),
+      rng);
+  if (candidates.size() < k) {
+    // Tiny data: use any distinct points.
+    candidates = all;
+    candidates.resize(std::min<size_t>(n, k * 2));
+  }
+
+  // Current medoids: first k candidates.
+  std::vector<PointId> medoids(candidates.begin(),
+                               candidates.begin() + static_cast<long>(k));
+  std::vector<char> in_use(candidates.size(), 0);
+  for (size_t i = 0; i < k; ++i) in_use[i] = 1;
+
+  const size_t total_dims = k * options.avg_dims;
+  double best_objective = std::numeric_limits<double>::infinity();
+  std::vector<PointId> best_medoids = medoids;
+  std::vector<std::vector<size_t>> best_dims;
+  std::vector<int32_t> best_assignment;
+
+  size_t since_improvement = 0;
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    const auto locality = LocalitySets(dataset, medoids);
+    const auto dims =
+        FindDimensions(dataset, medoids, locality, total_dims, 2);
+    const auto assignment = AssignPoints(dataset, medoids, dims);
+    const double objective = Objective(dataset, medoids, dims, assignment);
+
+    if (objective < best_objective) {
+      best_objective = objective;
+      best_medoids = medoids;
+      best_dims = dims;
+      best_assignment = assignment;
+      since_improvement = 0;
+    } else {
+      ++since_improvement;
+      if (since_improvement >= options.patience) break;
+    }
+
+    // Replace the medoid of the smallest cluster with a random unused
+    // candidate (the "bad medoid" heuristic).
+    std::vector<size_t> cluster_sizes(k, 0);
+    for (int32_t a : assignment) {
+      if (a >= 0) ++cluster_sizes[static_cast<size_t>(a)];
+    }
+    const size_t worst = static_cast<size_t>(
+        std::min_element(cluster_sizes.begin(), cluster_sizes.end()) -
+        cluster_sizes.begin());
+    std::vector<size_t> unused;
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      if (!in_use[c]) unused.push_back(c);
+    }
+    if (unused.empty()) break;
+    const size_t pick = unused[rng.UniformInt(unused.size())];
+    // Release the replaced medoid's candidate slot if it was a candidate.
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      if (candidates[c] == medoids[worst]) in_use[c] = 0;
+    }
+    medoids = best_medoids;  // restart replacement from the best known set
+    medoids[worst] = candidates[pick];
+    in_use[pick] = 1;
+  }
+
+  // ---- Refinement --------------------------------------------------------
+  // Dimensions recomputed from the best clusters (not localities).
+  std::vector<std::vector<PointId>> clusters_points(k);
+  for (size_t i = 0; i < best_assignment.size(); ++i) {
+    if (best_assignment[i] >= 0) {
+      clusters_points[static_cast<size_t>(best_assignment[i])].push_back(
+          static_cast<PointId>(i));
+    }
+  }
+  const auto refined_dims = FindDimensions(dataset, best_medoids,
+                                           clusters_points, total_dims, 2);
+  auto final_assignment = AssignPoints(dataset, best_medoids, refined_dims);
+
+  if (options.detect_outliers) {
+    // Sphere of influence: per medoid, the smallest segmental distance to
+    // another medoid (in its own dimensions); points farther than every
+    // medoid's sphere become outliers.
+    std::vector<double> sphere(k, std::numeric_limits<double>::infinity());
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = 0; j < k; ++j) {
+        if (i == j) continue;
+        sphere[i] = std::min(
+            sphere[i], SegmentalDistance(dataset, best_medoids[j],
+                                         best_medoids[i], refined_dims[i]));
+      }
+    }
+    for (size_t p = 0; p < n; ++p) {
+      bool inside_any = false;
+      for (size_t i = 0; i < k && !inside_any; ++i) {
+        inside_any = SegmentalDistance(dataset, static_cast<PointId>(p),
+                                       best_medoids[i], refined_dims[i]) <=
+                     sphere[i];
+      }
+      if (!inside_any) final_assignment[p] = -1;
+    }
+  }
+
+  // ---- Result ---------------------------------------------------------
+  core::ClusteringResult result;
+  std::vector<std::vector<PointId>> members(k);
+  for (size_t i = 0; i < final_assignment.size(); ++i) {
+    if (final_assignment[i] >= 0) {
+      members[static_cast<size_t>(final_assignment[i])].push_back(
+          static_cast<PointId>(i));
+    }
+  }
+  for (size_t c = 0; c < k; ++c) {
+    if (members[c].empty()) continue;
+    core::ProjectedCluster cluster;
+    cluster.points = std::move(members[c]);
+    cluster.attrs = refined_dims[c];
+    cluster.intervals =
+        core::TightenIntervals(dataset, cluster.points, cluster.attrs);
+    result.clusters.push_back(std::move(cluster));
+  }
+  std::vector<size_t> arel;
+  for (const auto& cluster : result.clusters) {
+    arel.insert(arel.end(), cluster.attrs.begin(), cluster.attrs.end());
+  }
+  std::sort(arel.begin(), arel.end());
+  arel.erase(std::unique(arel.begin(), arel.end()), arel.end());
+  result.arel = std::move(arel);
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace p3c::baselines

@@ -1,0 +1,54 @@
+#ifndef P3C_BASELINES_PROCLUS_H_
+#define P3C_BASELINES_PROCLUS_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/core/result.h"
+#include "src/data/dataset.h"
+
+namespace p3c::baselines {
+
+/// Parameters of PROCLUS. Unlike the P3C family, the cluster count k and
+/// the average subspace dimensionality l must be provided by the user —
+/// the usability contrast §2 of the paper draws.
+struct ProclusOptions {
+  /// Number of clusters (k).
+  size_t num_clusters = 5;
+  /// Average number of relevant dimensions per cluster (l >= 2).
+  size_t avg_dims = 4;
+  /// Candidate-medoid sample factors (A = a*k, B = b*k of the paper).
+  size_t sample_factor_a = 30;
+  size_t sample_factor_b = 5;
+  /// Iterative-phase bound and the no-improvement patience.
+  size_t max_iterations = 30;
+  size_t patience = 5;
+  /// Points farther from every medoid than the cluster sphere of
+  /// influence are declared outliers in the refinement phase.
+  bool detect_outliers = true;
+  uint64_t seed = 3;
+};
+
+/// PROCLUS (Aggarwal, Procopiuc, Wolf, Yu, Park; SIGMOD 1999): k-medoid
+/// projected clustering. Implemented as a comparison baseline from the
+/// paper's related-work discussion (§2):
+///
+///  1. greedy farthest-point selection of candidate medoids from a
+///     random sample,
+///  2. iterative phase — per-medoid locality sets, per-medoid dimension
+///     selection by standardized average distances (k*l dimensions in
+///     total, at least 2 per medoid), point assignment by Manhattan
+///     segmental distance, and replacement of the worst medoid while the
+///     objective improves,
+///  3. refinement — dimensions recomputed from the final clusters, one
+///     final reassignment, outliers beyond every medoid's sphere of
+///     influence removed.
+///
+/// Requires a dataset normalized to [0, 1]. The result's clusters carry
+/// the selected dimensions as `attrs` and min/max-tightened intervals.
+Result<core::ClusteringResult> RunProclus(const data::Dataset& dataset,
+                                          const ProclusOptions& options = {});
+
+}  // namespace p3c::baselines
+
+#endif  // P3C_BASELINES_PROCLUS_H_

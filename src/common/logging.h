@@ -1,0 +1,52 @@
+#ifndef P3C_COMMON_LOGGING_H_
+#define P3C_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace p3c {
+
+/// Severity levels for the library logger.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Global minimum level; messages below it are discarded. Defaults to
+/// kWarning so library users are not spammed; benchmarks raise it to
+/// kInfo when narrating progress.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink. Instances are created by the P3C_LOG macro and
+/// emit on destruction, so a whole statement forms one atomic line.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace p3c
+
+#define P3C_LOG(level)                                                    \
+  if (::p3c::LogLevel::level < ::p3c::GetLogLevel()) {                    \
+  } else                                                                  \
+    ::p3c::internal::LogMessage(::p3c::LogLevel::level, __FILE__, __LINE__) \
+        .stream()
+
+#endif  // P3C_COMMON_LOGGING_H_

@@ -1,0 +1,105 @@
+#include "src/common/random.h"
+
+#include <cmath>
+
+namespace p3c {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& word : s_) word = SplitMix64(x);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  if (n == 0) return 0;
+  const uint64_t limit = ~0ULL - ~0ULL % n;
+  uint64_t v;
+  do {
+    v = Next();
+  } while (v >= limit);
+  return v % n;
+}
+
+double Rng::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = Uniform(-1.0, 1.0);
+    v = Uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_gaussian_ = v * factor;
+  has_cached_gaussian_ = true;
+  return u * factor;
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+double Rng::TruncatedGaussian(double mean, double stddev, double lo,
+                              double hi) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double x = Gaussian(mean, stddev);
+    if (x >= lo && x <= hi) return x;
+  }
+  const double x = Gaussian(mean, stddev);
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+uint64_t Rng::Poisson(double lambda) {
+  if (lambda <= 0.0) return 0;
+  if (lambda <= 64.0) {
+    // Knuth's product method.
+    const double limit = std::exp(-lambda);
+    uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= Uniform();
+    } while (p > limit);
+    return k - 1;
+  }
+  const double x = Gaussian(lambda, std::sqrt(lambda));
+  return x <= 0.0 ? 0 : static_cast<uint64_t>(std::llround(x));
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+}  // namespace p3c

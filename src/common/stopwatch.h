@@ -1,0 +1,31 @@
+#ifndef P3C_COMMON_STOPWATCH_H_
+#define P3C_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace p3c {
+
+/// Minimal wall-clock timer used by the benchmark harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction / last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace p3c
+
+#endif  // P3C_COMMON_STOPWATCH_H_

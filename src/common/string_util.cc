@@ -1,0 +1,76 @@
+#include "src/common/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdint>
+
+namespace p3c {
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view StripWhitespace(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\r' || s[b] == '\n'))
+    ++b;
+  while (e > b &&
+         (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r' ||
+          s[e - 1] == '\n'))
+    --e;
+  return s.substr(b, e - b);
+}
+
+std::string StringPrintf(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+  }
+  va_end(ap2);
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string FormatDouble(double value, int digits) {
+  std::string s = StringPrintf("%.*g", digits, value);
+  return s;
+}
+
+std::string HumanCount(uint64_t n) {
+  if (n >= 1000000000ULL && n % 100000000ULL == 0) {
+    return StringPrintf("%.1fG", static_cast<double>(n) / 1e9);
+  }
+  if (n >= 1000000ULL && n % 100000ULL == 0) {
+    return StringPrintf("%.1fM", static_cast<double>(n) / 1e6);
+  }
+  if (n >= 1000ULL && n % 100ULL == 0) {
+    return StringPrintf("%.1fk", static_cast<double>(n) / 1e3);
+  }
+  return StringPrintf("%llu", static_cast<unsigned long long>(n));
+}
+
+}  // namespace p3c

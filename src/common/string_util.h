@@ -1,0 +1,35 @@
+#ifndef P3C_COMMON_STRING_UTIL_H_
+#define P3C_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace p3c {
+
+/// Splits `s` on `sep`, keeping empty fields. Splitting the empty string
+/// yields one empty field, matching common CSV semantics.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins the elements with `sep` between them.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Renders `value` with `digits` significant digits, trimming trailing
+/// zeros; used when printing benchmark tables.
+std::string FormatDouble(double value, int digits = 6);
+
+/// Renders byte counts / cardinalities with SI-ish suffixes: 1500 ->
+/// "1.5k", 2000000 -> "2M". Used for table headers that mirror the
+/// paper's "1.E+04" axis labels.
+std::string HumanCount(uint64_t n);
+
+}  // namespace p3c
+
+#endif  // P3C_COMMON_STRING_UTIL_H_

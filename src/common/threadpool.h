@@ -1,0 +1,60 @@
+#ifndef P3C_COMMON_THREADPOOL_H_
+#define P3C_COMMON_THREADPOOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace p3c {
+
+/// Fixed-size worker pool used by the MapReduce runner and the parallel
+/// candidate generator.
+///
+/// Tasks are plain `std::function<void()>`; exceptions must not escape a
+/// task (the library is exception-free at its boundaries, see
+/// common/status.h). `Wait()` blocks until every submitted task has
+/// finished, which the runner uses as its per-phase barrier.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means `HardwareConcurrency()`.
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all tasks submitted so far have completed.
+  void Wait();
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and waits for all of
+  /// them. `fn` must be safe to call concurrently.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static size_t HardwareConcurrency();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  size_t pending_ = 0;  // queued + running tasks
+  bool stop_ = false;
+};
+
+}  // namespace p3c
+
+#endif  // P3C_COMMON_THREADPOOL_H_

@@ -1,0 +1,85 @@
+#include "src/core/candidate_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace p3c::core {
+
+namespace {
+
+/// Decodes pair index p in [0, k(k-1)/2) to (i, j) with 0 <= j < i < k,
+/// where p = i(i-1)/2 + j.
+std::pair<size_t, size_t> DecodePair(uint64_t p) {
+  const auto i = static_cast<uint64_t>(
+      (1.0 + std::sqrt(1.0 + 8.0 * static_cast<double>(p))) / 2.0);
+  // Guard against floating point off-by-one at huge indices.
+  uint64_t row = i;
+  while (row * (row - 1) / 2 > p) --row;
+  while ((row + 1) * row / 2 <= p) ++row;
+  return {static_cast<size_t>(row),
+          static_cast<size_t>(p - row * (row - 1) / 2)};
+}
+
+void JoinRange(const std::vector<Signature>& proven, uint64_t begin,
+               uint64_t end, std::vector<Signature>& out) {
+  if (begin >= end) return;
+  auto [i, j] = DecodePair(begin);
+  for (uint64_t p = begin; p < end; ++p) {
+    Result<Signature> joined = proven[i].JoinWith(proven[j]);
+    if (joined.ok()) out.push_back(std::move(joined).value());
+    ++j;
+    if (j == i) {
+      ++i;
+      j = 0;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Signature> GenerateCandidates(const std::vector<Signature>& proven,
+                                          ThreadPool* pool, size_t t_gen,
+                                          CandidateGenStats* stats) {
+  const uint64_t k = proven.size();
+  const uint64_t pairs = k * (k - 1) / 2;
+  if (stats != nullptr) {
+    *stats = CandidateGenStats{};
+    stats->num_pairs = pairs;
+  }
+  std::vector<Signature> raw;
+  if (pairs == 0) return raw;
+
+  const bool parallel = pool != nullptr && pairs > t_gen;
+  if (stats != nullptr) stats->parallel = parallel;
+  if (!parallel) {
+    JoinRange(proven, 0, pairs, raw);
+  } else {
+    // m = ceil(c / Tgen) "mappers", each owning a contiguous index range.
+    const size_t num_tasks = static_cast<size_t>(
+        std::min<uint64_t>((pairs + t_gen - 1) / t_gen,
+                           pool->num_threads() * 8));
+    std::vector<std::vector<Signature>> partials(num_tasks);
+    pool->ParallelFor(num_tasks, [&](size_t t) {
+      const uint64_t begin = pairs * t / num_tasks;
+      const uint64_t end = pairs * (t + 1) / num_tasks;
+      JoinRange(proven, begin, end, partials[t]);
+    });
+    size_t total = 0;
+    for (const auto& part : partials) total += part.size();
+    raw.reserve(total);
+    for (auto& part : partials) {
+      raw.insert(raw.end(), std::make_move_iterator(part.begin()),
+                 std::make_move_iterator(part.end()));
+    }
+  }
+
+  // Collector: sort + unique gives canonical, deterministic output.
+  const size_t before = raw.size();
+  std::sort(raw.begin(), raw.end());
+  raw.erase(std::unique(raw.begin(), raw.end()), raw.end());
+  if (stats != nullptr) stats->num_duplicates = before - raw.size();
+  return raw;
+}
+
+}  // namespace p3c::core

@@ -1,0 +1,36 @@
+#ifndef P3C_CORE_CANDIDATE_GEN_H_
+#define P3C_CORE_CANDIDATE_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/threadpool.h"
+#include "src/core/signature.h"
+
+namespace p3c::core {
+
+/// Statistics of one candidate-generation round.
+struct CandidateGenStats {
+  /// k(k-1)/2 pair joins examined.
+  uint64_t num_pairs = 0;
+  /// Whether the parallel (MapReduce-mapper analog) path ran.
+  bool parallel = false;
+  /// Duplicates discarded by the collector ("the main program collects
+  /// ... while ignoring duplicates").
+  uint64_t num_duplicates = 0;
+};
+
+/// A-priori candidate generation (§5.3): joins every pair of
+/// p-signatures sharing p-1 intervals into a (p+1)-signature, ignoring
+/// duplicates. Output is sorted (canonical order) for determinism.
+///
+/// When the pair count exceeds `t_gen` and `pool` is non-null, pair
+/// ranges are processed in parallel — the paper's m = c/Tgen mappers
+/// with the result-file collection replaced by an in-memory merge.
+std::vector<Signature> GenerateCandidates(
+    const std::vector<Signature>& proven, ThreadPool* pool, size_t t_gen,
+    CandidateGenStats* stats = nullptr);
+
+}  // namespace p3c::core
+
+#endif  // P3C_CORE_CANDIDATE_GEN_H_

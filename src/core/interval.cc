@@ -1,0 +1,11 @@
+#include "src/core/interval.h"
+
+#include "src/common/string_util.h"
+
+namespace p3c::core {
+
+std::string Interval::ToString() const {
+  return StringPrintf("a%zu:[%g,%g]", attr, lower, upper);
+}
+
+}  // namespace p3c::core

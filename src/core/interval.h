@@ -1,0 +1,39 @@
+#ifndef P3C_CORE_INTERVAL_H_
+#define P3C_CORE_INTERVAL_H_
+
+#include <compare>
+#include <cstddef>
+#include <string>
+
+namespace p3c::core {
+
+/// An interval I_a = [lower, upper] on attribute `attr` of the normalized
+/// [0, 1] data space (Definition 1). Closed on both ends.
+struct Interval {
+  size_t attr = 0;
+  double lower = 0.0;
+  double upper = 0.0;
+
+  double width() const { return upper - lower; }
+
+  /// Closed-interval containment of a single coordinate.
+  bool Contains(double x) const { return x >= lower && x <= upper; }
+
+  /// Two intervals overlap when they share at least one coordinate value
+  /// on the same attribute.
+  bool Overlaps(const Interval& other) const {
+    return attr == other.attr && lower <= other.upper &&
+           other.lower <= upper;
+  }
+
+  /// Lexicographic ordering (attr, lower, upper); gives signatures a
+  /// canonical interval order.
+  friend auto operator<=>(const Interval&, const Interval&) = default;
+
+  /// "a3:[0.2,0.4]" debug rendering.
+  std::string ToString() const;
+};
+
+}  // namespace p3c::core
+
+#endif  // P3C_CORE_INTERVAL_H_

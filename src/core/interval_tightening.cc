@@ -1,0 +1,28 @@
+#include "src/core/interval_tightening.h"
+
+#include <algorithm>
+
+namespace p3c::core {
+
+std::vector<Interval> TightenIntervals(
+    const data::Dataset& dataset, const std::vector<data::PointId>& members,
+    const std::vector<size_t>& attrs) {
+  std::vector<Interval> out;
+  if (members.empty()) return out;
+  out.reserve(attrs.size());
+  for (size_t attr : attrs) {
+    Interval interval;
+    interval.attr = attr;
+    interval.lower = dataset.Get(members.front(), attr);
+    interval.upper = interval.lower;
+    for (data::PointId p : members) {
+      const double v = dataset.Get(p, attr);
+      interval.lower = std::min(interval.lower, v);
+      interval.upper = std::max(interval.upper, v);
+    }
+    out.push_back(interval);
+  }
+  return out;
+}
+
+}  // namespace p3c::core

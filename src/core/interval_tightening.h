@@ -1,0 +1,22 @@
+#ifndef P3C_CORE_INTERVAL_TIGHTENING_H_
+#define P3C_CORE_INTERVAL_TIGHTENING_H_
+
+#include <vector>
+
+#include "src/core/interval.h"
+#include "src/data/dataset.h"
+
+namespace p3c::core {
+
+/// Interval tightening (§3.2.2 last step / §5.7): the output signature of
+/// a cluster is, per relevant attribute a, the interval
+/// [min_{x in Cl} x_a, max_{x in Cl} x_a] over the cluster's members.
+/// Returns one interval per attribute in `attrs` (same order); empty
+/// member sets yield empty output.
+std::vector<Interval> TightenIntervals(const data::Dataset& dataset,
+                                       const std::vector<data::PointId>& members,
+                                       const std::vector<size_t>& attrs);
+
+}  // namespace p3c::core
+
+#endif  // P3C_CORE_INTERVAL_TIGHTENING_H_

@@ -1,0 +1,70 @@
+#include "src/core/relevant_intervals.h"
+
+#include <algorithm>
+
+#include "src/stats/chi_squared.h"
+
+namespace p3c::core {
+
+RelevantIntervalsResult FindRelevantIntervals(size_t attr,
+                                              const stats::Histogram& hist,
+                                              double alpha_chi2) {
+  RelevantIntervalsResult result;
+  const size_t m = hist.num_bins();
+  if (m == 0) return result;
+
+  // Working copy of counts; marked bins are removed from the test set.
+  std::vector<uint64_t> remaining = hist.counts();
+  std::vector<char> marked(m, 0);
+  std::vector<size_t> remaining_index(m);
+  for (size_t i = 0; i < m; ++i) remaining_index[i] = i;
+
+  bool first_test = true;
+  while (remaining.size() >= 2) {
+    const auto test = stats::ChiSquaredUniformityTest(remaining, alpha_chi2);
+    if (first_test) {
+      result.attribute_non_uniform = !test.uniform;
+      first_test = false;
+    }
+    if (test.uniform) break;
+    // Mark the highest-support remaining bin (ties -> lowest bin index).
+    size_t best = 0;
+    for (size_t i = 1; i < remaining.size(); ++i) {
+      if (remaining[i] > remaining[best]) best = i;
+    }
+    marked[remaining_index[best]] = 1;
+    remaining.erase(remaining.begin() + static_cast<long>(best));
+    remaining_index.erase(remaining_index.begin() + static_cast<long>(best));
+  }
+
+  // Merge adjacent marked bins into maximal intervals.
+  for (size_t i = 0; i < m;) {
+    if (!marked[i]) {
+      ++i;
+      continue;
+    }
+    size_t j = i;
+    while (j + 1 < m && marked[j + 1]) ++j;
+    Interval interval;
+    interval.attr = attr;
+    interval.lower = hist.BinLower(i);
+    interval.upper = hist.BinUpper(j);
+    result.intervals.push_back(interval);
+    for (size_t b = i; b <= j; ++b) result.marked_bins.push_back(b);
+    i = j + 1;
+  }
+  return result;
+}
+
+std::vector<Interval> FindAllRelevantIntervals(
+    const std::vector<stats::Histogram>& histograms, double alpha_chi2) {
+  std::vector<Interval> out;
+  for (size_t attr = 0; attr < histograms.size(); ++attr) {
+    RelevantIntervalsResult r =
+        FindRelevantIntervals(attr, histograms[attr], alpha_chi2);
+    out.insert(out.end(), r.intervals.begin(), r.intervals.end());
+  }
+  return out;
+}
+
+}  // namespace p3c::core

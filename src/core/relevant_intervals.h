@@ -1,0 +1,41 @@
+#ifndef P3C_CORE_RELEVANT_INTERVALS_H_
+#define P3C_CORE_RELEVANT_INTERVALS_H_
+
+#include <vector>
+
+#include "src/core/interval.h"
+#include "src/stats/histogram.h"
+
+namespace p3c::core {
+
+/// Per-attribute outcome of the relevant-interval detection step.
+struct RelevantIntervalsResult {
+  /// Merged relevant intervals on this attribute (possibly empty).
+  std::vector<Interval> intervals;
+  /// Bins marked relevant (0-based indices into the histogram), sorted.
+  std::vector<size_t> marked_bins;
+  /// Whether the initial uniformity test already rejected uniformity.
+  bool attribute_non_uniform = false;
+};
+
+/// The histogram marking loop of §3.2.2: if the attribute's histogram is
+/// non-uniform under the chi-squared test at `alpha_chi2`, repeatedly
+/// mark (and remove) the highest-support bin until the remaining bins
+/// test uniform. Adjacent marked bins are merged into maximal intervals
+/// whose bounds are the covered bins' edges.
+///
+/// Ties on bin support are broken toward the lower bin index, making the
+/// procedure deterministic.
+RelevantIntervalsResult FindRelevantIntervals(size_t attr,
+                                              const stats::Histogram& hist,
+                                              double alpha_chi2);
+
+/// Applies FindRelevantIntervals to every attribute histogram and
+/// concatenates the resulting intervals (the paper's candidate interval
+/// pool Î).
+std::vector<Interval> FindAllRelevantIntervals(
+    const std::vector<stats::Histogram>& histograms, double alpha_chi2);
+
+}  // namespace p3c::core
+
+#endif  // P3C_CORE_RELEVANT_INTERVALS_H_

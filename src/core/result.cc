@@ -1,0 +1,18 @@
+#include "src/core/result.h"
+
+namespace p3c::core {
+
+eval::Clustering ClusteringResult::ToEvalClustering() const {
+  eval::Clustering out;
+  out.reserve(clusters.size());
+  for (const ProjectedCluster& cluster : clusters) {
+    eval::SubspaceCluster sc;
+    sc.points = cluster.points;
+    sc.attrs = cluster.attrs;
+    sc.Normalize();
+    out.push_back(std::move(sc));
+  }
+  return out;
+}
+
+}  // namespace p3c::core

@@ -1,0 +1,42 @@
+#ifndef P3C_CORE_RESULT_H_
+#define P3C_CORE_RESULT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/core_detection.h"
+#include "src/core/interval.h"
+#include "src/data/dataset.h"
+#include "src/eval/clustering.h"
+
+namespace p3c::core {
+
+/// One projected cluster of the final result: the member points, the
+/// relevant attribute set, and the tightened output signature
+/// (S_i^output in §3.2.2).
+struct ProjectedCluster {
+  std::vector<data::PointId> points;     ///< sorted ascending
+  std::vector<size_t> attrs;             ///< sorted relevant attributes
+  std::vector<Interval> intervals;       ///< tightened, one per attr
+};
+
+/// Full result of a P3C / P3C+ / P3C+-Light / MR run.
+struct ClusteringResult {
+  std::vector<ProjectedCluster> clusters;
+  /// Relevant attribute union Arel used for EM/OD (empty in Light mode
+  /// when no cores were found).
+  std::vector<size_t> arel;
+  /// Cluster-core generation diagnostics.
+  CoreDetectionStats core_stats;
+  /// The cluster cores the refinement started from.
+  std::vector<ClusterCore> cores;
+  /// Wall-clock time of the clustering run.
+  double seconds = 0.0;
+
+  /// View for the evaluation measures (E4SC & friends).
+  eval::Clustering ToEvalClustering() const;
+};
+
+}  // namespace p3c::core
+
+#endif  // P3C_CORE_RESULT_H_

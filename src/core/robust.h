@@ -1,0 +1,49 @@
+#ifndef P3C_CORE_ROBUST_H_
+#define P3C_CORE_ROBUST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/linalg/matrix.h"
+
+namespace p3c::core {
+
+/// Result of a minimum-covariance-determinant fit.
+struct McdResult {
+  linalg::Vector mean;
+  linalg::Matrix cov;          ///< raw h-subset covariance (uncorrected)
+  double log_det = 0.0;        ///< log determinant of `cov`
+  std::vector<uint32_t> h_subset;  ///< indices of the selected points
+};
+
+/// Options of the FAST-MCD search.
+struct McdOptions {
+  /// Number of random elemental starts; more = closer to the exact MCD.
+  size_t num_trials = 8;
+  /// C-steps per start (concentration steps; determinant is monotonically
+  /// non-increasing, a handful suffices).
+  size_t num_c_steps = 4;
+  /// Ridge added when an intermediate covariance is singular.
+  double ridge = 1e-8;
+  uint64_t seed = 1;
+};
+
+/// FAST-MCD (Rousseeuw & Van Driessen, 1999): approximates the
+/// minimum-covariance-determinant estimator — mean and covariance of the
+/// h ≈ n/2 points whose covariance has the smallest determinant. This is
+/// the exact-MVE-class robust estimator the paper declines to evaluate
+/// for cost reasons (§4.2.2/§7.4.1, "the exact MVE estimator will
+/// probably result in a better clustering quality"); OutlierMode::kMCD
+/// wires it into the outlier-detection step of the serial pipeline.
+///
+/// `members` are the cluster's points in Arel coordinates. Degenerate
+/// inputs (fewer than dim + 2 points) fall back to the classical
+/// mean/covariance of all members. The returned covariance is the raw
+/// h-subset estimate; apply ApplyMvbConsistencyCorrection (the h/n = 0.5
+/// consistency factor) before chi-squared thresholding.
+McdResult ComputeMcd(const std::vector<linalg::Vector>& members,
+                     const McdOptions& options = {});
+
+}  // namespace p3c::core
+
+#endif  // P3C_CORE_ROBUST_H_

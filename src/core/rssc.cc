@@ -1,0 +1,127 @@
+#include "src/core/rssc.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+namespace p3c::core {
+
+Rssc::Rssc(const std::vector<Signature>& signatures)
+    : num_signatures_(signatures.size()),
+      num_words_((signatures.size() + 63) / 64) {
+  // Pass 1: collect the attributes and their interval bounds.
+  std::vector<std::vector<double>> bounds_by_attr;
+  std::vector<size_t> attr_of_slot;
+  auto slot_of_attr = [&](size_t attr) -> size_t {
+    for (size_t s = 0; s < attr_of_slot.size(); ++s) {
+      if (attr_of_slot[s] == attr) return s;
+    }
+    attr_of_slot.push_back(attr);
+    bounds_by_attr.emplace_back();
+    return attr_of_slot.size() - 1;
+  };
+  for (const Signature& sig : signatures) {
+    for (const Interval& interval : sig.intervals()) {
+      auto& bounds = bounds_by_attr[slot_of_attr(interval.attr)];
+      bounds.push_back(interval.lower);
+      // nextafter keeps the closed upper end inside the interval's bin
+      // range: [lower, nextafter(upper)) == [lower, upper] for doubles.
+      bounds.push_back(
+          std::nextafter(interval.upper,
+                         std::numeric_limits<double>::infinity()));
+    }
+  }
+
+  // Pass 2: build per-attribute bin masks.
+  index_.reserve(attr_of_slot.size());
+  for (size_t s = 0; s < attr_of_slot.size(); ++s) {
+    AttrIndex ai;
+    ai.attr = attr_of_slot[s];
+    ai.separators = std::move(bounds_by_attr[s]);
+    std::sort(ai.separators.begin(), ai.separators.end());
+    ai.separators.erase(
+        std::unique(ai.separators.begin(), ai.separators.end()),
+        ai.separators.end());
+    const size_t num_bins = ai.separators.size() + 1;
+    ai.masks.assign(num_bins * num_words_, 0);
+    for (size_t j = 0; j < signatures.size(); ++j) {
+      const std::optional<Interval> interval = signatures[j].Find(ai.attr);
+      for (size_t b = 0; b < num_bins; ++b) {
+        bool covered;
+        if (!interval.has_value()) {
+          // Attribute irrelevant for this signature -> always 1
+          // (Figure 3: bits of S2 are 1 on attribute a).
+          covered = true;
+        } else {
+          const double bin_lo =
+              b == 0 ? -std::numeric_limits<double>::infinity()
+                     : ai.separators[b - 1];
+          const double bin_hi =
+              b == ai.separators.size()
+                  ? std::numeric_limits<double>::infinity()
+                  : ai.separators[b];
+          // Bin [bin_lo, bin_hi) inside [lower, upper]?
+          const double upper_sep = std::nextafter(
+              interval->upper, std::numeric_limits<double>::infinity());
+          covered = bin_lo >= interval->lower && bin_hi <= upper_sep;
+        }
+        if (covered) {
+          ai.masks[b * num_words_ + j / 64] |= uint64_t{1} << (j % 64);
+        }
+      }
+    }
+    index_.push_back(std::move(ai));
+  }
+
+  attrs_.reserve(index_.size());
+  for (const AttrIndex& ai : index_) attrs_.push_back(ai.attr);
+  std::sort(attrs_.begin(), attrs_.end());
+}
+
+void Rssc::Match(std::span<const double> point,
+                 std::vector<uint64_t>& bits_out) const {
+  bits_out.assign(num_words_, ~uint64_t{0});
+  if (num_words_ == 0) return;
+  // Clear the padding bits of the last word.
+  const size_t tail = num_signatures_ % 64;
+  if (tail != 0) bits_out.back() = (uint64_t{1} << tail) - 1;
+
+  for (const AttrIndex& ai : index_) {
+    const double x = ai.attr < point.size() ? point[ai.attr] : 0.0;
+    const size_t bin = static_cast<size_t>(
+        std::upper_bound(ai.separators.begin(), ai.separators.end(), x) -
+        ai.separators.begin());
+    const uint64_t* mask = ai.masks.data() + bin * num_words_;
+    for (size_t w = 0; w < num_words_; ++w) bits_out[w] &= mask[w];
+  }
+}
+
+void Rssc::Accumulate(std::span<const double> point,
+                      std::vector<uint64_t>& scratch,
+                      std::span<uint64_t> supports) const {
+  Match(point, scratch);
+  for (size_t w = 0; w < num_words_; ++w) {
+    uint64_t bits = scratch[w];
+    while (bits != 0) {
+      const int bit = std::countr_zero(bits);
+      ++supports[w * 64 + static_cast<size_t>(bit)];
+      bits &= bits - 1;
+    }
+  }
+}
+
+void Rssc::BitsToIds(std::span<const uint64_t> bits, size_t num_signatures,
+                     std::vector<uint32_t>& ids_out) {
+  for (size_t w = 0; w < bits.size(); ++w) {
+    uint64_t word = bits[w];
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      const size_t id = w * 64 + static_cast<size_t>(bit);
+      if (id < num_signatures) ids_out.push_back(static_cast<uint32_t>(id));
+      word &= word - 1;
+    }
+  }
+}
+
+}  // namespace p3c::core

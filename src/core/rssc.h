@@ -1,0 +1,74 @@
+#ifndef P3C_CORE_RSSC_H_
+#define P3C_CORE_RSSC_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/signature.h"
+
+namespace p3c::core {
+
+/// Rapid Signature Support Counter (§5.3): a bitmap index answering "which
+/// of these signatures contain point x" with one binary search plus one
+/// 64-bit AND per relevant attribute.
+///
+/// Construction derives, per attribute occurring in any signature, a
+/// binning from the distinct interval bounds; every bin carries a bit
+/// vector with bit j set iff signature j either has no interval on the
+/// attribute or its interval covers the whole bin (Figure 3 of the
+/// paper). Closed interval semantics are preserved exactly by using
+/// nextafter(upper) as the bin separator. Matching a point ANDs the bin
+/// vectors of all indexed attributes.
+///
+/// The index is immutable after construction and safe to share across
+/// mapper threads — exactly the distributed-cache usage of the paper.
+class Rssc {
+ public:
+  /// Builds the index. Two passes over `signatures`, as the paper notes;
+  /// memory is O(#attrs * #bins * #signatures / 64).
+  explicit Rssc(const std::vector<Signature>& signatures);
+
+  size_t num_signatures() const { return num_signatures_; }
+  size_t num_words() const { return num_words_; }
+
+  /// Attributes the index constrains (sorted). Points are only examined
+  /// on these.
+  const std::vector<size_t>& indexed_attrs() const { return attrs_; }
+
+  /// Computes the containment bit vector for `point` (a full
+  /// d-dimensional row) into `bits_out` (resized to num_words()). Bit j
+  /// set <=> point in SuppSet(signature j).
+  void Match(std::span<const double> point,
+             std::vector<uint64_t>& bits_out) const;
+
+  /// Adds 1 to `supports[j]` for every signature j containing the point.
+  /// `scratch` avoids per-call allocation in hot loops.
+  void Accumulate(std::span<const double> point,
+                  std::vector<uint64_t>& scratch,
+                  std::span<uint64_t> supports) const;
+
+  /// Appends the ids of all set bits in `bits` to `ids_out`.
+  static void BitsToIds(std::span<const uint64_t> bits, size_t num_signatures,
+                        std::vector<uint32_t>& ids_out);
+
+ private:
+  struct AttrIndex {
+    size_t attr;
+    /// Sorted bin separators; bin i covers [separators[i],
+    /// separators[i+1]) with sentinel bounds -inf / +inf at the ends
+    /// implied (bin 0 is (-inf, separators[0]), etc.).
+    std::vector<double> separators;
+    /// Bit masks per bin, each num_words_ long, concatenated.
+    std::vector<uint64_t> masks;
+  };
+
+  size_t num_signatures_ = 0;
+  size_t num_words_ = 0;
+  std::vector<size_t> attrs_;
+  std::vector<AttrIndex> index_;
+};
+
+}  // namespace p3c::core
+
+#endif  // P3C_CORE_RSSC_H_

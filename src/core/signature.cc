@@ -1,0 +1,180 @@
+#include "src/core/signature.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/string_util.h"
+
+namespace p3c::core {
+
+Result<Signature> Signature::Make(std::vector<Interval> intervals) {
+  std::sort(intervals.begin(), intervals.end());
+  for (size_t i = 1; i < intervals.size(); ++i) {
+    if (intervals[i].attr == intervals[i - 1].attr) {
+      return Status::InvalidArgument(
+          "signature has two intervals on attribute " +
+          std::to_string(intervals[i].attr));
+    }
+  }
+  Signature s;
+  s.intervals_ = std::move(intervals);
+  return s;
+}
+
+Signature Signature::Single(const Interval& interval) {
+  Signature s;
+  s.intervals_.push_back(interval);
+  return s;
+}
+
+std::vector<size_t> Signature::attrs() const {
+  std::vector<size_t> out;
+  out.reserve(intervals_.size());
+  for (const Interval& i : intervals_) out.push_back(i.attr);
+  return out;
+}
+
+bool Signature::HasAttr(size_t attr) const {
+  return Find(attr).has_value();
+}
+
+std::optional<Interval> Signature::Find(size_t attr) const {
+  auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), attr,
+      [](const Interval& i, size_t a) { return i.attr < a; });
+  if (it != intervals_.end() && it->attr == attr) return *it;
+  return std::nullopt;
+}
+
+bool Signature::Contains(std::span<const double> point) const {
+  for (const Interval& i : intervals_) {
+    if (i.attr >= point.size() || !i.Contains(point[i.attr])) return false;
+  }
+  return true;
+}
+
+double Signature::VolumeFraction() const {
+  double v = 1.0;
+  for (const Interval& i : intervals_) v *= i.width();
+  return v;
+}
+
+Signature Signature::Without(size_t index) const {
+  Signature s;
+  s.intervals_.reserve(intervals_.size() - 1);
+  for (size_t i = 0; i < intervals_.size(); ++i) {
+    if (i != index) s.intervals_.push_back(intervals_[i]);
+  }
+  return s;
+}
+
+Result<Signature> Signature::With(const Interval& interval) const {
+  if (HasAttr(interval.attr)) {
+    return Status::InvalidArgument("attribute already present: " +
+                                   std::to_string(interval.attr));
+  }
+  std::vector<Interval> merged = intervals_;
+  merged.push_back(interval);
+  return Make(std::move(merged));
+}
+
+Result<Signature> Signature::JoinWith(const Signature& other) const {
+  if (size() != other.size() || empty()) {
+    return Status::InvalidArgument("join requires equal-size, non-empty "
+                                   "signatures");
+  }
+  // Merge the two sorted interval lists; count shared/unique entries.
+  std::vector<Interval> merged;
+  merged.reserve(size() + 1);
+  size_t i = 0;
+  size_t j = 0;
+  size_t shared = 0;
+  while (i < intervals_.size() && j < other.intervals_.size()) {
+    if (intervals_[i] == other.intervals_[j]) {
+      merged.push_back(intervals_[i]);
+      ++shared;
+      ++i;
+      ++j;
+    } else if (intervals_[i] < other.intervals_[j]) {
+      merged.push_back(intervals_[i]);
+      ++i;
+    } else {
+      merged.push_back(other.intervals_[j]);
+      ++j;
+    }
+  }
+  for (; i < intervals_.size(); ++i) merged.push_back(intervals_[i]);
+  for (; j < other.intervals_.size(); ++j) merged.push_back(other.intervals_[j]);
+
+  if (shared + 2 != merged.size()) {
+    return Status::InvalidArgument("signatures do not share p-1 intervals");
+  }
+  // Attribute uniqueness of the union (the two odd intervals must not sit
+  // on the same attribute with different bounds).
+  for (size_t k = 1; k < merged.size(); ++k) {
+    if (merged[k].attr == merged[k - 1].attr) {
+      return Status::InvalidArgument(
+          "join would place two intervals on one attribute");
+    }
+  }
+  Signature s;
+  s.intervals_ = std::move(merged);
+  return s;
+}
+
+bool Signature::IsSubsetOf(const Signature& other) const {
+  if (size() > other.size()) return false;
+  size_t j = 0;
+  for (const Interval& mine : intervals_) {
+    while (j < other.intervals_.size() && other.intervals_[j] < mine) ++j;
+    if (j == other.intervals_.size() || !(other.intervals_[j] == mine)) {
+      return false;
+    }
+    ++j;
+  }
+  return true;
+}
+
+bool Signature::IsCoveredBy(const std::vector<Interval>& pool) const {
+  for (const Interval& mine : intervals_) {
+    bool found = false;
+    for (const Interval& candidate : pool) {
+      if (candidate == mine) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+uint64_t Signature::Hash() const {
+  uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;  // FNV prime
+  };
+  for (const Interval& i : intervals_) {
+    mix(static_cast<uint64_t>(i.attr));
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(i.lower));
+    std::memcpy(&bits, &i.lower, sizeof(bits));
+    mix(bits);
+    std::memcpy(&bits, &i.upper, sizeof(bits));
+    mix(bits);
+  }
+  return h;
+}
+
+std::string Signature::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < intervals_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += intervals_[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace p3c::core

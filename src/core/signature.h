@@ -1,0 +1,98 @@
+#ifndef P3C_CORE_SIGNATURE_H_
+#define P3C_CORE_SIGNATURE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/interval.h"
+
+namespace p3c::core {
+
+/// A p-signature (Definition 2): a set of intervals on pairwise-distinct
+/// attributes. Intervals are stored sorted by attribute, making equality,
+/// hashing and subset tests cheap and canonical.
+class Signature {
+ public:
+  Signature() = default;
+
+  /// Builds a signature from intervals; sorts them and rejects duplicate
+  /// attributes.
+  static Result<Signature> Make(std::vector<Interval> intervals);
+
+  /// Convenience for a 1-signature.
+  static Signature Single(const Interval& interval);
+
+  size_t size() const { return intervals_.size(); }
+  bool empty() const { return intervals_.empty(); }
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  /// Attributes of the signature, sorted (Attr(S) in the paper).
+  std::vector<size_t> attrs() const;
+
+  /// True iff the signature has an interval on `attr`.
+  bool HasAttr(size_t attr) const;
+
+  /// Interval on `attr`, if present.
+  std::optional<Interval> Find(size_t attr) const;
+
+  /// Point containment: x in every interval of the signature; coordinates
+  /// outside Attr(S) are unconstrained. `point` is a full d-dimensional
+  /// row.
+  bool Contains(std::span<const double> point) const;
+
+  /// Product of interval widths: Supp_exp(S) / n under the uniform
+  /// assumption (Eq. 7).
+  double VolumeFraction() const;
+
+  /// New signature with the interval at position `index` removed (the
+  /// S \ {I} of Eq. 1).
+  Signature Without(size_t index) const;
+
+  /// New signature with `interval` added. Fails if the attribute is
+  /// already present.
+  Result<Signature> With(const Interval& interval) const;
+
+  /// A-priori join: succeeds iff the two signatures have the same size p,
+  /// share exactly p-1 identical intervals, and the two odd intervals lie
+  /// on distinct attributes; the result is the (p+1)-signature union.
+  Result<Signature> JoinWith(const Signature& other) const;
+
+  /// Subset test on interval sets (identical attribute AND bounds).
+  bool IsSubsetOf(const Signature& other) const;
+
+  /// Subset test against an arbitrary pool of intervals (used by the
+  /// redundancy filter, Eq. 5: S ⊆ ∪ S_i).
+  bool IsCoveredBy(const std::vector<Interval>& pool) const;
+
+  friend bool operator==(const Signature& a, const Signature& b) {
+    return a.intervals_ == b.intervals_;
+  }
+  friend auto operator<=>(const Signature& a, const Signature& b) {
+    return a.intervals_ <=> b.intervals_;
+  }
+
+  /// FNV-style hash over the canonical interval sequence.
+  uint64_t Hash() const;
+
+  /// "{a1:[0,0.1], a3:[0.5,0.7]}" debug rendering.
+  std::string ToString() const;
+
+ private:
+  std::vector<Interval> intervals_;  // sorted by attr, unique attrs
+};
+
+/// Hash functor for unordered containers.
+struct SignatureHash {
+  size_t operator()(const Signature& s) const {
+    return static_cast<size_t>(s.Hash());
+  }
+};
+
+}  // namespace p3c::core
+
+#endif  // P3C_CORE_SIGNATURE_H_

@@ -1,0 +1,298 @@
+#include "src/core/streaming.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+#include "src/common/stopwatch.h"
+#include "src/core/attribute_inspection.h"
+#include "src/core/relevant_intervals.h"
+#include "src/core/rssc.h"
+
+namespace p3c::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', '3', 'C', 'D'};
+constexpr uint32_t kVersion = 1;
+
+}  // namespace
+
+Result<BinaryDatasetReader> BinaryDatasetReader::Open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  char magic[4];
+  uint32_t version = 0;
+  uint64_t n = 0;
+  uint64_t d = 0;
+  const bool header_ok =
+      std::fread(magic, 1, sizeof(magic), f) == sizeof(magic) &&
+      std::memcmp(magic, kMagic, sizeof(magic)) == 0 &&
+      std::fread(&version, sizeof(version), 1, f) == 1 &&
+      version == kVersion && std::fread(&n, sizeof(n), 1, f) == 1 &&
+      std::fread(&d, sizeof(d), 1, f) == 1;
+  std::fclose(f);
+  if (!header_ok) {
+    return Status::IOError("not a P3CD container: " + path);
+  }
+  if (d == 0 && n > 0) return Status::IOError("zero dimensionality: " + path);
+  return BinaryDatasetReader(path, n, d);
+}
+
+Status BinaryDatasetReader::ForEachBlock(
+    size_t block_rows,
+    const std::function<Status(data::PointId, const data::Dataset&)>& fn)
+    const {
+  if (block_rows == 0) {
+    return Status::InvalidArgument("block_rows must be positive");
+  }
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  // Skip the header: magic + version + n + d.
+  const long header = 4 + sizeof(uint32_t) + 2 * sizeof(uint64_t);
+  if (std::fseek(f, header, SEEK_SET) != 0) {
+    std::fclose(f);
+    return Status::IOError("seek failed: " + path_);
+  }
+  Status status;
+  uint64_t row = 0;
+  std::vector<double> buffer;
+  while (row < num_points_) {
+    const uint64_t rows =
+        std::min<uint64_t>(block_rows, num_points_ - row);
+    buffer.resize(static_cast<size_t>(rows * num_dims_));
+    if (std::fread(buffer.data(), sizeof(double), buffer.size(), f) !=
+        buffer.size()) {
+      status = Status::IOError("truncated payload: " + path_);
+      break;
+    }
+    Result<data::Dataset> block = data::Dataset::FromRowMajor(
+        std::move(buffer), static_cast<size_t>(num_dims_));
+    if (!block.ok()) {
+      status = block.status();
+      break;
+    }
+    status = fn(static_cast<data::PointId>(row), *block);
+    if (!status.ok()) break;
+    buffer = std::vector<double>();  // FromRowMajor consumed it
+    row += rows;
+  }
+  std::fclose(f);
+  return status;
+}
+
+StreamingLightPipeline::StreamingLightPipeline(P3CParams params,
+                                               size_t block_rows)
+    : params_(params), block_rows_(std::max<size_t>(1, block_rows)) {
+  params_.light = true;  // this pipeline IS the Light model
+}
+
+Result<StreamingLightResult> StreamingLightPipeline::Cluster(
+    const std::string& binary_path) {
+  return Run(binary_path, nullptr);
+}
+
+Result<StreamingLightResult> StreamingLightPipeline::ClusterAndAssign(
+    const std::string& binary_path, const std::string& assignment_csv) {
+  return Run(binary_path, &assignment_csv);
+}
+
+Result<StreamingLightResult> StreamingLightPipeline::Run(
+    const std::string& binary_path, const std::string* assignment_csv) {
+  Stopwatch watch;
+  Result<BinaryDatasetReader> reader = BinaryDatasetReader::Open(binary_path);
+  if (!reader.ok()) return reader.status();
+  const uint64_t n = reader->num_points();
+  const size_t d = static_cast<size_t>(reader->num_dims());
+  if (n == 0 || d == 0) return Status::InvalidArgument("file is empty");
+
+  StreamingLightResult result;
+  result.num_points = n;
+  result.num_dims = d;
+
+  // ---- Pass 1: histograms ----------------------------------------------
+  const size_t bins =
+      static_cast<size_t>(stats::NumBins(params_.binning, n));
+  std::vector<stats::Histogram> histograms(d, stats::Histogram(bins));
+  Status pass = reader->ForEachBlock(
+      block_rows_, [&](data::PointId first, const data::Dataset& block) {
+        (void)first;
+        if (!block.IsNormalized()) {
+          return Status::InvalidArgument(
+              "file contains values outside [0, 1]; normalize before "
+              "writing");
+        }
+        for (size_t i = 0; i < block.num_points(); ++i) {
+          const auto row = block.Row(static_cast<data::PointId>(i));
+          for (size_t j = 0; j < d; ++j) histograms[j].Add(row[j]);
+        }
+        return Status::OK();
+      });
+  P3C_RETURN_NOT_OK(pass);
+  ++result.passes;
+
+  // ---- Relevant intervals + cluster cores --------------------------------
+  const std::vector<Interval> relevant =
+      FindAllRelevantIntervals(histograms, params_.alpha_chi2);
+  SupportCountFn counter = [&](const std::vector<Signature>& sigs) {
+    std::vector<uint64_t> supports(sigs.size(), 0);
+    if (sigs.empty()) return supports;
+    const Rssc index(sigs);
+    std::vector<uint64_t> padded(index.num_words() * 64, 0);
+    Status scan = reader->ForEachBlock(
+        block_rows_, [&](data::PointId first, const data::Dataset& block) {
+          (void)first;
+          std::vector<uint64_t> scratch;
+          for (size_t i = 0; i < block.num_points(); ++i) {
+            index.Accumulate(block.Row(static_cast<data::PointId>(i)),
+                             scratch, padded);
+          }
+          return Status::OK();
+        });
+    if (scan.ok()) {
+      for (size_t s = 0; s < sigs.size(); ++s) supports[s] = padded[s];
+      ++result.passes;
+    }
+    return supports;
+  };
+  CoreDetectionResult detection =
+      GenerateClusterCores(relevant, n, params_, counter, nullptr);
+  result.core_stats = detection.stats;
+  if (detection.cores.empty()) {
+    result.seconds = watch.ElapsedSeconds();
+    return result;
+  }
+  const size_t k = detection.cores.size();
+  std::vector<Signature> signatures;
+  signatures.reserve(k);
+  for (const auto& core : detection.cores) {
+    signatures.push_back(core.signature);
+  }
+  const Rssc index(signatures);
+
+  // ---- Pass: unique-member counts (m') -----------------------------------
+  std::vector<uint64_t> unique_counts(k, 0);
+  pass = reader->ForEachBlock(
+      block_rows_, [&](data::PointId first, const data::Dataset& block) {
+        (void)first;
+        std::vector<uint64_t> bits;
+        std::vector<uint32_t> ids;
+        for (size_t i = 0; i < block.num_points(); ++i) {
+          index.Match(block.Row(static_cast<data::PointId>(i)), bits);
+          ids.clear();
+          Rssc::BitsToIds(bits, k, ids);
+          if (ids.size() == 1) ++unique_counts[ids[0]];
+        }
+        return Status::OK();
+      });
+  P3C_RETURN_NOT_OK(pass);
+  ++result.passes;
+
+  // ---- Pass: unique-member histograms + per-attribute min/max ------------
+  std::vector<std::vector<stats::Histogram>> member_histograms(k);
+  for (size_t c = 0; c < k; ++c) {
+    const size_t member_bins = static_cast<size_t>(stats::NumBins(
+        params_.binning, std::max<uint64_t>(1, unique_counts[c])));
+    member_histograms[c].assign(d, stats::Histogram(member_bins));
+  }
+  std::vector<std::vector<double>> mins(
+      k, std::vector<double>(d, std::numeric_limits<double>::infinity()));
+  std::vector<std::vector<double>> maxs(
+      k, std::vector<double>(d, -std::numeric_limits<double>::infinity()));
+  pass = reader->ForEachBlock(
+      block_rows_, [&](data::PointId first, const data::Dataset& block) {
+        (void)first;
+        std::vector<uint64_t> bits;
+        std::vector<uint32_t> ids;
+        for (size_t i = 0; i < block.num_points(); ++i) {
+          const auto row = block.Row(static_cast<data::PointId>(i));
+          index.Match(row, bits);
+          ids.clear();
+          Rssc::BitsToIds(bits, k, ids);
+          if (ids.size() != 1) continue;
+          const size_t c = ids[0];
+          for (size_t j = 0; j < d; ++j) {
+            member_histograms[c][j].Add(row[j]);
+            mins[c][j] = std::min(mins[c][j], row[j]);
+            maxs[c][j] = std::max(maxs[c][j], row[j]);
+          }
+        }
+        return Status::OK();
+      });
+  P3C_RETURN_NOT_OK(pass);
+  ++result.passes;
+
+  // ---- Attribute inspection with AI proving (one support pass) ----------
+  std::vector<std::vector<Interval>> suggestions(k);
+  for (size_t c = 0; c < k; ++c) {
+    if (unique_counts[c] == 0) continue;
+    suggestions[c] = SuggestNewIntervals(
+        detection.cores[c].signature, member_histograms[c],
+        params_.alpha_chi2);
+  }
+  const std::vector<std::vector<Interval>> accepted =
+      ProveSuggestedIntervals(detection.cores, suggestions, params_, counter);
+
+  // ---- Assemble clusters ---------------------------------------------------
+  for (size_t c = 0; c < k; ++c) {
+    StreamingCluster cluster;
+    cluster.core = detection.cores[c].signature;
+    cluster.support = detection.cores[c].support;
+    cluster.unique_members = unique_counts[c];
+    if (unique_counts[c] == 0) {
+      cluster.attrs = cluster.core.attrs();
+      cluster.intervals = cluster.core.intervals();
+    } else {
+      cluster.attrs = FinalAttributes(cluster.core, accepted[c]);
+      cluster.intervals.reserve(cluster.attrs.size());
+      for (size_t attr : cluster.attrs) {
+        cluster.intervals.push_back(
+            Interval{attr, mins[c][attr], maxs[c][attr]});
+      }
+    }
+    result.clusters.push_back(std::move(cluster));
+  }
+
+  // ---- Optional assignment pass -------------------------------------------
+  if (assignment_csv != nullptr) {
+    std::FILE* out = std::fopen(assignment_csv->c_str(), "w");
+    if (out == nullptr) {
+      return Status::IOError("cannot open " + *assignment_csv);
+    }
+    std::fprintf(out, "point,cluster\n");
+    pass = reader->ForEachBlock(
+        block_rows_, [&](data::PointId first, const data::Dataset& block) {
+          std::vector<uint64_t> bits;
+          std::vector<uint32_t> ids;
+          for (size_t i = 0; i < block.num_points(); ++i) {
+            index.Match(block.Row(static_cast<data::PointId>(i)), bits);
+            ids.clear();
+            Rssc::BitsToIds(bits, k, ids);
+            const int value = ids.empty() ? -1
+                              : ids.size() == 1
+                                  ? static_cast<int>(ids[0])
+                                  : -2;
+            std::fprintf(out, "%llu,%d\n",
+                         static_cast<unsigned long long>(first + i), value);
+          }
+          return Status::OK();
+        });
+    std::fclose(out);
+    P3C_RETURN_NOT_OK(pass);
+    ++result.passes;
+  }
+
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace p3c::core

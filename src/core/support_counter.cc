@@ -1,0 +1,144 @@
+#include "src/core/support_counter.h"
+
+#include <algorithm>
+
+namespace p3c::core {
+
+namespace {
+
+/// Runs `fn(task, begin, end)` over `n` points split into contiguous
+/// ranges, serial when pool is null.
+template <typename Fn>
+size_t ForEachRange(size_t n, ThreadPool* pool, const Fn& fn) {
+  if (pool == nullptr || n == 0) {
+    fn(0, 0, n);
+    return 1;
+  }
+  const size_t num_tasks = std::min(n, pool->num_threads() * 4);
+  pool->ParallelFor(num_tasks, [&](size_t task) {
+    const size_t begin = n * task / num_tasks;
+    const size_t end = n * (task + 1) / num_tasks;
+    fn(task, begin, end);
+  });
+  return num_tasks;
+}
+
+size_t NumTasks(size_t n, ThreadPool* pool) {
+  if (pool == nullptr || n == 0) return 1;
+  return std::min(n, pool->num_threads() * 4);
+}
+
+}  // namespace
+
+std::vector<uint64_t> CountSupports(const data::Dataset& dataset,
+                                    const std::vector<Signature>& signatures,
+                                    ThreadPool* pool) {
+  const size_t k = signatures.size();
+  if (k == 0) return {};
+  const Rssc index(signatures);
+  const size_t n = dataset.num_points();
+
+  const size_t num_tasks = NumTasks(n, pool);
+  std::vector<std::vector<uint64_t>> partials(
+      num_tasks, std::vector<uint64_t>(index.num_words() * 64, 0));
+  ForEachRange(n, pool, [&](size_t task, size_t begin, size_t end) {
+    std::vector<uint64_t> scratch;
+    auto& local = partials[task];
+    for (size_t i = begin; i < end; ++i) {
+      index.Accumulate(dataset.Row(static_cast<data::PointId>(i)), scratch,
+                       local);
+    }
+  });
+
+  std::vector<uint64_t> supports(k, 0);
+  for (const auto& local : partials) {
+    for (size_t j = 0; j < k; ++j) supports[j] += local[j];
+  }
+  return supports;
+}
+
+std::vector<uint64_t> CountSupportsNaive(
+    const data::Dataset& dataset, const std::vector<Signature>& signatures,
+    ThreadPool* pool) {
+  const size_t k = signatures.size();
+  if (k == 0) return {};
+  const size_t n = dataset.num_points();
+  const size_t num_tasks = NumTasks(n, pool);
+  std::vector<std::vector<uint64_t>> partials(num_tasks,
+                                              std::vector<uint64_t>(k, 0));
+  ForEachRange(n, pool, [&](size_t task, size_t begin, size_t end) {
+    auto& local = partials[task];
+    for (size_t i = begin; i < end; ++i) {
+      const auto row = dataset.Row(static_cast<data::PointId>(i));
+      for (size_t j = 0; j < k; ++j) {
+        if (signatures[j].Contains(row)) ++local[j];
+      }
+    }
+  });
+  std::vector<uint64_t> supports(k, 0);
+  for (const auto& local : partials) {
+    for (size_t j = 0; j < k; ++j) supports[j] += local[j];
+  }
+  return supports;
+}
+
+std::vector<std::vector<data::PointId>> ComputeSupportSets(
+    const data::Dataset& dataset, const std::vector<Signature>& signatures,
+    ThreadPool* pool) {
+  const size_t k = signatures.size();
+  std::vector<std::vector<data::PointId>> sets(k);
+  if (k == 0) return sets;
+  const Rssc index(signatures);
+  const size_t n = dataset.num_points();
+  const size_t num_tasks = NumTasks(n, pool);
+  std::vector<std::vector<std::vector<data::PointId>>> partials(
+      num_tasks, std::vector<std::vector<data::PointId>>(k));
+  ForEachRange(n, pool, [&](size_t task, size_t begin, size_t end) {
+    std::vector<uint64_t> bits;
+    std::vector<uint32_t> ids;
+    auto& local = partials[task];
+    for (size_t i = begin; i < end; ++i) {
+      index.Match(dataset.Row(static_cast<data::PointId>(i)), bits);
+      ids.clear();
+      Rssc::BitsToIds(bits, k, ids);
+      for (uint32_t id : ids) {
+        local[id].push_back(static_cast<data::PointId>(i));
+      }
+    }
+  });
+  // Tasks own contiguous ascending ranges, so concatenation in task order
+  // keeps each set sorted.
+  for (auto& local : partials) {
+    for (size_t j = 0; j < k; ++j) {
+      sets[j].insert(sets[j].end(), local[j].begin(), local[j].end());
+    }
+  }
+  return sets;
+}
+
+std::vector<int32_t> UniqueAssignments(
+    const data::Dataset& dataset, const std::vector<Signature>& signatures,
+    ThreadPool* pool) {
+  const size_t n = dataset.num_points();
+  std::vector<int32_t> assignment(n, -1);
+  if (signatures.empty()) return assignment;
+  const Rssc index(signatures);
+  ForEachRange(n, pool, [&](size_t task, size_t begin, size_t end) {
+    (void)task;
+    std::vector<uint64_t> bits;
+    std::vector<uint32_t> ids;
+    for (size_t i = begin; i < end; ++i) {
+      index.Match(dataset.Row(static_cast<data::PointId>(i)), bits);
+      ids.clear();
+      Rssc::BitsToIds(bits, signatures.size(), ids);
+      if (ids.size() == 1) {
+        assignment[i] = static_cast<int32_t>(ids[0]);
+      } else if (ids.size() > 1) {
+        assignment[i] = -2;
+      }
+    }
+  });
+  return assignment;
+}
+
+}  // namespace p3c::core

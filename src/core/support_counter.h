@@ -1,0 +1,47 @@
+#ifndef P3C_CORE_SUPPORT_COUNTER_H_
+#define P3C_CORE_SUPPORT_COUNTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/threadpool.h"
+#include "src/core/rssc.h"
+#include "src/core/signature.h"
+#include "src/data/dataset.h"
+
+namespace p3c::core {
+
+/// Counts Supp(S) for every signature in `signatures` over `dataset`,
+/// RSSC-accelerated and parallelized over point ranges (`pool` may be
+/// null for serial execution). Result is parallel to `signatures`.
+std::vector<uint64_t> CountSupports(const data::Dataset& dataset,
+                                    const std::vector<Signature>& signatures,
+                                    ThreadPool* pool);
+
+/// Baseline support counter that queries every signature's containment
+/// per point without the RSSC index. Exists as the comparison subject of
+/// the RSSC ablation bench (`bench_rssc`) and as an oracle in tests.
+std::vector<uint64_t> CountSupportsNaive(
+    const data::Dataset& dataset, const std::vector<Signature>& signatures,
+    ThreadPool* pool);
+
+/// Materializes SuppSet(S) for every signature: the sorted point ids
+/// contained in each signature's intervals. Used for EM initialization
+/// diagnostics and the Light pipeline's cluster membership.
+std::vector<std::vector<data::PointId>> ComputeSupportSets(
+    const data::Dataset& dataset, const std::vector<Signature>& signatures,
+    ThreadPool* pool);
+
+/// Per-point unique assignment under the Light model's m' mapping (§6):
+///   >= 0 : index of the single signature whose support set contains the
+///          point,
+///   -1   : the point matches no signature,
+///   -2   : the point matches more than one signature (excluded from the
+///          Light histograms to avoid the redundancy problem).
+std::vector<int32_t> UniqueAssignments(
+    const data::Dataset& dataset, const std::vector<Signature>& signatures,
+    ThreadPool* pool);
+
+}  // namespace p3c::core
+
+#endif  // P3C_CORE_SUPPORT_COUNTER_H_

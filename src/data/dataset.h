@@ -1,0 +1,80 @@
+#ifndef P3C_DATA_DATASET_H_
+#define P3C_DATA_DATASET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace p3c::data {
+
+/// Index of a point (row) in a Dataset. 32 bits bound the in-memory scale
+/// this engine targets (~4e9 rows) while halving index storage in the
+/// support sets.
+using PointId = uint32_t;
+
+/// Dense row-major collection of d-dimensional points.
+///
+/// The whole library operates on the normalized [0, 1] data space the
+/// paper assumes (§3.1); `NormalizeMinMax` maps raw data into it.
+class Dataset {
+ public:
+  Dataset() : num_dims_(0) {}
+
+  /// Creates an n x d dataset initialized to zero.
+  Dataset(size_t num_points, size_t num_dims)
+      : num_dims_(num_dims), values_(num_points * num_dims, 0.0) {}
+
+  /// Wraps existing row-major values; `values.size()` must be a multiple
+  /// of `num_dims`.
+  static Result<Dataset> FromRowMajor(std::vector<double> values,
+                                      size_t num_dims);
+
+  size_t num_points() const {
+    return num_dims_ == 0 ? 0 : values_.size() / num_dims_;
+  }
+  size_t num_dims() const { return num_dims_; }
+  bool empty() const { return values_.empty(); }
+
+  double Get(PointId point, size_t dim) const {
+    return values_[static_cast<size_t>(point) * num_dims_ + dim];
+  }
+  void Set(PointId point, size_t dim, double value) {
+    values_[static_cast<size_t>(point) * num_dims_ + dim] = value;
+  }
+
+  /// Read-only view of one row.
+  std::span<const double> Row(PointId point) const {
+    return {values_.data() + static_cast<size_t>(point) * num_dims_,
+            num_dims_};
+  }
+
+  const std::vector<double>& values() const { return values_; }
+
+  /// Appends one point; `row.size()` must equal num_dims() (or set the
+  /// dimensionality on the first append to an empty dataset).
+  Status AppendRow(std::span<const double> row);
+
+  /// Rescales every attribute independently onto [0, 1] via min-max. An
+  /// attribute with zero spread maps to the constant 0.5. Returns the
+  /// per-attribute (min, max) pairs used, enabling the caller to map
+  /// intervals back to the raw space.
+  std::vector<std::pair<double, double>> NormalizeMinMax();
+
+  /// True when every value already lies in [0, 1].
+  bool IsNormalized() const;
+
+  /// New dataset containing the selected rows (in the given order).
+  Dataset Select(std::span<const PointId> points) const;
+
+ private:
+  size_t num_dims_;
+  std::vector<double> values_;
+};
+
+}  // namespace p3c::data
+
+#endif  // P3C_DATA_DATASET_H_

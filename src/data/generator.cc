@@ -1,0 +1,157 @@
+#include "src/data/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/random.h"
+
+namespace p3c::data {
+
+namespace {
+
+Status ValidateConfig(const GeneratorConfig& c) {
+  if (c.num_points == 0) return Status::InvalidArgument("num_points == 0");
+  if (c.num_dims == 0) return Status::InvalidArgument("num_dims == 0");
+  if (c.num_clusters == 0) return Status::InvalidArgument("num_clusters == 0");
+  if (c.noise_fraction < 0.0 || c.noise_fraction >= 1.0) {
+    return Status::InvalidArgument("noise_fraction must be in [0, 1)");
+  }
+  if (c.min_cluster_dims == 0 || c.min_cluster_dims > c.max_cluster_dims) {
+    return Status::InvalidArgument("invalid cluster dimensionality range");
+  }
+  if (c.max_cluster_dims > c.num_dims) {
+    return Status::InvalidArgument("max_cluster_dims exceeds num_dims");
+  }
+  if (!(c.min_interval_width > 0.0) ||
+      c.min_interval_width > c.max_interval_width ||
+      c.max_interval_width > 1.0) {
+    return Status::InvalidArgument("invalid interval width range");
+  }
+  if (!(c.sigma_fraction > 0.0)) {
+    return Status::InvalidArgument("sigma_fraction must be positive");
+  }
+  return Status::OK();
+}
+
+/// Chooses `k` distinct attributes out of [0, d), sorted.
+std::vector<size_t> SampleAttributes(size_t k, size_t d, Rng& rng) {
+  std::vector<size_t> all(d);
+  std::iota(all.begin(), all.end(), size_t{0});
+  rng.Shuffle(all);
+  all.resize(k);
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+}  // namespace
+
+Result<SyntheticData> GenerateSynthetic(const GeneratorConfig& config) {
+  P3C_RETURN_NOT_OK(ValidateConfig(config));
+  Rng rng(config.seed);
+
+  const size_t n = config.num_points;
+  const size_t d = config.num_dims;
+  const size_t k = config.num_clusters;
+
+  // ---- Cluster shapes --------------------------------------------------
+  std::vector<HiddenCluster> clusters(k);
+  for (size_t c = 0; c < k; ++c) {
+    const size_t dims =
+        config.min_cluster_dims +
+        rng.UniformInt(config.max_cluster_dims - config.min_cluster_dims + 1);
+    clusters[c].relevant_attrs = SampleAttributes(dims, d, rng);
+    clusters[c].intervals.reserve(dims);
+    for (size_t j = 0; j < dims; ++j) {
+      const double width =
+          rng.Uniform(config.min_interval_width, config.max_interval_width);
+      const double lo = rng.Uniform(0.0, 1.0 - width);
+      clusters[c].intervals.emplace_back(lo, lo + width);
+    }
+  }
+
+  if (config.force_overlap && k >= 2) {
+    // Make cluster 1 share the first relevant attribute of cluster 0 with
+    // an interval shifted by half a width, so the rectangles intersect.
+    const size_t shared_attr = clusters[0].relevant_attrs[0];
+    const auto [lo0, hi0] = clusters[0].intervals[0];
+    const double width = hi0 - lo0;
+    double lo1 = std::min(1.0 - width, lo0 + 0.5 * width);
+    // Install the shared attribute into cluster 1, replacing its first
+    // relevant attribute (keeping attrs sorted and unique).
+    auto& attrs = clusters[1].relevant_attrs;
+    auto& ivals = clusters[1].intervals;
+    auto existing = std::find(attrs.begin(), attrs.end(), shared_attr);
+    if (existing != attrs.end()) {
+      ivals[static_cast<size_t>(existing - attrs.begin())] = {lo1,
+                                                              lo1 + width};
+    } else {
+      attrs[0] = shared_attr;
+      ivals[0] = {lo1, lo1 + width};
+      // Re-sort attrs with their intervals attached.
+      std::vector<std::pair<size_t, std::pair<double, double>>> zipped;
+      zipped.reserve(attrs.size());
+      for (size_t i = 0; i < attrs.size(); ++i)
+        zipped.emplace_back(attrs[i], ivals[i]);
+      std::sort(zipped.begin(), zipped.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      // Deduplicate in case attrs[0] collided with another entry.
+      zipped.erase(std::unique(zipped.begin(), zipped.end(),
+                               [](const auto& a, const auto& b) {
+                                 return a.first == b.first;
+                               }),
+                   zipped.end());
+      attrs.clear();
+      ivals.clear();
+      for (const auto& [attr, interval] : zipped) {
+        attrs.push_back(attr);
+        ivals.push_back(interval);
+      }
+    }
+  }
+
+  // ---- Point budget -----------------------------------------------------
+  const size_t num_noise = static_cast<size_t>(
+      std::llround(config.noise_fraction * static_cast<double>(n)));
+  const size_t num_clustered = n - num_noise;
+  // Even split with the remainder spread over the first clusters.
+  std::vector<size_t> sizes(k, num_clustered / k);
+  for (size_t c = 0; c < num_clustered % k; ++c) ++sizes[c];
+  if (num_clustered < k) {
+    return Status::InvalidArgument(
+        "fewer non-noise points than clusters; increase num_points");
+  }
+
+  // ---- Emit points -------------------------------------------------------
+  SyntheticData out;
+  out.dataset = Dataset(n, d);
+  out.labels.assign(n, -1);
+
+  PointId next = 0;
+  for (size_t c = 0; c < k; ++c) {
+    HiddenCluster& cluster = clusters[c];
+    for (size_t i = 0; i < sizes[c]; ++i, ++next) {
+      out.labels[next] = static_cast<int>(c);
+      cluster.points.push_back(next);
+      // Irrelevant attributes: uniform on [0, 1].
+      for (size_t j = 0; j < d; ++j) out.dataset.Set(next, j, rng.Uniform());
+      // Relevant attributes: truncated Gaussian centred in the interval.
+      for (size_t j = 0; j < cluster.relevant_attrs.size(); ++j) {
+        const auto [lo, hi] = cluster.intervals[j];
+        const double width = hi - lo;
+        const double x = rng.TruncatedGaussian(
+            lo + 0.5 * width, config.sigma_fraction * width, lo, hi);
+        out.dataset.Set(next, cluster.relevant_attrs[j], x);
+      }
+    }
+  }
+  for (size_t i = 0; i < num_noise; ++i, ++next) {
+    out.noise_points.push_back(next);
+    for (size_t j = 0; j < d; ++j) out.dataset.Set(next, j, rng.Uniform());
+  }
+
+  out.clusters = std::move(clusters);
+  return out;
+}
+
+}  // namespace p3c::data

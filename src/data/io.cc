@@ -1,0 +1,158 @@
+#include "src/data/io.h"
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "src/common/string_util.h"
+
+namespace p3c::data {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', '3', 'C', 'D'};
+constexpr uint32_t kVersion = 1;
+
+/// RAII FILE* wrapper.
+class File {
+ public:
+  File(const std::string& path, const char* mode)
+      : f_(std::fopen(path.c_str(), mode)) {}
+  ~File() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  bool ok() const { return f_ != nullptr; }
+  std::FILE* get() { return f_; }
+
+ private:
+  std::FILE* f_;
+};
+
+}  // namespace
+
+Status WriteCsv(const Dataset& dataset, const std::string& path) {
+  File f(path, "w");
+  if (!f.ok()) {
+    return Status::IOError("cannot open for writing: " + path + ": " +
+                           std::strerror(errno));
+  }
+  const size_t n = dataset.num_points();
+  const size_t d = dataset.num_dims();
+  for (size_t i = 0; i < n; ++i) {
+    const auto row = dataset.Row(static_cast<PointId>(i));
+    for (size_t j = 0; j < d; ++j) {
+      if (std::fprintf(f.get(), j + 1 < d ? "%.17g," : "%.17g\n", row[j]) <
+          0) {
+        return Status::IOError("write failed: " + path);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<Dataset> ReadCsv(const std::string& path) {
+  File f(path, "r");
+  if (!f.ok()) {
+    return Status::IOError("cannot open for reading: " + path + ": " +
+                           std::strerror(errno));
+  }
+  Dataset out;
+  std::string line;
+  std::vector<double> row;
+  int ch;
+  size_t line_no = 0;
+  while (true) {
+    line.clear();
+    while ((ch = std::fgetc(f.get())) != EOF && ch != '\n') {
+      line.push_back(static_cast<char>(ch));
+    }
+    if (line.empty() && ch == EOF) break;
+    ++line_no;
+    if (StripWhitespace(line).empty()) {
+      if (ch == EOF) break;
+      continue;
+    }
+    row.clear();
+    for (const std::string& field : Split(line, ',')) {
+      char* end = nullptr;
+      const std::string stripped(StripWhitespace(field));
+      const double v = std::strtod(stripped.c_str(), &end);
+      if (end == stripped.c_str() || *end != '\0') {
+        return Status::IOError(StringPrintf(
+            "%s:%zu: non-numeric field '%s'", path.c_str(), line_no,
+            stripped.c_str()));
+      }
+      row.push_back(v);
+    }
+    Status st = out.AppendRow(row);
+    if (!st.ok()) {
+      return Status::IOError(StringPrintf("%s:%zu: %s", path.c_str(), line_no,
+                                          st.message().c_str()));
+    }
+    if (ch == EOF) break;
+  }
+  return out;
+}
+
+Status WriteBinary(const Dataset& dataset, const std::string& path) {
+  File f(path, "wb");
+  if (!f.ok()) {
+    return Status::IOError("cannot open for writing: " + path + ": " +
+                           std::strerror(errno));
+  }
+  const uint64_t n = dataset.num_points();
+  const uint64_t d = dataset.num_dims();
+  if (std::fwrite(kMagic, 1, sizeof(kMagic), f.get()) != sizeof(kMagic) ||
+      std::fwrite(&kVersion, sizeof(kVersion), 1, f.get()) != 1 ||
+      std::fwrite(&n, sizeof(n), 1, f.get()) != 1 ||
+      std::fwrite(&d, sizeof(d), 1, f.get()) != 1) {
+    return Status::IOError("header write failed: " + path);
+  }
+  const auto& values = dataset.values();
+  if (!values.empty() &&
+      std::fwrite(values.data(), sizeof(double), values.size(), f.get()) !=
+          values.size()) {
+    return Status::IOError("payload write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<Dataset> ReadBinary(const std::string& path) {
+  File f(path, "rb");
+  if (!f.ok()) {
+    return Status::IOError("cannot open for reading: " + path + ": " +
+                           std::strerror(errno));
+  }
+  char magic[4];
+  uint32_t version = 0;
+  uint64_t n = 0;
+  uint64_t d = 0;
+  if (std::fread(magic, 1, sizeof(magic), f.get()) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
+    return Status::IOError("bad magic: " + path);
+  }
+  if (std::fread(&version, sizeof(version), 1, f.get()) != 1 ||
+      version != kVersion) {
+    return Status::IOError("unsupported version: " + path);
+  }
+  if (std::fread(&n, sizeof(n), 1, f.get()) != 1 ||
+      std::fread(&d, sizeof(d), 1, f.get()) != 1) {
+    return Status::IOError("truncated header: " + path);
+  }
+  if (d == 0 && n > 0) return Status::IOError("zero dimensionality: " + path);
+  std::vector<double> values(n * d);
+  if (!values.empty() &&
+      std::fread(values.data(), sizeof(double), values.size(), f.get()) !=
+          values.size()) {
+    return Status::IOError("truncated payload: " + path);
+  }
+  if (d == 0) return Dataset();
+  return Dataset::FromRowMajor(std::move(values), d);
+}
+
+}  // namespace p3c::data

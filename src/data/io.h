@@ -1,0 +1,30 @@
+#ifndef P3C_DATA_IO_H_
+#define P3C_DATA_IO_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/data/dataset.h"
+
+namespace p3c::data {
+
+/// Writes the dataset as headerless CSV, one point per line, full double
+/// precision (%.17g round-trips).
+Status WriteCsv(const Dataset& dataset, const std::string& path);
+
+/// Reads a headerless numeric CSV; every line must have the same number
+/// of fields. Empty files yield an empty dataset.
+Result<Dataset> ReadCsv(const std::string& path);
+
+/// Writes the dataset in the library's binary container:
+/// magic "P3CD", u32 version, u64 n, u64 d, then n*d little-endian
+/// doubles. Compact and fast for the large benchmark inputs.
+Status WriteBinary(const Dataset& dataset, const std::string& path);
+
+/// Reads the binary container written by WriteBinary, validating magic,
+/// version and payload size.
+Result<Dataset> ReadBinary(const std::string& path);
+
+}  // namespace p3c::data
+
+#endif  // P3C_DATA_IO_H_

@@ -1,0 +1,74 @@
+#include "src/eval/accuracy.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/eval/hungarian.h"
+
+namespace p3c::eval {
+
+double MajorityClassAccuracy(const Clustering& found,
+                             const std::vector<int>& labels) {
+  const size_t n = labels.size();
+  if (n == 0) return 0.0;
+
+  std::vector<char> correct(n, 0);
+  for (const SubspaceCluster& cluster : found) {
+    // Majority class of this cluster.
+    std::map<int, size_t> class_counts;
+    for (data::PointId p : cluster.points) {
+      if (p < n) ++class_counts[labels[p]];
+    }
+    int majority = 0;
+    size_t best = 0;
+    for (const auto& [cls, count] : class_counts) {
+      if (count > best) {
+        best = count;
+        majority = cls;
+      }
+    }
+    for (data::PointId p : cluster.points) {
+      if (p < n && labels[p] == majority) correct[p] = 1;
+    }
+  }
+
+  size_t num_correct = 0;
+  for (char c : correct) num_correct += static_cast<size_t>(c);
+  return static_cast<double>(num_correct) / static_cast<double>(n);
+}
+
+double HungarianAccuracy(const Clustering& found,
+                         const std::vector<int>& labels) {
+  const size_t n = labels.size();
+  if (n == 0 || found.empty()) return 0.0;
+
+  // Dense class index.
+  std::set<int> class_set(labels.begin(), labels.end());
+  std::vector<int> classes(class_set.begin(), class_set.end());
+  const size_t num_classes = classes.size();
+  auto class_index = [&classes](int label) {
+    return static_cast<size_t>(
+        std::lower_bound(classes.begin(), classes.end(), label) -
+        classes.begin());
+  };
+
+  // Profit: points of class c in cluster k.
+  std::vector<double> profit(found.size() * num_classes, 0.0);
+  for (size_t k = 0; k < found.size(); ++k) {
+    for (data::PointId p : found[k].points) {
+      if (p < n) profit[k * num_classes + class_index(labels[p])] += 1.0;
+    }
+  }
+  const std::vector<int> assignment =
+      HungarianMaximize(profit, found.size(), num_classes);
+  double correct = 0.0;
+  for (size_t k = 0; k < found.size(); ++k) {
+    if (assignment[k] >= 0) {
+      correct += profit[k * num_classes + static_cast<size_t>(assignment[k])];
+    }
+  }
+  return correct / static_cast<double>(n);
+}
+
+}  // namespace p3c::eval

@@ -1,0 +1,36 @@
+#ifndef P3C_EVAL_ACCURACY_H_
+#define P3C_EVAL_ACCURACY_H_
+
+#include <vector>
+
+#include "src/eval/clustering.h"
+
+namespace p3c::eval {
+
+/// Clustering accuracy against class labels, as used for the colon
+/// cancer comparison in §7.6: every found cluster votes its majority
+/// class; a point counts as correct when it belongs to a cluster whose
+/// majority class equals the point's label. Points assigned to no
+/// cluster (declared outliers) count as incorrect; points in several
+/// clusters count as correct if any containing cluster's majority class
+/// matches.
+///
+/// `labels[i]` is the class of point i; returns a value in [0, 1]
+/// (0 when there are no points).
+double MajorityClassAccuracy(const Clustering& found,
+                             const std::vector<int>& labels);
+
+/// One-to-one clustering accuracy: clusters are matched to classes by the
+/// Hungarian algorithm (each class claimed by at most one cluster,
+/// maximizing the total number of correctly grouped points); points in
+/// unmatched clusters or in no cluster count as incorrect.
+///
+/// Unlike MajorityClassAccuracy this is robust against fragmentation: a
+/// clustering of pure singletons scores near zero instead of near one.
+/// Reported alongside the majority measure for the §7.6 experiment.
+double HungarianAccuracy(const Clustering& found,
+                         const std::vector<int>& labels);
+
+}  // namespace p3c::eval
+
+#endif  // P3C_EVAL_ACCURACY_H_

@@ -1,0 +1,61 @@
+#include "src/eval/ce.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/eval/hungarian.h"
+
+namespace p3c::eval {
+
+double CE(const Clustering& hidden, const Clustering& found) {
+  if (hidden.empty() && found.empty()) return 1.0;
+  if (hidden.empty() || found.empty()) return 0.0;
+
+  // Micro-object multiset union size (same accounting as RNIA).
+  std::unordered_map<uint64_t, std::pair<uint32_t, uint32_t>> counts;
+  for (int side = 0; side < 2; ++side) {
+    const Clustering& clustering = side == 0 ? hidden : found;
+    for (const SubspaceCluster& c : clustering) {
+      for (data::PointId p : c.points) {
+        for (size_t a : c.attrs) {
+          const uint64_t key = (static_cast<uint64_t>(p) << 20) |
+                               static_cast<uint64_t>(a & 0xFFFFF);
+          auto& entry = counts[key];
+          if (side == 0) {
+            ++entry.first;
+          } else {
+            ++entry.second;
+          }
+        }
+      }
+    }
+  }
+  uint64_t union_size = 0;
+  for (const auto& [key, pair] : counts) {
+    (void)key;
+    union_size += std::max(pair.first, pair.second);
+  }
+  if (union_size == 0) return 1.0;
+
+  // Optimal one-to-one matching by sub-object overlap.
+  const size_t rows = hidden.size();
+  const size_t cols = found.size();
+  std::vector<double> profit(rows * cols, 0.0);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      profit[r * cols + c] =
+          static_cast<double>(SubObjectIntersection(hidden[r], found[c]));
+    }
+  }
+  const std::vector<int> assignment = HungarianMaximize(profit, rows, cols);
+  double matched = 0.0;
+  for (size_t r = 0; r < rows; ++r) {
+    if (assignment[r] >= 0) {
+      matched += profit[r * cols + static_cast<size_t>(assignment[r])];
+    }
+  }
+  return matched / static_cast<double>(union_size);
+}
+
+}  // namespace p3c::eval

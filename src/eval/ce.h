@@ -1,0 +1,23 @@
+#ifndef P3C_EVAL_CE_H_
+#define P3C_EVAL_CE_H_
+
+#include "src/eval/clustering.h"
+
+namespace p3c::eval {
+
+/// CE — clustering error for subspace clusterings (Patrikainen & Meila,
+/// TKDE 2006), reported in the quality form so that 1.0 is perfect.
+///
+/// Unlike RNIA, CE permits only a one-to-one matching between found and
+/// hidden clusters (computed with the Hungarian algorithm on sub-object
+/// overlaps), which is why §7.2 calls it "too sensitive in the case of
+/// cluster splits": a split cluster can only match with one of its
+/// parts.
+///   CE = D_max / |U|,
+/// with D_max the total sub-object overlap of the optimal matching and
+/// U the micro-object multiset union of both clusterings.
+double CE(const Clustering& hidden, const Clustering& found);
+
+}  // namespace p3c::eval
+
+#endif  // P3C_EVAL_CE_H_

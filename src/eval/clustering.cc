@@ -1,0 +1,62 @@
+#include "src/eval/clustering.h"
+
+#include <algorithm>
+
+namespace p3c::eval {
+
+namespace {
+
+template <typename T>
+uint64_t SortedIntersectionSize(const std::vector<T>& a,
+                                const std::vector<T>& b) {
+  uint64_t count = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+void SubspaceCluster::Normalize() {
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  std::sort(attrs.begin(), attrs.end());
+  attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
+}
+
+uint64_t SubObjectIntersection(const SubspaceCluster& a,
+                               const SubspaceCluster& b) {
+  return SortedIntersectionSize(a.points, b.points) *
+         SortedIntersectionSize(a.attrs, b.attrs);
+}
+
+uint64_t PointIntersection(const SubspaceCluster& a,
+                           const SubspaceCluster& b) {
+  return SortedIntersectionSize(a.points, b.points);
+}
+
+Clustering FromGroundTruth(const std::vector<data::HiddenCluster>& clusters) {
+  Clustering out;
+  out.reserve(clusters.size());
+  for (const auto& c : clusters) {
+    SubspaceCluster sc;
+    sc.points = c.points;
+    sc.attrs = c.relevant_attrs;
+    sc.Normalize();
+    out.push_back(std::move(sc));
+  }
+  return out;
+}
+
+}  // namespace p3c::eval

@@ -1,0 +1,45 @@
+#ifndef P3C_EVAL_CLUSTERING_H_
+#define P3C_EVAL_CLUSTERING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/data/generator.h"
+
+namespace p3c::eval {
+
+/// The evaluation-side view of a projected/subspace cluster C = (X, Y):
+/// a set of points and a set of relevant attributes. Both sorted and
+/// deduplicated (call Normalize after hand-construction).
+struct SubspaceCluster {
+  std::vector<data::PointId> points;  ///< X, sorted ascending
+  std::vector<size_t> attrs;          ///< Y, sorted ascending
+
+  /// Sorts and deduplicates both sets.
+  void Normalize();
+
+  /// |so(C)| = |X| * |Y|: the number of (point, attribute) sub-objects,
+  /// the unit in which the subspace-aware measures count.
+  uint64_t NumSubObjects() const {
+    return static_cast<uint64_t>(points.size()) * attrs.size();
+  }
+};
+
+using Clustering = std::vector<SubspaceCluster>;
+
+/// Number of shared sub-objects |so(A) ∩ so(B)| =
+/// |X_A ∩ X_B| * |Y_A ∩ Y_B| (inputs must be normalized).
+uint64_t SubObjectIntersection(const SubspaceCluster& a,
+                               const SubspaceCluster& b);
+
+/// Number of shared points |X_A ∩ X_B|.
+uint64_t PointIntersection(const SubspaceCluster& a, const SubspaceCluster& b);
+
+/// Converts generator ground truth into the evaluation representation.
+Clustering FromGroundTruth(const std::vector<data::HiddenCluster>& clusters);
+
+}  // namespace p3c::eval
+
+#endif  // P3C_EVAL_CLUSTERING_H_

@@ -1,0 +1,45 @@
+#include "src/eval/e4sc.h"
+
+#include <algorithm>
+
+namespace p3c::eval {
+
+namespace {
+
+double PairF1(const SubspaceCluster& a, const SubspaceCluster& b) {
+  const uint64_t inter = SubObjectIntersection(a, b);
+  const uint64_t denom = a.NumSubObjects() + b.NumSubObjects();
+  if (denom == 0) return 0.0;
+  return 2.0 * static_cast<double>(inter) / static_cast<double>(denom);
+}
+
+}  // namespace
+
+double E4SCDirectional(const Clustering& from, const Clustering& to) {
+  double weighted = 0.0;
+  double total_weight = 0.0;
+  for (const SubspaceCluster& c : from) {
+    const double weight = static_cast<double>(c.NumSubObjects());
+    double best = 0.0;
+    for (const SubspaceCluster& other : to) {
+      best = std::max(best, PairF1(c, other));
+    }
+    weighted += weight * best;
+    total_weight += weight;
+  }
+  if (total_weight == 0.0) return 0.0;
+  return weighted / total_weight;
+}
+
+double E4SC(const Clustering& hidden, const Clustering& found) {
+  const bool hidden_empty = hidden.empty();
+  const bool found_empty = found.empty();
+  if (hidden_empty && found_empty) return 1.0;
+  if (hidden_empty || found_empty) return 0.0;
+  const double recall = E4SCDirectional(hidden, found);
+  const double precision = E4SCDirectional(found, hidden);
+  if (recall + precision == 0.0) return 0.0;
+  return 2.0 * recall * precision / (recall + precision);
+}
+
+}  // namespace p3c::eval

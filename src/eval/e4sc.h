@@ -1,0 +1,30 @@
+#ifndef P3C_EVAL_E4SC_H_
+#define P3C_EVAL_E4SC_H_
+
+#include "src/eval/clustering.h"
+
+namespace p3c::eval {
+
+/// E4SC — "Evaluation measure for subspace clustering" (Günnemann,
+/// Färber, Müller, Assent, Seidl, CIKM 2011) — the headline quality
+/// measure of the paper's evaluation (§7.2).
+///
+/// Operates on sub-objects (point, attribute): a cluster only scores on
+/// an object if it also claims the right attributes, so cluster merges,
+/// wrong subspaces and wrong object assignments are all punished.
+///
+/// Implementation (DESIGN.md §5): with pairF1(A,B) the F1 of the
+/// sub-object overlap of two clusters, each direction maps every cluster
+/// to its best partner,
+///   D(from → to) = Σ_C |so(C)| · max_{C'} pairF1(C, C') / Σ_C |so(C)|,
+/// and E4SC is the harmonic mean of D(hidden → found) and
+/// D(found → hidden). Two empty clusterings score 1; exactly one empty
+/// scores 0.
+double E4SC(const Clustering& hidden, const Clustering& found);
+
+/// One mapping direction of E4SC (exposed for tests/analysis).
+double E4SCDirectional(const Clustering& from, const Clustering& to);
+
+}  // namespace p3c::eval
+
+#endif  // P3C_EVAL_E4SC_H_

@@ -1,0 +1,43 @@
+#include "src/eval/f1.h"
+
+#include <algorithm>
+
+namespace p3c::eval {
+
+namespace {
+
+double ObjectPairF1(const SubspaceCluster& a, const SubspaceCluster& b) {
+  const uint64_t inter = PointIntersection(a, b);
+  const uint64_t denom = a.points.size() + b.points.size();
+  if (denom == 0) return 0.0;
+  return 2.0 * static_cast<double>(inter) / static_cast<double>(denom);
+}
+
+}  // namespace
+
+double F1Directional(const Clustering& from, const Clustering& to) {
+  double weighted = 0.0;
+  double total_weight = 0.0;
+  for (const SubspaceCluster& c : from) {
+    const double weight = static_cast<double>(c.points.size());
+    double best = 0.0;
+    for (const SubspaceCluster& other : to) {
+      best = std::max(best, ObjectPairF1(c, other));
+    }
+    weighted += weight * best;
+    total_weight += weight;
+  }
+  if (total_weight == 0.0) return 0.0;
+  return weighted / total_weight;
+}
+
+double F1(const Clustering& hidden, const Clustering& found) {
+  if (hidden.empty() && found.empty()) return 1.0;
+  if (hidden.empty() || found.empty()) return 0.0;
+  const double recall = F1Directional(hidden, found);
+  const double precision = F1Directional(found, hidden);
+  if (recall + precision == 0.0) return 0.0;
+  return 2.0 * recall * precision / (recall + precision);
+}
+
+}  // namespace p3c::eval

@@ -1,0 +1,23 @@
+#ifndef P3C_EVAL_F1_H_
+#define P3C_EVAL_F1_H_
+
+#include "src/eval/clustering.h"
+
+namespace p3c::eval {
+
+/// Full-space, object-level F1 measure: ignores subspaces entirely
+/// (which is why §7.2 dismisses it as too forgiving — we implement it for
+/// the complete measure suite the paper's web appendix reports).
+///
+/// Each hidden cluster is matched to the found cluster maximizing the
+/// object-overlap F1; the size-weighted average of these scores is the
+/// recall direction, the symmetric construction the precision direction,
+/// and the reported value is their harmonic mean.
+double F1(const Clustering& hidden, const Clustering& found);
+
+/// One mapping direction of the object-level measure.
+double F1Directional(const Clustering& from, const Clustering& to);
+
+}  // namespace p3c::eval
+
+#endif  // P3C_EVAL_F1_H_

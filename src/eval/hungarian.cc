@@ -1,0 +1,83 @@
+#include "src/eval/hungarian.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+
+namespace p3c::eval {
+
+std::vector<int> HungarianMaximize(const std::vector<double>& profit,
+                                   size_t rows, size_t cols) {
+  if (rows == 0 || cols == 0) return std::vector<int>(rows, -1);
+  const size_t n = std::max(rows, cols);
+
+  // Build a square *cost* matrix: cost = max_profit - profit, padding
+  // with max_profit (i.e. zero effective profit) outside the real block.
+  double max_profit = 0.0;
+  for (double p : profit) max_profit = std::max(max_profit, p);
+  std::vector<double> cost(n * n, max_profit);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      cost[r * n + c] = max_profit - profit[r * cols + c];
+    }
+  }
+
+  // Standard O(n^3) algorithm with row/column potentials; 1-based
+  // auxiliary arrays following the classic e-maxx formulation.
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(n + 1, 0.0);
+  std::vector<double> v(n + 1, 0.0);
+  std::vector<size_t> match(n + 1, 0);  // match[col] = row (1-based)
+  std::vector<size_t> way(n + 1, 0);
+
+  for (size_t i = 1; i <= n; ++i) {
+    match[0] = i;
+    size_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<char> used(n + 1, 0);
+    do {
+      used[j0] = 1;
+      const size_t i0 = match[j0];
+      double delta = kInf;
+      size_t j1 = 0;
+      for (size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = cost[(i0 - 1) * n + (j - 1)] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[match[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[j0] != 0);
+    // Augment along the alternating path.
+    do {
+      const size_t j1 = way[j0];
+      match[j0] = match[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<int> assignment(rows, -1);
+  for (size_t j = 1; j <= n; ++j) {
+    const size_t i = match[j];
+    if (i >= 1 && i <= rows && j <= cols) {
+      assignment[i - 1] = static_cast<int>(j - 1);
+    }
+  }
+  return assignment;
+}
+
+}  // namespace p3c::eval

@@ -1,0 +1,22 @@
+#ifndef P3C_EVAL_HUNGARIAN_H_
+#define P3C_EVAL_HUNGARIAN_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace p3c::eval {
+
+/// Solves the assignment problem: given a rows x cols profit matrix
+/// (row-major, `profit[r * cols + c]`), returns for each row the column
+/// it is assigned to (or -1 when rows > cols and the row stays
+/// unassigned), maximizing total profit. O(n^3) Jonker-Volgenant-style
+/// potentials on the internally squared matrix.
+///
+/// Used by the CE measure, which needs the optimal one-to-one matching
+/// between found and hidden clusters by sub-object overlap.
+std::vector<int> HungarianMaximize(const std::vector<double>& profit,
+                                   size_t rows, size_t cols);
+
+}  // namespace p3c::eval
+
+#endif  // P3C_EVAL_HUNGARIAN_H_

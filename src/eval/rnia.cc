@@ -1,0 +1,56 @@
+#include "src/eval/rnia.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+
+namespace p3c::eval {
+
+namespace {
+
+/// Accumulates micro-object multiplicities of one clustering into `map`,
+/// adding to the selected component of the (hidden, found) pair.
+void Accumulate(const Clustering& clustering, bool second,
+                std::unordered_map<uint64_t, std::pair<uint32_t, uint32_t>>&
+                    map) {
+  for (const SubspaceCluster& c : clustering) {
+    for (data::PointId p : c.points) {
+      for (size_t a : c.attrs) {
+        // Attribute counts are tiny; 20 bits are ample and keep the key
+        // in one u64 for any PointId.
+        const uint64_t key = (static_cast<uint64_t>(p) << 20) |
+                             static_cast<uint64_t>(a & 0xFFFFF);
+        auto& entry = map[key];
+        if (second) {
+          ++entry.second;
+        } else {
+          ++entry.first;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+double RNIA(const Clustering& hidden, const Clustering& found) {
+  if (hidden.empty() && found.empty()) return 1.0;
+  if (hidden.empty() || found.empty()) return 0.0;
+
+  std::unordered_map<uint64_t, std::pair<uint32_t, uint32_t>> counts;
+  Accumulate(hidden, /*second=*/false, counts);
+  Accumulate(found, /*second=*/true, counts);
+
+  uint64_t union_size = 0;
+  uint64_t intersection_size = 0;
+  for (const auto& [key, pair] : counts) {
+    (void)key;
+    union_size += std::max(pair.first, pair.second);
+    intersection_size += std::min(pair.first, pair.second);
+  }
+  if (union_size == 0) return 1.0;
+  return static_cast<double>(intersection_size) /
+         static_cast<double>(union_size);
+}
+
+}  // namespace p3c::eval

@@ -1,0 +1,21 @@
+#ifndef P3C_EVAL_RNIA_H_
+#define P3C_EVAL_RNIA_H_
+
+#include "src/eval/clustering.h"
+
+namespace p3c::eval {
+
+/// RNIA — relative non-intersecting area (Patrikainen & Meila, TKDE
+/// 2006), reported in the quality form 1 - error so that 1.0 is perfect.
+///
+/// Both clusterings are viewed as multisets of micro-objects
+/// (point, attribute); overlapping clusters contribute multiplicity.
+/// With U the multiset union (max count per micro-object) and I the
+/// multiset intersection (min count),
+///   RNIA = |I| / |U|.
+/// Two empty clusterings score 1, exactly one empty scores 0.
+double RNIA(const Clustering& hidden, const Clustering& found);
+
+}  // namespace p3c::eval
+
+#endif  // P3C_EVAL_RNIA_H_

@@ -1,0 +1,112 @@
+#include "src/eval/serialization.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "src/common/string_util.h"
+
+namespace p3c::eval {
+
+namespace {
+
+constexpr char kHeader[] = "# p3c clustering v1";
+
+/// Parses a comma-separated list of non-negative integers.
+template <typename T>
+Status ParseIdList(std::string_view text, std::vector<T>* out) {
+  for (const std::string& field : Split(text, ',')) {
+    const std::string stripped(StripWhitespace(field));
+    if (stripped.empty()) {
+      return Status::InvalidArgument("empty id in list");
+    }
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(stripped.c_str(), &end, 10);
+    if (end == stripped.c_str() || *end != '\0') {
+      return Status::InvalidArgument("non-numeric id '" + stripped + "'");
+    }
+    out->push_back(static_cast<T>(v));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteClusteringFile(const Clustering& clustering,
+                           const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for writing: " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::fprintf(f, "%s\n", kHeader);
+  for (const SubspaceCluster& cluster : clustering) {
+    std::fputs("attrs:", f);
+    for (size_t i = 0; i < cluster.attrs.size(); ++i) {
+      std::fprintf(f, "%s%zu", i ? "," : "", cluster.attrs[i]);
+    }
+    std::fputs(" points:", f);
+    for (size_t i = 0; i < cluster.points.size(); ++i) {
+      std::fprintf(f, "%s%u", i ? "," : "", cluster.points[i]);
+    }
+    std::fputc('\n', f);
+  }
+  const bool ok = std::fflush(f) == 0;
+  std::fclose(f);
+  return ok ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+Result<Clustering> ReadClusteringFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for reading: " + path + ": " +
+                           std::strerror(errno));
+  }
+  Clustering clustering;
+  std::string line;
+  int ch;
+  size_t line_no = 0;
+  Status status;
+  while (status.ok()) {
+    line.clear();
+    while ((ch = std::fgetc(f)) != EOF && ch != '\n') {
+      line.push_back(static_cast<char>(ch));
+    }
+    if (line.empty() && ch == EOF) break;
+    ++line_no;
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') {
+      if (ch == EOF) break;
+      continue;
+    }
+    // "attrs:<list> points:<list>"
+    const size_t attrs_tag = stripped.find("attrs:");
+    const size_t points_tag = stripped.find(" points:");
+    if (attrs_tag != 0 || points_tag == std::string_view::npos) {
+      status = Status::InvalidArgument(
+          StringPrintf("%s:%zu: expected 'attrs:<ids> points:<ids>'",
+                       path.c_str(), line_no));
+      break;
+    }
+    SubspaceCluster cluster;
+    const std::string_view attrs_text =
+        stripped.substr(6, points_tag - 6);
+    const std::string_view points_text = stripped.substr(points_tag + 8);
+    status = ParseIdList(attrs_text, &cluster.attrs);
+    if (status.ok()) status = ParseIdList(points_text, &cluster.points);
+    if (!status.ok()) {
+      status = Status::InvalidArgument(
+          StringPrintf("%s:%zu: %s", path.c_str(), line_no,
+                       status.message().c_str()));
+      break;
+    }
+    cluster.Normalize();
+    clustering.push_back(std::move(cluster));
+    if (ch == EOF) break;
+  }
+  std::fclose(f);
+  if (!status.ok()) return status;
+  return clustering;
+}
+
+}  // namespace p3c::eval

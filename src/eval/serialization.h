@@ -1,0 +1,31 @@
+#ifndef P3C_EVAL_SERIALIZATION_H_
+#define P3C_EVAL_SERIALIZATION_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/eval/clustering.h"
+
+namespace p3c::eval {
+
+/// Writes a subspace clustering in the library's line-based text format:
+///
+///   # p3c clustering v1
+///   attrs:1,3,5 points:0,4,9,12
+///   attrs:0,2 points:1,2,3
+///
+/// One cluster per line; attributes and point ids in ascending order.
+/// The format carries exactly what the subspace quality measures need,
+/// so found and ground-truth clusterings can be exchanged between runs
+/// and tools (`p3c_cli evaluate-subspace`).
+Status WriteClusteringFile(const Clustering& clustering,
+                           const std::string& path);
+
+/// Reads the format written by WriteClusteringFile. Clusters are
+/// normalized (sorted, deduplicated) on load; blank lines and `#`
+/// comments are ignored; malformed lines fail with their line number.
+Result<Clustering> ReadClusteringFile(const std::string& path);
+
+}  // namespace p3c::eval
+
+#endif  // P3C_EVAL_SERIALIZATION_H_

@@ -1,0 +1,60 @@
+#ifndef P3C_MAPREDUCE_CACHE_H_
+#define P3C_MAPREDUCE_CACHE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <typeinfo>
+
+namespace p3c::mr {
+
+/// Analog of Hadoop's distributed cache: read-only artifacts the driver
+/// publishes before a job and every mapper can read during the job.
+///
+/// The paper ships the candidate signature set and the RSSC bit masks to
+/// mappers this way (§5.3). In this in-process engine the cache is a
+/// typed, shared, immutable store; "shipping" is a shared_ptr copy, but
+/// the programming discipline is the same — mappers never mutate cached
+/// entries, and an entry must be published before the job that reads it.
+class DistributedCache {
+ public:
+  /// Publishes `value` under `name`, replacing any previous entry.
+  template <typename T>
+  void Put(const std::string& name, std::shared_ptr<const T> value) {
+    entries_[name] = Entry{std::move(value), &typeid(T)};
+  }
+
+  /// Convenience overload that takes ownership of a value.
+  template <typename T>
+  void Put(const std::string& name, T value) {
+    Put<T>(name, std::make_shared<const T>(std::move(value)));
+  }
+
+  /// Fetches the entry published under `name`. Returns nullptr when the
+  /// name is unknown or was published with a different type.
+  template <typename T>
+  std::shared_ptr<const T> Get(const std::string& name) const {
+    auto it = entries_.find(name);
+    if (it == entries_.end()) return nullptr;
+    if (*it->second.type != typeid(T)) return nullptr;
+    return std::static_pointer_cast<const T>(it->second.value);
+  }
+
+  bool Contains(const std::string& name) const {
+    return entries_.count(name) > 0;
+  }
+
+  void Remove(const std::string& name) { entries_.erase(name); }
+  void Clear() { entries_.clear(); }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const void> value;
+    const std::type_info* type;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace p3c::mr
+
+#endif  // P3C_MAPREDUCE_CACHE_H_

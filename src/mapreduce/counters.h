@@ -1,0 +1,57 @@
+#ifndef P3C_MAPREDUCE_COUNTERS_H_
+#define P3C_MAPREDUCE_COUNTERS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace p3c::mr {
+
+/// Named monotone counters, the MapReduce framework's classic side
+/// channel for job statistics ("records skipped", "candidates merged").
+///
+/// Mapper/reducer tasks accumulate into task-local Counters instances and
+/// the runner merges them after each phase, so no locking happens on the
+/// hot path; `Merge` takes the lock once per task.
+class Counters {
+ public:
+  Counters() = default;
+
+  // Movable for collecting task-local instances; not copyable to avoid
+  // accidentally duplicating counts.
+  Counters(Counters&& other) noexcept : values_(std::move(other.values_)) {}
+  Counters& operator=(Counters&& other) noexcept {
+    values_ = std::move(other.values_);
+    return *this;
+  }
+
+  /// Adds `delta` to the named counter (task-local use; not thread-safe).
+  void Increment(const std::string& name, uint64_t delta = 1) {
+    values_[name] += delta;
+  }
+
+  /// Current value; 0 for unknown names.
+  uint64_t Get(const std::string& name) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? 0 : it->second;
+  }
+
+  /// Thread-safe accumulation of a task-local instance into this one.
+  void Merge(const Counters& other) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, value] : other.values_) values_[name] += value;
+  }
+
+  const std::map<std::string, uint64_t>& values() const { return values_; }
+
+  void Clear() { values_.clear(); }
+
+ private:
+  std::map<std::string, uint64_t> values_;
+  std::mutex mu_;
+};
+
+}  // namespace p3c::mr
+
+#endif  // P3C_MAPREDUCE_COUNTERS_H_

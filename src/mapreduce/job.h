@@ -1,0 +1,96 @@
+#ifndef P3C_MAPREDUCE_JOB_H_
+#define P3C_MAPREDUCE_JOB_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/mapreduce/counters.h"
+
+namespace p3c::mr {
+
+/// Sink for intermediate (key, value) pairs plus the task-local counter
+/// channel. One Emitter instance exists per mapper task; it is not
+/// shared between threads.
+template <typename K, typename V>
+class Emitter {
+ public:
+  virtual ~Emitter() = default;
+
+  /// Emits one intermediate pair into the shuffle.
+  virtual void Emit(K key, V value) = 0;
+
+  /// Task-local counters, merged by the runner after the task finishes.
+  virtual Counters& counters() = 0;
+};
+
+/// User map task over records of type `Record`, emitting (K, V).
+///
+/// `Setup` receives the whole split before the per-record calls — the hook
+/// the MVB job uses to cache its split (§5.5) — and `Cleanup` runs after
+/// the last record, which is where split-level aggregates (per-split
+/// medians, per-split histograms) are emitted.
+template <typename Record, typename K, typename V>
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+
+  virtual void Setup(size_t split_index, std::span<const Record> split,
+                     Emitter<K, V>& out) {
+    (void)split_index;
+    (void)split;
+    (void)out;
+  }
+
+  virtual void Map(const Record& record, Emitter<K, V>& out) = 0;
+
+  virtual void Cleanup(Emitter<K, V>& out) { (void)out; }
+};
+
+/// User reduce task: receives one key with all of its shuffled values and
+/// appends output records.
+template <typename K, typename V, typename Out>
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+
+  virtual void Reduce(const K& key, std::vector<V>& values,
+                      std::vector<Out>& out) = 0;
+};
+
+/// Optional combiner: collapses one mapper's local values of a key into
+/// a single value before the shuffle (Hadoop's combiner contract; must
+/// be associative/commutative with the reducer's aggregation). Cuts the
+/// shuffle volume of high-fan-in aggregations — see
+/// LocalRunner::RunWithCombiner.
+template <typename K, typename V>
+class Combiner {
+ public:
+  virtual ~Combiner() = default;
+
+  /// Combines `values` (non-empty) into a single value.
+  virtual V Combine(const K& key, std::vector<V>& values) = 0;
+};
+
+/// Approximate serialized size of a shuffled pair, used for the
+/// shuffle-volume accounting in JobMetrics. Specialize/overload for
+/// dynamically sized values.
+template <typename T>
+size_t SerializedSize(const T& value) {
+  (void)value;
+  return sizeof(T);
+}
+
+template <typename T>
+size_t SerializedSize(const std::vector<T>& value) {
+  return sizeof(size_t) + value.size() * sizeof(T);
+}
+
+inline size_t SerializedSize(const std::string& value) {
+  return sizeof(size_t) + value.size();
+}
+
+}  // namespace p3c::mr
+
+#endif  // P3C_MAPREDUCE_JOB_H_

@@ -1,0 +1,45 @@
+#include "src/mapreduce/metrics.h"
+
+#include "src/common/string_util.h"
+
+namespace p3c::mr {
+
+double MetricsRegistry::TotalSeconds() const {
+  double acc = 0.0;
+  for (const auto& j : jobs_) acc += j.total_seconds;
+  return acc;
+}
+
+uint64_t MetricsRegistry::TotalShuffleBytes() const {
+  uint64_t acc = 0;
+  for (const auto& j : jobs_) acc += j.shuffle_bytes;
+  return acc;
+}
+
+uint64_t MetricsRegistry::TotalInputRecords() const {
+  uint64_t acc = 0;
+  for (const auto& j : jobs_) acc += j.input_records;
+  return acc;
+}
+
+std::string MetricsRegistry::ToString() const {
+  std::string out = StringPrintf("%-34s %8s %6s %12s %12s %10s\n", "job",
+                                 "splits", "red.", "input", "shuffled(B)",
+                                 "time(s)");
+  for (const auto& j : jobs_) {
+    out += StringPrintf("%-34s %8zu %6zu %12llu %12llu %10.4f\n",
+                        j.job_name.c_str(), j.num_splits, j.num_reducers,
+                        static_cast<unsigned long long>(j.input_records),
+                        static_cast<unsigned long long>(j.shuffle_bytes),
+                        j.total_seconds);
+  }
+  out += StringPrintf("TOTAL: %zu jobs, %llu input records, %llu shuffle "
+                      "bytes, %.4f s\n",
+                      jobs_.size(),
+                      static_cast<unsigned long long>(TotalInputRecords()),
+                      static_cast<unsigned long long>(TotalShuffleBytes()),
+                      TotalSeconds());
+  return out;
+}
+
+}  // namespace p3c::mr

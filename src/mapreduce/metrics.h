@@ -1,0 +1,66 @@
+#ifndef P3C_MAPREDUCE_METRICS_H_
+#define P3C_MAPREDUCE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace p3c::mr {
+
+/// Per-job execution statistics. The paper's efficiency arguments (§5.3's
+/// Tc heuristic trades extra candidates against saved MR jobs; §7.5.2
+/// attributes P3C+-MR's runtime to its larger job count) are quantified
+/// through these numbers in `bench/bench_fig7_runtime`.
+struct JobMetrics {
+  std::string job_name;
+  size_t num_splits = 0;
+  size_t num_reducers = 0;
+  uint64_t input_records = 0;
+  uint64_t map_output_records = 0;   ///< records entering the shuffle
+  uint64_t shuffle_bytes = 0;        ///< approximate serialized volume
+  uint64_t output_records = 0;
+  double map_seconds = 0.0;
+  double shuffle_seconds = 0.0;
+  double reduce_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+/// Accumulates the job log of one clustering run.
+class MetricsRegistry {
+ public:
+  void Record(JobMetrics metrics) { jobs_.push_back(std::move(metrics)); }
+
+  const std::vector<JobMetrics>& jobs() const { return jobs_; }
+  size_t num_jobs() const { return jobs_.size(); }
+
+  /// Sum of per-job wall times.
+  double TotalSeconds() const;
+  /// Projected wall time on a cluster whose scheduler costs
+  /// `per_job_overhead_seconds` per MR job (Hadoop-style job latencies
+  /// are tens of seconds). This is the quantity behind the paper's §5.3
+  /// Tc trade-off and the §7.5.2 runtime ordering: with real job
+  /// overhead, pipelines with more jobs lose even when their in-process
+  /// compute time is comparable.
+  double ProjectedSecondsWithOverhead(double per_job_overhead_seconds) const {
+    return TotalSeconds() +
+           per_job_overhead_seconds * static_cast<double>(jobs_.size());
+  }
+  /// Sum of shuffle volumes.
+  uint64_t TotalShuffleBytes() const;
+  /// Sum of map input records over all jobs — the "I/O workload" proxy:
+  /// each input record of each job corresponds to one record read from
+  /// the storage system in a real deployment.
+  uint64_t TotalInputRecords() const;
+
+  /// Multi-line human-readable table of all jobs.
+  std::string ToString() const;
+
+  void Clear() { jobs_.clear(); }
+
+ private:
+  std::vector<JobMetrics> jobs_;
+};
+
+}  // namespace p3c::mr
+
+#endif  // P3C_MAPREDUCE_METRICS_H_

@@ -1,0 +1,292 @@
+#ifndef P3C_MAPREDUCE_RUNNER_H_
+#define P3C_MAPREDUCE_RUNNER_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/stopwatch.h"
+#include "src/common/threadpool.h"
+#include "src/mapreduce/counters.h"
+#include "src/mapreduce/job.h"
+#include "src/mapreduce/metrics.h"
+
+namespace p3c::mr {
+
+/// Execution knobs for the local MapReduce engine.
+struct RunnerOptions {
+  /// Worker threads; 0 means hardware concurrency.
+  size_t num_threads = 0;
+  /// Records per input split; 0 derives a split size that yields about
+  /// four splits per worker ("we do not artificially split the input
+  /// files" — splits grow with the data, §7.5.2).
+  size_t records_per_split = 0;
+  /// Number of reduce tasks per job (the paper's jobs mostly use a single
+  /// reducer; the engine still exercises the partition/merge machinery).
+  size_t num_reducers = 1;
+  /// Optional sink for per-job execution metrics.
+  MetricsRegistry* metrics = nullptr;
+  /// Optional sink for merged framework counters across jobs.
+  Counters* counters = nullptr;
+};
+
+/// In-process, multi-threaded MapReduce engine.
+///
+/// Preserves the framework semantics the paper's algorithm design relies
+/// on: record-parallel mappers over splits with Setup/Map/Cleanup
+/// lifecycle, a sort-based shuffle that groups equal keys, key-grouped
+/// reducers, per-phase barriers, counters, and shuffle-volume accounting.
+/// Output order is deterministic: reducers observe keys in sorted order
+/// and outputs are concatenated in key order, so runs are reproducible
+/// regardless of thread scheduling.
+///
+/// Substitution note (DESIGN.md §2): this replaces the paper's Hadoop
+/// cluster; the job decompositions in src/mr are expressed against this
+/// API exactly as §5 describes them against Hadoop.
+class LocalRunner {
+ public:
+  explicit LocalRunner(RunnerOptions options = {})
+      : options_(options), pool_(options.num_threads) {}
+
+  LocalRunner(const LocalRunner&) = delete;
+  LocalRunner& operator=(const LocalRunner&) = delete;
+
+  const RunnerOptions& options() const { return options_; }
+  ThreadPool& pool() { return pool_; }
+
+  /// Runs a full map-shuffle-reduce job and returns the concatenated
+  /// reducer outputs (in key order). `K` must be strict-weak orderable.
+  ///
+  /// The factories are invoked once per task from worker threads and must
+  /// be thread-safe; the produced mapper/reducer instances are used by a
+  /// single thread only.
+  template <typename Record, typename K, typename V, typename Out>
+  std::vector<Out> Run(
+      const std::string& job_name, std::span<const Record> input,
+      const std::function<std::unique_ptr<Mapper<Record, K, V>>()>&
+          mapper_factory,
+      const std::function<std::unique_ptr<Reducer<K, V, Out>>()>&
+          reducer_factory) {
+    return RunWithCombiner<Record, K, V, Out>(job_name, input, mapper_factory,
+                                              reducer_factory, nullptr);
+  }
+
+  /// Run() plus a per-mapper combiner: each map task's output is grouped
+  /// and collapsed by the combiner before entering the shuffle, so the
+  /// shuffle volume (JobMetrics::shuffle_bytes) reflects the combined
+  /// records. `combiner_factory` may be null (no combining).
+  template <typename Record, typename K, typename V, typename Out>
+  std::vector<Out> RunWithCombiner(
+      const std::string& job_name, std::span<const Record> input,
+      const std::function<std::unique_ptr<Mapper<Record, K, V>>()>&
+          mapper_factory,
+      const std::function<std::unique_ptr<Reducer<K, V, Out>>()>&
+          reducer_factory,
+      const std::function<std::unique_ptr<Combiner<K, V>>()>&
+          combiner_factory) {
+    Stopwatch total_watch;
+    JobMetrics metrics;
+    metrics.job_name = job_name;
+    metrics.input_records = input.size();
+    metrics.num_reducers = std::max<size_t>(1, options_.num_reducers);
+
+    // ---- Map phase -----------------------------------------------------
+    Stopwatch map_watch;
+    std::vector<std::pair<K, V>> pairs = MapPhase<Record, K, V>(
+        input, mapper_factory, combiner_factory, &metrics);
+    metrics.map_seconds = map_watch.ElapsedSeconds();
+
+    // ---- Shuffle: sort-based grouping ---------------------------------
+    Stopwatch shuffle_watch;
+    std::stable_sort(
+        pairs.begin(), pairs.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    // Group boundaries [begin, end) of equal keys.
+    std::vector<std::pair<size_t, size_t>> groups;
+    for (size_t i = 0; i < pairs.size();) {
+      size_t j = i + 1;
+      while (j < pairs.size() && !(pairs[i].first < pairs[j].first)) ++j;
+      groups.emplace_back(i, j);
+      i = j;
+    }
+    metrics.shuffle_seconds = shuffle_watch.ElapsedSeconds();
+
+    // ---- Reduce phase --------------------------------------------------
+    Stopwatch reduce_watch;
+    const size_t num_reduce_tasks =
+        std::min(metrics.num_reducers, std::max<size_t>(1, groups.size()));
+    std::vector<std::vector<Out>> task_outputs(num_reduce_tasks);
+    std::vector<Counters> task_counters(num_reduce_tasks);
+    pool_.ParallelFor(num_reduce_tasks, [&](size_t task) {
+      // Contiguous key ranges per reduce task keep output deterministic.
+      const size_t begin = groups.size() * task / num_reduce_tasks;
+      const size_t end = groups.size() * (task + 1) / num_reduce_tasks;
+      std::unique_ptr<Reducer<K, V, Out>> reducer = reducer_factory();
+      std::vector<V> values;
+      for (size_t g = begin; g < end; ++g) {
+        values.clear();
+        values.reserve(groups[g].second - groups[g].first);
+        for (size_t i = groups[g].first; i < groups[g].second; ++i) {
+          values.push_back(std::move(pairs[i].second));
+        }
+        reducer->Reduce(pairs[groups[g].first].first, values,
+                        task_outputs[task]);
+      }
+    });
+    std::vector<Out> output;
+    for (auto& part : task_outputs) {
+      output.insert(output.end(), std::make_move_iterator(part.begin()),
+                    std::make_move_iterator(part.end()));
+    }
+    metrics.reduce_seconds = reduce_watch.ElapsedSeconds();
+    metrics.output_records = output.size();
+    metrics.total_seconds = total_watch.ElapsedSeconds();
+    if (options_.metrics != nullptr) options_.metrics->Record(metrics);
+    return output;
+  }
+
+  /// Runs a map-only job (the paper's OD job, §5.5): the mappers'
+  /// emissions are the job output, sorted by key for determinism.
+  template <typename Record, typename K, typename V>
+  std::vector<std::pair<K, V>> RunMapOnly(
+      const std::string& job_name, std::span<const Record> input,
+      const std::function<std::unique_ptr<Mapper<Record, K, V>>()>&
+          mapper_factory) {
+    Stopwatch total_watch;
+    JobMetrics metrics;
+    metrics.job_name = job_name;
+    metrics.input_records = input.size();
+    metrics.num_reducers = 0;
+
+    Stopwatch map_watch;
+    std::vector<std::pair<K, V>> pairs =
+        MapPhase<Record, K, V>(input, mapper_factory, nullptr, &metrics);
+    metrics.map_seconds = map_watch.ElapsedSeconds();
+
+    Stopwatch shuffle_watch;
+    std::stable_sort(
+        pairs.begin(), pairs.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    metrics.shuffle_seconds = shuffle_watch.ElapsedSeconds();
+
+    metrics.output_records = pairs.size();
+    metrics.total_seconds = total_watch.ElapsedSeconds();
+    if (options_.metrics != nullptr) options_.metrics->Record(metrics);
+    return pairs;
+  }
+
+  /// Number of splits the engine would cut `n` records into.
+  size_t NumSplits(size_t n) const {
+    if (n == 0) return 0;
+    const size_t per_split = SplitSize(n);
+    return (n + per_split - 1) / per_split;
+  }
+
+ private:
+  size_t SplitSize(size_t n) const {
+    if (options_.records_per_split > 0) return options_.records_per_split;
+    const size_t target_tasks = pool_.num_threads() * 4;
+    return std::max<size_t>(1, (n + target_tasks - 1) / target_tasks);
+  }
+
+  template <typename Record, typename K, typename V>
+  class VectorEmitter : public Emitter<K, V> {
+   public:
+    void Emit(K key, V value) override {
+      bytes_ += SerializedSize(key) + SerializedSize(value);
+      pairs_.emplace_back(std::move(key), std::move(value));
+    }
+    Counters& counters() override { return counters_; }
+
+    std::vector<std::pair<K, V>> pairs_;
+    Counters counters_;
+    uint64_t bytes_ = 0;
+  };
+
+  template <typename Record, typename K, typename V>
+  std::vector<std::pair<K, V>> MapPhase(
+      std::span<const Record> input,
+      const std::function<std::unique_ptr<Mapper<Record, K, V>>()>&
+          mapper_factory,
+      const std::function<std::unique_ptr<Combiner<K, V>>()>&
+          combiner_factory,
+      JobMetrics* metrics) {
+    const size_t n = input.size();
+    const size_t per_split = SplitSize(std::max<size_t>(1, n));
+    const size_t num_splits = n == 0 ? 0 : (n + per_split - 1) / per_split;
+    metrics->num_splits = num_splits;
+
+    std::vector<VectorEmitter<Record, K, V>> emitters(num_splits);
+    pool_.ParallelFor(num_splits, [&](size_t s) {
+      const size_t begin = s * per_split;
+      const size_t end = std::min(n, begin + per_split);
+      std::span<const Record> split = input.subspan(begin, end - begin);
+      std::unique_ptr<Mapper<Record, K, V>> mapper = mapper_factory();
+      VectorEmitter<Record, K, V>& out = emitters[s];
+      mapper->Setup(s, split, out);
+      for (const Record& record : split) mapper->Map(record, out);
+      mapper->Cleanup(out);
+      if (combiner_factory != nullptr) {
+        CombineLocal(combiner_factory, out);
+      }
+    });
+
+    size_t total_pairs = 0;
+    for (const auto& e : emitters) total_pairs += e.pairs_.size();
+    std::vector<std::pair<K, V>> pairs;
+    pairs.reserve(total_pairs);
+    for (auto& e : emitters) {
+      metrics->shuffle_bytes += e.bytes_;
+      pairs.insert(pairs.end(), std::make_move_iterator(e.pairs_.begin()),
+                   std::make_move_iterator(e.pairs_.end()));
+      if (options_.counters != nullptr) options_.counters->Merge(e.counters_);
+    }
+    metrics->map_output_records = total_pairs;
+    return pairs;
+  }
+
+  /// Groups one map task's output by key and collapses each group with a
+  /// fresh combiner instance; the emitter's byte accounting is redone so
+  /// shuffle_bytes reflects the post-combine volume.
+  template <typename Record, typename K, typename V>
+  static void CombineLocal(
+      const std::function<std::unique_ptr<Combiner<K, V>>()>&
+          combiner_factory,
+      VectorEmitter<Record, K, V>& out) {
+    auto& pairs = out.pairs_;
+    std::stable_sort(
+        pairs.begin(), pairs.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::unique_ptr<Combiner<K, V>> combiner = combiner_factory();
+    std::vector<std::pair<K, V>> combined;
+    std::vector<V> values;
+    uint64_t bytes = 0;
+    for (size_t i = 0; i < pairs.size();) {
+      size_t j = i + 1;
+      while (j < pairs.size() && !(pairs[i].first < pairs[j].first)) ++j;
+      values.clear();
+      values.reserve(j - i);
+      for (size_t v = i; v < j; ++v) {
+        values.push_back(std::move(pairs[v].second));
+      }
+      V result = combiner->Combine(pairs[i].first, values);
+      bytes += SerializedSize(pairs[i].first) + SerializedSize(result);
+      combined.emplace_back(pairs[i].first, std::move(result));
+      i = j;
+    }
+    pairs = std::move(combined);
+    out.bytes_ = bytes;
+  }
+
+  RunnerOptions options_;
+  ThreadPool pool_;
+};
+
+}  // namespace p3c::mr
+
+#endif  // P3C_MAPREDUCE_RUNNER_H_

@@ -1,0 +1,677 @@
+#include "src/mr/jobs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "src/core/rssc.h"
+#include "src/stats/descriptive.h"
+
+namespace p3c::mr {
+
+namespace {
+
+using KeyedDoubles = std::pair<int64_t, std::vector<double>>;
+
+/// Generic sum reducer for (int64, vector<double>) stats records.
+class VectorSumReducer
+    : public Reducer<int64_t, std::vector<double>, KeyedDoubles> {
+ public:
+  void Reduce(const int64_t& key, std::vector<std::vector<double>>& values,
+              std::vector<KeyedDoubles>& out) override {
+    std::vector<double> acc;
+    for (const auto& v : values) {
+      if (acc.empty()) acc.assign(v.size(), 0.0);
+      for (size_t i = 0; i < v.size() && i < acc.size(); ++i) acc[i] += v[i];
+    }
+    out.emplace_back(key, std::move(acc));
+  }
+};
+
+/// Generic sum reducer for (int64, vector<uint64>) count records.
+class CountSumReducer
+    : public Reducer<int64_t, std::vector<uint64_t>,
+                     std::pair<int64_t, std::vector<uint64_t>>> {
+ public:
+  void Reduce(const int64_t& key, std::vector<std::vector<uint64_t>>& values,
+              std::vector<std::pair<int64_t, std::vector<uint64_t>>>& out)
+      override {
+    std::vector<uint64_t> acc;
+    for (const auto& v : values) {
+      if (acc.empty()) acc.assign(v.size(), 0);
+      for (size_t i = 0; i < v.size() && i < acc.size(); ++i) acc[i] += v[i];
+    }
+    out.emplace_back(key, std::move(acc));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Histogram job (§5.1)
+// ---------------------------------------------------------------------------
+
+struct HistogramJobConfig {
+  const data::Dataset* dataset;
+  size_t bins;
+};
+
+class HistogramMapper : public Mapper<Record, int64_t, std::vector<uint64_t>> {
+ public:
+  explicit HistogramMapper(const HistogramJobConfig* config)
+      : config_(config),
+        local_(config->dataset->num_dims(),
+               stats::Histogram(config->bins)) {}
+
+  void Map(const Record& record,
+           Emitter<int64_t, std::vector<uint64_t>>& out) override {
+    (void)out;
+    const auto row = config_->dataset->Row(record);
+    for (size_t j = 0; j < local_.size(); ++j) local_[j].Add(row[j]);
+  }
+
+  void Cleanup(Emitter<int64_t, std::vector<uint64_t>>& out) override {
+    for (size_t j = 0; j < local_.size(); ++j) {
+      out.Emit(static_cast<int64_t>(j), local_[j].counts());
+    }
+  }
+
+ private:
+  const HistogramJobConfig* config_;
+  std::vector<stats::Histogram> local_;
+};
+
+// ---------------------------------------------------------------------------
+// Support job (§5.3)
+// ---------------------------------------------------------------------------
+
+struct SupportJobConfig {
+  const data::Dataset* dataset;
+  const core::Rssc* rssc;  // "distributed cache" payload
+};
+
+class SupportMapper : public Mapper<Record, int64_t, std::vector<uint64_t>> {
+ public:
+  explicit SupportMapper(const SupportJobConfig* config)
+      : config_(config),
+        supports_(config->rssc->num_words() * 64, 0) {}
+
+  void Map(const Record& record,
+           Emitter<int64_t, std::vector<uint64_t>>& out) override {
+    (void)out;
+    config_->rssc->Accumulate(config_->dataset->Row(record), scratch_,
+                              supports_);
+  }
+
+  void Cleanup(Emitter<int64_t, std::vector<uint64_t>>& out) override {
+    // In-mapper combining: one record per split instead of one per point.
+    out.Emit(0, std::move(supports_));
+  }
+
+ private:
+  const SupportJobConfig* config_;
+  std::vector<uint64_t> scratch_;
+  std::vector<uint64_t> supports_;
+};
+
+// ---------------------------------------------------------------------------
+// Moment / covariance jobs (§5.4)
+// ---------------------------------------------------------------------------
+
+struct MomentJobConfig {
+  const data::Dataset* dataset;
+  const core::GmmModel* model;
+  const MembershipFn* membership;
+};
+
+constexpr int64_t kLogLikelihoodKey = -1;
+
+class MomentMapper : public Mapper<Record, int64_t, std::vector<double>> {
+ public:
+  explicit MomentMapper(const MomentJobConfig* config)
+      : config_(config),
+        k_(config->model->num_components()),
+        dim_(config->model->dim()),
+        w_(k_, 0.0),
+        w2_(k_, 0.0),
+        lsum_(k_, linalg::Vector(dim_, 0.0)) {}
+
+  void Map(const Record& record,
+           Emitter<int64_t, std::vector<double>>& out) override {
+    (void)out;
+    const linalg::Vector x =
+        config_->model->Project(config_->dataset->Row(record));
+    contributions_.clear();
+    config_->membership->Contributions(record, x, contributions_);
+    for (const auto& [c, weight] : contributions_) {
+      w_[c] += weight;
+      w2_[c] += weight * weight;
+      for (size_t j = 0; j < dim_; ++j) lsum_[c][j] += weight * x[j];
+    }
+    log_likelihood_ += config_->membership->LogLikelihood(x);
+  }
+
+  void Cleanup(Emitter<int64_t, std::vector<double>>& out) override {
+    // Payload layout: [wC, wC2, lC...] (§5.4's first EM job statistics).
+    for (size_t c = 0; c < k_; ++c) {
+      std::vector<double> stats;
+      stats.reserve(dim_ + 2);
+      stats.push_back(w_[c]);
+      stats.push_back(w2_[c]);
+      stats.insert(stats.end(), lsum_[c].begin(), lsum_[c].end());
+      out.Emit(static_cast<int64_t>(c), std::move(stats));
+    }
+    out.Emit(kLogLikelihoodKey, std::vector<double>{log_likelihood_});
+  }
+
+ private:
+  const MomentJobConfig* config_;
+  size_t k_;
+  size_t dim_;
+  std::vector<double> w_;
+  std::vector<double> w2_;
+  std::vector<linalg::Vector> lsum_;
+  double log_likelihood_ = 0.0;
+  std::vector<std::pair<uint32_t, double>> contributions_;
+};
+
+struct CovarianceJobConfig {
+  const data::Dataset* dataset;
+  const core::GmmModel* model;
+  const MembershipFn* membership;
+  const std::vector<linalg::Vector>* means;
+};
+
+class CovarianceMapper : public Mapper<Record, int64_t, std::vector<double>> {
+ public:
+  explicit CovarianceMapper(const CovarianceJobConfig* config)
+      : config_(config),
+        k_(config->model->num_components()),
+        dim_(config->model->dim()),
+        acc_(k_, linalg::Matrix(dim_, dim_)) {}
+
+  void Map(const Record& record,
+           Emitter<int64_t, std::vector<double>>& out) override {
+    (void)out;
+    const linalg::Vector x =
+        config_->model->Project(config_->dataset->Row(record));
+    contributions_.clear();
+    config_->membership->Contributions(record, x, contributions_);
+    for (const auto& [c, weight] : contributions_) {
+      const linalg::Vector centered = linalg::VecSub(x, (*config_->means)[c]);
+      acc_[c].AddOuterProduct(centered, weight);
+    }
+  }
+
+  void Cleanup(Emitter<int64_t, std::vector<double>>& out) override {
+    for (size_t c = 0; c < k_; ++c) {
+      out.Emit(static_cast<int64_t>(c), acc_[c].data());
+    }
+  }
+
+ private:
+  const CovarianceJobConfig* config_;
+  size_t k_;
+  size_t dim_;
+  std::vector<linalg::Matrix> acc_;
+  std::vector<std::pair<uint32_t, double>> contributions_;
+};
+
+// ---------------------------------------------------------------------------
+// MVB ball job (§5.5)
+// ---------------------------------------------------------------------------
+
+struct MvbBallJobConfig {
+  const data::Dataset* dataset;
+  const core::GmmModel* model;
+  const core::GmmEvaluator* evaluator;
+};
+
+class MvbBallMapper : public Mapper<Record, int64_t, std::vector<double>> {
+ public:
+  explicit MvbBallMapper(const MvbBallJobConfig* config)
+      : config_(config),
+        members_(config->model->num_components()) {}
+
+  void Setup(size_t split_index, std::span<const Record> split,
+             Emitter<int64_t, std::vector<double>>& out) override {
+    // "mapper j caches the set of all data points Xsplit of the current
+    // split" -- here the projected coordinates, grouped by cluster.
+    (void)split_index;
+    (void)out;
+    for (const Record& record : split) {
+      const linalg::Vector x =
+          config_->model->Project(config_->dataset->Row(record));
+      const size_t c = config_->evaluator->HardAssign(x);
+      members_[c].push_back(x);
+    }
+  }
+
+  void Map(const Record& record,
+           Emitter<int64_t, std::vector<double>>& out) override {
+    (void)record;
+    (void)out;  // all work happens in Setup/Cleanup
+  }
+
+  void Cleanup(Emitter<int64_t, std::vector<double>>& out) override {
+    for (size_t c = 0; c < members_.size(); ++c) {
+      if (members_[c].empty()) continue;
+      const core::MvbStatistics stats =
+          core::ComputeMvbStatistics(members_[c]);
+      std::vector<double> payload = stats.center;
+      payload.push_back(stats.radius);
+      out.Emit(static_cast<int64_t>(c), std::move(payload));
+    }
+  }
+
+ private:
+  const MvbBallJobConfig* config_;
+  std::vector<std::vector<linalg::Vector>> members_;
+};
+
+class MvbBallReducer
+    : public Reducer<int64_t, std::vector<double>, KeyedDoubles> {
+ public:
+  void Reduce(const int64_t& key, std::vector<std::vector<double>>& values,
+              std::vector<KeyedDoubles>& out) override {
+    if (values.empty()) return;
+    const size_t dim = values.front().size() - 1;
+    // Dimension-wise median of the split means; median of the radii.
+    std::vector<double> result(dim + 1, 0.0);
+    std::vector<double> column(values.size());
+    for (size_t j = 0; j <= dim; ++j) {
+      for (size_t i = 0; i < values.size(); ++i) column[i] = values[i][j];
+      result[j] = stats::Median(column);
+    }
+    out.emplace_back(key, std::move(result));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// OD job (§5.5, map-only)
+// ---------------------------------------------------------------------------
+
+struct OdJobConfig {
+  const data::Dataset* dataset;
+  const core::GmmModel* model;
+  const core::GmmEvaluator* evaluator;
+  const std::vector<linalg::Vector>* centers;
+  const std::vector<linalg::Cholesky>* factors;
+  double critical;
+};
+
+class OdMapper : public Mapper<Record, data::PointId, int32_t> {
+ public:
+  explicit OdMapper(const OdJobConfig* config) : config_(config) {}
+
+  void Map(const Record& record,
+           Emitter<data::PointId, int32_t>& out) override {
+    const linalg::Vector x =
+        config_->model->Project(config_->dataset->Row(record));
+    const size_t c = config_->evaluator->HardAssign(x);
+    const double d2 =
+        (*config_->factors)[c].MahalanobisSquared(x, (*config_->centers)[c]);
+    out.Emit(record, d2 > config_->critical ? -1 : static_cast<int32_t>(c));
+  }
+
+ private:
+  const OdJobConfig* config_;
+};
+
+// ---------------------------------------------------------------------------
+// Per-cluster histogram job (§5.6)
+// ---------------------------------------------------------------------------
+
+struct ClusterHistogramJobConfig {
+  const data::Dataset* dataset;
+  const std::vector<int32_t>* membership;
+  const std::vector<size_t>* bins_per_cluster;
+};
+
+class ClusterHistogramMapper
+    : public Mapper<Record, int64_t, std::vector<uint64_t>> {
+ public:
+  explicit ClusterHistogramMapper(const ClusterHistogramJobConfig* config)
+      : config_(config),
+        local_(config->bins_per_cluster->size()) {}
+
+  void Map(const Record& record,
+           Emitter<int64_t, std::vector<uint64_t>>& out) override {
+    (void)out;
+    const int32_t c = (*config_->membership)[record];
+    if (c < 0) return;
+    auto& cluster_local = local_[static_cast<size_t>(c)];
+    const size_t d = config_->dataset->num_dims();
+    if (cluster_local.empty()) {
+      cluster_local.assign(
+          d, stats::Histogram((*config_->bins_per_cluster)[static_cast<size_t>(
+                 c)]));
+    }
+    const auto row = config_->dataset->Row(record);
+    for (size_t j = 0; j < d; ++j) cluster_local[j].Add(row[j]);
+  }
+
+  void Cleanup(Emitter<int64_t, std::vector<uint64_t>>& out) override {
+    const int64_t d = static_cast<int64_t>(config_->dataset->num_dims());
+    for (size_t c = 0; c < local_.size(); ++c) {
+      for (size_t j = 0; j < local_[c].size(); ++j) {
+        out.Emit(static_cast<int64_t>(c) * d + static_cast<int64_t>(j),
+                 local_[c][j].counts());
+      }
+    }
+  }
+
+ private:
+  const ClusterHistogramJobConfig* config_;
+  std::vector<std::vector<stats::Histogram>> local_;
+};
+
+// ---------------------------------------------------------------------------
+// Tightening job (§5.7)
+// ---------------------------------------------------------------------------
+
+struct TighteningJobConfig {
+  const data::Dataset* dataset;
+  const std::vector<int32_t>* membership;
+  const std::vector<std::vector<size_t>>* attrs;
+};
+
+class TighteningMapper : public Mapper<Record, int64_t, std::vector<double>> {
+ public:
+  explicit TighteningMapper(const TighteningJobConfig* config)
+      : config_(config),
+        lo_(config->attrs->size()),
+        hi_(config->attrs->size()) {}
+
+  void Map(const Record& record,
+           Emitter<int64_t, std::vector<double>>& out) override {
+    (void)out;
+    const int32_t c = (*config_->membership)[record];
+    if (c < 0) return;
+    const auto& attrs = (*config_->attrs)[static_cast<size_t>(c)];
+    auto& lo = lo_[static_cast<size_t>(c)];
+    auto& hi = hi_[static_cast<size_t>(c)];
+    if (lo.empty()) {
+      lo.assign(attrs.size(), std::numeric_limits<double>::infinity());
+      hi.assign(attrs.size(), -std::numeric_limits<double>::infinity());
+    }
+    const auto row = config_->dataset->Row(record);
+    for (size_t a = 0; a < attrs.size(); ++a) {
+      lo[a] = std::min(lo[a], row[attrs[a]]);
+      hi[a] = std::max(hi[a], row[attrs[a]]);
+    }
+  }
+
+  void Cleanup(Emitter<int64_t, std::vector<double>>& out) override {
+    for (size_t c = 0; c < lo_.size(); ++c) {
+      if (lo_[c].empty()) continue;
+      std::vector<double> payload;
+      payload.reserve(lo_[c].size() * 2);
+      payload.insert(payload.end(), lo_[c].begin(), lo_[c].end());
+      payload.insert(payload.end(), hi_[c].begin(), hi_[c].end());
+      out.Emit(static_cast<int64_t>(c), std::move(payload));
+    }
+  }
+
+ private:
+  const TighteningJobConfig* config_;
+  std::vector<std::vector<double>> lo_;
+  std::vector<std::vector<double>> hi_;
+};
+
+class TighteningReducer
+    : public Reducer<int64_t, std::vector<double>, KeyedDoubles> {
+ public:
+  void Reduce(const int64_t& key, std::vector<std::vector<double>>& values,
+              std::vector<KeyedDoubles>& out) override {
+    if (values.empty()) return;
+    const size_t half = values.front().size() / 2;
+    std::vector<double> acc = values.front();
+    for (size_t i = 1; i < values.size(); ++i) {
+      for (size_t a = 0; a < half; ++a) {
+        acc[a] = std::min(acc[a], values[i][a]);
+        acc[half + a] = std::max(acc[half + a], values[i][half + a]);
+      }
+    }
+    out.emplace_back(key, std::move(acc));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Support-set job (§6, map-only)
+// ---------------------------------------------------------------------------
+
+struct SupportSetJobConfig {
+  const data::Dataset* dataset;
+  const core::Rssc* rssc;
+  size_t num_signatures;
+};
+
+class SupportSetMapper
+    : public Mapper<Record, data::PointId, std::vector<uint32_t>> {
+ public:
+  explicit SupportSetMapper(const SupportSetJobConfig* config)
+      : config_(config) {}
+
+  void Map(const Record& record,
+           Emitter<data::PointId, std::vector<uint32_t>>& out) override {
+    config_->rssc->Match(config_->dataset->Row(record), bits_);
+    ids_.clear();
+    core::Rssc::BitsToIds(bits_, config_->num_signatures, ids_);
+    if (!ids_.empty()) out.Emit(record, ids_);
+  }
+
+ private:
+  const SupportSetJobConfig* config_;
+  std::vector<uint64_t> bits_;
+  std::vector<uint32_t> ids_;
+};
+
+}  // namespace
+
+std::vector<Record> MakeRecords(const data::Dataset& dataset) {
+  std::vector<Record> records(dataset.num_points());
+  for (size_t i = 0; i < records.size(); ++i) {
+    records[i] = static_cast<Record>(i);
+  }
+  return records;
+}
+
+std::vector<stats::Histogram> RunHistogramJob(LocalRunner& runner,
+                                              const data::Dataset& dataset,
+                                              stats::BinningRule rule) {
+  const std::vector<Record> records = MakeRecords(dataset);
+  const size_t bins = static_cast<size_t>(
+      stats::NumBins(rule, std::max<uint64_t>(1, dataset.num_points())));
+  HistogramJobConfig config{&dataset, bins};
+  auto out = runner.Run<Record, int64_t, std::vector<uint64_t>,
+                        std::pair<int64_t, std::vector<uint64_t>>>(
+      "histogram", records,
+      [&config] { return std::make_unique<HistogramMapper>(&config); },
+      [] { return std::make_unique<CountSumReducer>(); });
+  std::vector<stats::Histogram> histograms(dataset.num_dims(),
+                                           stats::Histogram(bins));
+  for (auto& [attr, counts] : out) {
+    histograms[static_cast<size_t>(attr)].counts() = std::move(counts);
+  }
+  return histograms;
+}
+
+std::vector<uint64_t> RunSupportJob(
+    LocalRunner& runner, const data::Dataset& dataset,
+    const std::vector<core::Signature>& signatures) {
+  if (signatures.empty()) return {};
+  const std::vector<Record> records = MakeRecords(dataset);
+  const core::Rssc rssc(signatures);  // "calculated by the main program"
+  SupportJobConfig config{&dataset, &rssc};
+  auto out = runner.Run<Record, int64_t, std::vector<uint64_t>,
+                        std::pair<int64_t, std::vector<uint64_t>>>(
+      "support-count", records,
+      [&config] { return std::make_unique<SupportMapper>(&config); },
+      [] { return std::make_unique<CountSumReducer>(); });
+  std::vector<uint64_t> supports(signatures.size(), 0);
+  for (auto& [key, counts] : out) {
+    (void)key;
+    for (size_t i = 0; i < supports.size() && i < counts.size(); ++i) {
+      supports[i] += counts[i];
+    }
+  }
+  return supports;
+}
+
+MomentSums RunMomentJob(LocalRunner& runner, const data::Dataset& dataset,
+                        const core::GmmModel& model,
+                        const MembershipFn& membership, const char* job_name) {
+  const std::vector<Record> records = MakeRecords(dataset);
+  MomentJobConfig config{&dataset, &model, &membership};
+  auto out = runner.Run<Record, int64_t, std::vector<double>, KeyedDoubles>(
+      job_name, records,
+      [&config] { return std::make_unique<MomentMapper>(&config); },
+      [] { return std::make_unique<VectorSumReducer>(); });
+  MomentSums sums;
+  sums.w.assign(model.num_components(), 0.0);
+  sums.w2.assign(model.num_components(), 0.0);
+  sums.lsum.assign(model.num_components(), linalg::Vector(model.dim(), 0.0));
+  for (auto& [key, stats] : out) {
+    if (key == kLogLikelihoodKey) {
+      sums.log_likelihood = stats.empty() ? 0.0 : stats[0];
+      continue;
+    }
+    const auto c = static_cast<size_t>(key);
+    sums.w[c] = stats[0];
+    sums.w2[c] = stats[1];
+    for (size_t j = 0; j < model.dim(); ++j) sums.lsum[c][j] = stats[2 + j];
+  }
+  return sums;
+}
+
+std::vector<linalg::Matrix> RunCovarianceJob(
+    LocalRunner& runner, const data::Dataset& dataset,
+    const core::GmmModel& model, const MembershipFn& membership,
+    const std::vector<linalg::Vector>& means, const char* job_name) {
+  const std::vector<Record> records = MakeRecords(dataset);
+  CovarianceJobConfig config{&dataset, &model, &membership, &means};
+  auto out = runner.Run<Record, int64_t, std::vector<double>, KeyedDoubles>(
+      job_name, records,
+      [&config] { return std::make_unique<CovarianceMapper>(&config); },
+      [] { return std::make_unique<VectorSumReducer>(); });
+  const size_t dim = model.dim();
+  std::vector<linalg::Matrix> sums(model.num_components(),
+                                   linalg::Matrix(dim, dim));
+  for (auto& [key, flat] : out) {
+    if (key < 0) continue;
+    linalg::Matrix& m = sums[static_cast<size_t>(key)];
+    for (size_t i = 0; i < dim && i * dim < flat.size(); ++i) {
+      for (size_t j = 0; j < dim; ++j) m(i, j) = flat[i * dim + j];
+    }
+  }
+  return sums;
+}
+
+std::vector<MvbBall> RunMvbBallJob(LocalRunner& runner,
+                                   const data::Dataset& dataset,
+                                   const core::GmmModel& model,
+                                   const core::GmmEvaluator& evaluator) {
+  const std::vector<Record> records = MakeRecords(dataset);
+  MvbBallJobConfig config{&dataset, &model, &evaluator};
+  auto out = runner.Run<Record, int64_t, std::vector<double>, KeyedDoubles>(
+      "mvb-ball", records,
+      [&config] { return std::make_unique<MvbBallMapper>(&config); },
+      [] { return std::make_unique<MvbBallReducer>(); });
+  std::vector<MvbBall> balls(model.num_components());
+  for (auto& [key, payload] : out) {
+    if (key < 0 || payload.empty()) continue;
+    MvbBall& ball = balls[static_cast<size_t>(key)];
+    ball.center.assign(payload.begin(), payload.end() - 1);
+    ball.radius = payload.back();
+  }
+  return balls;
+}
+
+std::vector<int32_t> RunOdJob(LocalRunner& runner,
+                              const data::Dataset& dataset,
+                              const core::GmmModel& model,
+                              const core::GmmEvaluator& evaluator,
+                              const std::vector<linalg::Vector>& centers,
+                              const std::vector<linalg::Cholesky>& factors,
+                              double critical) {
+  const std::vector<Record> records = MakeRecords(dataset);
+  OdJobConfig config{&dataset, &model,   &evaluator,
+                     &centers, &factors, critical};
+  auto pairs = runner.RunMapOnly<Record, data::PointId, int32_t>(
+      "outlier-detection", records,
+      [&config] { return std::make_unique<OdMapper>(&config); });
+  std::vector<int32_t> assignment(dataset.num_points(), -1);
+  for (const auto& [point, cluster] : pairs) assignment[point] = cluster;
+  return assignment;
+}
+
+std::vector<std::vector<stats::Histogram>> RunClusterHistogramJob(
+    LocalRunner& runner, const data::Dataset& dataset,
+    const std::vector<int32_t>& membership, size_t num_clusters,
+    const std::vector<size_t>& bins_per_cluster) {
+  const std::vector<Record> records = MakeRecords(dataset);
+  ClusterHistogramJobConfig config{&dataset, &membership, &bins_per_cluster};
+  auto out = runner.Run<Record, int64_t, std::vector<uint64_t>,
+                        std::pair<int64_t, std::vector<uint64_t>>>(
+      "cluster-histograms", records,
+      [&config] { return std::make_unique<ClusterHistogramMapper>(&config); },
+      [] { return std::make_unique<CountSumReducer>(); });
+  const size_t d = dataset.num_dims();
+  std::vector<std::vector<stats::Histogram>> histograms(num_clusters);
+  for (size_t c = 0; c < num_clusters; ++c) {
+    histograms[c].assign(d, stats::Histogram(bins_per_cluster[c]));
+  }
+  for (auto& [key, counts] : out) {
+    const auto c = static_cast<size_t>(key / static_cast<int64_t>(d));
+    const auto attr = static_cast<size_t>(key % static_cast<int64_t>(d));
+    histograms[c][attr].counts() = std::move(counts);
+  }
+  return histograms;
+}
+
+std::vector<std::vector<core::Interval>> RunTighteningJob(
+    LocalRunner& runner, const data::Dataset& dataset,
+    const std::vector<int32_t>& membership,
+    const std::vector<std::vector<size_t>>& attrs) {
+  const std::vector<Record> records = MakeRecords(dataset);
+  TighteningJobConfig config{&dataset, &membership, &attrs};
+  auto out = runner.Run<Record, int64_t, std::vector<double>, KeyedDoubles>(
+      "interval-tightening", records,
+      [&config] { return std::make_unique<TighteningMapper>(&config); },
+      [] { return std::make_unique<TighteningReducer>(); });
+  std::vector<std::vector<core::Interval>> intervals(attrs.size());
+  for (auto& [key, payload] : out) {
+    if (key < 0) continue;
+    const auto c = static_cast<size_t>(key);
+    const size_t half = payload.size() / 2;
+    intervals[c].resize(half);
+    for (size_t a = 0; a < half; ++a) {
+      intervals[c][a] = core::Interval{attrs[c][a], payload[a],
+                                       payload[half + a]};
+    }
+  }
+  return intervals;
+}
+
+SupportSetJobResult RunSupportSetJob(
+    LocalRunner& runner, const data::Dataset& dataset,
+    const std::vector<core::Signature>& signatures) {
+  SupportSetJobResult result;
+  result.support_sets.resize(signatures.size());
+  result.unique_assignment.assign(dataset.num_points(), -1);
+  if (signatures.empty()) return result;
+  const std::vector<Record> records = MakeRecords(dataset);
+  const core::Rssc rssc(signatures);
+  SupportSetJobConfig config{&dataset, &rssc, signatures.size()};
+  auto pairs = runner.RunMapOnly<Record, data::PointId, std::vector<uint32_t>>(
+      "support-sets", records,
+      [&config] { return std::make_unique<SupportSetMapper>(&config); });
+  for (auto& [point, ids] : pairs) {
+    for (uint32_t id : ids) result.support_sets[id].push_back(point);
+    result.unique_assignment[point] =
+        ids.size() == 1 ? static_cast<int32_t>(ids[0]) : -2;
+  }
+  return result;
+}
+
+}  // namespace p3c::mr

@@ -1,0 +1,437 @@
+#include "src/mr/p3c_mr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/stopwatch.h"
+#include "src/core/attribute_inspection.h"
+#include "src/core/gmm.h"
+#include "src/core/relevant_intervals.h"
+#include "src/core/rssc.h"
+#include "src/linalg/cholesky.h"
+#include "src/mr/jobs.h"
+#include "src/stats/chi_squared.h"
+
+namespace p3c::mr {
+
+namespace {
+
+/// Hard membership by cluster-core containment: a point contributes
+/// weight 1 to every core whose support set contains it (EM init round 1,
+/// §5.4).
+class CoreMembership : public MembershipFn {
+ public:
+  CoreMembership(const data::Dataset& dataset,
+                 const std::vector<core::Signature>& signatures)
+      : dataset_(dataset), rssc_(signatures), k_(signatures.size()) {}
+
+  void Contributions(
+      data::PointId point, const linalg::Vector& x,
+      std::vector<std::pair<uint32_t, double>>& out) const override {
+    (void)x;
+    thread_local std::vector<uint64_t> bits;
+    thread_local std::vector<uint32_t> ids;
+    rssc_.Match(dataset_.Row(point), bits);
+    ids.clear();
+    core::Rssc::BitsToIds(bits, k_, ids);
+    for (uint32_t id : ids) out.emplace_back(id, 1.0);
+  }
+
+  const core::Rssc& rssc() const { return rssc_; }
+
+ private:
+  const data::Dataset& dataset_;
+  core::Rssc rssc_;
+  size_t k_;
+};
+
+/// EM init round 2 (§5.4): support-set members as before, and points
+/// outside every support set attach to the Mahalanobis-nearest core.
+class OrphanAssigningMembership : public MembershipFn {
+ public:
+  OrphanAssigningMembership(const CoreMembership& cores,
+                            const core::GmmEvaluator& evaluator)
+      : cores_(cores), evaluator_(evaluator) {}
+
+  void Contributions(
+      data::PointId point, const linalg::Vector& x,
+      std::vector<std::pair<uint32_t, double>>& out) const override {
+    const size_t before = out.size();
+    cores_.Contributions(point, x, out);
+    if (out.size() != before) return;
+    size_t best = 0;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < evaluator_.num_components(); ++c) {
+      const double dist = evaluator_.MahalanobisSquared(c, x);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = c;
+      }
+    }
+    out.emplace_back(static_cast<uint32_t>(best), 1.0);
+  }
+
+ private:
+  const CoreMembership& cores_;
+  const core::GmmEvaluator& evaluator_;
+};
+
+/// Soft EM membership: posterior responsibilities (E step).
+class SoftMembership : public MembershipFn {
+ public:
+  explicit SoftMembership(const core::GmmEvaluator& evaluator)
+      : evaluator_(evaluator) {}
+
+  void Contributions(
+      data::PointId point, const linalg::Vector& x,
+      std::vector<std::pair<uint32_t, double>>& out) const override {
+    (void)point;
+    thread_local std::vector<double> r;
+    evaluator_.Responsibilities(x, r);
+    for (size_t c = 0; c < r.size(); ++c) {
+      if (r[c] > 1e-12) out.emplace_back(static_cast<uint32_t>(c), r[c]);
+    }
+  }
+
+  double LogLikelihood(const linalg::Vector& x) const override {
+    return evaluator_.LogLikelihood(x);
+  }
+
+ private:
+  const core::GmmEvaluator& evaluator_;
+};
+
+/// MVB in-ball membership: the point's argmax-posterior cluster, kept
+/// only when the point lies inside that cluster's ball.
+class BallMembership : public MembershipFn {
+ public:
+  BallMembership(const core::GmmEvaluator& evaluator,
+                 const std::vector<MvbBall>& balls)
+      : evaluator_(evaluator), balls_(balls) {}
+
+  void Contributions(
+      data::PointId point, const linalg::Vector& x,
+      std::vector<std::pair<uint32_t, double>>& out) const override {
+    (void)point;
+    const size_t c = evaluator_.HardAssign(x);
+    const MvbBall& ball = balls_[c];
+    if (ball.center.empty()) return;
+    if (std::sqrt(linalg::SquaredDistance(x, ball.center)) <= ball.radius) {
+      out.emplace_back(static_cast<uint32_t>(c), 1.0);
+    }
+  }
+
+ private:
+  const core::GmmEvaluator& evaluator_;
+  const std::vector<MvbBall>& balls_;
+};
+
+/// Turns moment/covariance job sums into component parameters using the
+/// paper's unbiased weighted covariance Sigma_C = wC / (wC^2 - wC2) *
+/// sum w (x - mu)(x - mu)^T (§5.4); keeps the previous values when a
+/// component received (almost) no mass.
+void UpdateModel(const MomentSums& moments,
+                 const std::vector<linalg::Matrix>& cov_sums,
+                 core::GmmModel& model) {
+  const size_t k = model.num_components();
+  const size_t dim = model.dim();
+  double total_w = 0.0;
+  for (double w : moments.w) total_w += w;
+  for (size_t c = 0; c < k; ++c) {
+    core::GaussianComponent& comp = model.components[c];
+    const double denom = moments.w[c] * moments.w[c] - moments.w2[c];
+    if (moments.w[c] < 1e-9 || denom <= 1e-12) continue;  // keep previous
+    comp.weight = total_w > 0.0 ? moments.w[c] / total_w
+                                : 1.0 / static_cast<double>(k);
+    for (size_t j = 0; j < dim; ++j) {
+      comp.mean[j] = moments.lsum[c][j] / moments.w[c];
+    }
+    comp.cov = cov_sums[c].Scale(moments.w[c] / denom);
+  }
+}
+
+std::vector<linalg::Vector> Means(const core::GmmModel& model) {
+  std::vector<linalg::Vector> means;
+  means.reserve(model.num_components());
+  for (const auto& comp : model.components) means.push_back(comp.mean);
+  return means;
+}
+
+Result<std::vector<linalg::Cholesky>> FactorizeAll(
+    const std::vector<linalg::Matrix>& covs, double ridge) {
+  std::vector<linalg::Cholesky> factors;
+  factors.reserve(covs.size());
+  for (const linalg::Matrix& cov : covs) {
+    linalg::Matrix work = cov;
+    Result<linalg::Cholesky> chol = linalg::Cholesky::Factorize(work);
+    double eps = ridge;
+    while (!chol.ok() && eps < 1.0) {
+      work.AddToDiagonal(eps);
+      chol = linalg::Cholesky::Factorize(work);
+      eps *= 10.0;
+    }
+    if (!chol.ok()) {
+      return Status::Internal("covariance not factorizable");
+    }
+    factors.push_back(std::move(chol).value());
+  }
+  return factors;
+}
+
+}  // namespace
+
+P3CMR::P3CMR(P3CMROptions options) : options_(std::move(options)) {
+  options_.runner.metrics = &metrics_;
+  options_.runner.counters = &counters_;
+  runner_ = std::make_unique<LocalRunner>(options_.runner);
+}
+
+Result<core::ClusteringResult> P3CMR::Cluster(const data::Dataset& dataset) {
+  Stopwatch watch;
+  metrics_.Clear();
+  counters_.Clear();
+  if (dataset.num_points() == 0 || dataset.num_dims() == 0) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+  if (!dataset.IsNormalized()) {
+    return Status::InvalidArgument(
+        "dataset must be normalized to [0, 1]; call NormalizeMinMax first");
+  }
+  const core::P3CParams& params = options_.params;
+  if (!params.light && params.outlier == core::OutlierMode::kMCD) {
+    return Status::NotImplemented(
+        "OutlierMode::kMCD is serial-only (its concentration steps are not "
+        "record-parallel); use core::P3CPipeline, or kMVB here");
+  }
+  LocalRunner& runner = *runner_;
+  core::ClusteringResult result;
+
+  // ---- 1. Histogram job (§5.1) -------------------------------------------
+  const std::vector<stats::Histogram> histograms =
+      RunHistogramJob(runner, dataset, params.binning);
+
+  // ---- 2. Relevant intervals — driver-side, "computationally cheap" (§5.2)
+  const std::vector<core::Interval> relevant =
+      core::FindAllRelevantIntervals(histograms, params.alpha_chi2);
+
+  // ---- 3. Cluster-core generation with support jobs (§5.3) ----------------
+  core::SupportCountFn counter =
+      [&](const std::vector<core::Signature>& sigs) {
+        return RunSupportJob(runner, dataset, sigs);
+      };
+  core::CoreDetectionResult detection = core::GenerateClusterCores(
+      relevant, dataset.num_points(), params, counter, &runner.pool());
+  result.core_stats = detection.stats;
+  result.cores = detection.cores;
+  if (detection.cores.empty()) {
+    result.seconds = watch.ElapsedSeconds();
+    return result;
+  }
+  result.arel = core::RelevantAttributeUnion(detection.cores);
+
+  const size_t k = detection.cores.size();
+  std::vector<core::Signature> signatures;
+  signatures.reserve(k);
+  for (const auto& core : detection.cores) signatures.push_back(core.signature);
+
+  std::vector<int32_t> membership;  // per point: cluster or negative
+  std::vector<std::vector<data::PointId>> reported_points(k);
+
+  if (params.light) {
+    // ---- Light path (§6) --------------------------------------------------
+    SupportSetJobResult sets = RunSupportSetJob(runner, dataset, signatures);
+    reported_points = std::move(sets.support_sets);
+    membership = std::move(sets.unique_assignment);
+    // m': multi-core points carry -2 and are excluded from histograms and
+    // tightening by the jobs' `c < 0` guard.
+  } else {
+    // ---- EM initialization: two rounds of two jobs (§5.4) ----------------
+    core::GmmModel model;
+    model.arel = result.arel;
+    const size_t dim = model.arel.size();
+    model.components.assign(k, core::GaussianComponent{
+                                   linalg::Vector(dim, 0.5),
+                                   linalg::Matrix::Identity(dim).Scale(1e-2),
+                                   1.0 / static_cast<double>(k)});
+
+    CoreMembership core_membership(dataset, signatures);
+    MomentSums m1 =
+        RunMomentJob(runner, dataset, model, core_membership, "em-init-1a");
+    // Interim means for the covariance job.
+    {
+      core::GmmModel tmp = model;
+      for (size_t c = 0; c < k; ++c) {
+        if (m1.w[c] < 1e-9) continue;
+        for (size_t j = 0; j < dim; ++j) {
+          tmp.components[c].mean[j] = m1.lsum[c][j] / m1.w[c];
+        }
+      }
+      const std::vector<linalg::Matrix> cov1 = RunCovarianceJob(
+          runner, dataset, tmp, core_membership, Means(tmp), "em-init-1b");
+      UpdateModel(m1, cov1, model);
+      for (size_t c = 0; c < k; ++c) {
+        if (m1.w[c] >= 1e-9) model.components[c].mean = tmp.components[c].mean;
+      }
+    }
+    Result<core::GmmEvaluator> eval1 =
+        core::GmmEvaluator::Make(model, params.covariance_ridge);
+    if (!eval1.ok()) return eval1.status();
+    OrphanAssigningMembership full_membership(core_membership, *eval1);
+    MomentSums m2 =
+        RunMomentJob(runner, dataset, model, full_membership, "em-init-2a");
+    {
+      core::GmmModel tmp = model;
+      for (size_t c = 0; c < k; ++c) {
+        if (m2.w[c] < 1e-9) continue;
+        for (size_t j = 0; j < dim; ++j) {
+          tmp.components[c].mean[j] = m2.lsum[c][j] / m2.w[c];
+        }
+      }
+      const std::vector<linalg::Matrix> cov2 = RunCovarianceJob(
+          runner, dataset, tmp, full_membership, Means(tmp), "em-init-2b");
+      UpdateModel(m2, cov2, model);
+      for (size_t c = 0; c < k; ++c) {
+        if (m2.w[c] >= 1e-9) model.components[c].mean = tmp.components[c].mean;
+      }
+    }
+
+    // ---- EM iterations: two jobs per step (§5.4) --------------------------
+    double prev_ll = -std::numeric_limits<double>::infinity();
+    for (size_t iter = 0; iter < params.max_em_iterations; ++iter) {
+      Result<core::GmmEvaluator> evaluator =
+          core::GmmEvaluator::Make(model, params.covariance_ridge);
+      if (!evaluator.ok()) return evaluator.status();
+      SoftMembership soft(*evaluator);
+      MomentSums moments =
+          RunMomentJob(runner, dataset, model, soft, "em-step-means");
+      core::GmmModel tmp = model;
+      for (size_t c = 0; c < k; ++c) {
+        if (moments.w[c] < 1e-9) continue;
+        for (size_t j = 0; j < dim; ++j) {
+          tmp.components[c].mean[j] = moments.lsum[c][j] / moments.w[c];
+        }
+      }
+      const std::vector<linalg::Matrix> covs = RunCovarianceJob(
+          runner, dataset, tmp, soft, Means(tmp), "em-step-covs");
+      UpdateModel(moments, covs, model);
+      for (size_t c = 0; c < k; ++c) {
+        if (moments.w[c] >= 1e-9) {
+          model.components[c].mean = tmp.components[c].mean;
+        }
+      }
+      const double denom = std::fabs(prev_ll) + 1e-12;
+      if (iter > 0 &&
+          std::fabs(moments.log_likelihood - prev_ll) / denom <
+              params.em_tolerance) {
+        break;
+      }
+      prev_ll = moments.log_likelihood;
+    }
+
+    // ---- Outlier detection (§5.5) ------------------------------------------
+    Result<core::GmmEvaluator> evaluator =
+        core::GmmEvaluator::Make(model, params.covariance_ridge);
+    if (!evaluator.ok()) return evaluator.status();
+    const double critical = stats::ChiSquaredQuantile(
+        1.0 - params.outlier_alpha, static_cast<double>(dim));
+
+    std::vector<linalg::Vector> centers;
+    std::vector<linalg::Matrix> covs;
+    if (params.outlier == core::OutlierMode::kNaive) {
+      centers = Means(model);
+      covs.reserve(k);
+      for (const auto& comp : model.components) covs.push_back(comp.cov);
+    } else {
+      // MVB: ball job + two statistics jobs (§5.5: "three MR jobs").
+      const std::vector<MvbBall> balls =
+          RunMvbBallJob(runner, dataset, model, *evaluator);
+      BallMembership ball_membership(*evaluator, balls);
+      MomentSums mb =
+          RunMomentJob(runner, dataset, model, ball_membership, "mvb-means");
+      centers.assign(k, linalg::Vector(dim, 0.5));
+      for (size_t c = 0; c < k; ++c) {
+        if (mb.w[c] < 1e-9) {
+          centers[c] = balls[c].center.empty() ? model.components[c].mean
+                                               : balls[c].center;
+          continue;
+        }
+        for (size_t j = 0; j < dim; ++j) {
+          centers[c][j] = mb.lsum[c][j] / mb.w[c];
+        }
+      }
+      std::vector<linalg::Matrix> cov_sums = RunCovarianceJob(
+          runner, dataset, model, ball_membership, centers, "mvb-covs");
+      covs.assign(k, linalg::Matrix::Identity(dim).Scale(1e-2));
+      for (size_t c = 0; c < k; ++c) {
+        const double denom = mb.w[c] * mb.w[c] - mb.w2[c];
+        if (mb.w[c] >= 1e-9 && denom > 1e-12) {
+          covs[c] = cov_sums[c].Scale(mb.w[c] / denom);
+        }
+        core::ApplyMvbConsistencyCorrection(covs[c], dim);
+      }
+    }
+    Result<std::vector<linalg::Cholesky>> factors =
+        FactorizeAll(covs, params.covariance_ridge);
+    if (!factors.ok()) return factors.status();
+    membership = RunOdJob(runner, dataset, model, *evaluator, centers,
+                          *factors, critical);
+    for (size_t i = 0; i < membership.size(); ++i) {
+      if (membership[i] >= 0) {
+        reported_points[static_cast<size_t>(membership[i])].push_back(
+            static_cast<data::PointId>(i));
+      }
+    }
+  }
+
+  // ---- Attribute inspection (§5.6) ----------------------------------------
+  std::vector<uint64_t> member_counts(k, 0);
+  for (int32_t c : membership) {
+    if (c >= 0) ++member_counts[static_cast<size_t>(c)];
+  }
+  std::vector<size_t> bins_per_cluster(k, 1);
+  for (size_t c = 0; c < k; ++c) {
+    bins_per_cluster[c] = static_cast<size_t>(stats::NumBins(
+        params.binning, std::max<uint64_t>(1, member_counts[c])));
+  }
+  const std::vector<std::vector<stats::Histogram>> member_histograms =
+      RunClusterHistogramJob(runner, dataset, membership, k,
+                             bins_per_cluster);
+  std::vector<std::vector<core::Interval>> suggestions(k);
+  for (size_t c = 0; c < k; ++c) {
+    if (member_counts[c] == 0) continue;
+    suggestions[c] = core::SuggestNewIntervals(
+        detection.cores[c].signature, member_histograms[c], params.alpha_chi2);
+  }
+  const std::vector<std::vector<core::Interval>> accepted =
+      core::ProveSuggestedIntervals(detection.cores, suggestions, params,
+                                    counter);
+
+  // ---- Interval tightening job (§5.7) --------------------------------------
+  std::vector<std::vector<size_t>> final_attrs(k);
+  for (size_t c = 0; c < k; ++c) {
+    final_attrs[c] =
+        core::FinalAttributes(detection.cores[c].signature, accepted[c]);
+  }
+  const std::vector<std::vector<core::Interval>> tightened =
+      RunTighteningJob(runner, dataset, membership, final_attrs);
+
+  for (size_t c = 0; c < k; ++c) {
+    if (reported_points[c].empty()) continue;
+    core::ProjectedCluster cluster;
+    cluster.points = reported_points[c];
+    if (member_counts[c] == 0) {
+      cluster.attrs = detection.cores[c].signature.attrs();
+      cluster.intervals = detection.cores[c].signature.intervals();
+    } else {
+      cluster.attrs = final_attrs[c];
+      cluster.intervals = tightened[c];
+    }
+    result.clusters.push_back(std::move(cluster));
+  }
+
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace p3c::mr

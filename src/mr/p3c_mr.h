@@ -1,0 +1,73 @@
+#ifndef P3C_MR_P3C_MR_H_
+#define P3C_MR_P3C_MR_H_
+
+#include <memory>
+
+#include "src/common/status.h"
+#include "src/core/params.h"
+#include "src/core/result.h"
+#include "src/data/dataset.h"
+#include "src/mapreduce/counters.h"
+#include "src/mapreduce/metrics.h"
+#include "src/mapreduce/runner.h"
+
+namespace p3c::mr {
+
+/// Configuration of the MapReduce pipelines.
+struct P3CMROptions {
+  /// Model parameters. `params.light = true` selects P3C+-MR-Light (§6);
+  /// `params.outlier` selects the MVB or naive variant of P3C+-MR;
+  /// `params.multilevel_candidates` defaults to true here (the Tc
+  /// heuristic of §5.3 exists to save MR jobs).
+  core::P3CParams params;
+  /// Engine knobs (threads, split size, reducers).
+  RunnerOptions runner;
+
+  P3CMROptions() {
+    params.multilevel_candidates = true;
+    // "The optimal setting of Tc depends on the available cluster" (§5.3):
+    // the paper's 3e4 amortizes Hadoop's ~tens-of-seconds job overhead;
+    // the in-process engine's per-job overhead is microseconds, so a much
+    // smaller batch bound is optimal here (see bench_candidate_collection).
+    params.t_c = 2000;
+  }
+};
+
+/// P3C+-MR (§5) and P3C+-MR-Light (§6): the paper's MapReduce job
+/// decomposition executed on the in-process engine.
+///
+/// Pipeline (full): histogram job → relevant intervals (driver) →
+/// A-priori candidate generation (driver, parallel above Tgen) with
+/// batched support jobs (Tc heuristic) → EM init (2x2 jobs) → EM steps
+/// (2 jobs each) → [MVB ball job + 2 stats jobs] → OD job (map-only) →
+/// per-cluster histogram job → AI proving support job → tightening job.
+/// The Light pipeline replaces the EM/OD block with the support-set job
+/// and the m' unique-membership rule.
+///
+/// Job-level statistics of the most recent run are available via
+/// metrics(); the runtime figure (Fig. 7) and the job-count analysis of
+/// §7.5.2 are generated from them.
+class P3CMR {
+ public:
+  explicit P3CMR(P3CMROptions options = {});
+
+  const core::P3CParams& params() const { return options_.params; }
+
+  /// Runs the pipeline. Same contract as core::P3CPipeline::Cluster.
+  Result<core::ClusteringResult> Cluster(const data::Dataset& dataset);
+
+  /// Per-job execution log of the most recent Cluster call.
+  const MetricsRegistry& metrics() const { return metrics_; }
+  /// Merged framework counters of the most recent Cluster call.
+  const Counters& counters() const { return counters_; }
+
+ private:
+  P3CMROptions options_;
+  MetricsRegistry metrics_;
+  Counters counters_;
+  std::unique_ptr<LocalRunner> runner_;
+};
+
+}  // namespace p3c::mr
+
+#endif  // P3C_MR_P3C_MR_H_

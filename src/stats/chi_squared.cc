@@ -1,0 +1,76 @@
+#include "src/stats/chi_squared.h"
+
+#include <cmath>
+
+#include "src/stats/gamma.h"
+#include "src/stats/normal.h"
+
+namespace p3c::stats {
+
+double ChiSquaredCdf(double x, double df) {
+  if (x <= 0.0) return 0.0;
+  return RegularizedGammaP(df / 2.0, x / 2.0);
+}
+
+double ChiSquaredUpperTail(double x, double df) {
+  if (x <= 0.0) return 1.0;
+  return RegularizedGammaQ(df / 2.0, x / 2.0);
+}
+
+double ChiSquaredQuantile(double p, double df) {
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return std::numeric_limits<double>::infinity();
+
+  // Wilson-Hilferty approximation as the starting bracket.
+  const double z = NormalQuantile(p);
+  const double t = 1.0 - 2.0 / (9.0 * df) + z * std::sqrt(2.0 / (9.0 * df));
+  double guess = df * t * t * t;
+  if (!(guess > 0.0) || !std::isfinite(guess)) guess = df;
+
+  // Establish a bracket around the root of CDF(x) - p.
+  double lo = guess;
+  double hi = guess;
+  while (lo > 0.0 && ChiSquaredCdf(lo, df) > p) lo *= 0.5;
+  while (ChiSquaredCdf(hi, df) < p) {
+    hi = hi > 0.0 ? hi * 2.0 : 1.0;
+    if (hi > 1e12) break;
+  }
+  if (lo <= 0.0) lo = 0.0;
+
+  // Bisection.
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (ChiSquaredCdf(mid, df) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo <= 1e-12 * (1.0 + hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+UniformityTestResult ChiSquaredUniformityTest(
+    const std::vector<uint64_t>& counts, double alpha) {
+  UniformityTestResult result;
+  const size_t bins = counts.size();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (bins < 2 || total == 0) {
+    // Nothing to test: treat as uniform (the marking loop stops here).
+    return result;
+  }
+  const double expected = static_cast<double>(total) / static_cast<double>(bins);
+  double stat = 0.0;
+  for (uint64_t c : counts) {
+    const double diff = static_cast<double>(c) - expected;
+    stat += diff * diff / expected;
+  }
+  result.statistic = stat;
+  result.df = static_cast<double>(bins - 1);
+  result.p_value = ChiSquaredUpperTail(stat, result.df);
+  result.uniform = result.p_value >= alpha;
+  return result;
+}
+
+}  // namespace p3c::stats

@@ -1,0 +1,42 @@
+#ifndef P3C_STATS_CHI_SQUARED_H_
+#define P3C_STATS_CHI_SQUARED_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace p3c::stats {
+
+/// Chi-squared CDF with `df` degrees of freedom, i.e. P(df/2, x/2).
+double ChiSquaredCdf(double x, double df);
+
+/// Upper tail probability P(X >= x).
+double ChiSquaredUpperTail(double x, double df);
+
+/// Quantile: smallest x with CDF(x) >= p. Wilson-Hilferty initial guess,
+/// then bisection to 1e-12 relative tolerance. Used for
+///   * the critical Mahalanobis distance in outlier detection
+///     (chi^2_{|Arel|} at alpha = 0.001, §4.2.2), and
+///   * the critical value of the uniformity test.
+double ChiSquaredQuantile(double p, double df);
+
+/// Outcome of Pearson's uniformity test on a histogram.
+struct UniformityTestResult {
+  double statistic = 0.0;  ///< sum (O_i - E)^2 / E
+  double df = 0.0;         ///< #bins - 1
+  double p_value = 1.0;    ///< upper-tail probability of the statistic
+  bool uniform = true;     ///< true when the null (uniform) is NOT rejected
+};
+
+/// Pearson chi-squared test of the null hypothesis that `counts` come
+/// from a discrete uniform distribution over its bins, at significance
+/// level `alpha` (the paper uses alpha_chi2 = 0.001).
+///
+/// Degenerate inputs (fewer than 2 bins, or zero total count) are
+/// reported as uniform — there is nothing left to reject, which is
+/// exactly the stopping condition of P3C's bin-marking loop.
+UniformityTestResult ChiSquaredUniformityTest(
+    const std::vector<uint64_t>& counts, double alpha);
+
+}  // namespace p3c::stats
+
+#endif  // P3C_STATS_CHI_SQUARED_H_

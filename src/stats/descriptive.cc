@@ -1,0 +1,64 @@
+#include "src/stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p3c::stats {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double SampleVariance(const std::vector<double>& xs) {
+  const size_t n = xs.size();
+  if (n < 2) return 0.0;
+  const double mu = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) {
+    const double diff = x - mu;
+    acc += diff * diff;
+  }
+  return acc / static_cast<double>(n - 1);
+}
+
+double Median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  const size_t n = xs.size();
+  const size_t mid = n / 2;
+  std::nth_element(xs.begin(), xs.begin() + mid, xs.end());
+  const double upper = xs[mid];
+  if (n % 2 == 1) return upper;
+  const double lower = *std::max_element(xs.begin(), xs.begin() + mid);
+  return 0.5 * (lower + upper);
+}
+
+double Quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  if (q <= 0.0) return *std::min_element(xs.begin(), xs.end());
+  if (q >= 1.0) return *std::max_element(xs.begin(), xs.end());
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(pos));
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+double InterquartileRange(std::vector<double> xs) {
+  if (xs.size() < 2) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  // Reuse the sorted vector for both quantiles to avoid re-sorting.
+  auto at = [&xs](double q) {
+    const double pos = q * static_cast<double>(xs.size() - 1);
+    const size_t lo = static_cast<size_t>(std::floor(pos));
+    const double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= xs.size()) return xs.back();
+    return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+  };
+  return at(0.75) - at(0.25);
+}
+
+}  // namespace p3c::stats

@@ -1,0 +1,26 @@
+#ifndef P3C_STATS_DESCRIPTIVE_H_
+#define P3C_STATS_DESCRIPTIVE_H_
+
+#include <vector>
+
+namespace p3c::stats {
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+double SampleVariance(const std::vector<double>& xs);
+
+/// Sample median. Copies and selects; 0 for empty input. Even-length
+/// inputs return the average of the two central order statistics.
+double Median(std::vector<double> xs);
+
+/// Linear-interpolation quantile (type-7, the numpy default), q in [0,1].
+double Quantile(std::vector<double> xs, double q);
+
+/// Interquartile range Q3 - Q1.
+double InterquartileRange(std::vector<double> xs);
+
+}  // namespace p3c::stats
+
+#endif  // P3C_STATS_DESCRIPTIVE_H_

@@ -1,0 +1,20 @@
+#include "src/stats/effect_size.h"
+
+#include <limits>
+
+namespace p3c::stats {
+
+double CohensDcc(double observed_support, double expected_support) {
+  if (expected_support <= 0.0) {
+    if (observed_support <= 0.0) return 0.0;
+    return std::numeric_limits<double>::infinity();
+  }
+  return (observed_support - expected_support) / expected_support;
+}
+
+bool EffectSizeLargeEnough(double observed_support, double expected_support,
+                           double theta_cc) {
+  return CohensDcc(observed_support, expected_support) >= theta_cc;
+}
+
+}  // namespace p3c::stats

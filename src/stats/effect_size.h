@@ -1,0 +1,21 @@
+#ifndef P3C_STATS_EFFECT_SIZE_H_
+#define P3C_STATS_EFFECT_SIZE_H_
+
+namespace p3c::stats {
+
+/// Cohen's d effect size as specialized by the paper for cluster-core
+/// generation (Eq. 4 with sigma = Supp_exp): the relative deviation
+///   d_cc = (Supp(S) - Supp_exp(S)) / Supp_exp(S).
+/// Returns +inf when the expected support is zero but something was
+/// observed, and 0 when both are zero.
+double CohensDcc(double observed_support, double expected_support);
+
+/// The paper's combined acceptance rule: the observed support passes the
+/// effect-size gate iff d_cc >= theta_cc (theta_cc > 0; the calibrated
+/// default in §7.3 is 0.35).
+bool EffectSizeLargeEnough(double observed_support, double expected_support,
+                           double theta_cc);
+
+}  // namespace p3c::stats
+
+#endif  // P3C_STATS_EFFECT_SIZE_H_

@@ -1,0 +1,67 @@
+#include "src/stats/histogram.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace p3c::stats {
+
+uint64_t SturgesBins(uint64_t n) {
+  if (n <= 1) return 1;
+  return static_cast<uint64_t>(
+      std::ceil(1.0 + std::log2(static_cast<double>(n))));
+}
+
+uint64_t FreedmanDiaconisBins(uint64_t n) {
+  if (n <= 1) return 1;
+  // bin size = 2 * IQR * n^{-1/3} with IQR = 1/2 (paper's simplification)
+  // => m = ceil(n^{1/3}).
+  return static_cast<uint64_t>(
+      std::ceil(std::cbrt(static_cast<double>(n)) - 1e-9));
+}
+
+uint64_t NumBins(BinningRule rule, uint64_t n) {
+  switch (rule) {
+    case BinningRule::kSturges:
+      return SturgesBins(n);
+    case BinningRule::kFreedmanDiaconis:
+      return FreedmanDiaconisBins(n);
+  }
+  return SturgesBins(n);
+}
+
+size_t BinIndex(double x, size_t num_bins) {
+  assert(num_bins > 0);
+  // 1-based: max(1, ceil(m * x)); convert to 0-based and clamp.
+  const double scaled = std::ceil(static_cast<double>(num_bins) * x);
+  long long idx = static_cast<long long>(scaled) - 1;
+  if (idx < 0) idx = 0;
+  if (idx >= static_cast<long long>(num_bins))
+    idx = static_cast<long long>(num_bins) - 1;
+  return static_cast<size_t>(idx);
+}
+
+void Histogram::Add(double x) {
+  assert(!counts_.empty());
+  ++counts_[BinIndex(x, counts_.size())];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  assert(counts_.size() == other.counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+}
+
+uint64_t Histogram::total() const {
+  uint64_t acc = 0;
+  for (uint64_t c : counts_) acc += c;
+  return acc;
+}
+
+double Histogram::BinLower(size_t bin) const {
+  return static_cast<double>(bin) / static_cast<double>(counts_.size());
+}
+
+double Histogram::BinUpper(size_t bin) const {
+  return static_cast<double>(bin + 1) / static_cast<double>(counts_.size());
+}
+
+}  // namespace p3c::stats

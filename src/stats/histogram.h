@@ -1,0 +1,65 @@
+#ifndef P3C_STATS_HISTOGRAM_H_
+#define P3C_STATS_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace p3c::stats {
+
+/// Which rule determines the number of equi-width bins per attribute.
+enum class BinningRule {
+  /// Sturges' rule: ceil(1 + log2 n). Used by the original P3C; shown in
+  /// §4.1.1 to oversmooth for large n.
+  kSturges,
+  /// Freedman-Diaconis with the paper's uniform-attribute simplification
+  /// IQR = 1/2: bin width = n^{-1/3}, i.e. ceil(n^{1/3}) bins.
+  kFreedmanDiaconis,
+};
+
+/// Number of bins per the selected rule for a sample of size n (>= 1).
+uint64_t NumBins(BinningRule rule, uint64_t n);
+
+/// Sturges' rule: ceil(1 + log2 n).
+uint64_t SturgesBins(uint64_t n);
+
+/// Freedman-Diaconis (IQR = 1/2 simplification): ceil(n^{1/3}).
+uint64_t FreedmanDiaconisBins(uint64_t n);
+
+/// 0-based bin index for a value in the normalized [0,1] data space. The
+/// paper's Eq. 8 is the 1-based max(1, ceil(m*x)); this returns that
+/// minus one, clamped into [0, m-1] so x = 1.0 (and any rounding spill)
+/// lands in the last bin.
+size_t BinIndex(double x, size_t num_bins);
+
+/// Equi-width histogram over the normalized [0,1] range of one attribute.
+class Histogram {
+ public:
+  Histogram() = default;
+  explicit Histogram(size_t num_bins) : counts_(num_bins, 0) {}
+
+  /// Counts `x` in its bin per BinIndex.
+  void Add(double x);
+
+  /// Adds another histogram's bin counts; sizes must match. This is the
+  /// reducer-side combination of per-split partial histograms (§5.1).
+  void Merge(const Histogram& other);
+
+  size_t num_bins() const { return counts_.size(); }
+  uint64_t count(size_t bin) const { return counts_[bin]; }
+  uint64_t total() const;
+  const std::vector<uint64_t>& counts() const { return counts_; }
+  std::vector<uint64_t>& counts() { return counts_; }
+
+  /// Lower edge of bin i (= i / m).
+  double BinLower(size_t bin) const;
+  /// Upper edge of bin i (= (i+1) / m).
+  double BinUpper(size_t bin) const;
+
+ private:
+  std::vector<uint64_t> counts_;
+};
+
+}  // namespace p3c::stats
+
+#endif  // P3C_STATS_HISTOGRAM_H_

@@ -1,0 +1,27 @@
+#ifndef P3C_STATS_NORMAL_H_
+#define P3C_STATS_NORMAL_H_
+
+namespace p3c::stats {
+
+/// Standard normal density at z.
+double NormalPdf(double z);
+
+/// Standard normal CDF Phi(z), via erfc for full-domain accuracy.
+double NormalCdf(double z);
+
+/// Upper tail 1 - Phi(z) without cancellation for large z.
+double NormalUpperTail(double z);
+
+/// log(1 - Phi(z)), accurate for arbitrarily deep tails (asymptotic
+/// expansion past z = 8). Supports the paper's remark in §7.4.2: p-values
+/// below ~1e-10 are handled in z-space / log-space rather than linear
+/// probability space.
+double NormalLogUpperTail(double z);
+
+/// Inverse CDF Phi^{-1}(p) for p in (0, 1). Acklam's rational
+/// approximation refined with one Halley step; |error| < 1e-13.
+double NormalQuantile(double p);
+
+}  // namespace p3c::stats
+
+#endif  // P3C_STATS_NORMAL_H_

@@ -1,0 +1,35 @@
+#ifndef P3C_STATS_POISSON_H_
+#define P3C_STATS_POISSON_H_
+
+#include <cstdint>
+
+namespace p3c::stats {
+
+/// Upper tail P(X >= k) for X ~ Poisson(lambda). Exact via the identity
+/// P(X >= k) = P_gamma(k, lambda) (regularized lower incomplete gamma).
+double PoissonUpperTail(uint64_t k, double lambda);
+
+/// log P(X >= k) without underflow. Exact term-wise summation in the tail
+/// for moderate parameters; for lambda > 1e6 switches to the Gaussian
+/// approximation N(lambda, lambda) with continuity correction — the
+/// transformation the paper describes in the §7.4.2 side remark for
+/// p-values beyond the reach of linear floating point.
+double PoissonLogUpperTail(double k, double lambda);
+
+/// The paper's `x <_p y` relation ("y is significantly larger than x
+/// according to the Poisson test", Eq. 1): with lambda = `expected`,
+/// tests whether observing `observed` or more is rarer than `alpha`.
+/// Degenerate expected supports (lambda <= 0) are significant whenever
+/// anything at all was observed.
+bool PoissonSignificantlyLarger(double observed, double expected,
+                                double alpha);
+
+/// Same decision from a precomputed log threshold: significant iff
+/// log p-value < log(alpha). Used by the Figure 5 sweep where alpha spans
+/// 1e-140 .. 1e-3.
+bool PoissonSignificantlyLargerLog(double observed, double expected,
+                                   double log_alpha);
+
+}  // namespace p3c::stats
+
+#endif  // P3C_STATS_POISSON_H_

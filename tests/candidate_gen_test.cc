@@ -1,0 +1,99 @@
+#include "src/core/candidate_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace p3c::core {
+namespace {
+
+Interval I(size_t attr, double lo, double hi) { return Interval{attr, lo, hi}; }
+
+std::vector<Signature> Singles(const std::vector<Interval>& intervals) {
+  std::vector<Signature> out;
+  for (const Interval& i : intervals) out.push_back(Signature::Single(i));
+  return out;
+}
+
+TEST(CandidateGenTest, PairsFromSingles) {
+  const auto singles =
+      Singles({I(0, 0, 0.1), I(1, 0.2, 0.3), I(2, 0.4, 0.5)});
+  CandidateGenStats stats;
+  const auto pairs = GenerateCandidates(singles, nullptr, 1 << 20, &stats);
+  EXPECT_EQ(pairs.size(), 3u);  // all attr pairs
+  EXPECT_EQ(stats.num_pairs, 3u);
+  EXPECT_FALSE(stats.parallel);
+  for (const Signature& s : pairs) EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(CandidateGenTest, SameAttrSinglesDoNotJoin) {
+  const auto singles = Singles({I(0, 0, 0.1), I(0, 0.2, 0.3)});
+  const auto pairs = GenerateCandidates(singles, nullptr, 1 << 20);
+  EXPECT_TRUE(pairs.empty());
+}
+
+TEST(CandidateGenTest, TriplesRequireSharedInterval) {
+  const Interval a = I(0, 0, 0.1);
+  const Interval b = I(1, 0.2, 0.3);
+  const Interval c = I(2, 0.4, 0.5);
+  const Interval d = I(3, 0.6, 0.7);
+  const std::vector<Signature> level2 = {
+      Signature::Make({a, b}).value(),
+      Signature::Make({a, c}).value(),
+      Signature::Make({b, d}).value(),
+  };
+  const auto level3 = GenerateCandidates(level2, nullptr, 1 << 20);
+  // {a,b} ⋈ {a,c} share a -> {a,b,c}; {a,b} ⋈ {b,d} share b -> {a,b,d};
+  // {a,c} ⋈ {b,d} share nothing.
+  ASSERT_EQ(level3.size(), 2u);
+  EXPECT_EQ(level3[0].attrs(), (std::vector<size_t>{0, 1, 2}));
+  EXPECT_EQ(level3[1].attrs(), (std::vector<size_t>{0, 1, 3}));
+}
+
+TEST(CandidateGenTest, DuplicatesIgnored) {
+  // {a,b},{a,c},{b,c} join pairwise into the SAME {a,b,c} three times.
+  const Interval a = I(0, 0, 0.1);
+  const Interval b = I(1, 0.2, 0.3);
+  const Interval c = I(2, 0.4, 0.5);
+  const std::vector<Signature> level2 = {
+      Signature::Make({a, b}).value(),
+      Signature::Make({a, c}).value(),
+      Signature::Make({b, c}).value(),
+  };
+  CandidateGenStats stats;
+  const auto level3 = GenerateCandidates(level2, nullptr, 1 << 20, &stats);
+  ASSERT_EQ(level3.size(), 1u);
+  EXPECT_EQ(stats.num_duplicates, 2u);
+}
+
+TEST(CandidateGenTest, EmptyAndSingletonInput) {
+  EXPECT_TRUE(GenerateCandidates({}, nullptr, 100).empty());
+  EXPECT_TRUE(
+      GenerateCandidates(Singles({I(0, 0, 0.1)}), nullptr, 100).empty());
+}
+
+TEST(CandidateGenTest, ParallelMatchesSerial) {
+  // 40 singles -> 780 pairs; force the parallel path with a tiny Tgen.
+  std::vector<Interval> intervals;
+  for (size_t a = 0; a < 40; ++a) {
+    intervals.push_back(I(a, 0.1 * (a % 7), 0.1 * (a % 7) + 0.05));
+  }
+  const auto singles = Singles(intervals);
+  const auto serial = GenerateCandidates(singles, nullptr, 1 << 30);
+  ThreadPool pool(4);
+  CandidateGenStats stats;
+  const auto parallel = GenerateCandidates(singles, &pool, 10, &stats);
+  EXPECT_TRUE(stats.parallel);
+  EXPECT_EQ(serial.size(), parallel.size());
+  EXPECT_TRUE(std::equal(serial.begin(), serial.end(), parallel.begin()));
+}
+
+TEST(CandidateGenTest, OutputSortedCanonically) {
+  const auto singles =
+      Singles({I(2, 0.4, 0.5), I(0, 0, 0.1), I(1, 0.2, 0.3)});
+  const auto pairs = GenerateCandidates(singles, nullptr, 1 << 20);
+  EXPECT_TRUE(std::is_sorted(pairs.begin(), pairs.end()));
+}
+
+}  // namespace
+}  // namespace p3c::core

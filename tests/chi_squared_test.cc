@@ -1,0 +1,100 @@
+#include "src/stats/chi_squared.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/random.h"
+
+namespace p3c::stats {
+namespace {
+
+TEST(ChiSquaredTest, CdfKnownValues) {
+  // chi2 with 1 df: CDF(x) = erf(sqrt(x/2)).
+  EXPECT_NEAR(ChiSquaredCdf(1.0, 1.0), std::erf(std::sqrt(0.5)), 1e-12);
+  // chi2 with 2 df: CDF(x) = 1 - exp(-x/2).
+  EXPECT_NEAR(ChiSquaredCdf(3.0, 2.0), 1.0 - std::exp(-1.5), 1e-12);
+  EXPECT_DOUBLE_EQ(ChiSquaredCdf(0.0, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(ChiSquaredCdf(-1.0, 5.0), 0.0);
+}
+
+TEST(ChiSquaredTest, UpperTailComplement) {
+  for (double df : {1.0, 3.0, 10.0, 50.0}) {
+    for (double x : {0.5, 2.0, 10.0, 80.0}) {
+      EXPECT_NEAR(ChiSquaredCdf(x, df) + ChiSquaredUpperTail(x, df), 1.0,
+                  1e-12);
+    }
+  }
+}
+
+TEST(ChiSquaredTest, QuantileTextbookValues) {
+  // Classic critical values.
+  EXPECT_NEAR(ChiSquaredQuantile(0.95, 1.0), 3.841458820694124, 1e-6);
+  EXPECT_NEAR(ChiSquaredQuantile(0.95, 10.0), 18.307038053275146, 1e-6);
+  EXPECT_NEAR(ChiSquaredQuantile(0.999, 5.0), 20.515005652432873, 1e-6);
+  EXPECT_NEAR(ChiSquaredQuantile(0.5, 2.0), 2.0 * std::log(2.0), 1e-9);
+}
+
+TEST(ChiSquaredTest, QuantileEdges) {
+  EXPECT_DOUBLE_EQ(ChiSquaredQuantile(0.0, 4.0), 0.0);
+  EXPECT_TRUE(std::isinf(ChiSquaredQuantile(1.0, 4.0)));
+}
+
+// Property: quantile inverts the CDF across a p/df grid.
+class ChiSquaredRoundTrip
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(ChiSquaredRoundTrip, QuantileInvertsCdf) {
+  const auto [p, df] = GetParam();
+  const double x = ChiSquaredQuantile(p, df);
+  EXPECT_NEAR(ChiSquaredCdf(x, df), p, 1e-9) << "p=" << p << " df=" << df;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ChiSquaredRoundTrip,
+    ::testing::Combine(::testing::Values(0.001, 0.01, 0.1, 0.5, 0.9, 0.99,
+                                         0.999),
+                       ::testing::Values(1.0, 2.0, 5.0, 20.0, 50.0, 200.0)));
+
+TEST(UniformityTest, UniformCountsPass) {
+  const std::vector<uint64_t> counts(10, 1000);
+  const auto result = ChiSquaredUniformityTest(counts, 0.001);
+  EXPECT_TRUE(result.uniform);
+  EXPECT_DOUBLE_EQ(result.statistic, 0.0);
+  EXPECT_NEAR(result.p_value, 1.0, 1e-12);
+}
+
+TEST(UniformityTest, SpikeRejected) {
+  std::vector<uint64_t> counts(10, 1000);
+  counts[3] = 5000;
+  const auto result = ChiSquaredUniformityTest(counts, 0.001);
+  EXPECT_FALSE(result.uniform);
+  EXPECT_LT(result.p_value, 1e-10);
+}
+
+TEST(UniformityTest, SmallFluctuationsPass) {
+  // Sampled uniform counts should pass at alpha = 0.001 almost always.
+  Rng rng(3);
+  std::vector<uint64_t> counts(20, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.UniformInt(20)];
+  EXPECT_TRUE(ChiSquaredUniformityTest(counts, 0.001).uniform);
+}
+
+TEST(UniformityTest, DegenerateInputsAreUniform) {
+  EXPECT_TRUE(ChiSquaredUniformityTest({}, 0.001).uniform);
+  EXPECT_TRUE(ChiSquaredUniformityTest({42}, 0.001).uniform);
+  EXPECT_TRUE(ChiSquaredUniformityTest({0, 0, 0}, 0.001).uniform);
+}
+
+TEST(UniformityTest, PowerGrowsWithSampleSize) {
+  // Same relative deviation; larger samples reject more strongly — the
+  // §4.1.2 phenomenon.
+  std::vector<uint64_t> small = {110, 100, 100, 100, 90};
+  std::vector<uint64_t> large = {11000, 10000, 10000, 10000, 9000};
+  const double p_small = ChiSquaredUniformityTest(small, 0.001).p_value;
+  const double p_large = ChiSquaredUniformityTest(large, 0.001).p_value;
+  EXPECT_LT(p_large, p_small);
+}
+
+}  // namespace
+}  // namespace p3c::stats

@@ -1,0 +1,99 @@
+#include "src/data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace p3c::data {
+namespace {
+
+TEST(DatasetTest, ConstructionAndAccess) {
+  Dataset d(3, 2);
+  EXPECT_EQ(d.num_points(), 3u);
+  EXPECT_EQ(d.num_dims(), 2u);
+  EXPECT_FALSE(d.empty());
+  d.Set(1, 1, 0.5);
+  EXPECT_DOUBLE_EQ(d.Get(1, 1), 0.5);
+  EXPECT_DOUBLE_EQ(d.Get(0, 0), 0.0);
+}
+
+TEST(DatasetTest, FromRowMajor) {
+  Result<Dataset> d = Dataset::FromRowMajor({1, 2, 3, 4, 5, 6}, 3);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_points(), 2u);
+  EXPECT_DOUBLE_EQ(d->Get(1, 2), 6.0);
+}
+
+TEST(DatasetTest, FromRowMajorRejectsBadShapes) {
+  EXPECT_FALSE(Dataset::FromRowMajor({1, 2, 3}, 2).ok());
+  EXPECT_FALSE(Dataset::FromRowMajor({1, 2}, 0).ok());
+}
+
+TEST(DatasetTest, RowView) {
+  Result<Dataset> d = Dataset::FromRowMajor({1, 2, 3, 4}, 2);
+  ASSERT_TRUE(d.ok());
+  const auto row = d->Row(1);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_DOUBLE_EQ(row[0], 3.0);
+  EXPECT_DOUBLE_EQ(row[1], 4.0);
+}
+
+TEST(DatasetTest, AppendRowInfersDims) {
+  Dataset d;
+  ASSERT_TRUE(d.AppendRow(std::vector<double>{1, 2, 3}).ok());
+  EXPECT_EQ(d.num_dims(), 3u);
+  ASSERT_TRUE(d.AppendRow(std::vector<double>{4, 5, 6}).ok());
+  EXPECT_EQ(d.num_points(), 2u);
+  EXPECT_FALSE(d.AppendRow(std::vector<double>{7}).ok());
+}
+
+TEST(DatasetTest, AppendEmptyFirstRowFails) {
+  Dataset d;
+  EXPECT_FALSE(d.AppendRow({}).ok());
+}
+
+TEST(DatasetTest, NormalizeMinMax) {
+  Result<Dataset> d = Dataset::FromRowMajor({0, 10, 5, 20, 10, 30}, 2);
+  ASSERT_TRUE(d.ok());
+  const auto ranges = d->NormalizeMinMax();
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_DOUBLE_EQ(ranges[0].first, 0.0);
+  EXPECT_DOUBLE_EQ(ranges[0].second, 10.0);
+  EXPECT_DOUBLE_EQ(d->Get(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(d->Get(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(d->Get(2, 0), 1.0);
+  EXPECT_TRUE(d->IsNormalized());
+}
+
+TEST(DatasetTest, NormalizeConstantAttribute) {
+  Result<Dataset> d = Dataset::FromRowMajor({7, 1, 7, 2}, 2);
+  ASSERT_TRUE(d.ok());
+  d->NormalizeMinMax();
+  // Constant attribute maps to 0.5.
+  EXPECT_DOUBLE_EQ(d->Get(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(d->Get(1, 0), 0.5);
+}
+
+TEST(DatasetTest, IsNormalizedDetectsOutOfRange) {
+  Result<Dataset> d = Dataset::FromRowMajor({0.5, 1.5}, 1);
+  ASSERT_TRUE(d.ok());
+  EXPECT_FALSE(d->IsNormalized());
+}
+
+TEST(DatasetTest, Select) {
+  Result<Dataset> d = Dataset::FromRowMajor({0, 1, 2, 3, 4, 5}, 2);
+  ASSERT_TRUE(d.ok());
+  const std::vector<PointId> ids = {2, 0};
+  const Dataset sub = d->Select(ids);
+  EXPECT_EQ(sub.num_points(), 2u);
+  EXPECT_DOUBLE_EQ(sub.Get(0, 0), 4.0);  // row 2 first
+  EXPECT_DOUBLE_EQ(sub.Get(1, 1), 1.0);  // row 0 second
+}
+
+TEST(DatasetTest, EmptyDataset) {
+  Dataset d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.num_points(), 0u);
+  EXPECT_TRUE(d.IsNormalized());  // vacuously
+}
+
+}  // namespace
+}  // namespace p3c::data

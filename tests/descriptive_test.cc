@@ -1,0 +1,79 @@
+#include "src/stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/stats/effect_size.h"
+
+namespace p3c::stats {
+namespace {
+
+TEST(DescriptiveTest, Mean) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(DescriptiveTest, SampleVariance) {
+  EXPECT_DOUBLE_EQ(SampleVariance({}), 0.0);
+  EXPECT_DOUBLE_EQ(SampleVariance({3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(SampleVariance({1.0, 2.0, 3.0}), 1.0);
+  EXPECT_DOUBLE_EQ(SampleVariance({2.0, 2.0, 2.0}), 0.0);
+}
+
+TEST(DescriptiveTest, MedianOdd) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({7.0}), 7.0);
+}
+
+TEST(DescriptiveTest, MedianEven) {
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({1.0, 2.0}), 1.5);
+}
+
+TEST(DescriptiveTest, MedianEmpty) { EXPECT_DOUBLE_EQ(Median({}), 0.0); }
+
+TEST(DescriptiveTest, QuantileInterpolates) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.25), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.125), 0.5);
+}
+
+TEST(DescriptiveTest, QuantileMatchesMedian) {
+  const std::vector<double> xs = {9.0, 4.0, 1.0, 16.0, 25.0, 36.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), Median(xs));
+}
+
+TEST(DescriptiveTest, InterquartileRange) {
+  // 0..8: Q1 = 2, Q3 = 6.
+  std::vector<double> xs;
+  for (int i = 0; i <= 8; ++i) xs.push_back(i);
+  EXPECT_DOUBLE_EQ(InterquartileRange(xs), 4.0);
+  EXPECT_DOUBLE_EQ(InterquartileRange({1.0}), 0.0);
+}
+
+TEST(EffectSizeTest, RelativeDeviation) {
+  EXPECT_DOUBLE_EQ(CohensDcc(150.0, 100.0), 0.5);
+  EXPECT_DOUBLE_EQ(CohensDcc(100.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(CohensDcc(50.0, 100.0), -0.5);
+}
+
+TEST(EffectSizeTest, ZeroExpected) {
+  EXPECT_TRUE(std::isinf(CohensDcc(5.0, 0.0)));
+  EXPECT_DOUBLE_EQ(CohensDcc(0.0, 0.0), 0.0);
+}
+
+TEST(EffectSizeTest, ThresholdGate) {
+  // theta_cc = 0.35 (the paper's calibrated default).
+  EXPECT_TRUE(EffectSizeLargeEnough(135.0, 100.0, 0.35));
+  EXPECT_TRUE(EffectSizeLargeEnough(200.0, 100.0, 0.35));
+  EXPECT_FALSE(EffectSizeLargeEnough(134.0, 100.0, 0.35));
+  EXPECT_FALSE(EffectSizeLargeEnough(101.0, 100.0, 0.35));
+}
+
+}  // namespace
+}  // namespace p3c::stats

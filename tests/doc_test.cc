@@ -1,0 +1,133 @@
+// Tests of the DOC Monte Carlo baseline.
+
+#include "src/baselines/doc.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/random.h"
+#include "src/data/generator.h"
+#include "src/eval/e4sc.h"
+#include "src/eval/f1.h"
+
+namespace p3c::baselines {
+namespace {
+
+data::SyntheticData MakeData(uint64_t seed) {
+  data::GeneratorConfig config;
+  config.num_points = 6000;
+  config.num_dims = 25;
+  config.num_clusters = 3;
+  config.noise_fraction = 0.10;
+  config.min_cluster_dims = 3;
+  config.max_cluster_dims = 6;
+  config.force_overlap = false;
+  config.seed = seed;
+  return data::GenerateSynthetic(config).value();
+}
+
+TEST(DocTest, FindsDenseProjectedClusters) {
+  const auto data = MakeData(41);
+  auto result = RunDoc(data.dataset);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->clusters.size(), 2u);
+  EXPECT_LE(result->clusters.size(), 5u);
+  const auto gt = eval::FromGroundTruth(data.clusters);
+  EXPECT_GT(eval::F1(gt, result->ToEvalClustering()), 0.7);
+  EXPECT_GT(eval::E4SC(gt, result->ToEvalClustering()), 0.5);
+}
+
+TEST(DocTest, GreedyPeelingIsDisjoint) {
+  const auto data = MakeData(42);
+  auto result = RunDoc(data.dataset);
+  ASSERT_TRUE(result.ok());
+  std::set<data::PointId> seen;
+  for (const auto& cluster : result->clusters) {
+    EXPECT_TRUE(std::is_sorted(cluster.points.begin(), cluster.points.end()));
+    for (data::PointId p : cluster.points) {
+      EXPECT_TRUE(seen.insert(p).second);
+    }
+  }
+}
+
+TEST(DocTest, AlphaGatesClusterSize) {
+  const auto data = MakeData(43);
+  DocOptions options;
+  options.alpha = 0.25;  // each cluster must hold >= 25% of the data
+  auto result = RunDoc(data.dataset, options);
+  ASSERT_TRUE(result.ok());
+  for (const auto& cluster : result->clusters) {
+    EXPECT_GE(cluster.points.size(),
+              static_cast<size_t>(0.25 * 6000));
+  }
+}
+
+TEST(DocTest, BetaControlsDimensionPreference) {
+  const auto data = MakeData(44);
+  DocOptions narrow;
+  narrow.beta = 0.1;  // strongly prefers more dimensions
+  DocOptions wide;
+  wide.beta = 0.9;  // prefers larger clusters over dimensions
+  auto r_narrow = RunDoc(data.dataset, narrow);
+  auto r_wide = RunDoc(data.dataset, wide);
+  ASSERT_TRUE(r_narrow.ok());
+  ASSERT_TRUE(r_wide.ok());
+  auto avg_dims = [](const core::ClusteringResult& r) {
+    if (r.clusters.empty()) return 0.0;
+    size_t total = 0;
+    for (const auto& c : r.clusters) total += c.attrs.size();
+    return static_cast<double>(total) / static_cast<double>(r.clusters.size());
+  };
+  EXPECT_GE(avg_dims(*r_narrow), avg_dims(*r_wide));
+}
+
+TEST(DocTest, DeterministicInSeed) {
+  const auto data = MakeData(45);
+  DocOptions options;
+  options.seed = 31;
+  auto a = RunDoc(data.dataset, options);
+  auto b = RunDoc(data.dataset, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->clusters.size(), b->clusters.size());
+  for (size_t c = 0; c < a->clusters.size(); ++c) {
+    EXPECT_EQ(a->clusters[c].points, b->clusters[c].points);
+  }
+}
+
+TEST(DocTest, RejectsBadOptions) {
+  const auto data = MakeData(46);
+  DocOptions options;
+  options.alpha = 0.0;
+  EXPECT_FALSE(RunDoc(data.dataset, options).ok());
+  options = DocOptions{};
+  options.beta = 1.0;
+  EXPECT_FALSE(RunDoc(data.dataset, options).ok());
+  options = DocOptions{};
+  options.w = 0.0;
+  EXPECT_FALSE(RunDoc(data.dataset, options).ok());
+  EXPECT_FALSE(RunDoc(data::Dataset(), DocOptions{}).ok());
+}
+
+TEST(DocTest, PureNoiseFindsNothingDense) {
+  p3c::Rng rng(47);
+  data::Dataset d(3000, 20);
+  for (size_t i = 0; i < 3000; ++i) {
+    for (size_t j = 0; j < 20; ++j) {
+      d.Set(static_cast<data::PointId>(i), j, rng.Uniform());
+    }
+  }
+  DocOptions options;
+  options.alpha = 0.2;  // demand substantial clusters
+  auto result = RunDoc(d, options);
+  ASSERT_TRUE(result.ok());
+  // Uniform noise has no 20%-dense w-box beyond ~1-dim slabs; any found
+  // cluster must be low-dimensional.
+  for (const auto& cluster : result->clusters) {
+    EXPECT_LE(cluster.attrs.size(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace p3c::baselines

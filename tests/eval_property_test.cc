@@ -1,0 +1,80 @@
+// Property suite for the subspace quality measures: bounds, identity,
+// symmetry and the CE <= RNIA dominance, over randomized clusterings.
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/eval/ce.h"
+#include "src/eval/clustering.h"
+#include "src/eval/e4sc.h"
+#include "src/eval/f1.h"
+#include "src/eval/rnia.h"
+
+namespace p3c::eval {
+namespace {
+
+Clustering RandomClustering(Rng& rng, size_t max_clusters, size_t num_points,
+                            size_t num_attrs) {
+  Clustering clustering;
+  const size_t k = 1 + rng.UniformInt(max_clusters);
+  for (size_t c = 0; c < k; ++c) {
+    SubspaceCluster cluster;
+    const size_t size = 1 + rng.UniformInt(num_points / 2);
+    for (size_t i = 0; i < size; ++i) {
+      cluster.points.push_back(
+          static_cast<data::PointId>(rng.UniformInt(num_points)));
+    }
+    const size_t dims = 1 + rng.UniformInt(num_attrs);
+    for (size_t j = 0; j < dims; ++j) {
+      cluster.attrs.push_back(rng.UniformInt(num_attrs));
+    }
+    cluster.Normalize();
+    clustering.push_back(std::move(cluster));
+  }
+  return clustering;
+}
+
+class EvalMeasureProperties : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EvalMeasureProperties, BoundsIdentityAndDominance) {
+  Rng rng(GetParam());
+  const Clustering a = RandomClustering(rng, 5, 200, 12);
+  const Clustering b = RandomClustering(rng, 5, 200, 12);
+
+  for (double score : {E4SC(a, b), F1(a, b), RNIA(a, b), CE(a, b)}) {
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 1.0);
+  }
+  // Identity: every measure is perfect against itself.
+  EXPECT_DOUBLE_EQ(E4SC(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(F1(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(RNIA(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(CE(a, a), 1.0);
+
+  // Symmetry of the harmonic-mean measures and of the set measures.
+  EXPECT_DOUBLE_EQ(E4SC(a, b), E4SC(b, a));
+  EXPECT_DOUBLE_EQ(F1(a, b), F1(b, a));
+  EXPECT_DOUBLE_EQ(RNIA(a, b), RNIA(b, a));
+  EXPECT_DOUBLE_EQ(CE(a, b), CE(b, a));
+
+  // CE's one-to-one matching can never exceed RNIA's free coverage.
+  EXPECT_LE(CE(a, b), RNIA(a, b) + 1e-12);
+}
+
+TEST_P(EvalMeasureProperties, DroppingAClusterNeverHelpsRecallDirection) {
+  Rng rng(GetParam() * 977 + 3);
+  const Clustering truth = RandomClustering(rng, 4, 150, 10);
+  Clustering found = truth;  // perfect
+  // Remove one found cluster: the truth->found best-match direction can
+  // only get worse or stay equal.
+  const double before = E4SCDirectional(truth, found);
+  found.pop_back();
+  const double after = E4SCDirectional(truth, found);
+  EXPECT_LE(after, before + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvalMeasureProperties,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace p3c::eval

@@ -1,0 +1,248 @@
+// Tests of the subspace-clustering evaluation measures (E4SC, F1, RNIA,
+// CE) and their shared cluster representation.
+
+#include <gtest/gtest.h>
+
+#include "src/eval/accuracy.h"
+#include "src/eval/ce.h"
+#include "src/eval/clustering.h"
+#include "src/eval/e4sc.h"
+#include "src/eval/f1.h"
+#include "src/eval/rnia.h"
+
+namespace p3c::eval {
+namespace {
+
+SubspaceCluster MakeCluster(std::vector<data::PointId> points,
+                            std::vector<size_t> attrs) {
+  SubspaceCluster c;
+  c.points = std::move(points);
+  c.attrs = std::move(attrs);
+  c.Normalize();
+  return c;
+}
+
+TEST(ClusteringTest, NormalizeSortsAndDedupes) {
+  SubspaceCluster c;
+  c.points = {3, 1, 3, 2};
+  c.attrs = {5, 5, 0};
+  c.Normalize();
+  EXPECT_EQ(c.points, (std::vector<data::PointId>{1, 2, 3}));
+  EXPECT_EQ(c.attrs, (std::vector<size_t>{0, 5}));
+  EXPECT_EQ(c.NumSubObjects(), 6u);
+}
+
+TEST(ClusteringTest, SubObjectIntersection) {
+  const auto a = MakeCluster({1, 2, 3}, {0, 1});
+  const auto b = MakeCluster({2, 3, 4}, {1, 2});
+  // points ∩ = {2,3}, attrs ∩ = {1} -> 2 sub-objects.
+  EXPECT_EQ(SubObjectIntersection(a, b), 2u);
+  EXPECT_EQ(PointIntersection(a, b), 2u);
+}
+
+TEST(ClusteringTest, DisjointIntersectionIsZero) {
+  const auto a = MakeCluster({1, 2}, {0});
+  const auto b = MakeCluster({3, 4}, {0});
+  EXPECT_EQ(SubObjectIntersection(a, b), 0u);
+  const auto c = MakeCluster({1, 2}, {1});
+  EXPECT_EQ(SubObjectIntersection(a, c), 0u);  // disjoint attrs
+}
+
+// ---- E4SC -------------------------------------------------------------------
+
+TEST(E4SCTest, PerfectMatchIsOne) {
+  const Clustering gt = {MakeCluster({1, 2, 3}, {0, 1}),
+                         MakeCluster({4, 5}, {2})};
+  EXPECT_DOUBLE_EQ(E4SC(gt, gt), 1.0);
+}
+
+TEST(E4SCTest, EmptyCases) {
+  const Clustering gt = {MakeCluster({1}, {0})};
+  EXPECT_DOUBLE_EQ(E4SC({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(E4SC(gt, {}), 0.0);
+  EXPECT_DOUBLE_EQ(E4SC({}, gt), 0.0);
+}
+
+TEST(E4SCTest, WrongSubspaceIsPunished) {
+  const Clustering gt = {MakeCluster({1, 2, 3}, {0, 1})};
+  const Clustering right = {MakeCluster({1, 2, 3}, {0, 1})};
+  const Clustering wrong_attrs = {MakeCluster({1, 2, 3}, {2, 3})};
+  EXPECT_DOUBLE_EQ(E4SC(gt, right), 1.0);
+  EXPECT_DOUBLE_EQ(E4SC(gt, wrong_attrs), 0.0);
+}
+
+TEST(E4SCTest, ClusterMergePunished) {
+  const Clustering gt = {MakeCluster({1, 2}, {0}), MakeCluster({3, 4}, {0})};
+  const Clustering merged = {MakeCluster({1, 2, 3, 4}, {0})};
+  const double score = E4SC(gt, merged);
+  EXPECT_LT(score, 0.9);
+  EXPECT_GT(score, 0.3);
+}
+
+TEST(E4SCTest, PartialOverlapBetweenZeroAndOne) {
+  const Clustering gt = {MakeCluster({1, 2, 3, 4}, {0, 1})};
+  const Clustering found = {MakeCluster({3, 4, 5, 6}, {0, 1})};
+  const double score = E4SC(gt, found);
+  EXPECT_GT(score, 0.0);
+  EXPECT_LT(score, 1.0);
+  // pairF1 = 2*4/(8+8) = 0.5 both directions.
+  EXPECT_DOUBLE_EQ(score, 0.5);
+}
+
+TEST(E4SCTest, ExtraSpuriousClusterLowersPrecisionDirection) {
+  const Clustering gt = {MakeCluster({1, 2, 3}, {0})};
+  const Clustering found = {MakeCluster({1, 2, 3}, {0}),
+                            MakeCluster({7, 8, 9}, {4})};
+  const double score = E4SC(gt, found);
+  EXPECT_LT(score, 1.0);
+  EXPECT_GT(score, 0.4);
+}
+
+TEST(E4SCTest, SymmetricInArguments) {
+  const Clustering a = {MakeCluster({1, 2, 3}, {0, 1}),
+                        MakeCluster({4, 5, 6}, {2})};
+  const Clustering b = {MakeCluster({2, 3, 4}, {0, 1})};
+  EXPECT_DOUBLE_EQ(E4SC(a, b), E4SC(b, a));
+}
+
+// ---- F1 ---------------------------------------------------------------------
+
+TEST(F1Test, IgnoresSubspaces) {
+  const Clustering gt = {MakeCluster({1, 2, 3}, {0, 1})};
+  const Clustering wrong_attrs = {MakeCluster({1, 2, 3}, {5, 7})};
+  // F1 is the full-space measure: same objects -> perfect, even though
+  // the subspace is wrong (exactly why §7.2 distrusts it).
+  EXPECT_DOUBLE_EQ(F1(gt, wrong_attrs), 1.0);
+  EXPECT_LT(E4SC(gt, wrong_attrs), 1.0);
+}
+
+TEST(F1Test, ObjectOverlap) {
+  const Clustering gt = {MakeCluster({1, 2, 3, 4}, {0})};
+  const Clustering found = {MakeCluster({3, 4, 5, 6}, {0})};
+  EXPECT_DOUBLE_EQ(F1(gt, found), 0.5);
+}
+
+TEST(F1Test, EmptyCases) {
+  EXPECT_DOUBLE_EQ(F1({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(F1({MakeCluster({1}, {0})}, {}), 0.0);
+}
+
+// ---- RNIA -------------------------------------------------------------------
+
+TEST(RniaTest, PerfectMatch) {
+  const Clustering gt = {MakeCluster({1, 2}, {0, 1})};
+  EXPECT_DOUBLE_EQ(RNIA(gt, gt), 1.0);
+}
+
+TEST(RniaTest, HalfCoverage) {
+  const Clustering gt = {MakeCluster({1, 2, 3, 4}, {0})};
+  const Clustering found = {MakeCluster({1, 2}, {0})};
+  // I = 2 micro-objects, U = 4.
+  EXPECT_DOUBLE_EQ(RNIA(gt, found), 0.5);
+}
+
+TEST(RniaTest, MergeToleratedUnlikeCE) {
+  // RNIA does not punish a merge at all if the union covers the same
+  // micro-objects; CE does (one-to-one matching).
+  const Clustering gt = {MakeCluster({1, 2}, {0}), MakeCluster({3, 4}, {0})};
+  const Clustering merged = {MakeCluster({1, 2, 3, 4}, {0})};
+  EXPECT_DOUBLE_EQ(RNIA(gt, merged), 1.0);
+  EXPECT_DOUBLE_EQ(CE(gt, merged), 0.5);
+}
+
+TEST(RniaTest, EmptyCases) {
+  EXPECT_DOUBLE_EQ(RNIA({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(RNIA({MakeCluster({1}, {0})}, {}), 0.0);
+}
+
+// ---- CE ---------------------------------------------------------------------
+
+TEST(CeTest, PerfectMatch) {
+  const Clustering gt = {MakeCluster({1, 2}, {0}), MakeCluster({3}, {1})};
+  EXPECT_DOUBLE_EQ(CE(gt, gt), 1.0);
+}
+
+TEST(CeTest, OptimalMatchingChosen) {
+  // Two found clusters each overlap both hidden ones; Hungarian must pick
+  // the pairing maximizing the total overlap.
+  const Clustering gt = {MakeCluster({1, 2, 3}, {0}),
+                         MakeCluster({4, 5, 6}, {0})};
+  const Clustering found = {MakeCluster({1, 2, 4}, {0}),
+                            MakeCluster({3, 5, 6}, {0})};
+  // Best matching: f0->g0 (2) + f1->g1 (2) = 4; union = 6.
+  EXPECT_DOUBLE_EQ(CE(gt, found), 4.0 / 6.0);
+}
+
+TEST(CeTest, SplitPunished) {
+  const Clustering gt = {MakeCluster({1, 2, 3, 4}, {0})};
+  const Clustering split = {MakeCluster({1, 2}, {0}),
+                            MakeCluster({3, 4}, {0})};
+  EXPECT_DOUBLE_EQ(CE(gt, split), 0.5);
+  EXPECT_DOUBLE_EQ(RNIA(gt, split), 1.0);  // the §7.2 contrast
+}
+
+// ---- Accuracy ------------------------------------------------------------------
+
+TEST(AccuracyTest, PerfectClusters) {
+  const std::vector<int> labels = {0, 0, 1, 1};
+  const Clustering found = {MakeCluster({0, 1}, {0}), MakeCluster({2, 3}, {0})};
+  EXPECT_DOUBLE_EQ(MajorityClassAccuracy(found, labels), 1.0);
+}
+
+TEST(AccuracyTest, MinorityMembersWrong) {
+  const std::vector<int> labels = {0, 0, 0, 1};
+  const Clustering found = {MakeCluster({0, 1, 2, 3}, {0})};
+  EXPECT_DOUBLE_EQ(MajorityClassAccuracy(found, labels), 0.75);
+}
+
+TEST(AccuracyTest, UnclusteredPointsCountAgainst) {
+  const std::vector<int> labels = {0, 0, 1, 1};
+  const Clustering found = {MakeCluster({0, 1}, {0})};
+  EXPECT_DOUBLE_EQ(MajorityClassAccuracy(found, labels), 0.5);
+}
+
+TEST(AccuracyTest, EmptyInputs) {
+  EXPECT_DOUBLE_EQ(MajorityClassAccuracy({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(MajorityClassAccuracy({}, {0, 1}), 0.0);
+}
+
+TEST(HungarianAccuracyTest, PerfectOneToOne) {
+  const std::vector<int> labels = {0, 0, 1, 1};
+  const Clustering found = {MakeCluster({0, 1}, {0}), MakeCluster({2, 3}, {0})};
+  EXPECT_DOUBLE_EQ(HungarianAccuracy(found, labels), 1.0);
+}
+
+TEST(HungarianAccuracyTest, FragmentationNotRewarded) {
+  // Four pure singletons over two classes: majority accuracy says 1.0,
+  // one-to-one accuracy can only match one cluster per class.
+  const std::vector<int> labels = {0, 0, 1, 1};
+  const Clustering found = {MakeCluster({0}, {0}), MakeCluster({1}, {0}),
+                            MakeCluster({2}, {0}), MakeCluster({3}, {0})};
+  EXPECT_DOUBLE_EQ(MajorityClassAccuracy(found, labels), 1.0);
+  EXPECT_DOUBLE_EQ(HungarianAccuracy(found, labels), 0.5);
+}
+
+TEST(HungarianAccuracyTest, PicksOptimalMatching) {
+  // Cluster A: 3 of class 0, 1 of class 1; cluster B: 2 of class 1.
+  const std::vector<int> labels = {0, 0, 0, 1, 1, 1};
+  const Clustering found = {MakeCluster({0, 1, 2, 3}, {0}),
+                            MakeCluster({4, 5}, {0})};
+  // A -> class 0 (3 correct), B -> class 1 (2 correct) = 5/6.
+  EXPECT_DOUBLE_EQ(HungarianAccuracy(found, labels), 5.0 / 6.0);
+}
+
+TEST(HungarianAccuracyTest, MoreClustersThanClasses) {
+  const std::vector<int> labels = {0, 0, 0, 0, 1};
+  const Clustering found = {MakeCluster({0, 1}, {0}), MakeCluster({2, 3}, {0}),
+                            MakeCluster({4}, {0})};
+  // Only two clusters can match: best is {0,1}->0 (or {2,3}) and {4}->1.
+  EXPECT_DOUBLE_EQ(HungarianAccuracy(found, labels), 3.0 / 5.0);
+}
+
+TEST(HungarianAccuracyTest, EmptyInputs) {
+  EXPECT_DOUBLE_EQ(HungarianAccuracy({}, {0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(HungarianAccuracy({MakeCluster({0}, {0})}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace p3c::eval

@@ -1,0 +1,83 @@
+#include "src/stats/gamma.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace p3c::stats {
+namespace {
+
+TEST(GammaTest, LogGammaKnownValues) {
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-14);
+  EXPECT_NEAR(LogGamma(2.0), 0.0, 1e-14);
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-12);
+  EXPECT_NEAR(LogGamma(0.5), 0.5 * std::log(M_PI), 1e-12);
+}
+
+TEST(GammaTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedGammaQ(2.0, 0.0), 1.0);
+  EXPECT_TRUE(std::isnan(RegularizedGammaP(-1.0, 1.0)));
+  EXPECT_TRUE(std::isnan(RegularizedGammaP(1.0, -1.0)));
+}
+
+TEST(GammaTest, PPlusQIsOne) {
+  for (double a : {0.5, 1.0, 3.0, 10.0, 100.0}) {
+    for (double x : {0.1, 1.0, 5.0, 50.0, 200.0}) {
+      EXPECT_NEAR(RegularizedGammaP(a, x) + RegularizedGammaQ(a, x), 1.0,
+                  1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(GammaTest, ExponentialSpecialCase) {
+  // a = 1: P(1, x) = 1 - exp(-x).
+  for (double x : {0.1, 0.5, 1.0, 2.0, 10.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-13);
+  }
+}
+
+TEST(GammaTest, HalfIntegerViaErf) {
+  // P(1/2, x) = erf(sqrt(x)).
+  for (double x : {0.25, 1.0, 4.0}) {
+    EXPECT_NEAR(RegularizedGammaP(0.5, x), std::erf(std::sqrt(x)), 1e-12);
+  }
+}
+
+TEST(GammaTest, MonotoneInX) {
+  double prev = -1.0;
+  for (double x = 0.0; x <= 30.0; x += 0.5) {
+    const double p = RegularizedGammaP(4.0, x);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(GammaTest, LogQMatchesLinearWhereRepresentable) {
+  for (double a : {1.0, 5.0, 20.0}) {
+    for (double x : {1.0, 10.0, 40.0}) {
+      const double q = RegularizedGammaQ(a, x);
+      if (q > 1e-280) {
+        EXPECT_NEAR(LogRegularizedGammaQ(a, x), std::log(q), 1e-9)
+            << "a=" << a << " x=" << x;
+      }
+    }
+  }
+}
+
+TEST(GammaTest, LogQDeepTailFinite) {
+  // Far beyond linear representability: Q(10, 1000) ~ 1e-390.
+  const double lq = LogRegularizedGammaQ(10.0, 1000.0);
+  EXPECT_TRUE(std::isfinite(lq));
+  EXPECT_LT(lq, std::log(1e-300));
+  // Deeper tails are still monotone decreasing.
+  EXPECT_LT(LogRegularizedGammaQ(10.0, 2000.0), lq);
+}
+
+TEST(GammaTest, LogQZeroXIsZero) {
+  EXPECT_DOUBLE_EQ(LogRegularizedGammaQ(3.0, 0.0), 0.0);  // log(1)
+}
+
+}  // namespace
+}  // namespace p3c::stats

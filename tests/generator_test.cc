@@ -1,0 +1,158 @@
+#include "src/data/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace p3c::data {
+namespace {
+
+GeneratorConfig SmallConfig() {
+  GeneratorConfig config;
+  config.num_points = 2000;
+  config.num_dims = 20;
+  config.num_clusters = 3;
+  config.noise_fraction = 0.10;
+  config.min_cluster_dims = 2;
+  config.max_cluster_dims = 5;
+  config.seed = 5;
+  return config;
+}
+
+TEST(GeneratorTest, ShapeAndLabels) {
+  Result<SyntheticData> data = GenerateSynthetic(SmallConfig());
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->dataset.num_points(), 2000u);
+  EXPECT_EQ(data->dataset.num_dims(), 20u);
+  EXPECT_EQ(data->clusters.size(), 3u);
+  EXPECT_EQ(data->labels.size(), 2000u);
+  EXPECT_EQ(data->noise_points.size(), 200u);
+
+  size_t clustered = 0;
+  for (const auto& c : data->clusters) clustered += c.points.size();
+  EXPECT_EQ(clustered + data->noise_points.size(), 2000u);
+}
+
+TEST(GeneratorTest, NormalizedOutput) {
+  Result<SyntheticData> data = GenerateSynthetic(SmallConfig());
+  ASSERT_TRUE(data.ok());
+  EXPECT_TRUE(data->dataset.IsNormalized());
+}
+
+TEST(GeneratorTest, PointsInsideTheirIntervals) {
+  Result<SyntheticData> data = GenerateSynthetic(SmallConfig());
+  ASSERT_TRUE(data.ok());
+  for (const auto& cluster : data->clusters) {
+    for (PointId p : cluster.points) {
+      for (size_t j = 0; j < cluster.relevant_attrs.size(); ++j) {
+        const double x = data->dataset.Get(p, cluster.relevant_attrs[j]);
+        EXPECT_GE(x, cluster.intervals[j].first);
+        EXPECT_LE(x, cluster.intervals[j].second);
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, IntervalWidthsInRange) {
+  Result<SyntheticData> data = GenerateSynthetic(SmallConfig());
+  ASSERT_TRUE(data.ok());
+  for (const auto& cluster : data->clusters) {
+    for (const auto& [lo, hi] : cluster.intervals) {
+      EXPECT_GE(hi - lo, 0.1 - 1e-12);
+      EXPECT_LE(hi - lo, 0.3 + 1e-12);
+      EXPECT_GE(lo, 0.0);
+      EXPECT_LE(hi, 1.0);
+    }
+  }
+}
+
+TEST(GeneratorTest, ClusterDimensionalityInRange) {
+  Result<SyntheticData> data = GenerateSynthetic(SmallConfig());
+  ASSERT_TRUE(data.ok());
+  for (const auto& cluster : data->clusters) {
+    EXPECT_GE(cluster.relevant_attrs.size(), 2u);
+    EXPECT_LE(cluster.relevant_attrs.size(), 5u);
+    // Attributes are sorted and unique.
+    std::set<size_t> unique(cluster.relevant_attrs.begin(),
+                            cluster.relevant_attrs.end());
+    EXPECT_EQ(unique.size(), cluster.relevant_attrs.size());
+  }
+}
+
+TEST(GeneratorTest, ForcedOverlapExists) {
+  Result<SyntheticData> data = GenerateSynthetic(SmallConfig());
+  ASSERT_TRUE(data.ok());
+  // Clusters 0 and 1 share an attribute with intersecting intervals.
+  bool found = false;
+  const auto& a = data->clusters[0];
+  const auto& b = data->clusters[1];
+  for (size_t i = 0; i < a.relevant_attrs.size() && !found; ++i) {
+    for (size_t j = 0; j < b.relevant_attrs.size(); ++j) {
+      if (a.relevant_attrs[i] == b.relevant_attrs[j] &&
+          a.intervals[i].first <= b.intervals[j].second &&
+          b.intervals[j].first <= a.intervals[i].second) {
+        found = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  Result<SyntheticData> a = GenerateSynthetic(SmallConfig());
+  Result<SyntheticData> b = GenerateSynthetic(SmallConfig());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->dataset.values(), b->dataset.values());
+  GeneratorConfig other = SmallConfig();
+  other.seed = 6;
+  Result<SyntheticData> c = GenerateSynthetic(other);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->dataset.values(), c->dataset.values());
+}
+
+TEST(GeneratorTest, LabelsConsistentWithClusters) {
+  Result<SyntheticData> data = GenerateSynthetic(SmallConfig());
+  ASSERT_TRUE(data.ok());
+  for (size_t c = 0; c < data->clusters.size(); ++c) {
+    for (PointId p : data->clusters[c].points) {
+      EXPECT_EQ(data->labels[p], static_cast<int>(c));
+    }
+  }
+  for (PointId p : data->noise_points) EXPECT_EQ(data->labels[p], -1);
+}
+
+TEST(GeneratorTest, RejectsDegenerateConfigs) {
+  GeneratorConfig config = SmallConfig();
+  config.num_points = 0;
+  EXPECT_FALSE(GenerateSynthetic(config).ok());
+
+  config = SmallConfig();
+  config.noise_fraction = 1.0;
+  EXPECT_FALSE(GenerateSynthetic(config).ok());
+
+  config = SmallConfig();
+  config.max_cluster_dims = 25;  // > num_dims
+  EXPECT_FALSE(GenerateSynthetic(config).ok());
+
+  config = SmallConfig();
+  config.min_interval_width = 0.4;
+  config.max_interval_width = 0.3;
+  EXPECT_FALSE(GenerateSynthetic(config).ok());
+
+  config = SmallConfig();
+  config.min_cluster_dims = 0;
+  EXPECT_FALSE(GenerateSynthetic(config).ok());
+}
+
+TEST(GeneratorTest, ZeroNoise) {
+  GeneratorConfig config = SmallConfig();
+  config.noise_fraction = 0.0;
+  Result<SyntheticData> data = GenerateSynthetic(config);
+  ASSERT_TRUE(data.ok());
+  EXPECT_TRUE(data->noise_points.empty());
+}
+
+}  // namespace
+}  // namespace p3c::data

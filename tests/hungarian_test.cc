@@ -1,0 +1,116 @@
+#include "src/eval/hungarian.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/random.h"
+
+namespace p3c::eval {
+namespace {
+
+double AssignmentProfit(const std::vector<double>& profit, size_t rows,
+                        size_t cols, const std::vector<int>& assignment) {
+  double total = 0.0;
+  for (size_t r = 0; r < rows; ++r) {
+    if (assignment[r] >= 0) {
+      total += profit[r * cols + static_cast<size_t>(assignment[r])];
+    }
+  }
+  return total;
+}
+
+// Exhaustive optimal assignment for small instances: permute the larger
+// side so every injection from the smaller side is covered.
+double BruteForceBest(const std::vector<double>& profit, size_t rows,
+                      size_t cols) {
+  const bool rows_small = rows <= cols;
+  const size_t small = rows_small ? rows : cols;
+  const size_t large = rows_small ? cols : rows;
+  std::vector<int> perm(large);
+  std::iota(perm.begin(), perm.end(), 0);
+  double best = 0.0;
+  do {
+    double total = 0.0;
+    for (size_t i = 0; i < small; ++i) {
+      const size_t r = rows_small ? i : static_cast<size_t>(perm[i]);
+      const size_t c = rows_small ? static_cast<size_t>(perm[i]) : i;
+      total += profit[r * cols + c];
+    }
+    best = std::max(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+TEST(HungarianTest, TrivialSquare) {
+  // Identity is optimal.
+  const std::vector<double> profit = {5, 1, 1, 5};
+  const auto assignment = HungarianMaximize(profit, 2, 2);
+  EXPECT_EQ(assignment[0], 0);
+  EXPECT_EQ(assignment[1], 1);
+}
+
+TEST(HungarianTest, AntiDiagonal) {
+  const std::vector<double> profit = {1, 5, 5, 1};
+  const auto assignment = HungarianMaximize(profit, 2, 2);
+  EXPECT_EQ(assignment[0], 1);
+  EXPECT_EQ(assignment[1], 0);
+}
+
+TEST(HungarianTest, GreedyTrap) {
+  // Greedy would pick (0,0)=9 then (1,1)=1 -> 10; optimum is 8+8=16.
+  const std::vector<double> profit = {9, 8, 8, 1};
+  const auto assignment = HungarianMaximize(profit, 2, 2);
+  EXPECT_DOUBLE_EQ(AssignmentProfit(profit, 2, 2, assignment), 16.0);
+}
+
+TEST(HungarianTest, RectangularMoreColumns) {
+  const std::vector<double> profit = {1, 9, 2, 3, 1, 7};
+  const auto assignment = HungarianMaximize(profit, 2, 3);
+  EXPECT_DOUBLE_EQ(AssignmentProfit(profit, 2, 3, assignment), 16.0);
+  // Distinct columns.
+  EXPECT_NE(assignment[0], assignment[1]);
+}
+
+TEST(HungarianTest, RectangularMoreRows) {
+  const std::vector<double> profit = {5, 1, 9};
+  const auto assignment = HungarianMaximize(profit, 3, 1);
+  // Only one column; exactly one row assigned and it is the best one.
+  int assigned = 0;
+  for (int a : assignment) assigned += a >= 0 ? 1 : 0;
+  EXPECT_EQ(assigned, 1);
+  EXPECT_EQ(assignment[2], 0);
+}
+
+TEST(HungarianTest, EmptyInputs) {
+  EXPECT_TRUE(HungarianMaximize({}, 0, 0).empty());
+  const auto assignment = HungarianMaximize({}, 2, 0);
+  EXPECT_EQ(assignment, (std::vector<int>{-1, -1}));
+}
+
+// Property: matches brute force on random instances.
+class HungarianRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HungarianRandomTest, MatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const size_t rows = 1 + rng.UniformInt(5);
+  const size_t cols = 1 + rng.UniformInt(5);
+  std::vector<double> profit(rows * cols);
+  for (auto& p : profit) p = rng.Uniform(0.0, 10.0);
+  const auto assignment = HungarianMaximize(profit, rows, cols);
+  // Assignment must be a partial injection.
+  std::vector<int> used;
+  for (int a : assignment) {
+    if (a >= 0) used.push_back(a);
+  }
+  std::sort(used.begin(), used.end());
+  EXPECT_EQ(std::adjacent_find(used.begin(), used.end()), used.end());
+  EXPECT_NEAR(AssignmentProfit(profit, rows, cols, assignment),
+              BruteForceBest(profit, rows, cols), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HungarianRandomTest, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace p3c::eval

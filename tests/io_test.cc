@@ -1,0 +1,141 @@
+#include "src/data/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/data/colon.h"
+
+namespace p3c::data {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+Dataset SampleData() {
+  return Dataset::FromRowMajor({0.25, 0.5, 0.125, 1.0, 0.0, 1e-17}, 3)
+      .value();
+}
+
+TEST(CsvIoTest, RoundTrip) {
+  const std::string path = TempPath("round.csv");
+  const Dataset original = SampleData();
+  ASSERT_TRUE(WriteCsv(original, path).ok());
+  Result<Dataset> loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_points(), 2u);
+  EXPECT_EQ(loaded->num_dims(), 3u);
+  EXPECT_EQ(loaded->values(), original.values());  // %.17g round-trips
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTest, MissingFileFails) {
+  Result<Dataset> loaded = ReadCsv(TempPath("does-not-exist.csv"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST(CsvIoTest, NonNumericFieldFails) {
+  const std::string path = TempPath("bad.csv");
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("1.0,banana\n", f);
+  std::fclose(f);
+  Result<Dataset> loaded = ReadCsv(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTest, RaggedRowsFail) {
+  const std::string path = TempPath("ragged.csv");
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("1,2,3\n1,2\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(ReadCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, RoundTrip) {
+  const std::string path = TempPath("round.p3cd");
+  const Dataset original = SampleData();
+  ASSERT_TRUE(WriteBinary(original, path).ok());
+  Result<Dataset> loaded = ReadBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->values(), original.values());
+  EXPECT_EQ(loaded->num_dims(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, RejectsBadMagic) {
+  const std::string path = TempPath("bad.p3cd");
+  FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("NOPE and more bytes to skip the magic check", f);
+  std::fclose(f);
+  EXPECT_FALSE(ReadBinary(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, RejectsTruncatedPayload) {
+  const std::string path = TempPath("trunc.p3cd");
+  ASSERT_TRUE(WriteBinary(SampleData(), path).ok());
+  // Truncate the file.
+  FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+#ifdef _WIN32
+  _chsize(fileno(f), 30);
+#else
+  ASSERT_EQ(ftruncate(fileno(f), 30), 0);
+#endif
+  std::fclose(f);
+  EXPECT_FALSE(ReadBinary(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ColonLikeTest, ShapeAndClasses) {
+  const ColonLikeData data = MakeColonLikeDataset();
+  EXPECT_EQ(data.dataset.num_points(), 62u);
+  EXPECT_EQ(data.dataset.num_dims(), 2000u);
+  EXPECT_TRUE(data.dataset.IsNormalized());
+  size_t tumor = 0;
+  for (int label : data.labels) tumor += label == 1 ? 1 : 0;
+  EXPECT_EQ(tumor, 40u);
+  EXPECT_EQ(data.informative_genes.size(), 12u);
+}
+
+TEST(ColonLikeTest, InformativeGenesSeparateClasses) {
+  const ColonLikeData data = MakeColonLikeDataset();
+  // On an informative gene, class means should differ clearly more often
+  // than not (label noise keeps it from being universal).
+  size_t separated = 0;
+  for (size_t g : data.informative_genes) {
+    double mean_tumor = 0.0;
+    double mean_normal = 0.0;
+    size_t n_tumor = 0;
+    size_t n_normal = 0;
+    for (size_t i = 0; i < data.labels.size(); ++i) {
+      const double v = data.dataset.Get(static_cast<PointId>(i), g);
+      if (data.labels[i] == 1) {
+        mean_tumor += v;
+        ++n_tumor;
+      } else {
+        mean_normal += v;
+        ++n_normal;
+      }
+    }
+    mean_tumor /= static_cast<double>(n_tumor);
+    mean_normal /= static_cast<double>(n_normal);
+    if (std::abs(mean_tumor - mean_normal) > 0.2) ++separated;
+  }
+  EXPECT_GT(separated, data.informative_genes.size() / 2);
+}
+
+TEST(ColonLikeTest, DeterministicInSeed) {
+  const ColonLikeData a = MakeColonLikeDataset();
+  const ColonLikeData b = MakeColonLikeDataset();
+  EXPECT_EQ(a.dataset.values(), b.dataset.values());
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+}  // namespace
+}  // namespace p3c::data

@@ -1,0 +1,72 @@
+#include "src/stats/normal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace p3c::stats {
+namespace {
+
+TEST(NormalTest, PdfPeak) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804014327, 1e-14);
+  EXPECT_NEAR(NormalPdf(1.0), 0.24197072451914337, 1e-14);
+  EXPECT_DOUBLE_EQ(NormalPdf(1.0), NormalPdf(-1.0));
+}
+
+TEST(NormalTest, CdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-14);
+  EXPECT_NEAR(NormalCdf(1.959963984540054), 0.975, 1e-9);
+  EXPECT_NEAR(NormalCdf(-1.959963984540054), 0.025, 1e-9);
+  EXPECT_NEAR(NormalCdf(3.0), 0.9986501019683699, 1e-12);
+}
+
+TEST(NormalTest, UpperTailComplement) {
+  for (double z : {-3.0, -1.0, 0.0, 0.5, 2.0, 5.0}) {
+    EXPECT_NEAR(NormalCdf(z) + NormalUpperTail(z), 1.0, 1e-13);
+  }
+}
+
+TEST(NormalTest, UpperTailDeep) {
+  // Q(10) ~ 7.6e-24; linear erfc still fine there.
+  EXPECT_NEAR(NormalUpperTail(10.0) / 7.619853024160495e-24, 1.0, 1e-6);
+}
+
+TEST(NormalTest, LogUpperTailMatchesLinear) {
+  for (double z : {-2.0, 0.0, 1.0, 3.0, 6.0}) {
+    EXPECT_NEAR(NormalLogUpperTail(z), std::log(NormalUpperTail(z)), 1e-8);
+  }
+}
+
+TEST(NormalTest, LogUpperTailExtreme) {
+  // z = 40: Q ~ 1e-350, not representable; log must still be finite.
+  const double lq = NormalLogUpperTail(40.0);
+  EXPECT_TRUE(std::isfinite(lq));
+  // Asymptotically -z^2/2 - log(z sqrt(2pi)).
+  EXPECT_NEAR(lq, -0.5 * 40.0 * 40.0 - std::log(40.0 * 2.5066282746310002),
+              0.01);
+  EXPECT_LT(NormalLogUpperTail(50.0), lq);
+}
+
+TEST(NormalTest, QuantileInvertsCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-12) << "p=" << p;
+  }
+}
+
+TEST(NormalTest, QuantileKnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-13);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.0013498980316300933), -3.0, 1e-8);
+}
+
+TEST(NormalTest, QuantileEdges) {
+  EXPECT_TRUE(std::isinf(NormalQuantile(0.0)));
+  EXPECT_LT(NormalQuantile(0.0), 0.0);
+  EXPECT_TRUE(std::isinf(NormalQuantile(1.0)));
+  EXPECT_GT(NormalQuantile(1.0), 0.0);
+  EXPECT_TRUE(std::isnan(NormalQuantile(-0.5)));
+  EXPECT_TRUE(std::isnan(NormalQuantile(1.5)));
+}
+
+}  // namespace
+}  // namespace p3c::stats

@@ -1,0 +1,199 @@
+// Tests of the outlier detection step: the naive and MVB detectors, the
+// MVB statistics, and the masking-effect contrast between them.
+
+#include "src/core/outlier.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/random.h"
+
+namespace p3c::core {
+namespace {
+
+TEST(MvbStatisticsTest, EmptyMembers) {
+  const MvbStatistics stats = ComputeMvbStatistics({});
+  EXPECT_EQ(stats.num_members, 0u);
+  EXPECT_TRUE(stats.center.empty());
+}
+
+TEST(MvbStatisticsTest, CenterIsDimensionwiseMedian) {
+  const std::vector<linalg::Vector> members = {
+      {0.0, 10.0}, {1.0, 0.0}, {2.0, 5.0}, {3.0, 1.0}, {100.0, 2.0}};
+  const MvbStatistics stats = ComputeMvbStatistics(members);
+  EXPECT_DOUBLE_EQ(stats.center[0], 2.0);
+  EXPECT_DOUBLE_EQ(stats.center[1], 2.0);
+  EXPECT_EQ(stats.num_members, 5u);
+  // About half the points inside the ball.
+  EXPECT_GE(stats.num_in_ball, 2u);
+  EXPECT_LE(stats.num_in_ball, 4u);
+}
+
+TEST(MvbStatisticsTest, RobustToGrossOutlier) {
+  // 20 tight points plus one gross outlier: median center must stay with
+  // the bulk, unlike the arithmetic mean.
+  Rng rng(31);
+  std::vector<linalg::Vector> members;
+  for (int i = 0; i < 20; ++i) {
+    members.push_back({rng.Gaussian(0.5, 0.01), rng.Gaussian(0.5, 0.01)});
+  }
+  members.push_back({1000.0, 1000.0});
+  const MvbStatistics stats = ComputeMvbStatistics(members);
+  EXPECT_NEAR(stats.center[0], 0.5, 0.02);
+  EXPECT_LT(stats.radius, 0.1);
+  // The outlier lies far outside the ball, so the in-ball covariance is
+  // small in both directions.
+  EXPECT_LT(stats.cov(0, 0), 0.01);
+  EXPECT_LT(stats.cov(1, 1), 0.01);
+}
+
+TEST(MvbConsistencyTest, ScalesCovarianceUp) {
+  linalg::Matrix cov = linalg::Matrix::Identity(3);
+  ApplyMvbConsistencyCorrection(cov, 3);
+  // In-ball covariance under-disperses, so the factor must exceed 1.
+  EXPECT_GT(cov(0, 0), 1.0);
+  EXPECT_LT(cov(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(cov(0, 1), 0.0);
+}
+
+GmmModel BlobModel() {
+  GmmModel model;
+  model.arel = {0, 1};
+  GaussianComponent a;
+  a.mean = {0.3, 0.3};
+  a.cov = linalg::Matrix::Identity(2).Scale(0.005);
+  a.weight = 0.5;
+  GaussianComponent b = a;
+  b.mean = {0.7, 0.7};
+  model.components = {a, b};
+  return model;
+}
+
+data::Dataset BlobsWithOutliers(size_t n_per_blob, size_t n_outliers,
+                                Rng& rng) {
+  data::Dataset d(2 * n_per_blob + n_outliers, 2);
+  data::PointId next = 0;
+  for (size_t i = 0; i < n_per_blob; ++i, ++next) {
+    d.Set(next, 0, rng.TruncatedGaussian(0.3, 0.07, 0.0, 1.0));
+    d.Set(next, 1, rng.TruncatedGaussian(0.3, 0.07, 0.0, 1.0));
+  }
+  for (size_t i = 0; i < n_per_blob; ++i, ++next) {
+    d.Set(next, 0, rng.TruncatedGaussian(0.7, 0.07, 0.0, 1.0));
+    d.Set(next, 1, rng.TruncatedGaussian(0.7, 0.07, 0.0, 1.0));
+  }
+  for (size_t i = 0; i < n_outliers; ++i, ++next) {
+    // Far corner, away from both blobs.
+    d.Set(next, 0, rng.Uniform(0.0, 0.05));
+    d.Set(next, 1, rng.Uniform(0.95, 1.0));
+  }
+  return d;
+}
+
+TEST(OutlierDetectionTest, NaiveAssignsBlobsAndFlagsCornerPoints) {
+  Rng rng(41);
+  const data::Dataset d = BlobsWithOutliers(500, 20, rng);
+  P3CParams params;
+  params.outlier = OutlierMode::kNaive;
+  // Model matching the generating blobs (cov a bit generous).
+  GmmModel model = BlobModel();
+  model.components[0].cov = linalg::Matrix::Identity(2).Scale(0.005);
+  model.components[1].cov = linalg::Matrix::Identity(2).Scale(0.005);
+  Result<OutlierDetectionResult> result =
+      DetectOutliers(d, model, params, nullptr);
+  ASSERT_TRUE(result.ok());
+  // Blob member assignments correct.
+  size_t correct = 0;
+  for (size_t i = 0; i < 500; ++i) correct += result->assignment[i] == 0;
+  for (size_t i = 500; i < 1000; ++i) correct += result->assignment[i] == 1;
+  EXPECT_GT(correct, 950u);
+  // Corner points flagged.
+  size_t flagged = 0;
+  for (size_t i = 1000; i < 1020; ++i) flagged += result->assignment[i] == -1;
+  EXPECT_EQ(flagged, 20u);
+}
+
+TEST(OutlierDetectionTest, MvbResistsMaskingBetterThanNaive) {
+  // A single blob whose EM covariance was inflated by far-away points the
+  // EM absorbed (the masking effect): the naive detector, using the
+  // inflated covariance, accepts the junk; MVB re-estimates from the
+  // half-mass ball and rejects it.
+  Rng rng(43);
+  const size_t n_blob = 800;
+  const size_t n_junk = 60;
+  data::Dataset d(n_blob + n_junk, 2);
+  data::PointId next = 0;
+  for (size_t i = 0; i < n_blob; ++i, ++next) {
+    d.Set(next, 0, rng.TruncatedGaussian(0.5, 0.03, 0.0, 1.0));
+    d.Set(next, 1, rng.TruncatedGaussian(0.5, 0.03, 0.0, 1.0));
+  }
+  for (size_t i = 0; i < n_junk; ++i, ++next) {
+    d.Set(next, 0, rng.Uniform());
+    d.Set(next, 1, rng.Uniform());
+  }
+  GmmModel model;
+  model.arel = {0, 1};
+  GaussianComponent comp;
+  comp.mean = {0.5, 0.5};
+  // Masked covariance: much wider than the true blob.
+  comp.cov = linalg::Matrix::Identity(2).Scale(0.05);
+  comp.weight = 1.0;
+  model.components = {comp};
+
+  P3CParams naive;
+  naive.outlier = OutlierMode::kNaive;
+  P3CParams mvb;
+  mvb.outlier = OutlierMode::kMVB;
+  const auto r_naive = DetectOutliers(d, model, naive, nullptr);
+  const auto r_mvb = DetectOutliers(d, model, mvb, nullptr);
+  ASSERT_TRUE(r_naive.ok());
+  ASSERT_TRUE(r_mvb.ok());
+
+  auto junk_flagged = [&](const OutlierDetectionResult& r) {
+    size_t flagged = 0;
+    for (size_t i = n_blob; i < n_blob + n_junk; ++i) {
+      // Junk far from the center should be outliers.
+      const double dx = d.Get(static_cast<data::PointId>(i), 0) - 0.5;
+      const double dy = d.Get(static_cast<data::PointId>(i), 1) - 0.5;
+      if (std::sqrt(dx * dx + dy * dy) > 0.3 && r.assignment[i] == -1) {
+        ++flagged;
+      }
+    }
+    return flagged;
+  };
+  EXPECT_GT(junk_flagged(*r_mvb), junk_flagged(*r_naive));
+  // MVB must keep the blob itself (not over-reject genuine members).
+  size_t blob_kept = 0;
+  for (size_t i = 0; i < n_blob; ++i) blob_kept += r_mvb->assignment[i] == 0;
+  EXPECT_GT(blob_kept, n_blob * 8 / 10);
+}
+
+TEST(OutlierDetectionTest, MvbStatisticsExposed) {
+  Rng rng(45);
+  const data::Dataset d = BlobsWithOutliers(300, 10, rng);
+  P3CParams params;
+  params.outlier = OutlierMode::kMVB;
+  Result<OutlierDetectionResult> result =
+      DetectOutliers(d, BlobModel(), params, nullptr);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->mvb.size(), 2u);
+  EXPECT_NEAR(result->mvb[0].center[0], 0.3, 0.05);
+  EXPECT_NEAR(result->mvb[1].center[0], 0.7, 0.05);
+  EXPECT_GT(result->mvb[0].num_in_ball, 0u);
+}
+
+TEST(OutlierDetectionTest, ParallelMatchesSerial) {
+  Rng rng(47);
+  const data::Dataset d = BlobsWithOutliers(400, 15, rng);
+  P3CParams params;
+  params.outlier = OutlierMode::kMVB;
+  const auto serial = DetectOutliers(d, BlobModel(), params, nullptr);
+  ThreadPool pool(4);
+  const auto parallel = DetectOutliers(d, BlobModel(), params, &pool);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(serial->assignment, parallel->assignment);
+}
+
+}  // namespace
+}  // namespace p3c::core

@@ -1,0 +1,168 @@
+// Property suite: structural invariants of the clustering results that
+// must hold for EVERY pipeline variant across a parameter grid — sorted
+// unique members, attrs matched by intervals, intervals inside the unit
+// cube and consistent with the membership, Arel consistency, etc.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "src/bow/bow.h"
+#include "src/core/p3c.h"
+#include "src/data/generator.h"
+#include "src/eval/e4sc.h"
+#include "src/mr/p3c_mr.h"
+
+namespace p3c {
+namespace {
+
+enum class Algo { kP3C, kP3CPlus, kLight, kMr, kMrLight, kBow };
+
+const char* AlgoName(Algo algo) {
+  switch (algo) {
+    case Algo::kP3C:
+      return "P3C";
+    case Algo::kP3CPlus:
+      return "P3C+";
+    case Algo::kLight:
+      return "Light";
+    case Algo::kMr:
+      return "MR";
+    case Algo::kMrLight:
+      return "MR-Light";
+    case Algo::kBow:
+      return "BoW";
+  }
+  return "?";
+}
+
+Result<core::ClusteringResult> RunVariant(Algo algo, const data::Dataset& dataset) {
+  switch (algo) {
+    case Algo::kP3C: {
+      core::P3CPipeline pipeline{core::OriginalP3CParams()};
+      return pipeline.Cluster(dataset);
+    }
+    case Algo::kP3CPlus: {
+      core::P3CPipeline pipeline{core::P3CParams{}};
+      return pipeline.Cluster(dataset);
+    }
+    case Algo::kLight: {
+      core::P3CPipeline pipeline{core::LightParams()};
+      return pipeline.Cluster(dataset);
+    }
+    case Algo::kMr: {
+      mr::P3CMR pipeline{mr::P3CMROptions{}};
+      return pipeline.Cluster(dataset);
+    }
+    case Algo::kMrLight: {
+      mr::P3CMROptions options;
+      options.params.light = true;
+      mr::P3CMR pipeline{options};
+      return pipeline.Cluster(dataset);
+    }
+    case Algo::kBow: {
+      bow::BoWOptions options;
+      options.samples_per_reducer = 2500;
+      bow::BoW pipeline{options};
+      return pipeline.Cluster(dataset);
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+using Param = std::tuple<Algo, double /*noise*/, size_t /*clusters*/>;
+
+std::string ParamName(const ::testing::TestParamInfo<Param>& info) {
+  const Algo algo = std::get<0>(info.param);
+  const double noise = std::get<1>(info.param);
+  const size_t clusters = std::get<2>(info.param);
+  std::string name = AlgoName(algo);
+  // gtest names must be alphanumeric.
+  for (char& c : name) {
+    if (c == '+') c = 'p';
+    if (c == '-') c = '_';
+  }
+  return name + (noise > 0.0 ? "_noisy" : "_clean") + "_k" +
+         std::to_string(clusters);
+}
+
+class PipelineInvariants : public ::testing::TestWithParam<Param> {};
+
+TEST_P(PipelineInvariants, StructurallySound) {
+  const auto [algo, noise, clusters] = GetParam();
+  data::GeneratorConfig config;
+  config.num_points = 5000;
+  config.num_dims = 40;
+  config.num_clusters = clusters;
+  config.noise_fraction = noise;
+  config.seed = 1000 + clusters * 10 + static_cast<uint64_t>(noise * 100);
+  const auto data = data::GenerateSynthetic(config).value();
+
+  Result<core::ClusteringResult> result = RunVariant(algo, data.dataset);
+  ASSERT_TRUE(result.ok()) << AlgoName(algo) << ": "
+                           << result.status().ToString();
+
+  std::set<size_t> arel_set(result->arel.begin(), result->arel.end());
+  const bool overlapping_membership =
+      algo == Algo::kLight || algo == Algo::kMrLight;
+  std::set<data::PointId> seen_points;
+
+  for (const auto& cluster : result->clusters) {
+    // Members: non-empty, sorted, unique, valid ids.
+    ASSERT_FALSE(cluster.points.empty());
+    EXPECT_TRUE(
+        std::is_sorted(cluster.points.begin(), cluster.points.end()));
+    EXPECT_EQ(std::adjacent_find(cluster.points.begin(), cluster.points.end()),
+              cluster.points.end());
+    EXPECT_LT(cluster.points.back(), data.dataset.num_points());
+    if (!overlapping_membership) {
+      for (data::PointId p : cluster.points) {
+        EXPECT_TRUE(seen_points.insert(p).second)
+            << AlgoName(algo) << ": point " << p << " in two clusters";
+      }
+    }
+
+    // Attributes: sorted, unique, valid; intervals parallel the attrs.
+    EXPECT_TRUE(std::is_sorted(cluster.attrs.begin(), cluster.attrs.end()));
+    ASSERT_EQ(cluster.intervals.size(), cluster.attrs.size());
+    for (size_t j = 0; j < cluster.attrs.size(); ++j) {
+      EXPECT_LT(cluster.attrs[j], data.dataset.num_dims());
+      EXPECT_EQ(cluster.intervals[j].attr, cluster.attrs[j]);
+      // Intervals inside the unit cube and non-degenerate ordering.
+      EXPECT_GE(cluster.intervals[j].lower, 0.0);
+      EXPECT_LE(cluster.intervals[j].upper, 1.0);
+      EXPECT_LE(cluster.intervals[j].lower, cluster.intervals[j].upper);
+    }
+  }
+
+  // Arel covers every core attribute (P3C-family pipelines).
+  if (algo != Algo::kBow) {
+    for (const auto& core : result->cores) {
+      for (size_t attr : core.signature.attrs()) {
+        EXPECT_TRUE(arel_set.count(attr) > 0);
+      }
+    }
+  }
+
+  // The run is sane overall: on this easy grid every variant must find
+  // a non-trivial clustering with decent subspace quality.
+  EXPECT_FALSE(result->clusters.empty()) << AlgoName(algo);
+  const double e4sc = eval::E4SC(eval::FromGroundTruth(data.clusters),
+                                 result->ToEvalClustering());
+  // The original P3C is the paper's weak baseline (no effect size, no
+  // redundancy filter, naive OD): grant it a lower floor.
+  EXPECT_GT(e4sc, algo == Algo::kP3C ? 0.2 : 0.35) << AlgoName(algo);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PipelineInvariants,
+    ::testing::Combine(::testing::Values(Algo::kP3C, Algo::kP3CPlus,
+                                         Algo::kLight, Algo::kMr,
+                                         Algo::kMrLight, Algo::kBow),
+                       ::testing::Values(0.0, 0.15),
+                       ::testing::Values(2u, 4u)),
+    ParamName);
+
+}  // namespace
+}  // namespace p3c

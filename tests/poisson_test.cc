@@ -1,0 +1,111 @@
+#include "src/stats/poisson.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace p3c::stats {
+namespace {
+
+// Brute-force upper tail by direct summation (small parameters only).
+double BruteForceUpperTail(uint64_t k, double lambda) {
+  double below = 0.0;
+  double term = std::exp(-lambda);
+  for (uint64_t i = 0; i < k; ++i) {
+    below += term;
+    term *= lambda / static_cast<double>(i + 1);
+  }
+  return 1.0 - below;
+}
+
+TEST(PoissonTest, UpperTailMatchesBruteForce) {
+  for (double lambda : {0.5, 2.0, 7.5, 20.0}) {
+    for (uint64_t k : {0ull, 1ull, 3ull, 10ull, 30ull}) {
+      EXPECT_NEAR(PoissonUpperTail(k, lambda),
+                  BruteForceUpperTail(k, lambda), 1e-10)
+          << "k=" << k << " lambda=" << lambda;
+    }
+  }
+}
+
+TEST(PoissonTest, UpperTailEdges) {
+  EXPECT_DOUBLE_EQ(PoissonUpperTail(0, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(PoissonUpperTail(3, 0.0), 0.0);
+}
+
+TEST(PoissonTest, LogUpperTailMatchesLinear) {
+  for (double lambda : {1.0, 10.0, 100.0}) {
+    for (double k : {2.0, 15.0, 120.0}) {
+      const double p = PoissonUpperTail(static_cast<uint64_t>(k), lambda);
+      if (p > 1e-280) {
+        EXPECT_NEAR(PoissonLogUpperTail(k, lambda), std::log(p), 1e-6)
+            << "k=" << k << " lambda=" << lambda;
+      }
+    }
+  }
+}
+
+TEST(PoissonTest, LogUpperTailDeep) {
+  // P(X >= 500 | lambda = 10) is far below double range.
+  const double lp = PoissonLogUpperTail(500, 10.0);
+  EXPECT_TRUE(std::isfinite(lp));
+  EXPECT_LT(lp, std::log(1e-300));
+  EXPECT_LT(PoissonLogUpperTail(1000, 10.0), lp);  // monotone in k
+}
+
+TEST(PoissonTest, LargeLambdaGaussianBranchContinuity) {
+  // Around the 1e6 switch point, exact and approximate answers must agree
+  // to a few percent in log space.
+  const double lambda = 999000.0;  // exact branch
+  const double k = 1.01 * lambda;
+  const double exact = PoissonLogUpperTail(k, lambda);
+  const double approx = PoissonLogUpperTail(k * (1000001.0 / 999000.0),
+                                            1000001.0);  // gaussian branch
+  // Same relative deviation, slightly larger n -> slightly smaller log p.
+  EXPECT_LT(approx, exact);
+  EXPECT_NEAR(approx / exact, 1.0, 0.05);
+}
+
+TEST(PoissonTest, SignificanceBasic) {
+  // 100 observed vs 10 expected is wildly significant at alpha = 0.01.
+  EXPECT_TRUE(PoissonSignificantlyLarger(100, 10, 0.01));
+  // 11 observed vs 10 expected is not.
+  EXPECT_FALSE(PoissonSignificantlyLarger(11, 10, 0.01));
+  // observed <= expected never is.
+  EXPECT_FALSE(PoissonSignificantlyLarger(10, 10, 0.01));
+  EXPECT_FALSE(PoissonSignificantlyLarger(5, 10, 0.01));
+}
+
+TEST(PoissonTest, ZeroExpected) {
+  EXPECT_TRUE(PoissonSignificantlyLarger(1, 0.0, 0.01));
+  EXPECT_FALSE(PoissonSignificantlyLarger(0, 0.0, 0.01));
+}
+
+TEST(PoissonTest, PowerGrowsWithScale) {
+  // Figure 1's phenomenon: the same +1% relative deviation becomes
+  // significant once the expected count is large enough.
+  const double alpha = 0.01;
+  EXPECT_FALSE(PoissonSignificantlyLarger(101.0, 100.0, alpha));
+  EXPECT_FALSE(PoissonSignificantlyLarger(10100.0, 10000.0, alpha));
+  EXPECT_TRUE(PoissonSignificantlyLarger(101000000.0, 100000000.0, alpha));
+}
+
+TEST(PoissonTest, LogThresholdVariantAgrees) {
+  const double alpha = 1e-6;
+  for (double obs : {20.0, 40.0, 80.0}) {
+    EXPECT_EQ(PoissonSignificantlyLarger(obs, 10.0, alpha),
+              PoissonSignificantlyLargerLog(obs, 10.0, std::log(alpha)))
+        << obs;
+  }
+}
+
+TEST(PoissonTest, ExtremeThresholdUsable) {
+  // Figure 5 sweeps thresholds down to 1e-140; the log variant must
+  // discriminate there.
+  const double log_alpha = -140.0 * std::log(10.0);
+  EXPECT_TRUE(PoissonSignificantlyLargerLog(500.0, 10.0, log_alpha));
+  EXPECT_FALSE(PoissonSignificantlyLargerLog(50.0, 10.0, log_alpha));
+}
+
+}  // namespace
+}  // namespace p3c::stats

@@ -1,0 +1,124 @@
+// Tests of the PROCLUS baseline.
+
+#include "src/baselines/proclus.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/data/generator.h"
+#include "src/eval/e4sc.h"
+#include "src/eval/f1.h"
+
+namespace p3c::baselines {
+namespace {
+
+data::SyntheticData MakeData(uint64_t seed) {
+  data::GeneratorConfig config;
+  config.num_points = 6000;
+  config.num_dims = 30;
+  config.num_clusters = 3;
+  config.noise_fraction = 0.05;
+  config.min_cluster_dims = 4;
+  config.max_cluster_dims = 6;
+  config.force_overlap = false;
+  config.seed = seed;
+  return data::GenerateSynthetic(config).value();
+}
+
+TEST(ProclusTest, RecoversObjectGrouping) {
+  const auto data = MakeData(31);
+  ProclusOptions options;
+  options.num_clusters = 3;
+  options.avg_dims = 5;
+  auto result = RunProclus(data.dataset, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->clusters.size(), 2u);
+  EXPECT_LE(result->clusters.size(), 3u);
+  // PROCLUS is a medoid method: object-level F1 should be solid even if
+  // the subspace-aware E4SC is weaker than the P3C family's.
+  const auto gt = eval::FromGroundTruth(data.clusters);
+  EXPECT_GT(eval::F1(gt, result->ToEvalClustering()), 0.6);
+}
+
+TEST(ProclusTest, RespectsDimensionBudget) {
+  const auto data = MakeData(32);
+  ProclusOptions options;
+  options.num_clusters = 3;
+  options.avg_dims = 4;
+  auto result = RunProclus(data.dataset, options);
+  ASSERT_TRUE(result.ok());
+  size_t total_dims = 0;
+  for (const auto& cluster : result->clusters) {
+    EXPECT_GE(cluster.attrs.size(), 2u);  // at least 2 per cluster
+    total_dims += cluster.attrs.size();
+    // attrs sorted unique.
+    std::set<size_t> unique(cluster.attrs.begin(), cluster.attrs.end());
+    EXPECT_EQ(unique.size(), cluster.attrs.size());
+  }
+  EXPECT_LE(total_dims, options.num_clusters * options.avg_dims);
+}
+
+TEST(ProclusTest, UniquePointAssignment) {
+  const auto data = MakeData(33);
+  ProclusOptions options;
+  options.num_clusters = 3;
+  options.avg_dims = 4;
+  auto result = RunProclus(data.dataset, options);
+  ASSERT_TRUE(result.ok());
+  std::set<data::PointId> seen;
+  for (const auto& cluster : result->clusters) {
+    for (data::PointId p : cluster.points) {
+      EXPECT_TRUE(seen.insert(p).second);
+    }
+  }
+}
+
+TEST(ProclusTest, DeterministicInSeed) {
+  const auto data = MakeData(34);
+  ProclusOptions options;
+  options.num_clusters = 3;
+  options.avg_dims = 4;
+  options.seed = 77;
+  auto a = RunProclus(data.dataset, options);
+  auto b = RunProclus(data.dataset, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->clusters.size(), b->clusters.size());
+  for (size_t c = 0; c < a->clusters.size(); ++c) {
+    EXPECT_EQ(a->clusters[c].points, b->clusters[c].points);
+    EXPECT_EQ(a->clusters[c].attrs, b->clusters[c].attrs);
+  }
+}
+
+TEST(ProclusTest, RejectsBadOptions) {
+  const auto data = MakeData(35);
+  ProclusOptions options;
+  options.num_clusters = 0;
+  EXPECT_FALSE(RunProclus(data.dataset, options).ok());
+  options.num_clusters = 3;
+  options.avg_dims = 1;  // < 2
+  EXPECT_FALSE(RunProclus(data.dataset, options).ok());
+  options.avg_dims = 31;  // > d
+  EXPECT_FALSE(RunProclus(data.dataset, options).ok());
+  EXPECT_FALSE(RunProclus(data::Dataset(), ProclusOptions{}).ok());
+}
+
+TEST(ProclusTest, TinyDataset) {
+  // k close to n must still terminate and produce a valid result.
+  data::Dataset d(6, 3);
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      d.Set(static_cast<data::PointId>(i), j,
+            static_cast<double>(i) / 6.0 + static_cast<double>(j) * 0.01);
+    }
+  }
+  ProclusOptions options;
+  options.num_clusters = 2;
+  options.avg_dims = 2;
+  auto result = RunProclus(d, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+}
+
+}  // namespace
+}  // namespace p3c::baselines

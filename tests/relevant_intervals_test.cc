@@ -1,0 +1,115 @@
+#include "src/core/relevant_intervals.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace p3c::core {
+namespace {
+
+stats::Histogram FromCounts(std::vector<uint64_t> counts) {
+  stats::Histogram h(counts.size());
+  h.counts() = std::move(counts);
+  return h;
+}
+
+TEST(RelevantIntervalsTest, UniformAttributeYieldsNothing) {
+  const auto result =
+      FindRelevantIntervals(0, FromCounts(std::vector<uint64_t>(10, 500)),
+                            0.001);
+  EXPECT_FALSE(result.attribute_non_uniform);
+  EXPECT_TRUE(result.intervals.empty());
+  EXPECT_TRUE(result.marked_bins.empty());
+}
+
+TEST(RelevantIntervalsTest, SingleSpikeMarked) {
+  std::vector<uint64_t> counts(10, 100);
+  counts[4] = 2000;
+  const auto result = FindRelevantIntervals(3, FromCounts(counts), 0.001);
+  EXPECT_TRUE(result.attribute_non_uniform);
+  ASSERT_EQ(result.intervals.size(), 1u);
+  EXPECT_EQ(result.intervals[0].attr, 3u);
+  EXPECT_DOUBLE_EQ(result.intervals[0].lower, 0.4);
+  EXPECT_DOUBLE_EQ(result.intervals[0].upper, 0.5);
+  EXPECT_EQ(result.marked_bins, (std::vector<size_t>{4}));
+}
+
+TEST(RelevantIntervalsTest, AdjacentSpikesMerged) {
+  std::vector<uint64_t> counts(10, 100);
+  counts[4] = 1500;
+  counts[5] = 1800;
+  const auto result = FindRelevantIntervals(0, FromCounts(counts), 0.001);
+  ASSERT_EQ(result.intervals.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.intervals[0].lower, 0.4);
+  EXPECT_DOUBLE_EQ(result.intervals[0].upper, 0.6);
+  EXPECT_EQ(result.marked_bins, (std::vector<size_t>{4, 5}));
+}
+
+TEST(RelevantIntervalsTest, SeparatedSpikesStaySeparate) {
+  std::vector<uint64_t> counts(10, 100);
+  counts[1] = 1500;
+  counts[7] = 1500;
+  const auto result = FindRelevantIntervals(0, FromCounts(counts), 0.001);
+  ASSERT_EQ(result.intervals.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.intervals[0].lower, 0.1);
+  EXPECT_DOUBLE_EQ(result.intervals[0].upper, 0.2);
+  EXPECT_DOUBLE_EQ(result.intervals[1].lower, 0.7);
+  EXPECT_DOUBLE_EQ(result.intervals[1].upper, 0.8);
+}
+
+TEST(RelevantIntervalsTest, MarkingStopsWhenRestUniform) {
+  // One dominant spike over a flat background: exactly one bin marked.
+  std::vector<uint64_t> counts(20, 1000);
+  counts[10] = 4000;
+  const auto result = FindRelevantIntervals(0, FromCounts(counts), 0.001);
+  EXPECT_EQ(result.marked_bins.size(), 1u);
+}
+
+TEST(RelevantIntervalsTest, DegenerateHistograms) {
+  EXPECT_TRUE(FindRelevantIntervals(0, stats::Histogram(0), 0.001)
+                  .intervals.empty());
+  EXPECT_TRUE(FindRelevantIntervals(0, FromCounts({42}), 0.001)
+                  .intervals.empty());
+  EXPECT_TRUE(FindRelevantIntervals(0, FromCounts({0, 0, 0, 0}), 0.001)
+                  .intervals.empty());
+}
+
+TEST(RelevantIntervalsTest, DeterministicTieBreak) {
+  // Two equal spikes: the lower bin index is marked first, but both end
+  // up marked; the result must be identical across runs.
+  std::vector<uint64_t> counts(10, 100);
+  counts[2] = 1500;
+  counts[6] = 1500;
+  const auto a = FindRelevantIntervals(0, FromCounts(counts), 0.001);
+  const auto b = FindRelevantIntervals(0, FromCounts(counts), 0.001);
+  EXPECT_EQ(a.marked_bins, b.marked_bins);
+  EXPECT_EQ(a.intervals.size(), 2u);
+}
+
+TEST(RelevantIntervalsTest, FindAllConcatenatesAttributes) {
+  std::vector<uint64_t> flat(10, 100);
+  std::vector<uint64_t> spiked(10, 100);
+  spiked[0] = 2000;
+  const std::vector<stats::Histogram> histograms = {
+      FromCounts(flat), FromCounts(spiked), FromCounts(spiked)};
+  const auto intervals = FindAllRelevantIntervals(histograms, 0.001);
+  ASSERT_EQ(intervals.size(), 2u);
+  EXPECT_EQ(intervals[0].attr, 1u);
+  EXPECT_EQ(intervals[1].attr, 2u);
+}
+
+TEST(RelevantIntervalsTest, GaussianBumpDetected) {
+  // Sampled data: uniform background + concentrated cluster on [0.4,0.5].
+  Rng rng(17);
+  stats::Histogram h(20);
+  for (int i = 0; i < 8000; ++i) h.Add(rng.Uniform());
+  for (int i = 0; i < 2000; ++i) h.Add(rng.TruncatedGaussian(0.45, 0.02, 0.4, 0.5));
+  const auto result = FindRelevantIntervals(0, h, 0.001);
+  ASSERT_FALSE(result.intervals.empty());
+  // The detected interval covers the bump.
+  EXPECT_LE(result.intervals[0].lower, 0.45);
+  EXPECT_GE(result.intervals[0].upper, 0.45);
+}
+
+}  // namespace
+}  // namespace p3c::core

@@ -1,0 +1,103 @@
+#include "src/eval/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/data/generator.h"
+#include "src/eval/e4sc.h"
+
+namespace p3c::eval {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+Clustering Sample() {
+  SubspaceCluster a;
+  a.points = {0, 4, 9, 12};
+  a.attrs = {1, 3, 5};
+  SubspaceCluster b;
+  b.points = {1, 2, 3};
+  b.attrs = {0, 2};
+  return {a, b};
+}
+
+TEST(ClusteringSerializationTest, RoundTrip) {
+  const std::string path = TempPath("clustering.txt");
+  const Clustering original = Sample();
+  ASSERT_TRUE(WriteClusteringFile(original, path).ok());
+  Result<Clustering> loaded = ReadClusteringFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].points, original[0].points);
+  EXPECT_EQ((*loaded)[0].attrs, original[0].attrs);
+  EXPECT_EQ((*loaded)[1].points, original[1].points);
+  EXPECT_EQ((*loaded)[1].attrs, original[1].attrs);
+  // Perfect E4SC against itself after the round trip.
+  EXPECT_DOUBLE_EQ(E4SC(original, *loaded), 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(ClusteringSerializationTest, EmptyClustering) {
+  const std::string path = TempPath("empty_clustering.txt");
+  ASSERT_TRUE(WriteClusteringFile({}, path).ok());
+  Result<Clustering> loaded = ReadClusteringFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+  std::remove(path.c_str());
+}
+
+TEST(ClusteringSerializationTest, CommentsAndBlankLinesIgnored) {
+  const std::string path = TempPath("commented.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("# a comment\n\nattrs:2,1 points:5,3\n  # indented comment\n",
+             f);
+  std::fclose(f);
+  Result<Clustering> loaded = ReadClusteringFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 1u);
+  // Normalized on load.
+  EXPECT_EQ((*loaded)[0].attrs, (std::vector<size_t>{1, 2}));
+  EXPECT_EQ((*loaded)[0].points, (std::vector<data::PointId>{3, 5}));
+  std::remove(path.c_str());
+}
+
+TEST(ClusteringSerializationTest, MalformedLinesFail) {
+  for (const char* content :
+       {"points:1,2\n", "attrs:1 points:x\n", "attrs:a points:1\n",
+        "attrs:1,, points:2\n"}) {
+    const std::string path = TempPath("malformed.txt");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs(content, f);
+    std::fclose(f);
+    Result<Clustering> loaded = ReadClusteringFile(path);
+    EXPECT_FALSE(loaded.ok()) << content;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ClusteringSerializationTest, MissingFile) {
+  EXPECT_FALSE(ReadClusteringFile(TempPath("nope.txt")).ok());
+}
+
+TEST(ClusteringSerializationTest, GroundTruthRoundTripPreservesE4SC) {
+  data::GeneratorConfig config;
+  config.num_points = 2000;
+  config.num_dims = 15;
+  config.num_clusters = 3;
+  config.seed = 5;
+  const auto data = data::GenerateSynthetic(config).value();
+  const Clustering gt = FromGroundTruth(data.clusters);
+  const std::string path = TempPath("gt_roundtrip.txt");
+  ASSERT_TRUE(WriteClusteringFile(gt, path).ok());
+  Result<Clustering> loaded = ReadClusteringFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(E4SC(gt, *loaded), 1.0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace p3c::eval

@@ -1,0 +1,105 @@
+// Cross-distribution property suite: identities linking the Poisson,
+// chi-squared and gamma implementations, plus monotonicity sweeps — the
+// numerical backbone of every statistical decision in the pipeline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/stats/chi_squared.h"
+#include "src/stats/gamma.h"
+#include "src/stats/normal.h"
+#include "src/stats/poisson.h"
+
+namespace p3c::stats {
+namespace {
+
+// Classic identity: for X ~ Poisson(lambda) and integer k >= 1,
+//   P(X >= k) = P(chi2_{2k} <= 2 lambda).
+class PoissonChiSquaredIdentity
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+TEST_P(PoissonChiSquaredIdentity, UpperTailMatchesChiSquaredCdf) {
+  const auto [k, lambda] = GetParam();
+  const double poisson = PoissonUpperTail(k, lambda);
+  const double chi2 = ChiSquaredCdf(2.0 * lambda, 2.0 * static_cast<double>(k));
+  EXPECT_NEAR(poisson, chi2, 1e-10) << "k=" << k << " lambda=" << lambda;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PoissonChiSquaredIdentity,
+    ::testing::Combine(::testing::Values(1ull, 2ull, 5ull, 20ull, 100ull),
+                       ::testing::Values(0.5, 2.0, 10.0, 50.0, 150.0)));
+
+TEST(StatsPropertyTest, ChiSquaredIsGammaWithHalfParams) {
+  for (double df : {1.0, 4.0, 11.0}) {
+    for (double x : {0.5, 3.0, 20.0}) {
+      EXPECT_NEAR(ChiSquaredCdf(x, df), RegularizedGammaP(df / 2.0, x / 2.0),
+                  1e-14);
+    }
+  }
+}
+
+TEST(StatsPropertyTest, PoissonLogTailMonotoneInK) {
+  for (double lambda : {3.0, 40.0, 2000.0}) {
+    double prev = 0.0;  // log P(X >= 0) = 0
+    for (double k = 1.0; k < 4.0 * lambda; k *= 1.5) {
+      const double lp = PoissonLogUpperTail(k, lambda);
+      EXPECT_LE(lp, prev + 1e-12) << "k=" << k << " lambda=" << lambda;
+      prev = lp;
+    }
+  }
+}
+
+TEST(StatsPropertyTest, PoissonLogTailMonotoneInLambda) {
+  // More expected mass -> larger tail above a fixed k.
+  const double k = 100.0;
+  double prev = -1e300;
+  for (double lambda : {10.0, 30.0, 60.0, 90.0}) {
+    const double lp = PoissonLogUpperTail(k, lambda);
+    EXPECT_GE(lp, prev) << lambda;
+    prev = lp;
+  }
+}
+
+TEST(StatsPropertyTest, NormalQuantileSymmetry) {
+  for (double p : {0.001, 0.05, 0.2, 0.4}) {
+    EXPECT_NEAR(NormalQuantile(p), -NormalQuantile(1.0 - p), 1e-9);
+  }
+}
+
+TEST(StatsPropertyTest, ChiSquaredQuantileMonotoneInP) {
+  for (double df : {2.0, 13.0, 60.0}) {
+    double prev = 0.0;
+    for (double p : {0.01, 0.1, 0.5, 0.9, 0.999}) {
+      const double q = ChiSquaredQuantile(p, df);
+      EXPECT_GT(q, prev);
+      prev = q;
+    }
+  }
+}
+
+TEST(StatsPropertyTest, ChiSquaredQuantileMonotoneInDf) {
+  // More degrees of freedom shift every quantile right.
+  for (double p : {0.1, 0.5, 0.95}) {
+    double prev = 0.0;
+    for (double df : {1.0, 3.0, 10.0, 40.0}) {
+      const double q = ChiSquaredQuantile(p, df);
+      EXPECT_GT(q, prev);
+      prev = q;
+    }
+  }
+}
+
+TEST(StatsPropertyTest, SignificanceDecisionConsistentAcrossScales) {
+  // The decision must be scale-consistent: a 2x deviation stays
+  // significant at every size once it is significant, under both the
+  // exact and the Gaussian-approximated branches.
+  for (double expected : {50.0, 5000.0, 5e6, 5e8}) {
+    EXPECT_TRUE(PoissonSignificantlyLarger(2.0 * expected, expected, 0.01))
+        << expected;
+  }
+}
+
+}  // namespace
+}  // namespace p3c::stats

@@ -1,0 +1,64 @@
+#include "src/common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace p3c {
+namespace {
+
+TEST(SplitTest, BasicFields) {
+  const auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  const auto parts = Split(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(SplitTest, EmptyInputIsOneField) {
+  const auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StripWhitespaceTest, TrimsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+}
+
+TEST(StringPrintfTest, Formats) {
+  EXPECT_EQ(StringPrintf("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StringPrintf("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StringPrintf("empty"), "empty");
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(FormatDoubleTest, SignificantDigits) {
+  EXPECT_EQ(FormatDouble(0.125, 3), "0.125");
+  EXPECT_EQ(FormatDouble(1000000.0, 3), "1e+06");
+}
+
+TEST(HumanCountTest, Suffixes) {
+  EXPECT_EQ(HumanCount(999), "999");
+  EXPECT_EQ(HumanCount(1000), "1.0k");
+  EXPECT_EQ(HumanCount(1500), "1.5k");
+  EXPECT_EQ(HumanCount(2000000), "2.0M");
+  EXPECT_EQ(HumanCount(1000000000ull), "1.0G");
+  EXPECT_EQ(HumanCount(12345), "12345");  // not a round multiple
+}
+
+}  // namespace
+}  // namespace p3c

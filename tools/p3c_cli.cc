@@ -1,0 +1,365 @@
+// p3c_cli — command-line front end for the library.
+//
+//   p3c_cli generate --out points.csv [--labels labels.csv]
+//           [--truth clusters.txt] [--points N] [--dims D] [--clusters K]
+//           [--noise F] [--seed S] [--binary]
+//   p3c_cli cluster  --in points.csv --algo ALGO [--out assignments.csv]
+//           [--clusters-out clusters.txt] [--normalize] [--threads T]
+//           [--theta F] [--alpha-poisson F] [--job-log]
+//           [--k K --l L]                    (PROCLUS only)
+//           [--doc-alpha F --doc-beta F --doc-w F]        (DOC only)
+//           [--block-rows N]                 (streaming-light only)
+//           ALGO: p3c | p3c+ | light | mr | mr-light | streaming-light |
+//                 bow | proclus | doc
+//   p3c_cli evaluate --assignments a.csv --labels labels.csv
+//   p3c_cli evaluate-subspace --found f.txt --truth t.txt
+//   p3c_cli info     --in points.csv
+//
+// Exit code 0 on success; errors go to stderr with a non-zero exit.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/baselines/doc.h"
+#include "src/baselines/proclus.h"
+#include "src/bow/bow.h"
+#include "src/common/string_util.h"
+#include "src/core/p3c.h"
+#include "src/core/streaming.h"
+#include "src/data/generator.h"
+#include "src/data/io.h"
+#include "src/eval/accuracy.h"
+#include "src/eval/ce.h"
+#include "src/eval/e4sc.h"
+#include "src/eval/f1.h"
+#include "src/eval/rnia.h"
+#include "src/eval/serialization.h"
+#include "src/mr/p3c_mr.h"
+
+namespace {
+
+using namespace p3c;
+
+/// Minimal --flag value parser; flags without a value get "1".
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) continue;
+      key = key.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "1";
+      }
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: p3c_cli <generate|cluster|evaluate|info> [--flags]\n"
+               "see the header of tools/p3c_cli.cc for the full flag "
+               "list\n");
+  return 2;
+}
+
+Status WriteLabels(const std::vector<int>& labels, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  for (int label : labels) std::fprintf(f, "%d\n", label);
+  std::fclose(f);
+  return Status::OK();
+}
+
+Result<std::vector<int>> ReadLabels(const std::string& path) {
+  Result<data::Dataset> raw = data::ReadCsv(path);
+  if (!raw.ok()) return raw.status();
+  if (raw->num_dims() != 1) {
+    return Status::InvalidArgument("label file must have one column");
+  }
+  std::vector<int> labels;
+  labels.reserve(raw->num_points());
+  for (size_t i = 0; i < raw->num_points(); ++i) {
+    labels.push_back(static_cast<int>(raw->Get(static_cast<data::PointId>(i),
+                                               0)));
+  }
+  return labels;
+}
+
+int CmdGenerate(const Args& args) {
+  data::GeneratorConfig config;
+  config.num_points = static_cast<size_t>(args.GetInt("points", 10000));
+  config.num_dims = static_cast<size_t>(args.GetInt("dims", 50));
+  config.num_clusters = static_cast<size_t>(args.GetInt("clusters", 5));
+  config.noise_fraction = args.GetDouble("noise", 0.10);
+  config.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  const std::string out = args.Get("out", "");
+  if (out.empty()) return Fail("generate requires --out");
+
+  Result<data::SyntheticData> data = data::GenerateSynthetic(config);
+  if (!data.ok()) return Fail(data.status().ToString());
+  const Status io = args.Has("binary")
+                        ? data::WriteBinary(data->dataset, out)
+                        : data::WriteCsv(data->dataset, out);
+  if (!io.ok()) return Fail(io.ToString());
+  std::printf("wrote %zu x %zu points to %s\n", data->dataset.num_points(),
+              data->dataset.num_dims(), out.c_str());
+  const std::string labels = args.Get("labels", "");
+  if (!labels.empty()) {
+    const Status st = WriteLabels(data->labels, labels);
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("wrote labels to %s\n", labels.c_str());
+  }
+  const std::string truth = args.Get("truth", "");
+  if (!truth.empty()) {
+    const Status st = eval::WriteClusteringFile(
+        eval::FromGroundTruth(data->clusters), truth);
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("wrote ground-truth clustering to %s\n", truth.c_str());
+  }
+  return 0;
+}
+
+Result<core::ClusteringResult> RunAlgo(const std::string& algo,
+                                       const data::Dataset& dataset,
+                                       const Args& args) {
+  core::P3CParams params;
+  params.theta_cc = args.GetDouble("theta", params.theta_cc);
+  params.alpha_poisson =
+      args.GetDouble("alpha-poisson", params.alpha_poisson);
+  const auto threads = static_cast<size_t>(args.GetInt("threads", 0));
+
+  if (algo == "p3c") {
+    core::P3CPipeline pipeline{core::OriginalP3CParams(), threads};
+    return pipeline.Cluster(dataset);
+  }
+  if (algo == "p3c+") {
+    core::P3CPipeline pipeline{params, threads};
+    return pipeline.Cluster(dataset);
+  }
+  if (algo == "light") {
+    params.light = true;
+    core::P3CPipeline pipeline{params, threads};
+    return pipeline.Cluster(dataset);
+  }
+  if (algo == "mr" || algo == "mr-light") {
+    mr::P3CMROptions options;
+    options.params = params;
+    options.params.multilevel_candidates = true;
+    options.params.t_c = 2000;
+    options.params.light = algo == "mr-light";
+    options.runner.num_threads = threads;
+    mr::P3CMR pipeline{options};
+    Result<core::ClusteringResult> result = pipeline.Cluster(dataset);
+    if (result.ok() && args.Has("job-log")) {
+      std::printf("%s", pipeline.metrics().ToString().c_str());
+    }
+    return result;
+  }
+  if (algo == "bow") {
+    bow::BoWOptions options;
+    options.params = params;
+    options.samples_per_reducer = static_cast<size_t>(
+        args.GetInt("samples-per-reducer", 100000));
+    options.num_threads = threads;
+    bow::BoW pipeline{options};
+    return pipeline.Cluster(dataset);
+  }
+  if (algo == "proclus") {
+    baselines::ProclusOptions options;
+    options.num_clusters = static_cast<size_t>(args.GetInt("k", 5));
+    options.avg_dims = static_cast<size_t>(args.GetInt("l", 4));
+    return baselines::RunProclus(dataset, options);
+  }
+  if (algo == "doc") {
+    baselines::DocOptions options;
+    options.alpha = args.GetDouble("doc-alpha", options.alpha);
+    options.beta = args.GetDouble("doc-beta", options.beta);
+    options.w = args.GetDouble("doc-w", options.w);
+    return baselines::RunDoc(dataset, options);
+  }
+  return Status::InvalidArgument("unknown --algo '" + algo + "'");
+}
+
+int CmdCluster(const Args& args) {
+  const std::string in = args.Get("in", "");
+  if (in.empty()) return Fail("cluster requires --in");
+  if (args.Get("algo", "light") == "streaming-light") {
+    // Out-of-core path: never loads the file into memory.
+    core::StreamingLightPipeline pipeline{
+        core::StreamingLightParams(),
+        static_cast<size_t>(args.GetInt("block-rows", 65536))};
+    const std::string out = args.Get("out", "");
+    Result<core::StreamingLightResult> result =
+        out.empty() ? pipeline.Cluster(in)
+                    : pipeline.ClusterAndAssign(in, out);
+    if (!result.ok()) return Fail(result.status().ToString());
+    std::printf("streaming-light: %zu clusters in %.2f s (%zu passes)\n",
+                result->clusters.size(), result->seconds, result->passes);
+    for (size_t c = 0; c < result->clusters.size(); ++c) {
+      std::printf("  cluster %zu: support %llu (unique %llu), %zu attrs\n",
+                  c,
+                  static_cast<unsigned long long>(result->clusters[c].support),
+                  static_cast<unsigned long long>(
+                      result->clusters[c].unique_members),
+                  result->clusters[c].attrs.size());
+    }
+    if (!out.empty()) std::printf("wrote assignments to %s\n", out.c_str());
+    return 0;
+  }
+  Result<data::Dataset> dataset =
+      in.size() > 5 && in.substr(in.size() - 5) == ".p3cd"
+          ? data::ReadBinary(in)
+          : data::ReadCsv(in);
+  if (!dataset.ok()) return Fail(dataset.status().ToString());
+  if (args.Has("normalize")) dataset->NormalizeMinMax();
+
+  const std::string algo = args.Get("algo", "light");
+  Result<core::ClusteringResult> result = RunAlgo(algo, *dataset, args);
+  if (!result.ok()) return Fail(result.status().ToString());
+
+  std::printf("%s: %zu clusters in %.2f s\n", algo.c_str(),
+              result->clusters.size(), result->seconds);
+  for (size_t c = 0; c < result->clusters.size(); ++c) {
+    const auto& cluster = result->clusters[c];
+    std::string signature;
+    for (const auto& interval : cluster.intervals) {
+      signature += (signature.empty() ? "" : ", ") + interval.ToString();
+    }
+    std::printf("  cluster %zu: %zu points {%s}\n", c, cluster.points.size(),
+                signature.c_str());
+  }
+
+  const std::string out = args.Get("out", "");
+  if (!out.empty()) {
+    std::vector<int> assignment(dataset->num_points(), -1);
+    for (size_t c = 0; c < result->clusters.size(); ++c) {
+      for (data::PointId p : result->clusters[c].points) {
+        if (assignment[p] == -1) assignment[p] = static_cast<int>(c);
+      }
+    }
+    const Status st = WriteLabels(assignment, out);
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("wrote assignments to %s\n", out.c_str());
+  }
+  const std::string clusters_out = args.Get("clusters-out", "");
+  if (!clusters_out.empty()) {
+    const Status st = eval::WriteClusteringFile(result->ToEvalClustering(),
+                                                clusters_out);
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("wrote clustering to %s\n", clusters_out.c_str());
+  }
+  return 0;
+}
+
+int CmdEvaluate(const Args& args) {
+  const std::string assignments_path = args.Get("assignments", "");
+  const std::string labels_path = args.Get("labels", "");
+  if (assignments_path.empty() || labels_path.empty()) {
+    return Fail("evaluate requires --assignments and --labels");
+  }
+  Result<std::vector<int>> assignments = ReadLabels(assignments_path);
+  if (!assignments.ok()) return Fail(assignments.status().ToString());
+  Result<std::vector<int>> labels = ReadLabels(labels_path);
+  if (!labels.ok()) return Fail(labels.status().ToString());
+  if (assignments->size() != labels->size()) {
+    return Fail("assignment / label counts differ");
+  }
+  // Build an object-level clustering view from the assignment vector.
+  std::map<int, eval::SubspaceCluster> clusters;
+  for (size_t i = 0; i < assignments->size(); ++i) {
+    const int c = (*assignments)[i];
+    if (c >= 0) {
+      clusters[c].points.push_back(static_cast<data::PointId>(i));
+    }
+  }
+  eval::Clustering found;
+  for (auto& [id, cluster] : clusters) {
+    (void)id;
+    cluster.attrs = {0};  // object-level measures ignore attrs
+    cluster.Normalize();
+    found.push_back(std::move(cluster));
+  }
+  std::printf("clusters:            %zu\n", found.size());
+  std::printf("majority accuracy:   %.4f\n",
+              eval::MajorityClassAccuracy(found, *labels));
+  std::printf("one-to-one accuracy: %.4f\n",
+              eval::HungarianAccuracy(found, *labels));
+  return 0;
+}
+
+int CmdEvaluateSubspace(const Args& args) {
+  const std::string found_path = args.Get("found", "");
+  const std::string truth_path = args.Get("truth", "");
+  if (found_path.empty() || truth_path.empty()) {
+    return Fail("evaluate-subspace requires --found and --truth "
+                "(clustering files, see eval/serialization.h)");
+  }
+  Result<eval::Clustering> found = eval::ReadClusteringFile(found_path);
+  if (!found.ok()) return Fail(found.status().ToString());
+  Result<eval::Clustering> truth = eval::ReadClusteringFile(truth_path);
+  if (!truth.ok()) return Fail(truth.status().ToString());
+  std::printf("clusters (found/truth): %zu / %zu\n", found->size(),
+              truth->size());
+  std::printf("E4SC: %.4f\n", eval::E4SC(*truth, *found));
+  std::printf("F1:   %.4f\n", eval::F1(*truth, *found));
+  std::printf("RNIA: %.4f\n", eval::RNIA(*truth, *found));
+  std::printf("CE:   %.4f\n", eval::CE(*truth, *found));
+  return 0;
+}
+
+int CmdInfo(const Args& args) {
+  const std::string in = args.Get("in", "");
+  if (in.empty()) return Fail("info requires --in");
+  Result<data::Dataset> dataset =
+      in.size() > 5 && in.substr(in.size() - 5) == ".p3cd"
+          ? data::ReadBinary(in)
+          : data::ReadCsv(in);
+  if (!dataset.ok()) return Fail(dataset.status().ToString());
+  std::printf("points:     %zu\n", dataset->num_points());
+  std::printf("dims:       %zu\n", dataset->num_dims());
+  std::printf("normalized: %s\n", dataset->IsNormalized() ? "yes" : "no");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Args args(argc, argv);
+  if (command == "generate") return CmdGenerate(args);
+  if (command == "cluster") return CmdCluster(args);
+  if (command == "evaluate") return CmdEvaluate(args);
+  if (command == "evaluate-subspace") return CmdEvaluateSubspace(args);
+  if (command == "info") return CmdInfo(args);
+  return Usage();
+}
