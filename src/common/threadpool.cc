@@ -1,6 +1,7 @@
 #include "src/common/threadpool.h"
 
 #include <algorithm>
+#include <exception>
 
 namespace p3c {
 
@@ -50,14 +51,31 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   // queueing overhead.
   const size_t chunks = std::min(n, workers_.size() * 4);
   std::atomic<size_t> next{0};
+  // First-error-wins capture: an exception escaping `fn` on a worker
+  // must surface on the caller, not std::terminate the process. Workers
+  // stop claiming indices once a throw is seen.
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
   for (size_t c = 0; c < chunks; ++c) {
-    Submit([&next, n, &fn] {
+    Submit([&next, n, &fn, &failed, &first_error, &error_mu] {
       for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-        fn(i);
+        if (failed.load(std::memory_order_acquire)) return;
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!failed.load(std::memory_order_relaxed)) {
+            first_error = std::current_exception();
+            failed.store(true, std::memory_order_release);
+          }
+          return;
+        }
       }
     });
   }
   Wait();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void ThreadPool::WorkerLoop() {

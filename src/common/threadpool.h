@@ -16,9 +16,12 @@ namespace p3c {
 /// candidate generator.
 ///
 /// Tasks are plain `std::function<void()>`; exceptions must not escape a
-/// task (the library is exception-free at its boundaries, see
-/// common/status.h). `Wait()` blocks until every submitted task has
-/// finished, which the runner uses as its per-phase barrier.
+/// task submitted via `Submit` (the library is exception-free at its
+/// boundaries, see common/status.h). `ParallelFor` is the exception-safe
+/// entry point: it captures the first exception thrown by `fn` and
+/// rethrows it on the caller after the barrier. `Wait()` blocks until
+/// every submitted task has finished, which the runner uses as its
+/// per-phase barrier.
 class ThreadPool {
  public:
   /// Creates `num_threads` workers; 0 means `HardwareConcurrency()`.
@@ -35,7 +38,10 @@ class ThreadPool {
   void Wait();
 
   /// Runs `fn(i)` for i in [0, n) across the pool and waits for all of
-  /// them. `fn` must be safe to call concurrently.
+  /// them. `fn` must be safe to call concurrently. If any invocation
+  /// throws, the first exception (in completion order) is rethrown on
+  /// the caller once all workers have stopped; remaining unclaimed
+  /// indices are skipped, so some `fn(i)` may never run after a throw.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   size_t num_threads() const { return workers_.size(); }

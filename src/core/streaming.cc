@@ -7,18 +7,12 @@
 #include <limits>
 
 #include "src/common/stopwatch.h"
+#include "src/common/string_util.h"
 #include "src/core/attribute_inspection.h"
 #include "src/core/relevant_intervals.h"
 #include "src/core/rssc.h"
 
 namespace p3c::core {
-
-namespace {
-
-constexpr char kMagic[4] = {'P', '3', 'C', 'D'};
-constexpr uint32_t kVersion = 1;
-
-}  // namespace
 
 Result<BinaryDatasetReader> BinaryDatasetReader::Open(
     const std::string& path) {
@@ -27,22 +21,17 @@ Result<BinaryDatasetReader> BinaryDatasetReader::Open(
     return Status::IOError("cannot open " + path + ": " +
                            std::strerror(errno));
   }
-  char magic[4];
-  uint32_t version = 0;
-  uint64_t n = 0;
-  uint64_t d = 0;
-  const bool header_ok =
-      std::fread(magic, 1, sizeof(magic), f) == sizeof(magic) &&
-      std::memcmp(magic, kMagic, sizeof(magic)) == 0 &&
-      std::fread(&version, sizeof(version), 1, f) == 1 &&
-      version == kVersion && std::fread(&n, sizeof(n), 1, f) == 1 &&
-      std::fread(&d, sizeof(d), 1, f) == 1;
-  std::fclose(f);
-  if (!header_ok) {
-    return Status::IOError("not a P3CD container: " + path);
+  Result<data::BinaryHeader> header = data::ReadBinaryHeader(f, path);
+  long file_size = -1;
+  if (header.ok() && std::fseek(f, 0, SEEK_END) == 0) {
+    file_size = std::ftell(f);
   }
-  if (d == 0 && n > 0) return Status::IOError("zero dimensionality: " + path);
-  return BinaryDatasetReader(path, n, d);
+  std::fclose(f);
+  if (!header.ok()) return header.status();
+  if (file_size < 0) return Status::IOError("cannot stat: " + path);
+  P3C_RETURN_NOT_OK(data::ValidateBinarySize(
+      *header, static_cast<uint64_t>(file_size), path));
+  return BinaryDatasetReader(path, *header);
 }
 
 Status BinaryDatasetReader::ForEachBlock(
@@ -57,26 +46,30 @@ Status BinaryDatasetReader::ForEachBlock(
     return Status::IOError("cannot open " + path_ + ": " +
                            std::strerror(errno));
   }
-  // Skip the header: magic + version + n + d.
-  const long header = 4 + sizeof(uint32_t) + 2 * sizeof(uint64_t);
-  if (std::fseek(f, header, SEEK_SET) != 0) {
+  if (std::fseek(f, static_cast<long>(header_.header_bytes), SEEK_SET) != 0) {
     std::fclose(f);
     return Status::IOError("seek failed: " + path_);
   }
   Status status;
   uint64_t row = 0;
+  // Running payload checksum: whole-file corruption detection amortized
+  // over the pass, verified only when the pass reaches the end (a
+  // callback abort leaves the tail unread).
+  uint64_t checksum = 14695981039346656037ull;
   std::vector<double> buffer;
-  while (row < num_points_) {
+  while (row < header_.num_points) {
     const uint64_t rows =
-        std::min<uint64_t>(block_rows, num_points_ - row);
-    buffer.resize(static_cast<size_t>(rows * num_dims_));
+        std::min<uint64_t>(block_rows, header_.num_points - row);
+    buffer.resize(static_cast<size_t>(rows * header_.num_dims));
     if (std::fread(buffer.data(), sizeof(double), buffer.size(), f) !=
         buffer.size()) {
       status = Status::IOError("truncated payload: " + path_);
       break;
     }
+    checksum = data::Fnv1a64(buffer.data(), buffer.size() * sizeof(double),
+                             checksum);
     Result<data::Dataset> block = data::Dataset::FromRowMajor(
-        std::move(buffer), static_cast<size_t>(num_dims_));
+        std::move(buffer), static_cast<size_t>(header_.num_dims));
     if (!block.ok()) {
       status = block.status();
       break;
@@ -85,6 +78,14 @@ Status BinaryDatasetReader::ForEachBlock(
     if (!status.ok()) break;
     buffer = std::vector<double>();  // FromRowMajor consumed it
     row += rows;
+  }
+  if (status.ok() && row >= header_.num_points && header_.version >= 2 &&
+      checksum != header_.checksum) {
+    status = Status::IOError(StringPrintf(
+        "%s: payload checksum mismatch (header %016llx, computed %016llx): "
+        "file is corrupt",
+        path_.c_str(), static_cast<unsigned long long>(header_.checksum),
+        static_cast<unsigned long long>(checksum)));
   }
   std::fclose(f);
   return status;

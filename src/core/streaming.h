@@ -11,6 +11,7 @@
 #include "src/core/interval.h"
 #include "src/core/params.h"
 #include "src/data/dataset.h"
+#include "src/data/io.h"
 
 namespace p3c::core {
 
@@ -21,27 +22,30 @@ namespace p3c::core {
 /// paper (0.2 TB for the 10^9-point run).
 class BinaryDatasetReader {
  public:
-  /// Validates the header; the payload is read lazily per pass.
+  /// Validates the header and that the file holds exactly the payload
+  /// the header promises (rejecting truncated or padded files with a
+  /// descriptive Status); the payload itself is read lazily per pass.
   static Result<BinaryDatasetReader> Open(const std::string& path);
 
-  uint64_t num_points() const { return num_points_; }
-  uint64_t num_dims() const { return num_dims_; }
+  uint64_t num_points() const { return header_.num_points; }
+  uint64_t num_dims() const { return header_.num_dims; }
 
   /// One sequential pass: invokes `fn(first_row_id, block)` for
   /// consecutive blocks of up to `block_rows` rows. Stops at the first
-  /// failing callback.
+  /// failing callback. A pass that streams the whole payload also
+  /// verifies the container checksum (version >= 2) and fails with a
+  /// descriptive Status on corrupt data.
   Status ForEachBlock(
       size_t block_rows,
       const std::function<Status(data::PointId, const data::Dataset&)>& fn)
       const;
 
  private:
-  BinaryDatasetReader(std::string path, uint64_t n, uint64_t d)
-      : path_(std::move(path)), num_points_(n), num_dims_(d) {}
+  BinaryDatasetReader(std::string path, data::BinaryHeader header)
+      : path_(std::move(path)), header_(header) {}
 
   std::string path_;
-  uint64_t num_points_;
-  uint64_t num_dims_;
+  data::BinaryHeader header_;
 };
 
 /// A cluster reported by the streaming pipeline. Point lists are NOT

@@ -13,7 +13,13 @@ namespace p3c::data {
 namespace {
 
 constexpr char kMagic[4] = {'P', '3', 'C', 'D'};
-constexpr uint32_t kVersion = 1;
+/// v1: magic + version + n + d. v2 appends a u64 FNV-1a payload
+/// checksum. Writers emit v2; readers accept both.
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kMinVersion = 1;
+constexpr size_t kHeaderBytesV1 = sizeof(kMagic) + sizeof(uint32_t) +
+                                  2 * sizeof(uint64_t);
+constexpr size_t kHeaderBytesV2 = kHeaderBytesV1 + sizeof(uint64_t);
 
 /// RAII FILE* wrapper.
 class File {
@@ -99,6 +105,61 @@ Result<Dataset> ReadCsv(const std::string& path) {
   return out;
 }
 
+uint64_t Fnv1a64(const void* data, size_t len, uint64_t state) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    state = (state ^ bytes[i]) * 1099511628211ull;
+  }
+  return state;
+}
+
+Result<BinaryHeader> ReadBinaryHeader(std::FILE* f, const std::string& path) {
+  BinaryHeader header;
+  char magic[4];
+  if (std::fread(magic, 1, sizeof(magic), f) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
+    return Status::IOError("not a P3CD container (bad magic): " + path);
+  }
+  if (std::fread(&header.version, sizeof(header.version), 1, f) != 1) {
+    return Status::IOError("truncated header: " + path);
+  }
+  if (header.version < kMinVersion || header.version > kVersion) {
+    return Status::IOError(StringPrintf(
+        "unsupported container version %u (supported: %u..%u): %s",
+        header.version, kMinVersion, kVersion, path.c_str()));
+  }
+  if (std::fread(&header.num_points, sizeof(header.num_points), 1, f) != 1 ||
+      std::fread(&header.num_dims, sizeof(header.num_dims), 1, f) != 1) {
+    return Status::IOError("truncated header: " + path);
+  }
+  header.header_bytes = kHeaderBytesV1;
+  if (header.version >= 2) {
+    if (std::fread(&header.checksum, sizeof(header.checksum), 1, f) != 1) {
+      return Status::IOError("truncated header (missing checksum): " + path);
+    }
+    header.header_bytes = kHeaderBytesV2;
+  }
+  if (header.num_dims == 0 && header.num_points > 0) {
+    return Status::IOError("zero dimensionality: " + path);
+  }
+  return header;
+}
+
+Status ValidateBinarySize(const BinaryHeader& header, uint64_t file_size,
+                          const std::string& path) {
+  const uint64_t expected =
+      static_cast<uint64_t>(header.header_bytes) +
+      header.num_points * header.num_dims * sizeof(double);
+  if (file_size == expected) return Status::OK();
+  return Status::IOError(StringPrintf(
+      "%s: %llu points x %llu dims implies %llu bytes, file has %llu "
+      "(truncated or trailing garbage)",
+      path.c_str(), static_cast<unsigned long long>(header.num_points),
+      static_cast<unsigned long long>(header.num_dims),
+      static_cast<unsigned long long>(expected),
+      static_cast<unsigned long long>(file_size)));
+}
+
 Status WriteBinary(const Dataset& dataset, const std::string& path) {
   File f(path, "wb");
   if (!f.ok()) {
@@ -107,13 +168,16 @@ Status WriteBinary(const Dataset& dataset, const std::string& path) {
   }
   const uint64_t n = dataset.num_points();
   const uint64_t d = dataset.num_dims();
+  const auto& values = dataset.values();
+  const uint64_t checksum =
+      Fnv1a64(values.data(), values.size() * sizeof(double));
   if (std::fwrite(kMagic, 1, sizeof(kMagic), f.get()) != sizeof(kMagic) ||
       std::fwrite(&kVersion, sizeof(kVersion), 1, f.get()) != 1 ||
       std::fwrite(&n, sizeof(n), 1, f.get()) != 1 ||
-      std::fwrite(&d, sizeof(d), 1, f.get()) != 1) {
+      std::fwrite(&d, sizeof(d), 1, f.get()) != 1 ||
+      std::fwrite(&checksum, sizeof(checksum), 1, f.get()) != 1) {
     return Status::IOError("header write failed: " + path);
   }
-  const auto& values = dataset.values();
   if (!values.empty() &&
       std::fwrite(values.data(), sizeof(double), values.size(), f.get()) !=
           values.size()) {
@@ -128,28 +192,37 @@ Result<Dataset> ReadBinary(const std::string& path) {
     return Status::IOError("cannot open for reading: " + path + ": " +
                            std::strerror(errno));
   }
-  char magic[4];
-  uint32_t version = 0;
-  uint64_t n = 0;
-  uint64_t d = 0;
-  if (std::fread(magic, 1, sizeof(magic), f.get()) != sizeof(magic) ||
-      std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
-    return Status::IOError("bad magic: " + path);
+  Result<BinaryHeader> header = ReadBinaryHeader(f.get(), path);
+  if (!header.ok()) return header.status();
+  if (std::fseek(f.get(), 0, SEEK_END) != 0) {
+    return Status::IOError("seek failed: " + path);
   }
-  if (std::fread(&version, sizeof(version), 1, f.get()) != 1 ||
-      version != kVersion) {
-    return Status::IOError("unsupported version: " + path);
+  const long file_size = std::ftell(f.get());
+  if (file_size < 0) return Status::IOError("tell failed: " + path);
+  P3C_RETURN_NOT_OK(ValidateBinarySize(
+      *header, static_cast<uint64_t>(file_size), path));
+  if (std::fseek(f.get(), static_cast<long>(header->header_bytes),
+                 SEEK_SET) != 0) {
+    return Status::IOError("seek failed: " + path);
   }
-  if (std::fread(&n, sizeof(n), 1, f.get()) != 1 ||
-      std::fread(&d, sizeof(d), 1, f.get()) != 1) {
-    return Status::IOError("truncated header: " + path);
-  }
-  if (d == 0 && n > 0) return Status::IOError("zero dimensionality: " + path);
+  const uint64_t n = header->num_points;
+  const uint64_t d = header->num_dims;
   std::vector<double> values(n * d);
   if (!values.empty() &&
       std::fread(values.data(), sizeof(double), values.size(), f.get()) !=
           values.size()) {
     return Status::IOError("truncated payload: " + path);
+  }
+  if (header->version >= 2) {
+    const uint64_t checksum =
+        Fnv1a64(values.data(), values.size() * sizeof(double));
+    if (checksum != header->checksum) {
+      return Status::IOError(StringPrintf(
+          "%s: payload checksum mismatch (header %016llx, computed %016llx): "
+          "file is corrupt",
+          path.c_str(), static_cast<unsigned long long>(header->checksum),
+          static_cast<unsigned long long>(checksum)));
+    }
   }
   if (d == 0) return Dataset();
   return Dataset::FromRowMajor(std::move(values), d);

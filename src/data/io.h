@@ -1,6 +1,8 @@
 #ifndef P3C_DATA_IO_H_
 #define P3C_DATA_IO_H_
 
+#include <cstdint>
+#include <cstdio>
 #include <string>
 
 #include "src/common/status.h"
@@ -16,14 +18,44 @@ Status WriteCsv(const Dataset& dataset, const std::string& path);
 /// of fields. Empty files yield an empty dataset.
 Result<Dataset> ReadCsv(const std::string& path);
 
-/// Writes the dataset in the library's binary container:
-/// magic "P3CD", u32 version, u64 n, u64 d, then n*d little-endian
-/// doubles. Compact and fast for the large benchmark inputs.
+/// Writes the dataset in the library's binary container (version 2):
+/// magic "P3CD", u32 version, u64 n, u64 d, u64 FNV-1a checksum of the
+/// payload, then n*d little-endian doubles. Compact and fast for the
+/// large benchmark inputs; the checksum lets readers reject silent
+/// corruption and the exact size implied by (n, d) lets them reject
+/// truncation.
 Status WriteBinary(const Dataset& dataset, const std::string& path);
 
 /// Reads the binary container written by WriteBinary, validating magic,
-/// version and payload size.
+/// version, exact payload size, and (version >= 2) the payload checksum.
+/// Version-1 files (no checksum field) are still readable.
 Result<Dataset> ReadBinary(const std::string& path);
+
+/// 64-bit FNV-1a over `len` bytes; pass a previous return value as
+/// `state` to hash incrementally (block readers).
+uint64_t Fnv1a64(const void* data, size_t len,
+                 uint64_t state = 14695981039346656037ull);
+
+/// Parsed header of the binary container. `header_bytes` is the payload
+/// offset (24 for v1, 32 for v2); `checksum` is 0 for v1 files.
+struct BinaryHeader {
+  uint32_t version = 0;
+  uint64_t num_points = 0;
+  uint64_t num_dims = 0;
+  uint64_t checksum = 0;
+  size_t header_bytes = 0;
+};
+
+/// Reads and validates the container header from `f` (positioned at the
+/// file start). Returns a descriptive Status naming `path` on bad magic,
+/// unsupported version, truncated header, or zero dimensionality.
+Result<BinaryHeader> ReadBinaryHeader(std::FILE* f, const std::string& path);
+
+/// Checks that `file_size` is exactly header + n*d doubles — catching
+/// both truncated files and trailing garbage with a Status that names
+/// the expected and found byte counts.
+Status ValidateBinarySize(const BinaryHeader& header, uint64_t file_size,
+                          const std::string& path);
 
 }  // namespace p3c::data
 

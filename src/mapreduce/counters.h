@@ -14,6 +14,12 @@ namespace p3c::mr {
 /// Mapper/reducer tasks accumulate into task-local Counters instances and
 /// the runner merges them after each phase, so no locking happens on the
 /// hot path; `Merge` takes the lock once per task.
+///
+/// Exactly-once semantics under retry: a task attempt accumulates into
+/// an attempt-local instance that is dropped with the attempt on
+/// failure, and a job's merged counters reach the cross-job sink
+/// (RunnerOptions::counters) only when the whole job succeeds — so
+/// neither task retries nor pipeline-level job re-runs double-count.
 class Counters {
  public:
   Counters() = default;

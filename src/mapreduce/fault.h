@@ -1,0 +1,201 @@
+#ifndef P3C_MAPREDUCE_FAULT_H_
+#define P3C_MAPREDUCE_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/string_util.h"
+
+namespace p3c::mr {
+
+/// The three retryable task kinds of a LocalRunner job. Combine tasks
+/// are listed separately from map tasks because Hadoop runs (and
+/// re-runs) the combiner as part of a map *attempt*; here each gets its
+/// own attempt loop so a crashing combiner cannot take the map output
+/// down with it.
+enum class TaskKind { kMap = 0, kCombine = 1, kReduce = 2 };
+
+inline const char* TaskKindName(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::kMap:
+      return "map";
+    case TaskKind::kCombine:
+      return "combine";
+    case TaskKind::kReduce:
+      return "reduce";
+  }
+  return "unknown";
+}
+
+/// Identity of one task attempt: Hadoop's `attempt_<job>_<task>_<n>`
+/// naming collapsed to the coordinates the in-process engine has.
+struct TaskAttempt {
+  const std::string& job_name;
+  TaskKind kind;
+  size_t task_index;
+  size_t attempt;  ///< 0-based attempt number within the task
+};
+
+/// Fault-injection hook consulted by LocalRunner at the start of every
+/// task attempt — the test substrate for the engine's retry machinery.
+///
+/// Implementations are called concurrently from worker threads and must
+/// be thread-safe. Returning a non-OK Status makes the attempt fail
+/// with that status (as if the user code had failed); implementations
+/// may instead throw to simulate a crashing task. Either way the
+/// engine discards the attempt wholesale and re-runs it, so a correctly
+/// configured injector never changes job *output*, only the attempt
+/// accounting in JobMetrics.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  virtual Status OnAttemptStart(const TaskAttempt& attempt) = 0;
+};
+
+/// Script-driven injector: fails exactly the (job, kind, task, attempt)
+/// coordinates its rules name. Rules are one-shot by default, so a job
+/// that is re-run at the pipeline level (attempt numbers restart at 0)
+/// sails through the second time — the "transient task failure" model.
+class ScriptedFaultInjector : public FaultInjector {
+ public:
+  static constexpr size_t kUnlimitedFires =
+      std::numeric_limits<size_t>::max();
+
+  struct Rule {
+    /// Substring of the job name; empty matches every job.
+    std::string job_substring;
+    /// Unset fields match every kind / task / attempt.
+    std::optional<TaskKind> kind;
+    std::optional<size_t> task_index;
+    std::optional<size_t> attempt;
+    /// How many attempts this rule kills before burning out.
+    size_t fires = 1;
+    /// Throw instead of returning the status (simulates a crash the
+    /// engine must catch rather than a clean failure).
+    bool throws = false;
+    /// Failure returned (or wrapped in the thrown exception).
+    Status status = Status::Internal("injected fault");
+  };
+
+  void AddRule(Rule rule) {
+    std::lock_guard<std::mutex> lock(mu_);
+    rules_.push_back(std::move(rule));
+  }
+
+  /// Convenience: one-shot kill of `attempt` of `task` in jobs matching
+  /// `job_substring` (any kind).
+  void FailOnce(std::string job_substring, size_t task_index,
+                size_t attempt) {
+    Rule rule;
+    rule.job_substring = std::move(job_substring);
+    rule.task_index = task_index;
+    rule.attempt = attempt;
+    AddRule(std::move(rule));
+  }
+
+  Status OnAttemptStart(const TaskAttempt& attempt) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Rule& rule : rules_) {
+      if (rule.fires == 0) continue;
+      if (!rule.job_substring.empty() &&
+          attempt.job_name.find(rule.job_substring) == std::string::npos) {
+        continue;
+      }
+      if (rule.kind.has_value() && *rule.kind != attempt.kind) continue;
+      if (rule.task_index.has_value() &&
+          *rule.task_index != attempt.task_index) {
+        continue;
+      }
+      if (rule.attempt.has_value() && *rule.attempt != attempt.attempt) {
+        continue;
+      }
+      if (rule.fires != kUnlimitedFires) --rule.fires;
+      ++injected_;
+      if (rule.throws) {
+        throw std::runtime_error(StringPrintf(
+            "injected crash: job '%s' %s task %zu attempt %zu",
+            attempt.job_name.c_str(), TaskKindName(attempt.kind),
+            attempt.task_index, attempt.attempt));
+      }
+      return rule.status;
+    }
+    return Status::OK();
+  }
+
+  uint64_t injected_faults() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return injected_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Rule> rules_;
+  uint64_t injected_ = 0;
+};
+
+/// Seeded pseudo-random injector: attempt k of a task fails with
+/// `fail_probability` when k < max_faults_per_task, decided by a
+/// deterministic hash of (seed, job, kind, task, attempt). Because only
+/// the first `max_faults_per_task` attempts can be killed, a runner
+/// configured with max_attempts > max_faults_per_task always makes
+/// progress — with fail_probability = 1.0 this kills the first attempt
+/// of every task of every job, the acceptance scenario for retry
+/// exactly-once semantics.
+class SeededFaultInjector : public FaultInjector {
+ public:
+  explicit SeededFaultInjector(uint64_t seed, double fail_probability = 1.0,
+                               size_t max_faults_per_task = 1)
+      : seed_(seed),
+        fail_probability_(fail_probability),
+        max_faults_per_task_(max_faults_per_task) {}
+
+  Status OnAttemptStart(const TaskAttempt& attempt) override {
+    if (attempt.attempt >= max_faults_per_task_) return Status::OK();
+    // FNV-1a over the job name, then splitmix64 finalization over the
+    // task coordinates: stable across runs and platforms.
+    uint64_t h = 14695981039346656037ull ^ seed_;
+    for (char c : attempt.job_name) {
+      h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+    }
+    h ^= static_cast<uint64_t>(attempt.kind) * 0x9e3779b97f4a7c15ull;
+    h = Mix(h + attempt.task_index);
+    h = Mix(h + attempt.attempt);
+    const double u =
+        static_cast<double>(h >> 11) * 0x1.0p-53;  // uniform in [0, 1)
+    if (u >= fail_probability_) return Status::OK();
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Internal(StringPrintf(
+        "injected fault: job '%s' %s task %zu attempt %zu",
+        attempt.job_name.c_str(), TaskKindName(attempt.kind),
+        attempt.task_index, attempt.attempt));
+  }
+
+  uint64_t injected_faults() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static uint64_t Mix(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  uint64_t seed_;
+  double fail_probability_;
+  size_t max_faults_per_task_;
+  std::atomic<uint64_t> injected_{0};
+};
+
+}  // namespace p3c::mr
+
+#endif  // P3C_MAPREDUCE_FAULT_H_

@@ -11,8 +11,10 @@
 namespace p3c::mr {
 
 /// Sink for intermediate (key, value) pairs plus the task-local counter
-/// channel. One Emitter instance exists per mapper task; it is not
-/// shared between threads.
+/// channel. One Emitter instance exists per mapper task *attempt*; it is
+/// not shared between threads. If the attempt fails, the emitter —
+/// records, counters, byte accounting — is discarded and the retry gets
+/// a fresh one, which is what makes task side effects exactly-once.
 template <typename K, typename V>
 class Emitter {
  public:
@@ -31,6 +33,11 @@ class Emitter {
 /// the MVB job uses to cache its split (§5.5) — and `Cleanup` runs after
 /// the last record, which is where split-level aggregates (per-split
 /// medians, per-split histograms) are emitted.
+///
+/// Retry contract (Hadoop task attempts): a fresh instance runs per
+/// attempt over the same immutable split, so mappers may fail (throw or
+/// leave partial emissions) without corrupting the job — but must not
+/// mutate state outside themselves and their emitter.
 template <typename Record, typename K, typename V>
 class Mapper {
  public:

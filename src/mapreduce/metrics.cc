@@ -16,6 +16,18 @@ uint64_t MetricsRegistry::TotalShuffleBytes() const {
   return acc;
 }
 
+uint64_t MetricsRegistry::TotalTaskFailures() const {
+  uint64_t acc = 0;
+  for (const auto& j : jobs_) acc += j.task_failures;
+  return acc;
+}
+
+uint64_t MetricsRegistry::TotalRetriedTasks() const {
+  uint64_t acc = 0;
+  for (const auto& j : jobs_) acc += j.retried_tasks;
+  return acc;
+}
+
 uint64_t MetricsRegistry::TotalInputRecords() const {
   uint64_t acc = 0;
   for (const auto& j : jobs_) acc += j.input_records;
@@ -23,21 +35,26 @@ uint64_t MetricsRegistry::TotalInputRecords() const {
 }
 
 std::string MetricsRegistry::ToString() const {
-  std::string out = StringPrintf("%-34s %8s %6s %12s %12s %10s\n", "job",
-                                 "splits", "red.", "input", "shuffled(B)",
-                                 "time(s)");
+  std::string out = StringPrintf("%-34s %8s %6s %12s %12s %6s %6s %10s\n",
+                                 "job", "splits", "red.", "input",
+                                 "shuffled(B)", "att.", "fail.", "time(s)");
   for (const auto& j : jobs_) {
-    out += StringPrintf("%-34s %8zu %6zu %12llu %12llu %10.4f\n",
+    out += StringPrintf("%-34s %8zu %6zu %12llu %12llu %6llu %6llu %10.4f%s\n",
                         j.job_name.c_str(), j.num_splits, j.num_reducers,
                         static_cast<unsigned long long>(j.input_records),
                         static_cast<unsigned long long>(j.shuffle_bytes),
-                        j.total_seconds);
+                        static_cast<unsigned long long>(j.task_attempts),
+                        static_cast<unsigned long long>(j.task_failures),
+                        j.total_seconds, j.succeeded ? "" : "  FAILED");
   }
   out += StringPrintf("TOTAL: %zu jobs, %llu input records, %llu shuffle "
-                      "bytes, %.4f s\n",
+                      "bytes, %llu failed attempts, %llu retried tasks, "
+                      "%.4f s\n",
                       jobs_.size(),
                       static_cast<unsigned long long>(TotalInputRecords()),
                       static_cast<unsigned long long>(TotalShuffleBytes()),
+                      static_cast<unsigned long long>(TotalTaskFailures()),
+                      static_cast<unsigned long long>(TotalRetriedTasks()),
                       TotalSeconds());
   return out;
 }

@@ -19,6 +19,14 @@ struct JobMetrics {
   uint64_t map_output_records = 0;   ///< records entering the shuffle
   uint64_t shuffle_bytes = 0;        ///< approximate serialized volume
   uint64_t output_records = 0;
+  // Fault-tolerance accounting (Hadoop's failed/killed task attempt
+  // counters): every map/combine/reduce task of the job runs as one or
+  // more attempts; failed attempts leave no side effects and are
+  // retried up to RunnerOptions::max_attempts.
+  uint64_t task_attempts = 0;   ///< executed task attempts, all kinds
+  uint64_t task_failures = 0;   ///< attempts that failed (throw/Status)
+  uint64_t retried_tasks = 0;   ///< tasks that needed > 1 attempt
+  bool succeeded = true;        ///< false: a task exhausted its attempts
   double map_seconds = 0.0;
   double shuffle_seconds = 0.0;
   double reduce_seconds = 0.0;
@@ -47,6 +55,11 @@ class MetricsRegistry {
   }
   /// Sum of shuffle volumes.
   uint64_t TotalShuffleBytes() const;
+  /// Sums of the fault-tolerance accounting across jobs: failed task
+  /// attempts and tasks that needed more than one attempt. Both are 0
+  /// on a fault-free run.
+  uint64_t TotalTaskFailures() const;
+  uint64_t TotalRetriedTasks() const;
   /// Sum of map input records over all jobs — the "I/O workload" proxy:
   /// each input record of each job corresponds to one record read from
   /// the storage system in a real deployment.

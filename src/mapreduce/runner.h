@@ -2,17 +2,25 @@
 #define P3C_MAPREDUCE_RUNNER_H_
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/common/stopwatch.h"
+#include "src/common/string_util.h"
 #include "src/common/threadpool.h"
 #include "src/mapreduce/counters.h"
+#include "src/mapreduce/fault.h"
 #include "src/mapreduce/job.h"
 #include "src/mapreduce/metrics.h"
 
@@ -29,6 +37,20 @@ struct RunnerOptions {
   /// Number of reduce tasks per job (the paper's jobs mostly use a single
   /// reducer; the engine still exercises the partition/merge machinery).
   size_t num_reducers = 1;
+  /// Maximum attempts per task before the job fails — Hadoop's
+  /// `mapreduce.{map,reduce}.maxattempts`, default 4. Each map, combine,
+  /// and reduce task runs as up to this many attempts; a failed attempt
+  /// (thrown exception or non-OK Status) is discarded wholesale and the
+  /// task is re-run from its immutable input.
+  size_t max_attempts = 4;
+  /// Deterministic exponential backoff between attempts of one task:
+  /// retry r sleeps min(retry_backoff_seconds * 2^(r-1),
+  /// retry_backoff_max_seconds). 0 disables sleeping (tests).
+  double retry_backoff_seconds = 0.0;
+  double retry_backoff_max_seconds = 0.05;
+  /// Optional fault-injection hook consulted at the start of every task
+  /// attempt (see fault.h); the test substrate for the retry machinery.
+  FaultInjector* fault_injector = nullptr;
   /// Optional sink for per-job execution metrics.
   MetricsRegistry* metrics = nullptr;
   /// Optional sink for merged framework counters across jobs.
@@ -45,13 +67,28 @@ struct RunnerOptions {
 /// and outputs are concatenated in key order, so runs are reproducible
 /// regardless of thread scheduling.
 ///
+/// Fault tolerance mirrors Hadoop's task-attempt model: every map,
+/// combine, and reduce task executes as a sequence of attempts, each of
+/// which either commits its output atomically or is discarded without a
+/// trace — counters, shuffle bytes, and emitted records of failed
+/// attempts never reach the job result, so a job that succeeds after
+/// retries is byte-identical to a fault-free run. A task that exhausts
+/// `RunnerOptions::max_attempts` fails the job with a Status naming the
+/// job, task kind, task index, and attempt count; JobMetrics records the
+/// attempt/failure/retry totals either way.
+///
+/// Retryability contract: mapper/reducer/combiner factories may be
+/// invoked several times per task (once per attempt) and task input is
+/// treated as immutable — shuffle values are copied, not moved, into
+/// reducer calls, so `V` must be copyable.
+///
 /// Substitution note (DESIGN.md §2): this replaces the paper's Hadoop
 /// cluster; the job decompositions in src/mr are expressed against this
 /// API exactly as §5 describes them against Hadoop.
 class LocalRunner {
  public:
   explicit LocalRunner(RunnerOptions options = {})
-      : options_(options), pool_(options.num_threads) {}
+      : options_(std::move(options)), pool_(options_.num_threads) {}
 
   LocalRunner(const LocalRunner&) = delete;
   LocalRunner& operator=(const LocalRunner&) = delete;
@@ -60,13 +97,14 @@ class LocalRunner {
   ThreadPool& pool() { return pool_; }
 
   /// Runs a full map-shuffle-reduce job and returns the concatenated
-  /// reducer outputs (in key order). `K` must be strict-weak orderable.
+  /// reducer outputs (in key order), or the failure of the first task
+  /// that exhausted its attempts. `K` must be strict-weak orderable.
   ///
-  /// The factories are invoked once per task from worker threads and must
-  /// be thread-safe; the produced mapper/reducer instances are used by a
-  /// single thread only.
+  /// The factories are invoked once per task *attempt* from worker
+  /// threads and must be thread-safe; the produced mapper/reducer
+  /// instances are used by a single thread only.
   template <typename Record, typename K, typename V, typename Out>
-  std::vector<Out> Run(
+  Result<std::vector<Out>> Run(
       const std::string& job_name, std::span<const Record> input,
       const std::function<std::unique_ptr<Mapper<Record, K, V>>()>&
           mapper_factory,
@@ -79,9 +117,11 @@ class LocalRunner {
   /// Run() plus a per-mapper combiner: each map task's output is grouped
   /// and collapsed by the combiner before entering the shuffle, so the
   /// shuffle volume (JobMetrics::shuffle_bytes) reflects the combined
-  /// records. `combiner_factory` may be null (no combining).
+  /// records. `combiner_factory` may be null (no combining). The
+  /// combiner runs as its own retryable attempt: a crashing combiner is
+  /// retried against the intact map output.
   template <typename Record, typename K, typename V, typename Out>
-  std::vector<Out> RunWithCombiner(
+  Result<std::vector<Out>> RunWithCombiner(
       const std::string& job_name, std::span<const Record> input,
       const std::function<std::unique_ptr<Mapper<Record, K, V>>()>&
           mapper_factory,
@@ -94,12 +134,19 @@ class LocalRunner {
     metrics.job_name = job_name;
     metrics.input_records = input.size();
     metrics.num_reducers = std::max<size_t>(1, options_.num_reducers);
+    AttemptAccounting acct;
+    Counters job_counters;
 
     // ---- Map phase -----------------------------------------------------
     Stopwatch map_watch;
-    std::vector<std::pair<K, V>> pairs = MapPhase<Record, K, V>(
-        input, mapper_factory, combiner_factory, &metrics);
+    Result<std::vector<std::pair<K, V>>> map_result = MapPhase<Record, K, V>(
+        job_name, input, mapper_factory, combiner_factory, &metrics,
+        &job_counters, acct);
     metrics.map_seconds = map_watch.ElapsedSeconds();
+    if (!map_result.ok()) {
+      return RecordFailure(metrics, acct, total_watch, map_result.status());
+    }
+    std::vector<std::pair<K, V>> pairs = std::move(map_result).value();
 
     // ---- Shuffle: sort-based grouping ---------------------------------
     Stopwatch shuffle_watch;
@@ -121,23 +168,37 @@ class LocalRunner {
     const size_t num_reduce_tasks =
         std::min(metrics.num_reducers, std::max<size_t>(1, groups.size()));
     std::vector<std::vector<Out>> task_outputs(num_reduce_tasks);
-    std::vector<Counters> task_counters(num_reduce_tasks);
+    FailureSlot failure;
     pool_.ParallelFor(num_reduce_tasks, [&](size_t task) {
+      if (failure.has_failed()) return;
       // Contiguous key ranges per reduce task keep output deterministic.
       const size_t begin = groups.size() * task / num_reduce_tasks;
       const size_t end = groups.size() * (task + 1) / num_reduce_tasks;
-      std::unique_ptr<Reducer<K, V, Out>> reducer = reducer_factory();
-      std::vector<V> values;
-      for (size_t g = begin; g < end; ++g) {
-        values.clear();
-        values.reserve(groups[g].second - groups[g].first);
-        for (size_t i = groups[g].first; i < groups[g].second; ++i) {
-          values.push_back(std::move(pairs[i].second));
-        }
-        reducer->Reduce(pairs[groups[g].first].first, values,
-                        task_outputs[task]);
-      }
+      Status st =
+          ExecuteTask(job_name, TaskKind::kReduce, task, acct, [&](size_t) {
+            std::unique_ptr<Reducer<K, V, Out>> reducer = reducer_factory();
+            // Fresh output per attempt; shuffle values are copied so a
+            // failed attempt leaves the shuffled input intact for retry.
+            std::vector<Out> attempt_out;
+            std::vector<V> values;
+            for (size_t g = begin; g < end; ++g) {
+              values.clear();
+              values.reserve(groups[g].second - groups[g].first);
+              for (size_t i = groups[g].first; i < groups[g].second; ++i) {
+                values.push_back(pairs[i].second);
+              }
+              reducer->Reduce(pairs[groups[g].first].first, values,
+                              attempt_out);
+            }
+            task_outputs[task] = std::move(attempt_out);
+            return Status::OK();
+          });
+      if (!st.ok()) failure.Set(std::move(st));
     });
+    if (failure.has_failed()) {
+      metrics.reduce_seconds = reduce_watch.ElapsedSeconds();
+      return RecordFailure(metrics, acct, total_watch, failure.Take());
+    }
     std::vector<Out> output;
     for (auto& part : task_outputs) {
       output.insert(output.end(), std::make_move_iterator(part.begin()),
@@ -145,15 +206,14 @@ class LocalRunner {
     }
     metrics.reduce_seconds = reduce_watch.ElapsedSeconds();
     metrics.output_records = output.size();
-    metrics.total_seconds = total_watch.ElapsedSeconds();
-    if (options_.metrics != nullptr) options_.metrics->Record(metrics);
+    FinishSucceeded(metrics, acct, total_watch, job_counters);
     return output;
   }
 
   /// Runs a map-only job (the paper's OD job, §5.5): the mappers'
   /// emissions are the job output, sorted by key for determinism.
   template <typename Record, typename K, typename V>
-  std::vector<std::pair<K, V>> RunMapOnly(
+  Result<std::vector<std::pair<K, V>>> RunMapOnly(
       const std::string& job_name, std::span<const Record> input,
       const std::function<std::unique_ptr<Mapper<Record, K, V>>()>&
           mapper_factory) {
@@ -162,11 +222,18 @@ class LocalRunner {
     metrics.job_name = job_name;
     metrics.input_records = input.size();
     metrics.num_reducers = 0;
+    AttemptAccounting acct;
+    Counters job_counters;
 
     Stopwatch map_watch;
-    std::vector<std::pair<K, V>> pairs =
-        MapPhase<Record, K, V>(input, mapper_factory, nullptr, &metrics);
+    Result<std::vector<std::pair<K, V>>> map_result = MapPhase<Record, K, V>(
+        job_name, input, mapper_factory, nullptr, &metrics, &job_counters,
+        acct);
     metrics.map_seconds = map_watch.ElapsedSeconds();
+    if (!map_result.ok()) {
+      return RecordFailure(metrics, acct, total_watch, map_result.status());
+    }
+    std::vector<std::pair<K, V>> pairs = std::move(map_result).value();
 
     Stopwatch shuffle_watch;
     std::stable_sort(
@@ -175,8 +242,7 @@ class LocalRunner {
     metrics.shuffle_seconds = shuffle_watch.ElapsedSeconds();
 
     metrics.output_records = pairs.size();
-    metrics.total_seconds = total_watch.ElapsedSeconds();
-    if (options_.metrics != nullptr) options_.metrics->Record(metrics);
+    FinishSucceeded(metrics, acct, total_watch, job_counters);
     return pairs;
   }
 
@@ -188,10 +254,128 @@ class LocalRunner {
   }
 
  private:
+  /// Attempt/failure/retry totals of one job, accumulated lock-free from
+  /// worker threads and copied into JobMetrics when the job finishes.
+  struct AttemptAccounting {
+    std::atomic<uint64_t> attempts{0};
+    std::atomic<uint64_t> failures{0};
+    std::atomic<uint64_t> retried{0};
+  };
+
+  /// First-error-wins slot shared by the tasks of one phase: the first
+  /// task to exhaust its attempts parks its Status here and later tasks
+  /// short-circuit via has_failed().
+  class FailureSlot {
+   public:
+    void Set(Status status) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!failed_.load(std::memory_order_relaxed)) {
+        status_ = std::move(status);
+        failed_.store(true, std::memory_order_release);
+      }
+    }
+    bool has_failed() const {
+      return failed_.load(std::memory_order_acquire);
+    }
+    Status Take() {
+      std::lock_guard<std::mutex> lock(mu_);
+      return status_;
+    }
+
+   private:
+    std::mutex mu_;
+    Status status_;
+    std::atomic<bool> failed_{false};
+  };
+
   size_t SplitSize(size_t n) const {
     if (options_.records_per_split > 0) return options_.records_per_split;
     const size_t target_tasks = pool_.num_threads() * 4;
     return std::max<size_t>(1, (n + target_tasks - 1) / target_tasks);
+  }
+
+  /// Deterministic exponential backoff before retry number `retry`
+  /// (1-based): min(base * 2^(retry-1), max). No jitter — retry timing
+  /// must not introduce nondeterminism into tests.
+  void SleepBackoff(size_t retry) const {
+    double seconds = options_.retry_backoff_seconds;
+    if (seconds <= 0.0) return;
+    for (size_t r = 1; r < retry; ++r) seconds *= 2.0;
+    seconds = std::min(seconds, options_.retry_backoff_max_seconds);
+    if (seconds > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    }
+  }
+
+  /// Runs one task as up to `max_attempts` attempts of `body`. Each
+  /// attempt first consults the fault injector, then runs the body;
+  /// exceptions from either are converted to Status so a crashing task
+  /// is indistinguishable from a cleanly failing one. The body must
+  /// only commit side effects on its success path (attempt isolation is
+  /// the body's contract; the loop supplies the retry policy).
+  Status ExecuteTask(const std::string& job_name, TaskKind kind, size_t task,
+                     AttemptAccounting& acct,
+                     const std::function<Status(size_t attempt)>& body) {
+    const size_t max_attempts = std::max<size_t>(1, options_.max_attempts);
+    Status last;
+    for (size_t attempt = 0; attempt < max_attempts; ++attempt) {
+      if (attempt > 0) SleepBackoff(attempt);
+      acct.attempts.fetch_add(1, std::memory_order_relaxed);
+      Status st;
+      try {
+        if (options_.fault_injector != nullptr) {
+          st = options_.fault_injector->OnAttemptStart(
+              TaskAttempt{job_name, kind, task, attempt});
+        }
+        if (st.ok()) st = body(attempt);
+      } catch (const std::exception& e) {
+        st = Status::Internal(
+            StringPrintf("uncaught exception: %s", e.what()));
+      } catch (...) {
+        st = Status::Internal("uncaught non-standard exception");
+      }
+      if (st.ok()) return st;
+      acct.failures.fetch_add(1, std::memory_order_relaxed);
+      if (attempt == 0 && max_attempts > 1) {
+        acct.retried.fetch_add(1, std::memory_order_relaxed);
+      }
+      last = std::move(st);
+    }
+    return Status(
+        last.code(),
+        StringPrintf("job '%s': %s task %zu failed after %zu attempt(s): %s",
+                     job_name.c_str(), TaskKindName(kind), task, max_attempts,
+                     last.message().c_str()));
+  }
+
+  static void StampAccounting(JobMetrics& metrics,
+                              const AttemptAccounting& acct, bool succeeded) {
+    metrics.task_attempts = acct.attempts.load(std::memory_order_relaxed);
+    metrics.task_failures = acct.failures.load(std::memory_order_relaxed);
+    metrics.retried_tasks = acct.retried.load(std::memory_order_relaxed);
+    metrics.succeeded = succeeded;
+  }
+
+  /// Failure epilogue: stamps the accounting, records the (failed) job
+  /// metrics, and passes the status through. Framework counters are NOT
+  /// merged — a failed job has no observable side effects, so a
+  /// pipeline-level re-run starts from a clean slate (exactly-once).
+  Status RecordFailure(JobMetrics& metrics, const AttemptAccounting& acct,
+                       const Stopwatch& total_watch, Status status) {
+    StampAccounting(metrics, acct, /*succeeded=*/false);
+    metrics.total_seconds = total_watch.ElapsedSeconds();
+    if (options_.metrics != nullptr) options_.metrics->Record(metrics);
+    return status;
+  }
+
+  /// Success epilogue: stamps the accounting and commits the job's
+  /// counters to the cross-job sink in one merge.
+  void FinishSucceeded(JobMetrics& metrics, const AttemptAccounting& acct,
+                       const Stopwatch& total_watch, Counters& job_counters) {
+    StampAccounting(metrics, acct, /*succeeded=*/true);
+    metrics.total_seconds = total_watch.ElapsedSeconds();
+    if (options_.metrics != nullptr) options_.metrics->Record(metrics);
+    if (options_.counters != nullptr) options_.counters->Merge(job_counters);
   }
 
   template <typename Record, typename K, typename V>
@@ -209,32 +393,50 @@ class LocalRunner {
   };
 
   template <typename Record, typename K, typename V>
-  std::vector<std::pair<K, V>> MapPhase(
-      std::span<const Record> input,
+  Result<std::vector<std::pair<K, V>>> MapPhase(
+      const std::string& job_name, std::span<const Record> input,
       const std::function<std::unique_ptr<Mapper<Record, K, V>>()>&
           mapper_factory,
       const std::function<std::unique_ptr<Combiner<K, V>>()>&
           combiner_factory,
-      JobMetrics* metrics) {
+      JobMetrics* metrics, Counters* job_counters, AttemptAccounting& acct) {
     const size_t n = input.size();
     const size_t per_split = SplitSize(std::max<size_t>(1, n));
     const size_t num_splits = n == 0 ? 0 : (n + per_split - 1) / per_split;
     metrics->num_splits = num_splits;
 
     std::vector<VectorEmitter<Record, K, V>> emitters(num_splits);
+    FailureSlot failure;
     pool_.ParallelFor(num_splits, [&](size_t s) {
+      if (failure.has_failed()) return;
       const size_t begin = s * per_split;
       const size_t end = std::min(n, begin + per_split);
       std::span<const Record> split = input.subspan(begin, end - begin);
-      std::unique_ptr<Mapper<Record, K, V>> mapper = mapper_factory();
-      VectorEmitter<Record, K, V>& out = emitters[s];
-      mapper->Setup(s, split, out);
-      for (const Record& record : split) mapper->Map(record, out);
-      mapper->Cleanup(out);
-      if (combiner_factory != nullptr) {
-        CombineLocal(combiner_factory, out);
+      Status st =
+          ExecuteTask(job_name, TaskKind::kMap, s, acct, [&](size_t) {
+            // Fresh emitter per attempt: records, counters, and byte
+            // accounting of a failed attempt are discarded wholesale;
+            // only the winning attempt's output is committed to the
+            // split slot below.
+            VectorEmitter<Record, K, V> out;
+            std::unique_ptr<Mapper<Record, K, V>> mapper = mapper_factory();
+            mapper->Setup(s, split, out);
+            for (const Record& record : split) mapper->Map(record, out);
+            mapper->Cleanup(out);
+            emitters[s] = std::move(out);
+            return Status::OK();
+          });
+      if (st.ok() && combiner_factory != nullptr) {
+        // The combiner is its own attempt (Hadoop re-runs it with the
+        // map attempt; isolating it here means a crashing combiner
+        // retries against the intact, already-committed map output).
+        st = ExecuteTask(job_name, TaskKind::kCombine, s, acct, [&](size_t) {
+          return CombineAttempt(combiner_factory, emitters[s]);
+        });
       }
+      if (!st.ok()) failure.Set(std::move(st));
     });
+    if (failure.has_failed()) return failure.Take();
 
     size_t total_pairs = 0;
     for (const auto& e : emitters) total_pairs += e.pairs_.size();
@@ -244,17 +446,21 @@ class LocalRunner {
       metrics->shuffle_bytes += e.bytes_;
       pairs.insert(pairs.end(), std::make_move_iterator(e.pairs_.begin()),
                    std::make_move_iterator(e.pairs_.end()));
-      if (options_.counters != nullptr) options_.counters->Merge(e.counters_);
+      job_counters->Merge(e.counters_);
     }
     metrics->map_output_records = total_pairs;
     return pairs;
   }
 
-  /// Groups one map task's output by key and collapses each group with a
-  /// fresh combiner instance; the emitter's byte accounting is redone so
-  /// shuffle_bytes reflects the post-combine volume.
+  /// One combine attempt over one map task's committed output: groups by
+  /// key and collapses each group with a fresh combiner instance. The
+  /// emitter is only mutated after the combiner has processed every
+  /// group (values are copied into the combiner, the in-place key sort
+  /// is idempotent), so a failed attempt leaves the map output intact.
+  /// The byte accounting is redone so shuffle_bytes reflects the
+  /// post-combine volume.
   template <typename Record, typename K, typename V>
-  static void CombineLocal(
+  static Status CombineAttempt(
       const std::function<std::unique_ptr<Combiner<K, V>>()>&
           combiner_factory,
       VectorEmitter<Record, K, V>& out) {
@@ -272,7 +478,7 @@ class LocalRunner {
       values.clear();
       values.reserve(j - i);
       for (size_t v = i; v < j; ++v) {
-        values.push_back(std::move(pairs[v].second));
+        values.push_back(pairs[v].second);
       }
       V result = combiner->Combine(pairs[i].first, values);
       bytes += SerializedSize(pairs[i].first) + SerializedSize(result);
@@ -281,6 +487,7 @@ class LocalRunner {
     }
     pairs = std::move(combined);
     out.bytes_ = bytes;
+    return Status::OK();
   }
 
   RunnerOptions options_;

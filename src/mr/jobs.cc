@@ -476,18 +476,20 @@ std::vector<Record> MakeRecords(const data::Dataset& dataset) {
   return records;
 }
 
-std::vector<stats::Histogram> RunHistogramJob(LocalRunner& runner,
-                                              const data::Dataset& dataset,
-                                              stats::BinningRule rule) {
+Result<std::vector<stats::Histogram>> RunHistogramJob(
+    LocalRunner& runner, const data::Dataset& dataset,
+    stats::BinningRule rule) {
   const std::vector<Record> records = MakeRecords(dataset);
   const size_t bins = static_cast<size_t>(
       stats::NumBins(rule, std::max<uint64_t>(1, dataset.num_points())));
   HistogramJobConfig config{&dataset, bins};
-  auto out = runner.Run<Record, int64_t, std::vector<uint64_t>,
+  auto run = runner.Run<Record, int64_t, std::vector<uint64_t>,
                         std::pair<int64_t, std::vector<uint64_t>>>(
       "histogram", records,
       [&config] { return std::make_unique<HistogramMapper>(&config); },
       [] { return std::make_unique<CountSumReducer>(); });
+  if (!run.ok()) return run.status();
+  auto& out = *run;
   std::vector<stats::Histogram> histograms(dataset.num_dims(),
                                            stats::Histogram(bins));
   for (auto& [attr, counts] : out) {
@@ -496,18 +498,20 @@ std::vector<stats::Histogram> RunHistogramJob(LocalRunner& runner,
   return histograms;
 }
 
-std::vector<uint64_t> RunSupportJob(
+Result<std::vector<uint64_t>> RunSupportJob(
     LocalRunner& runner, const data::Dataset& dataset,
     const std::vector<core::Signature>& signatures) {
-  if (signatures.empty()) return {};
+  if (signatures.empty()) return std::vector<uint64_t>{};
   const std::vector<Record> records = MakeRecords(dataset);
   const core::Rssc rssc(signatures);  // "calculated by the main program"
   SupportJobConfig config{&dataset, &rssc};
-  auto out = runner.Run<Record, int64_t, std::vector<uint64_t>,
+  auto run = runner.Run<Record, int64_t, std::vector<uint64_t>,
                         std::pair<int64_t, std::vector<uint64_t>>>(
       "support-count", records,
       [&config] { return std::make_unique<SupportMapper>(&config); },
       [] { return std::make_unique<CountSumReducer>(); });
+  if (!run.ok()) return run.status();
+  auto& out = *run;
   std::vector<uint64_t> supports(signatures.size(), 0);
   for (auto& [key, counts] : out) {
     (void)key;
@@ -518,15 +522,19 @@ std::vector<uint64_t> RunSupportJob(
   return supports;
 }
 
-MomentSums RunMomentJob(LocalRunner& runner, const data::Dataset& dataset,
-                        const core::GmmModel& model,
-                        const MembershipFn& membership, const char* job_name) {
+Result<MomentSums> RunMomentJob(LocalRunner& runner,
+                                const data::Dataset& dataset,
+                                const core::GmmModel& model,
+                                const MembershipFn& membership,
+                                const char* job_name) {
   const std::vector<Record> records = MakeRecords(dataset);
   MomentJobConfig config{&dataset, &model, &membership};
-  auto out = runner.Run<Record, int64_t, std::vector<double>, KeyedDoubles>(
+  auto run = runner.Run<Record, int64_t, std::vector<double>, KeyedDoubles>(
       job_name, records,
       [&config] { return std::make_unique<MomentMapper>(&config); },
       [] { return std::make_unique<VectorSumReducer>(); });
+  if (!run.ok()) return run.status();
+  auto& out = *run;
   MomentSums sums;
   sums.w.assign(model.num_components(), 0.0);
   sums.w2.assign(model.num_components(), 0.0);
@@ -544,16 +552,18 @@ MomentSums RunMomentJob(LocalRunner& runner, const data::Dataset& dataset,
   return sums;
 }
 
-std::vector<linalg::Matrix> RunCovarianceJob(
+Result<std::vector<linalg::Matrix>> RunCovarianceJob(
     LocalRunner& runner, const data::Dataset& dataset,
     const core::GmmModel& model, const MembershipFn& membership,
     const std::vector<linalg::Vector>& means, const char* job_name) {
   const std::vector<Record> records = MakeRecords(dataset);
   CovarianceJobConfig config{&dataset, &model, &membership, &means};
-  auto out = runner.Run<Record, int64_t, std::vector<double>, KeyedDoubles>(
+  auto run = runner.Run<Record, int64_t, std::vector<double>, KeyedDoubles>(
       job_name, records,
       [&config] { return std::make_unique<CovarianceMapper>(&config); },
       [] { return std::make_unique<VectorSumReducer>(); });
+  if (!run.ok()) return run.status();
+  auto& out = *run;
   const size_t dim = model.dim();
   std::vector<linalg::Matrix> sums(model.num_components(),
                                    linalg::Matrix(dim, dim));
@@ -567,16 +577,17 @@ std::vector<linalg::Matrix> RunCovarianceJob(
   return sums;
 }
 
-std::vector<MvbBall> RunMvbBallJob(LocalRunner& runner,
-                                   const data::Dataset& dataset,
-                                   const core::GmmModel& model,
-                                   const core::GmmEvaluator& evaluator) {
+Result<std::vector<MvbBall>> RunMvbBallJob(
+    LocalRunner& runner, const data::Dataset& dataset,
+    const core::GmmModel& model, const core::GmmEvaluator& evaluator) {
   const std::vector<Record> records = MakeRecords(dataset);
   MvbBallJobConfig config{&dataset, &model, &evaluator};
-  auto out = runner.Run<Record, int64_t, std::vector<double>, KeyedDoubles>(
+  auto run = runner.Run<Record, int64_t, std::vector<double>, KeyedDoubles>(
       "mvb-ball", records,
       [&config] { return std::make_unique<MvbBallMapper>(&config); },
       [] { return std::make_unique<MvbBallReducer>(); });
+  if (!run.ok()) return run.status();
+  auto& out = *run;
   std::vector<MvbBall> balls(model.num_components());
   for (auto& [key, payload] : out) {
     if (key < 0 || payload.empty()) continue;
@@ -587,35 +598,36 @@ std::vector<MvbBall> RunMvbBallJob(LocalRunner& runner,
   return balls;
 }
 
-std::vector<int32_t> RunOdJob(LocalRunner& runner,
-                              const data::Dataset& dataset,
-                              const core::GmmModel& model,
-                              const core::GmmEvaluator& evaluator,
-                              const std::vector<linalg::Vector>& centers,
-                              const std::vector<linalg::Cholesky>& factors,
-                              double critical) {
+Result<std::vector<int32_t>> RunOdJob(
+    LocalRunner& runner, const data::Dataset& dataset,
+    const core::GmmModel& model, const core::GmmEvaluator& evaluator,
+    const std::vector<linalg::Vector>& centers,
+    const std::vector<linalg::Cholesky>& factors, double critical) {
   const std::vector<Record> records = MakeRecords(dataset);
   OdJobConfig config{&dataset, &model,   &evaluator,
                      &centers, &factors, critical};
-  auto pairs = runner.RunMapOnly<Record, data::PointId, int32_t>(
+  auto run = runner.RunMapOnly<Record, data::PointId, int32_t>(
       "outlier-detection", records,
       [&config] { return std::make_unique<OdMapper>(&config); });
+  if (!run.ok()) return run.status();
   std::vector<int32_t> assignment(dataset.num_points(), -1);
-  for (const auto& [point, cluster] : pairs) assignment[point] = cluster;
+  for (const auto& [point, cluster] : *run) assignment[point] = cluster;
   return assignment;
 }
 
-std::vector<std::vector<stats::Histogram>> RunClusterHistogramJob(
+Result<std::vector<std::vector<stats::Histogram>>> RunClusterHistogramJob(
     LocalRunner& runner, const data::Dataset& dataset,
     const std::vector<int32_t>& membership, size_t num_clusters,
     const std::vector<size_t>& bins_per_cluster) {
   const std::vector<Record> records = MakeRecords(dataset);
   ClusterHistogramJobConfig config{&dataset, &membership, &bins_per_cluster};
-  auto out = runner.Run<Record, int64_t, std::vector<uint64_t>,
+  auto run = runner.Run<Record, int64_t, std::vector<uint64_t>,
                         std::pair<int64_t, std::vector<uint64_t>>>(
       "cluster-histograms", records,
       [&config] { return std::make_unique<ClusterHistogramMapper>(&config); },
       [] { return std::make_unique<CountSumReducer>(); });
+  if (!run.ok()) return run.status();
+  auto& out = *run;
   const size_t d = dataset.num_dims();
   std::vector<std::vector<stats::Histogram>> histograms(num_clusters);
   for (size_t c = 0; c < num_clusters; ++c) {
@@ -629,16 +641,18 @@ std::vector<std::vector<stats::Histogram>> RunClusterHistogramJob(
   return histograms;
 }
 
-std::vector<std::vector<core::Interval>> RunTighteningJob(
+Result<std::vector<std::vector<core::Interval>>> RunTighteningJob(
     LocalRunner& runner, const data::Dataset& dataset,
     const std::vector<int32_t>& membership,
     const std::vector<std::vector<size_t>>& attrs) {
   const std::vector<Record> records = MakeRecords(dataset);
   TighteningJobConfig config{&dataset, &membership, &attrs};
-  auto out = runner.Run<Record, int64_t, std::vector<double>, KeyedDoubles>(
+  auto run = runner.Run<Record, int64_t, std::vector<double>, KeyedDoubles>(
       "interval-tightening", records,
       [&config] { return std::make_unique<TighteningMapper>(&config); },
       [] { return std::make_unique<TighteningReducer>(); });
+  if (!run.ok()) return run.status();
+  auto& out = *run;
   std::vector<std::vector<core::Interval>> intervals(attrs.size());
   for (auto& [key, payload] : out) {
     if (key < 0) continue;
@@ -653,7 +667,7 @@ std::vector<std::vector<core::Interval>> RunTighteningJob(
   return intervals;
 }
 
-SupportSetJobResult RunSupportSetJob(
+Result<SupportSetJobResult> RunSupportSetJob(
     LocalRunner& runner, const data::Dataset& dataset,
     const std::vector<core::Signature>& signatures) {
   SupportSetJobResult result;
@@ -663,10 +677,11 @@ SupportSetJobResult RunSupportSetJob(
   const std::vector<Record> records = MakeRecords(dataset);
   const core::Rssc rssc(signatures);
   SupportSetJobConfig config{&dataset, &rssc, signatures.size()};
-  auto pairs = runner.RunMapOnly<Record, data::PointId, std::vector<uint32_t>>(
+  auto run = runner.RunMapOnly<Record, data::PointId, std::vector<uint32_t>>(
       "support-sets", records,
       [&config] { return std::make_unique<SupportSetMapper>(&config); });
-  for (auto& [point, ids] : pairs) {
+  if (!run.ok()) return run.status();
+  for (auto& [point, ids] : *run) {
     for (uint32_t id : ids) result.support_sets[id].push_back(point);
     result.unique_assignment[point] =
         ids.size() == 1 ? static_cast<int32_t>(ids[0]) : -2;

@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/status.h"
+
 #include "src/core/gmm.h"
 #include "src/core/interval.h"
 #include "src/core/outlier.h"
@@ -28,17 +30,20 @@ std::vector<Record> MakeRecords(const data::Dataset& dataset);
 /// §5.1 histogram job: per-split partial histograms (in-mapper combining
 /// of Eq. 8), merged per attribute by the reducers. Returns one histogram
 /// per attribute with NumBins(rule, n) bins.
-std::vector<stats::Histogram> RunHistogramJob(LocalRunner& runner,
-                                              const data::Dataset& dataset,
-                                              stats::BinningRule rule);
+///
+/// All job wrappers below surface the engine's failure Status (a task
+/// that exhausted its attempts) instead of a value; see LocalRunner.
+Result<std::vector<stats::Histogram>> RunHistogramJob(
+    LocalRunner& runner, const data::Dataset& dataset,
+    stats::BinningRule rule);
 
 /// §5.3 support-counting job: the RSSC bit masks are built by the driver
 /// ("calculated by the main program beforehand") and shipped to mappers;
 /// each mapper aggregates split-local support counts, reducers sum.
 /// Result is parallel to `signatures`.
-std::vector<uint64_t> RunSupportJob(LocalRunner& runner,
-                                    const data::Dataset& dataset,
-                                    const std::vector<core::Signature>& signatures);
+Result<std::vector<uint64_t>> RunSupportJob(
+    LocalRunner& runner, const data::Dataset& dataset,
+    const std::vector<core::Signature>& signatures);
 
 /// First/second moment sums the EM jobs of §5.4 exchange: wC, wC2 and lC.
 struct MomentSums {
@@ -69,13 +74,15 @@ class MembershipFn {
 
 /// First EM job of a step (and of the init rounds): accumulates w_C and
 /// l_C per component under the given membership.
-MomentSums RunMomentJob(LocalRunner& runner, const data::Dataset& dataset,
-                        const core::GmmModel& model,
-                        const MembershipFn& membership, const char* job_name);
+Result<MomentSums> RunMomentJob(LocalRunner& runner,
+                                const data::Dataset& dataset,
+                                const core::GmmModel& model,
+                                const MembershipFn& membership,
+                                const char* job_name);
 
 /// Second EM job of a step: accumulates the covariance numerators
 /// sum w (x - mu)(x - mu)^T per component around the provided means.
-std::vector<linalg::Matrix> RunCovarianceJob(
+Result<std::vector<linalg::Matrix>> RunCovarianceJob(
     LocalRunner& runner, const data::Dataset& dataset,
     const core::GmmModel& model, const MembershipFn& membership,
     const std::vector<linalg::Vector>& means, const char* job_name);
@@ -88,27 +95,25 @@ struct MvbBall {
   linalg::Vector center;
   double radius = 0.0;
 };
-std::vector<MvbBall> RunMvbBallJob(LocalRunner& runner,
-                                   const data::Dataset& dataset,
-                                   const core::GmmModel& model,
-                                   const core::GmmEvaluator& evaluator);
+Result<std::vector<MvbBall>> RunMvbBallJob(LocalRunner& runner,
+                                           const data::Dataset& dataset,
+                                           const core::GmmModel& model,
+                                           const core::GmmEvaluator& evaluator);
 
 /// §5.5 OD job (map-only): emits the membership attribute per point —
 /// the argmax-posterior cluster, or -1 when the Mahalanobis distance to
 /// the supplied per-cluster statistics exceeds `critical`. `centers` /
 /// `factors` are the naive (EM) or MVB statistics.
-std::vector<int32_t> RunOdJob(LocalRunner& runner,
-                              const data::Dataset& dataset,
-                              const core::GmmModel& model,
-                              const core::GmmEvaluator& evaluator,
-                              const std::vector<linalg::Vector>& centers,
-                              const std::vector<linalg::Cholesky>& factors,
-                              double critical);
+Result<std::vector<int32_t>> RunOdJob(
+    LocalRunner& runner, const data::Dataset& dataset,
+    const core::GmmModel& model, const core::GmmEvaluator& evaluator,
+    const std::vector<linalg::Vector>& centers,
+    const std::vector<linalg::Cholesky>& factors, double critical);
 
 /// §5.6 per-cluster histogram job. `membership[i]` is the cluster of
 /// point i or negative for none; returns histograms[cluster][attr] with
 /// bins from `bins_per_cluster[cluster]`.
-std::vector<std::vector<stats::Histogram>> RunClusterHistogramJob(
+Result<std::vector<std::vector<stats::Histogram>>> RunClusterHistogramJob(
     LocalRunner& runner, const data::Dataset& dataset,
     const std::vector<int32_t>& membership, size_t num_clusters,
     const std::vector<size_t>& bins_per_cluster);
@@ -117,7 +122,7 @@ std::vector<std::vector<stats::Histogram>> RunClusterHistogramJob(
 /// relevant attribute), min/max-aggregated by the reducer. Returns
 /// intervals[cluster] parallel to attrs[cluster]; clusters without
 /// members yield empty vectors.
-std::vector<std::vector<core::Interval>> RunTighteningJob(
+Result<std::vector<std::vector<core::Interval>>> RunTighteningJob(
     LocalRunner& runner, const data::Dataset& dataset,
     const std::vector<int32_t>& membership,
     const std::vector<std::vector<size_t>>& attrs);
@@ -130,7 +135,7 @@ struct SupportSetJobResult {
   std::vector<std::vector<data::PointId>> support_sets;
   std::vector<int32_t> unique_assignment;
 };
-SupportSetJobResult RunSupportSetJob(
+Result<SupportSetJobResult> RunSupportSetJob(
     LocalRunner& runner, const data::Dataset& dataset,
     const std::vector<core::Signature>& signatures);
 

@@ -1,10 +1,13 @@
 #include "src/mr/p3c_mr.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
+#include <thread>
 
 #include "src/common/stopwatch.h"
+#include "src/common/string_util.h"
 #include "src/core/attribute_inspection.h"
 #include "src/core/gmm.h"
 #include "src/core/relevant_intervals.h"
@@ -15,7 +18,42 @@
 
 namespace p3c::mr {
 
+bool IsRetryableJobFailure(const Status& status) {
+  return status.code() == StatusCode::kInternal ||
+         status.code() == StatusCode::kIOError;
+}
+
 namespace {
+
+/// Runs one MR job under the pipeline's job-retry policy: retryable
+/// failures re-run the whole job (failed jobs leave no side effects, so
+/// this is safe), fatal ones and exhausted policies surface a Status
+/// naming the pipeline phase and the attempt count on top of the
+/// engine's job/task detail.
+template <typename Fn>
+auto RunPipelineJob(const JobRetryPolicy& policy, const char* phase,
+                    Fn&& fn) -> decltype(fn()) {
+  const size_t max_attempts = std::max<size_t>(1, policy.max_job_attempts);
+  Status last;
+  size_t attempts = 0;
+  for (; attempts < max_attempts; ++attempts) {
+    if (attempts > 0 && policy.backoff_seconds > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(policy.backoff_seconds));
+    }
+    auto result = fn();
+    if (result.ok()) return result;
+    last = result.status();
+    if (!IsRetryableJobFailure(last)) {
+      ++attempts;
+      break;
+    }
+  }
+  return Status(last.code(),
+                StringPrintf("P3C+-MR phase '%s' failed after %zu job "
+                             "attempt(s): %s",
+                             phase, attempts, last.message().c_str()));
+}
 
 /// Hard membership by cluster-core containment: a point contributes
 /// weight 1 to every core whose support set contains it (EM init round 1,
@@ -205,23 +243,40 @@ Result<core::ClusteringResult> P3CMR::Cluster(const data::Dataset& dataset) {
         "record-parallel); use core::P3CPipeline, or kMVB here");
   }
   LocalRunner& runner = *runner_;
+  const JobRetryPolicy& retry = options_.retry;
   core::ClusteringResult result;
 
   // ---- 1. Histogram job (§5.1) -------------------------------------------
-  const std::vector<stats::Histogram> histograms =
-      RunHistogramJob(runner, dataset, params.binning);
+  auto histograms_result = RunPipelineJob(retry, "histogram", [&] {
+    return RunHistogramJob(runner, dataset, params.binning);
+  });
+  if (!histograms_result.ok()) return histograms_result.status();
+  const std::vector<stats::Histogram>& histograms = *histograms_result;
 
   // ---- 2. Relevant intervals — driver-side, "computationally cheap" (§5.2)
   const std::vector<core::Interval> relevant =
       core::FindAllRelevantIntervals(histograms, params.alpha_chi2);
 
   // ---- 3. Cluster-core generation with support jobs (§5.3) ----------------
+  // core::SupportCountFn cannot carry a Status, so the counter parks the
+  // first unrecoverable job failure here and returns zero supports; the
+  // driver checks after each counter-driven stage. Zero supports prove
+  // nothing, so no wrong cores are derived from a failed job.
+  Status support_job_error;
   core::SupportCountFn counter =
       [&](const std::vector<core::Signature>& sigs) {
-        return RunSupportJob(runner, dataset, sigs);
+        auto supports = RunPipelineJob(retry, "support-count", [&] {
+          return RunSupportJob(runner, dataset, sigs);
+        });
+        if (!supports.ok()) {
+          if (support_job_error.ok()) support_job_error = supports.status();
+          return std::vector<uint64_t>(sigs.size(), 0);
+        }
+        return std::move(supports).value();
       };
   core::CoreDetectionResult detection = core::GenerateClusterCores(
       relevant, dataset.num_points(), params, counter, &runner.pool());
+  if (!support_job_error.ok()) return support_job_error;
   result.core_stats = detection.stats;
   result.cores = detection.cores;
   if (detection.cores.empty()) {
@@ -240,9 +295,12 @@ Result<core::ClusteringResult> P3CMR::Cluster(const data::Dataset& dataset) {
 
   if (params.light) {
     // ---- Light path (§6) --------------------------------------------------
-    SupportSetJobResult sets = RunSupportSetJob(runner, dataset, signatures);
-    reported_points = std::move(sets.support_sets);
-    membership = std::move(sets.unique_assignment);
+    auto sets = RunPipelineJob(retry, "support-sets", [&] {
+      return RunSupportSetJob(runner, dataset, signatures);
+    });
+    if (!sets.ok()) return sets.status();
+    reported_points = std::move(sets->support_sets);
+    membership = std::move(sets->unique_assignment);
     // m': multi-core points carry -2 and are excluded from histograms and
     // tightening by the jobs' `c < 0` guard.
   } else {
@@ -256,8 +314,12 @@ Result<core::ClusteringResult> P3CMR::Cluster(const data::Dataset& dataset) {
                                    1.0 / static_cast<double>(k)});
 
     CoreMembership core_membership(dataset, signatures);
-    MomentSums m1 =
-        RunMomentJob(runner, dataset, model, core_membership, "em-init-1a");
+    auto m1_result = RunPipelineJob(retry, "em-init", [&] {
+      return RunMomentJob(runner, dataset, model, core_membership,
+                          "em-init-1a");
+    });
+    if (!m1_result.ok()) return m1_result.status();
+    MomentSums m1 = std::move(m1_result).value();
     // Interim means for the covariance job.
     {
       core::GmmModel tmp = model;
@@ -267,9 +329,12 @@ Result<core::ClusteringResult> P3CMR::Cluster(const data::Dataset& dataset) {
           tmp.components[c].mean[j] = m1.lsum[c][j] / m1.w[c];
         }
       }
-      const std::vector<linalg::Matrix> cov1 = RunCovarianceJob(
-          runner, dataset, tmp, core_membership, Means(tmp), "em-init-1b");
-      UpdateModel(m1, cov1, model);
+      auto cov1 = RunPipelineJob(retry, "em-init", [&] {
+        return RunCovarianceJob(runner, dataset, tmp, core_membership,
+                                Means(tmp), "em-init-1b");
+      });
+      if (!cov1.ok()) return cov1.status();
+      UpdateModel(m1, *cov1, model);
       for (size_t c = 0; c < k; ++c) {
         if (m1.w[c] >= 1e-9) model.components[c].mean = tmp.components[c].mean;
       }
@@ -278,8 +343,12 @@ Result<core::ClusteringResult> P3CMR::Cluster(const data::Dataset& dataset) {
         core::GmmEvaluator::Make(model, params.covariance_ridge);
     if (!eval1.ok()) return eval1.status();
     OrphanAssigningMembership full_membership(core_membership, *eval1);
-    MomentSums m2 =
-        RunMomentJob(runner, dataset, model, full_membership, "em-init-2a");
+    auto m2_result = RunPipelineJob(retry, "em-init", [&] {
+      return RunMomentJob(runner, dataset, model, full_membership,
+                          "em-init-2a");
+    });
+    if (!m2_result.ok()) return m2_result.status();
+    MomentSums m2 = std::move(m2_result).value();
     {
       core::GmmModel tmp = model;
       for (size_t c = 0; c < k; ++c) {
@@ -288,9 +357,12 @@ Result<core::ClusteringResult> P3CMR::Cluster(const data::Dataset& dataset) {
           tmp.components[c].mean[j] = m2.lsum[c][j] / m2.w[c];
         }
       }
-      const std::vector<linalg::Matrix> cov2 = RunCovarianceJob(
-          runner, dataset, tmp, full_membership, Means(tmp), "em-init-2b");
-      UpdateModel(m2, cov2, model);
+      auto cov2 = RunPipelineJob(retry, "em-init", [&] {
+        return RunCovarianceJob(runner, dataset, tmp, full_membership,
+                                Means(tmp), "em-init-2b");
+      });
+      if (!cov2.ok()) return cov2.status();
+      UpdateModel(m2, *cov2, model);
       for (size_t c = 0; c < k; ++c) {
         if (m2.w[c] >= 1e-9) model.components[c].mean = tmp.components[c].mean;
       }
@@ -303,8 +375,11 @@ Result<core::ClusteringResult> P3CMR::Cluster(const data::Dataset& dataset) {
           core::GmmEvaluator::Make(model, params.covariance_ridge);
       if (!evaluator.ok()) return evaluator.status();
       SoftMembership soft(*evaluator);
-      MomentSums moments =
-          RunMomentJob(runner, dataset, model, soft, "em-step-means");
+      auto moments_result = RunPipelineJob(retry, "em-step", [&] {
+        return RunMomentJob(runner, dataset, model, soft, "em-step-means");
+      });
+      if (!moments_result.ok()) return moments_result.status();
+      MomentSums moments = std::move(moments_result).value();
       core::GmmModel tmp = model;
       for (size_t c = 0; c < k; ++c) {
         if (moments.w[c] < 1e-9) continue;
@@ -312,9 +387,12 @@ Result<core::ClusteringResult> P3CMR::Cluster(const data::Dataset& dataset) {
           tmp.components[c].mean[j] = moments.lsum[c][j] / moments.w[c];
         }
       }
-      const std::vector<linalg::Matrix> covs = RunCovarianceJob(
-          runner, dataset, tmp, soft, Means(tmp), "em-step-covs");
-      UpdateModel(moments, covs, model);
+      auto covs = RunPipelineJob(retry, "em-step", [&] {
+        return RunCovarianceJob(runner, dataset, tmp, soft, Means(tmp),
+                                "em-step-covs");
+      });
+      if (!covs.ok()) return covs.status();
+      UpdateModel(moments, *covs, model);
       for (size_t c = 0; c < k; ++c) {
         if (moments.w[c] >= 1e-9) {
           model.components[c].mean = tmp.components[c].mean;
@@ -344,11 +422,18 @@ Result<core::ClusteringResult> P3CMR::Cluster(const data::Dataset& dataset) {
       for (const auto& comp : model.components) covs.push_back(comp.cov);
     } else {
       // MVB: ball job + two statistics jobs (§5.5: "three MR jobs").
-      const std::vector<MvbBall> balls =
-          RunMvbBallJob(runner, dataset, model, *evaluator);
+      auto balls_result = RunPipelineJob(retry, "mvb", [&] {
+        return RunMvbBallJob(runner, dataset, model, *evaluator);
+      });
+      if (!balls_result.ok()) return balls_result.status();
+      const std::vector<MvbBall>& balls = *balls_result;
       BallMembership ball_membership(*evaluator, balls);
-      MomentSums mb =
-          RunMomentJob(runner, dataset, model, ball_membership, "mvb-means");
+      auto mb_result = RunPipelineJob(retry, "mvb", [&] {
+        return RunMomentJob(runner, dataset, model, ball_membership,
+                            "mvb-means");
+      });
+      if (!mb_result.ok()) return mb_result.status();
+      MomentSums mb = std::move(mb_result).value();
       centers.assign(k, linalg::Vector(dim, 0.5));
       for (size_t c = 0; c < k; ++c) {
         if (mb.w[c] < 1e-9) {
@@ -360,13 +445,16 @@ Result<core::ClusteringResult> P3CMR::Cluster(const data::Dataset& dataset) {
           centers[c][j] = mb.lsum[c][j] / mb.w[c];
         }
       }
-      std::vector<linalg::Matrix> cov_sums = RunCovarianceJob(
-          runner, dataset, model, ball_membership, centers, "mvb-covs");
+      auto cov_sums = RunPipelineJob(retry, "mvb", [&] {
+        return RunCovarianceJob(runner, dataset, model, ball_membership,
+                                centers, "mvb-covs");
+      });
+      if (!cov_sums.ok()) return cov_sums.status();
       covs.assign(k, linalg::Matrix::Identity(dim).Scale(1e-2));
       for (size_t c = 0; c < k; ++c) {
         const double denom = mb.w[c] * mb.w[c] - mb.w2[c];
         if (mb.w[c] >= 1e-9 && denom > 1e-12) {
-          covs[c] = cov_sums[c].Scale(mb.w[c] / denom);
+          covs[c] = (*cov_sums)[c].Scale(mb.w[c] / denom);
         }
         core::ApplyMvbConsistencyCorrection(covs[c], dim);
       }
@@ -374,8 +462,12 @@ Result<core::ClusteringResult> P3CMR::Cluster(const data::Dataset& dataset) {
     Result<std::vector<linalg::Cholesky>> factors =
         FactorizeAll(covs, params.covariance_ridge);
     if (!factors.ok()) return factors.status();
-    membership = RunOdJob(runner, dataset, model, *evaluator, centers,
-                          *factors, critical);
+    auto od = RunPipelineJob(retry, "outlier-detection", [&] {
+      return RunOdJob(runner, dataset, model, *evaluator, centers, *factors,
+                      critical);
+    });
+    if (!od.ok()) return od.status();
+    membership = std::move(od).value();
     for (size_t i = 0; i < membership.size(); ++i) {
       if (membership[i] >= 0) {
         reported_points[static_cast<size_t>(membership[i])].push_back(
@@ -394,9 +486,16 @@ Result<core::ClusteringResult> P3CMR::Cluster(const data::Dataset& dataset) {
     bins_per_cluster[c] = static_cast<size_t>(stats::NumBins(
         params.binning, std::max<uint64_t>(1, member_counts[c])));
   }
-  const std::vector<std::vector<stats::Histogram>> member_histograms =
-      RunClusterHistogramJob(runner, dataset, membership, k,
-                             bins_per_cluster);
+  auto member_histograms_result =
+      RunPipelineJob(retry, "cluster-histograms", [&] {
+        return RunClusterHistogramJob(runner, dataset, membership, k,
+                                      bins_per_cluster);
+      });
+  if (!member_histograms_result.ok()) {
+    return member_histograms_result.status();
+  }
+  const std::vector<std::vector<stats::Histogram>>& member_histograms =
+      *member_histograms_result;
   std::vector<std::vector<core::Interval>> suggestions(k);
   for (size_t c = 0; c < k; ++c) {
     if (member_counts[c] == 0) continue;
@@ -406,6 +505,7 @@ Result<core::ClusteringResult> P3CMR::Cluster(const data::Dataset& dataset) {
   const std::vector<std::vector<core::Interval>> accepted =
       core::ProveSuggestedIntervals(detection.cores, suggestions, params,
                                     counter);
+  if (!support_job_error.ok()) return support_job_error;
 
   // ---- Interval tightening job (§5.7) --------------------------------------
   std::vector<std::vector<size_t>> final_attrs(k);
@@ -413,8 +513,12 @@ Result<core::ClusteringResult> P3CMR::Cluster(const data::Dataset& dataset) {
     final_attrs[c] =
         core::FinalAttributes(detection.cores[c].signature, accepted[c]);
   }
-  const std::vector<std::vector<core::Interval>> tightened =
-      RunTighteningJob(runner, dataset, membership, final_attrs);
+  auto tightened_result = RunPipelineJob(retry, "interval-tightening", [&] {
+    return RunTighteningJob(runner, dataset, membership, final_attrs);
+  });
+  if (!tightened_result.ok()) return tightened_result.status();
+  const std::vector<std::vector<core::Interval>>& tightened =
+      *tightened_result;
 
   for (size_t c = 0; c < k; ++c) {
     if (reported_points[c].empty()) continue;

@@ -13,6 +13,26 @@
 
 namespace p3c::mr {
 
+/// Job-level retry policy of the pipeline driver — the analog of
+/// resubmitting a failed Hadoop job. Task-level retries inside a job are
+/// RunnerOptions::max_attempts; this policy re-runs a *whole job* whose
+/// tasks exhausted those attempts, which is safe because failed jobs
+/// have no side effects (no counters, no metrics double-counting — the
+/// failed run is recorded as its own JobMetrics entry with
+/// succeeded=false).
+struct JobRetryPolicy {
+  /// Total runs of one job, including the first (1 = no job-level retry).
+  size_t max_job_attempts = 2;
+  /// Fixed sleep between job attempts; 0 disables sleeping.
+  double backoff_seconds = 0.0;
+};
+
+/// True for failures worth re-running a job on: kInternal (crashed /
+/// injected task faults) and kIOError (transient storage). Anything
+/// else — invalid arguments, not-implemented, precondition violations —
+/// is deterministic and fails the pipeline immediately.
+bool IsRetryableJobFailure(const Status& status);
+
 /// Configuration of the MapReduce pipelines.
 struct P3CMROptions {
   /// Model parameters. `params.light = true` selects P3C+-MR-Light (§6);
@@ -20,8 +40,11 @@ struct P3CMROptions {
   /// `params.multilevel_candidates` defaults to true here (the Tc
   /// heuristic of §5.3 exists to save MR jobs).
   core::P3CParams params;
-  /// Engine knobs (threads, split size, reducers).
+  /// Engine knobs (threads, split size, reducers, task retry).
   RunnerOptions runner;
+  /// Job-level recovery: how often the driver re-runs a job whose
+  /// failure IsRetryableJobFailure() before failing the pipeline.
+  JobRetryPolicy retry;
 
   P3CMROptions() {
     params.multilevel_candidates = true;
@@ -54,6 +77,8 @@ class P3CMR {
   const core::P3CParams& params() const { return options_.params; }
 
   /// Runs the pipeline. Same contract as core::P3CPipeline::Cluster.
+  /// On an unrecoverable job failure the Status names the phase, the
+  /// failing job/task, and how many job attempts were made.
   Result<core::ClusteringResult> Cluster(const data::Dataset& dataset);
 
   /// Per-job execution log of the most recent Cluster call.

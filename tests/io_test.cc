@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "src/data/colon.h"
@@ -89,6 +91,85 @@ TEST(BinaryIoTest, RejectsTruncatedPayload) {
 #endif
   std::fclose(f);
   EXPECT_FALSE(ReadBinary(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, RejectsFlippedPayloadByte) {
+  const std::string path = TempPath("corrupt.p3cd");
+  ASSERT_TRUE(WriteBinary(SampleData(), path).ok());
+  // Flip one byte in the middle of the payload: the size still matches,
+  // so only the checksum can catch it.
+  FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 40, SEEK_SET), 0);
+  int byte = std::fgetc(f);
+  ASSERT_NE(byte, EOF);
+  ASSERT_EQ(std::fseek(f, 40, SEEK_SET), 0);
+  std::fputc(byte ^ 0x5a, f);
+  std::fclose(f);
+  Result<Dataset> loaded = ReadBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+  EXPECT_NE(loaded.status().message().find("checksum mismatch"),
+            std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, RejectsTrailingGarbage) {
+  const std::string path = TempPath("padded.p3cd");
+  ASSERT_TRUE(WriteBinary(SampleData(), path).ok());
+  FILE* f = std::fopen(path.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  std::fputs("extra", f);
+  std::fclose(f);
+  Result<Dataset> loaded = ReadBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("trailing garbage"),
+            std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, ReadsVersion1Container) {
+  // Hand-write a v1 file (no checksum field): readers must stay
+  // backward compatible.
+  const std::string path = TempPath("v1.p3cd");
+  const Dataset original = SampleData();
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char magic[4] = {'P', '3', 'C', 'D'};
+  const uint32_t version = 1;
+  const uint64_t n = original.num_points();
+  const uint64_t d = original.num_dims();
+  ASSERT_EQ(std::fwrite(magic, 1, sizeof(magic), f), sizeof(magic));
+  ASSERT_EQ(std::fwrite(&version, sizeof(version), 1, f), 1u);
+  ASSERT_EQ(std::fwrite(&n, sizeof(n), 1, f), 1u);
+  ASSERT_EQ(std::fwrite(&d, sizeof(d), 1, f), 1u);
+  const auto& values = original.values();
+  ASSERT_EQ(std::fwrite(values.data(), sizeof(double), values.size(), f),
+            values.size());
+  std::fclose(f);
+  Result<Dataset> loaded = ReadBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->values(), original.values());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, RejectsUnsupportedVersion) {
+  const std::string path = TempPath("future.p3cd");
+  ASSERT_TRUE(WriteBinary(SampleData(), path).ok());
+  FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  const uint32_t version = 99;
+  ASSERT_EQ(std::fseek(f, 4, SEEK_SET), 0);  // right after the magic
+  ASSERT_EQ(std::fwrite(&version, sizeof(version), 1, f), 1u);
+  std::fclose(f);
+  Result<Dataset> loaded = ReadBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("unsupported container version"),
+            std::string::npos)
+      << loaded.status().ToString();
   std::remove(path.c_str());
 }
 

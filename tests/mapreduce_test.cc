@@ -38,10 +38,12 @@ class SumReducer
 
 std::vector<std::pair<std::string, uint64_t>> RunWordCount(
     LocalRunner& runner, const std::vector<std::string>& words) {
-  return runner.Run<std::string, std::string, uint64_t,
-                    std::pair<std::string, uint64_t>>(
+  auto result = runner.Run<std::string, std::string, uint64_t,
+                           std::pair<std::string, uint64_t>>(
       "word-count", words, [] { return std::make_unique<WordCountMapper>(); },
       [] { return std::make_unique<SumReducer>(); });
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
 }
 
 TEST(LocalRunnerTest, WordCount) {
@@ -106,6 +108,11 @@ TEST(LocalRunnerTest, MetricsRecorded) {
   EXPECT_EQ(job.map_output_records, 5u);
   EXPECT_EQ(job.output_records, 5u);  // 5 distinct words
   EXPECT_GT(job.shuffle_bytes, 0u);
+  // Fault-free run: one attempt per task (3 map + 1 reduce), no failures.
+  EXPECT_EQ(job.task_attempts, 4u);
+  EXPECT_EQ(job.task_failures, 0u);
+  EXPECT_EQ(job.retried_tasks, 0u);
+  EXPECT_TRUE(job.succeeded);
   EXPECT_FALSE(metrics.ToString().empty());
 }
 
@@ -134,12 +141,15 @@ TEST(LocalRunnerTest, CombinerPreservesResultAndCutsShuffle) {
     options.metrics = metrics;
     LocalRunner runner(options);
     if (!with_combiner) return RunWordCount(runner, words);
-    return runner.RunWithCombiner<std::string, std::string, uint64_t,
-                                  std::pair<std::string, uint64_t>>(
-        "word-count-combined", words,
-        [] { return std::make_unique<WordCountMapper>(); },
-        [] { return std::make_unique<SumReducer>(); },
-        [] { return std::make_unique<SumCombiner>(); });
+    auto result =
+        runner.RunWithCombiner<std::string, std::string, uint64_t,
+                               std::pair<std::string, uint64_t>>(
+            "word-count-combined", words,
+            [] { return std::make_unique<WordCountMapper>(); },
+            [] { return std::make_unique<SumReducer>(); },
+            [] { return std::make_unique<SumCombiner>(); });
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
   };
 
   const auto plain = run(&plain_metrics, false);
@@ -200,9 +210,11 @@ TEST(LocalRunnerTest, SetupSeesWholeSplitBeforeMap) {
   options.records_per_split = 4;
   LocalRunner runner(options);
   const std::vector<int> input(10, 7);  // 3 splits: 4 + 4 + 2
-  const auto out = runner.Run<int, int, int, std::pair<int, int>>(
+  const auto result = runner.Run<int, int, int, std::pair<int, int>>(
       "lifecycle", input, [] { return std::make_unique<LifecycleMapper>(); },
       [] { return std::make_unique<IdentityReducer>(); });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto& out = *result;
   ASSERT_EQ(out.size(), 3u);
   // Each record is (split size, seen records) and they must agree.
   uint64_t total = 0;
@@ -225,8 +237,10 @@ class EchoMapper : public Mapper<int, int, int> {
 TEST(LocalRunnerTest, MapOnlySortedByKey) {
   LocalRunner runner;
   const std::vector<int> input = {5, 3, 9, 1};
-  const auto pairs = runner.RunMapOnly<int, int, int>(
+  const auto result = runner.RunMapOnly<int, int, int>(
       "echo", input, [] { return std::make_unique<EchoMapper>(); });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto& pairs = *result;
   ASSERT_EQ(pairs.size(), 4u);
   EXPECT_EQ(pairs[0], (std::pair<int, int>{1, 1}));
   EXPECT_EQ(pairs[3], (std::pair<int, int>{9, 81}));

@@ -39,7 +39,8 @@ TEST(HistogramJobTest, MatchesDirectHistograms) {
   const auto data = MakeData(61);
   LocalRunner runner = MakeRunner();
   const auto job = RunHistogramJob(runner, data.dataset,
-                                   stats::BinningRule::kFreedmanDiaconis);
+                                   stats::BinningRule::kFreedmanDiaconis)
+                       .value();
   ASSERT_EQ(job.size(), 12u);
   // Direct computation.
   const size_t bins = stats::FreedmanDiaconisBins(data.dataset.num_points());
@@ -62,10 +63,10 @@ TEST(SupportJobTest, MatchesSerialCounter) {
     const double lo = rng.Uniform(0.0, 0.7);
     sigs.push_back(core::Signature::Single({attr, lo, lo + 0.25}));
   }
-  const auto job = RunSupportJob(runner, data.dataset, sigs);
+  const auto job = RunSupportJob(runner, data.dataset, sigs).value();
   const auto serial = core::CountSupports(data.dataset, sigs, nullptr);
   EXPECT_EQ(job, serial);
-  EXPECT_TRUE(RunSupportJob(runner, data.dataset, {}).empty());
+  EXPECT_TRUE(RunSupportJob(runner, data.dataset, {}).value().empty());
 }
 
 class UniformWeightMembership : public MembershipFn {
@@ -97,7 +98,8 @@ TEST(MomentJobTest, SumsMatchDirectComputation) {
                                  linalg::Matrix::Identity(2), 0.5});
   UniformWeightMembership membership;
   const MomentSums sums =
-      RunMomentJob(runner, data.dataset, model, membership, "test-moments");
+      RunMomentJob(runner, data.dataset, model, membership, "test-moments")
+          .value();
   // Direct sums.
   double w0 = 0.0;
   double w1 = 0.0;
@@ -133,7 +135,8 @@ TEST(CovarianceJobTest, MatchesDirectOuterProducts) {
   UniformWeightMembership membership;
   const std::vector<linalg::Vector> means = {{0.4, 0.6}, {0.5, 0.5}};
   const auto covs = RunCovarianceJob(runner, data.dataset, model, membership,
-                                     means, "test-covs");
+                                     means, "test-covs")
+                        .value();
   linalg::Matrix direct0(2, 2);
   linalg::Matrix direct1(2, 2);
   for (size_t i = 0; i < 600; ++i) {
@@ -160,7 +163,8 @@ TEST(ClusterHistogramJobTest, MatchesMemberHistograms) {
   std::vector<size_t> bins = {stats::FreedmanDiaconisBins(counts[0]),
                               stats::FreedmanDiaconisBins(counts[1])};
   const auto job =
-      RunClusterHistogramJob(runner, data.dataset, membership, 2, bins);
+      RunClusterHistogramJob(runner, data.dataset, membership, 2, bins)
+          .value();
   ASSERT_EQ(job.size(), 2u);
   for (size_t c = 0; c < 2; ++c) {
     std::vector<data::PointId> members;
@@ -183,7 +187,8 @@ TEST(TighteningJobTest, MatchesSerialTightening) {
   std::vector<int32_t> membership(data.labels.begin(), data.labels.end());
   const std::vector<std::vector<size_t>> attrs = {
       data.clusters[0].relevant_attrs, data.clusters[1].relevant_attrs};
-  const auto job = RunTighteningJob(runner, data.dataset, membership, attrs);
+  const auto job =
+      RunTighteningJob(runner, data.dataset, membership, attrs).value();
   ASSERT_EQ(job.size(), 2u);
   for (size_t c = 0; c < 2; ++c) {
     std::vector<data::PointId> members;
@@ -216,7 +221,7 @@ TEST(SupportSetJobTest, MatchesSerialSupportSets) {
     }
     sigs.push_back(core::Signature::Make(std::move(intervals)).value());
   }
-  const auto job = RunSupportSetJob(runner, data.dataset, sigs);
+  const auto job = RunSupportSetJob(runner, data.dataset, sigs).value();
   const auto serial = core::ComputeSupportSets(data.dataset, sigs, nullptr);
   const auto unique = core::UniqueAssignments(data.dataset, sigs, nullptr);
   EXPECT_EQ(job.support_sets, serial);
@@ -253,7 +258,8 @@ TEST(MvbBallJobTest, BallNearClusterCenter) {
   }
   auto evaluator = core::GmmEvaluator::Make(model, 1e-6);
   ASSERT_TRUE(evaluator.ok());
-  const auto balls = RunMvbBallJob(runner, data.dataset, model, *evaluator);
+  const auto balls =
+      RunMvbBallJob(runner, data.dataset, model, *evaluator).value();
   ASSERT_EQ(balls.size(), 2u);
   for (size_t c = 0; c < 2; ++c) {
     ASSERT_FALSE(balls[c].center.empty());
@@ -288,7 +294,8 @@ TEST(OdJobTest, FlagsFarPoints) {
   const double critical =
       stats::ChiSquaredQuantile(0.999, 2.0);
   const auto assignment = RunOdJob(runner, data.dataset, model, *evaluator,
-                                   centers, factors, critical);
+                                   centers, factors, critical)
+                              .value();
   ASSERT_EQ(assignment.size(), data.dataset.num_points());
   // Verify against a direct evaluation per point.
   for (size_t i = 0; i < assignment.size(); ++i) {

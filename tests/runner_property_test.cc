@@ -70,7 +70,7 @@ TEST_P(RunnerProperties, KeyedSumMatchesReference) {
   LocalRunner runner(options);
   const auto mapper = [] { return std::make_unique<KeyedSumMapper>(); };
   const auto reducer = [] { return std::make_unique<Int64SumReducer>(); };
-  const auto out =
+  const auto result =
       with_combiner
           ? runner.RunWithCombiner<KeyedRecord, int, int64_t,
                                    std::pair<int, int64_t>>(
@@ -78,6 +78,8 @@ TEST_P(RunnerProperties, KeyedSumMatchesReference) {
                 [] { return std::make_unique<Int64SumCombiner>(); })
           : runner.Run<KeyedRecord, int, int64_t, std::pair<int, int64_t>>(
                 "keyed-sum", records, mapper, reducer);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto& out = *result;
 
   ASSERT_EQ(out.size(), reference.size());
   size_t i = 0;

@@ -8,6 +8,10 @@
 #include <cstdio>
 #include <string>
 
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
 #include "src/core/p3c.h"
 #include "src/core/support_counter.h"
 #include "src/data/generator.h"
@@ -86,6 +90,67 @@ TEST(BinaryDatasetReaderTest, RejectsGarbage) {
   std::fputs("garbage bytes, definitely not a P3CD header", f);
   std::fclose(f);
   EXPECT_FALSE(BinaryDatasetReader::Open(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryDatasetReaderTest, OpenRejectsTruncatedFile) {
+  const auto data = MakeData(56, 300);
+  const std::string path = TempPath("reader_trunc.p3cd");
+  ASSERT_TRUE(data::WriteBinary(data.dataset, path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 0, SEEK_END), 0);
+  const long size = std::ftell(f);
+  ASSERT_EQ(ftruncate(fileno(f), size - 8), 0);  // drop one double
+  std::fclose(f);
+  auto reader = BinaryDatasetReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kIOError);
+  EXPECT_NE(reader.status().message().find("truncated"), std::string::npos)
+      << reader.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(BinaryDatasetReaderTest, FullPassDetectsFlippedPayloadByte) {
+  const auto data = MakeData(57, 400);
+  const std::string path = TempPath("reader_flip.p3cd");
+  ASSERT_TRUE(data::WriteBinary(data.dataset, path).ok());
+  // Flip one bit in the payload mantissa; the size is unchanged, so
+  // only the streaming checksum can catch it.
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 64, SEEK_SET), 0);
+  int byte = std::fgetc(f);
+  ASSERT_NE(byte, EOF);
+  ASSERT_EQ(std::fseek(f, 64, SEEK_SET), 0);
+  std::fputc(byte ^ 0x01, f);
+  std::fclose(f);
+
+  auto reader = BinaryDatasetReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();  // size still valid
+  Status st = reader->ForEachBlock(
+      128, [](data::PointId, const data::Dataset&) { return Status::OK(); });
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_NE(st.message().find("checksum mismatch"), std::string::npos)
+      << st.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(BinaryDatasetReaderTest, AbortedPassSkipsChecksumVerification) {
+  // A callback abort leaves the tail unread, so the pass must report
+  // the callback's error, not a bogus checksum failure.
+  const auto data = MakeData(58, 400);
+  const std::string path = TempPath("reader_abort.p3cd");
+  ASSERT_TRUE(data::WriteBinary(data.dataset, path).ok());
+  auto reader = BinaryDatasetReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  Status st = reader->ForEachBlock(
+      100, [](data::PointId, const data::Dataset&) {
+        return Status::Internal("abort early");
+      });
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
   std::remove(path.c_str());
 }
 

@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace p3c {
@@ -58,6 +60,44 @@ TEST(ThreadPoolTest, SingleThreadPoolWorks) {
 
 TEST(ThreadPoolTest, HardwareConcurrencyPositive) {
   EXPECT_GE(ThreadPool::HardwareConcurrency(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsWorkerException) {
+  // Regression: an exception escaping the body used to reach a worker
+  // thread and std::terminate the process. It must surface on the
+  // calling thread instead.
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(1000,
+                       [](size_t i) {
+                         if (i == 137) throw std::runtime_error("boom 137");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsSerialPathException) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.ParallelFor(
+                   10, [](size_t) { throw std::runtime_error("serial"); }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForThrowPreservesMessageAndPoolIsReusable) {
+  ThreadPool pool(4);
+  std::string message;
+  try {
+    pool.ParallelFor(100, [](size_t i) {
+      throw std::runtime_error("failed at " + std::to_string(i));
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    message = e.what();
+  }
+  EXPECT_NE(message.find("failed at "), std::string::npos);
+  // The pool must stay usable after a throwing ParallelFor.
+  std::atomic<int> counter{0};
+  pool.ParallelFor(50, [&counter](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 50);
 }
 
 TEST(ThreadPoolTest, ManyTasksDoNotDeadlock) {

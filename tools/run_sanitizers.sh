@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Builds and runs the test suite under ASan+UBSan and TSan.
+#
+#   tools/run_sanitizers.sh            # both sanitizers, full suite
+#   tools/run_sanitizers.sh asan       # ASan+UBSan only
+#   tools/run_sanitizers.sh tsan       # TSan only (fault/engine tests at
+#                                      # minimum; pass a ctest -R regex as
+#                                      # the second argument to narrow)
+#
+# The fault-tolerance machinery (task retry, first-error-wins failure
+# slots, exception capture in ParallelFor) is concurrency-heavy; TSan on
+# fault_injection/threadpool/mapreduce tests is the gate for it.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-all}"
+FILTER="${2:-}"
+
+run_suite() {
+  local name="$1" build_type="$2" build_dir="$3" env_opts="$4"
+  echo "==== ${name}: configure + build (${build_dir}) ===="
+  cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE="${build_type}" >/dev/null
+  cmake --build "${build_dir}" -j "$(nproc)"
+  echo "==== ${name}: ctest ===="
+  local args=(--output-on-failure --test-dir "${build_dir}")
+  if [[ -n "${FILTER}" ]]; then
+    args+=(-R "${FILTER}")
+  fi
+  env ${env_opts} ctest "${args[@]}"
+}
+
+case "${MODE}" in
+  asan)
+    run_suite "ASan+UBSan" Sanitize build-asan \
+      "ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1"
+    ;;
+  tsan)
+    # Default TSan scope: the concurrent engine paths. Full suite works
+    # too but is slow under TSan.
+    FILTER="${FILTER:-FaultInjection|ThreadPool|MapReduce|RunnerProperties|P3CMR}"
+    run_suite "TSan" Tsan build-tsan "TSAN_OPTIONS=halt_on_error=1"
+    ;;
+  all)
+    "$0" asan
+    "$0" tsan
+    ;;
+  *)
+    echo "usage: $0 [asan|tsan|all] [ctest -R filter]" >&2
+    exit 2
+    ;;
+esac
