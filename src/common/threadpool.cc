@@ -42,27 +42,37 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  ParallelFor(n, /*grain=*/0, fn);
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t grain,
+                             const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   if (n == 1 || workers_.size() == 1) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  // Dynamic chunking: enough chunks for balance, few enough for low
-  // queueing overhead.
-  const size_t chunks = std::min(n, workers_.size() * 4);
+  // Auto grain: ~8 claims per worker balances load across uneven bodies
+  // while keeping counter traffic negligible even for n in the tens of
+  // thousands (the map-split regime the runner produces at scale).
+  if (grain == 0) grain = std::max<size_t>(1, n / (workers_.size() * 8));
+  const size_t num_claims = (n + grain - 1) / grain;
+  const size_t closures = std::min(num_claims, workers_.size());
   std::atomic<size_t> next{0};
   // First-error-wins capture: an exception escaping `fn` on a worker
   // must surface on the caller, not std::terminate the process. Workers
-  // stop claiming indices once a throw is seen.
+  // stop claiming ranges once a throw is seen.
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
   std::mutex error_mu;
-  for (size_t c = 0; c < chunks; ++c) {
-    Submit([&next, n, &fn, &failed, &first_error, &error_mu] {
-      for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+  for (size_t c = 0; c < closures; ++c) {
+    Submit([&next, n, grain, &fn, &failed, &first_error, &error_mu] {
+      for (size_t begin = next.fetch_add(grain); begin < n;
+           begin = next.fetch_add(grain)) {
         if (failed.load(std::memory_order_acquire)) return;
+        const size_t end = std::min(n, begin + grain);
         try {
-          fn(i);
+          for (size_t i = begin; i < end; ++i) fn(i);
         } catch (...) {
           std::lock_guard<std::mutex> lock(error_mu);
           if (!failed.load(std::memory_order_relaxed)) {

@@ -42,7 +42,20 @@ class ThreadPool {
   /// throws, the first exception (in completion order) is rethrown on
   /// the caller once all workers have stopped; remaining unclaimed
   /// indices are skipped, so some `fn(i)` may never run after a throw.
+  ///
+  /// Work distribution is atomic-counter chunk claiming: one closure per
+  /// worker, each claiming `grain`-sized index ranges off a shared
+  /// counter, so tens of thousands of indices cost a handful of queue
+  /// operations instead of one lock round-trip each. The auto grain
+  /// (`grain == 0`) targets ~8 claims per worker for load balance.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// ParallelFor with an explicit claim granularity: workers claim
+  /// `grain` consecutive indices at a time (0 = auto). Larger grains cut
+  /// counter contention for cheap bodies; grain 1 maximizes balance for
+  /// expensive ones.
+  void ParallelFor(size_t n, size_t grain,
+                   const std::function<void(size_t)>& fn);
 
   size_t num_threads() const { return workers_.size(); }
 

@@ -4,22 +4,27 @@
 #include <bit>
 #include <cmath>
 #include <limits>
+#include <unordered_map>
 
 namespace p3c::core {
 
 Rssc::Rssc(const std::vector<Signature>& signatures)
     : num_signatures_(signatures.size()),
       num_words_((signatures.size() + 63) / 64) {
-  // Pass 1: collect the attributes and their interval bounds.
+  // Pass 1: collect the attributes and their interval bounds. The map
+  // makes the slot lookup O(1); attr_of_slot keeps first-seen order, on
+  // which the index layout (and thus Match/Accumulate traversal order)
+  // depends.
   std::vector<std::vector<double>> bounds_by_attr;
   std::vector<size_t> attr_of_slot;
+  std::unordered_map<size_t, size_t> slot_by_attr;
   auto slot_of_attr = [&](size_t attr) -> size_t {
-    for (size_t s = 0; s < attr_of_slot.size(); ++s) {
-      if (attr_of_slot[s] == attr) return s;
+    auto [it, inserted] = slot_by_attr.try_emplace(attr, attr_of_slot.size());
+    if (inserted) {
+      attr_of_slot.push_back(attr);
+      bounds_by_attr.emplace_back();
     }
-    attr_of_slot.push_back(attr);
-    bounds_by_attr.emplace_back();
-    return attr_of_slot.size() - 1;
+    return it->second;
   };
   for (const Signature& sig : signatures) {
     for (const Interval& interval : sig.intervals()) {

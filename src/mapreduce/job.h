@@ -57,12 +57,18 @@ class Mapper {
 
 /// User reduce task: receives one key with all of its shuffled values and
 /// appends output records.
+///
+/// `values` is a read-only view into the engine's merged partition
+/// buffer (zero-copy shuffle): it is valid only for the duration of the
+/// call and must not be retained. Because the view is immutable, a
+/// failed reduce attempt cannot corrupt the shuffled input — retries
+/// re-read the same spans.
 template <typename K, typename V, typename Out>
 class Reducer {
  public:
   virtual ~Reducer() = default;
 
-  virtual void Reduce(const K& key, std::vector<V>& values,
+  virtual void Reduce(const K& key, std::span<const V> values,
                       std::vector<Out>& out) = 0;
 };
 
@@ -70,14 +76,15 @@ class Reducer {
 /// a single value before the shuffle (Hadoop's combiner contract; must
 /// be associative/commutative with the reducer's aggregation). Cuts the
 /// shuffle volume of high-fan-in aggregations — see
-/// LocalRunner::RunWithCombiner.
+/// LocalRunner::RunWithCombiner. `values` follows the same view
+/// contract as Reducer::Reduce.
 template <typename K, typename V>
 class Combiner {
  public:
   virtual ~Combiner() = default;
 
   /// Combines `values` (non-empty) into a single value.
-  virtual V Combine(const K& key, std::vector<V>& values) = 0;
+  virtual V Combine(const K& key, std::span<const V> values) = 0;
 };
 
 /// Approximate serialized size of a shuffled pair, used for the

@@ -35,17 +35,19 @@ uint64_t MetricsRegistry::TotalInputRecords() const {
 }
 
 std::string MetricsRegistry::ToString() const {
-  std::string out = StringPrintf("%-34s %8s %6s %12s %12s %6s %6s %10s\n",
+  std::string out = StringPrintf("%-34s %8s %6s %12s %12s %6s %6s %6s %10s\n",
                                  "job", "splits", "red.", "input",
-                                 "shuffled(B)", "att.", "fail.", "time(s)");
+                                 "shuffled(B)", "att.", "fail.", "skew",
+                                 "time(s)");
   for (const auto& j : jobs_) {
-    out += StringPrintf("%-34s %8zu %6zu %12llu %12llu %6llu %6llu %10.4f%s\n",
-                        j.job_name.c_str(), j.num_splits, j.num_reducers,
-                        static_cast<unsigned long long>(j.input_records),
-                        static_cast<unsigned long long>(j.shuffle_bytes),
-                        static_cast<unsigned long long>(j.task_attempts),
-                        static_cast<unsigned long long>(j.task_failures),
-                        j.total_seconds, j.succeeded ? "" : "  FAILED");
+    out += StringPrintf(
+        "%-34s %8zu %6zu %12llu %12llu %6llu %6llu %6.2f %10.4f%s\n",
+        j.job_name.c_str(), j.num_splits, j.num_reducers,
+        static_cast<unsigned long long>(j.input_records),
+        static_cast<unsigned long long>(j.shuffle_bytes),
+        static_cast<unsigned long long>(j.task_attempts),
+        static_cast<unsigned long long>(j.task_failures), j.partition_skew,
+        j.total_seconds, j.succeeded ? "" : "  FAILED");
   }
   out += StringPrintf("TOTAL: %zu jobs, %llu input records, %llu shuffle "
                       "bytes, %llu failed attempts, %llu retried tasks, "

@@ -31,6 +31,14 @@ struct JobMetrics {
   double shuffle_seconds = 0.0;
   double reduce_seconds = 0.0;
   double total_seconds = 0.0;
+  // Partitioned-shuffle accounting (empty for map-only jobs): per-reduce-
+  // partition merge wall time and record count, plus the skew factor
+  // max(partition_records) / mean(partition_records) — 1.0 is a perfectly
+  // balanced shuffle, num_reducers is the worst case (all records on one
+  // partition; Hadoop's "straggling reducer" diagnosis).
+  std::vector<double> partition_shuffle_seconds;
+  std::vector<uint64_t> partition_records;
+  double partition_skew = 0.0;
 };
 
 /// Accumulates the job log of one clustering run.

@@ -1,0 +1,272 @@
+#ifndef P3C_MAPREDUCE_PARTITION_H_
+#define P3C_MAPREDUCE_PARTITION_H_
+
+// Hadoop-style partitioned shuffle for the in-process engine (DESIGN.md
+// §9): a Partitioner routes every intermediate key to one of R reduce
+// partitions at map-commit time, each partition holds one key-sorted run
+// per map task, and MergePartition k-way merges those runs into a
+// grouped, contiguous value buffer that reducers read zero-copy via
+// std::span. The per-partition merges are independent, so the shuffle
+// parallelizes across partitions instead of funnelling every pair
+// through one global sort.
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace p3c::mr {
+
+/// splitmix64 finalizer — the engine's standard integer mix (also used by
+/// SeededFaultInjector). Deterministic across platforms, unlike
+/// std::hash, so partition assignment (and thus per-partition metrics)
+/// is reproducible everywhere.
+inline uint64_t ShuffleMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over raw bytes, finalized with ShuffleMix64.
+inline uint64_t ShuffleHashBytes(const char* data, size_t len) {
+  uint64_t h = 14695981039346656037ull;
+  for (size_t i = 0; i < len; ++i) {
+    h = (h ^ static_cast<unsigned char>(data[i])) * 1099511628211ull;
+  }
+  return ShuffleMix64(h);
+}
+
+/// Deterministic key hash behind HashPartitioner. Overload/extend for
+/// custom key types (or supply a custom Partitioner instead).
+template <typename K>
+  requires std::is_integral_v<K> || std::is_enum_v<K>
+uint64_t ShuffleKeyHash(const K& key) {
+  return ShuffleMix64(static_cast<uint64_t>(key));
+}
+
+inline uint64_t ShuffleKeyHash(const std::string& key) {
+  return ShuffleHashBytes(key.data(), key.size());
+}
+
+inline uint64_t ShuffleKeyHash(double key) {
+  return ShuffleMix64(std::bit_cast<uint64_t>(key));
+}
+
+inline uint64_t ShuffleKeyHash(float key) {
+  return ShuffleMix64(std::bit_cast<uint32_t>(key));
+}
+
+/// Routes intermediate keys to reduce partitions — Hadoop's Partitioner
+/// contract. Implementations must be pure functions of (key,
+/// num_partitions): equal keys MUST map to the same partition (grouping
+/// correctness depends on it) and the result must be < num_partitions.
+/// Called concurrently from map-commit paths; must be thread-safe.
+template <typename K>
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  virtual size_t Partition(const K& key, size_t num_partitions) const = 0;
+};
+
+/// Default partitioner: deterministic hash modulo partition count (the
+/// analog of Hadoop's HashPartitioner).
+template <typename K>
+class HashPartitioner : public Partitioner<K> {
+ public:
+  size_t Partition(const K& key, size_t num_partitions) const override {
+    return static_cast<size_t>(ShuffleKeyHash(key) % num_partitions);
+  }
+};
+
+/// One merged shuffle partition: sorted group keys over a contiguous
+/// value buffer. Group g owns values [group_offsets[g],
+/// group_offsets[g+1]); reducers read them through group_values() as
+/// immutable spans, which is what makes reduce attempts retryable
+/// without copying.
+template <typename K, typename V>
+struct MergedPartition {
+  std::vector<K> group_keys;
+  std::vector<size_t> group_offsets;  ///< size num_groups()+1 once merged
+  std::vector<V> values;
+
+  size_t num_groups() const { return group_keys.size(); }
+  const K& key(size_t g) const { return group_keys[g]; }
+  std::span<const V> group_values(size_t g) const {
+    return std::span<const V>(values).subspan(
+        group_offsets[g], group_offsets[g + 1] - group_offsets[g]);
+  }
+};
+
+/// Partitioned shuffle buffers of one job: num_partitions × num_maps
+/// key-sorted runs plus their merged form. Concurrency contract:
+/// CommitMapOutput may run concurrently for distinct map_index values
+/// and MergePartition for distinct partitions (each touches disjoint
+/// slots); the two stages are separated by the engine's map barrier.
+template <typename K, typename V>
+class ShuffleBuffers {
+ public:
+  ShuffleBuffers(size_t num_partitions, size_t num_maps)
+      : num_partitions_(std::max<size_t>(1, num_partitions)),
+        num_maps_(num_maps),
+        runs_(num_partitions_ * num_maps),
+        merged_(num_partitions_) {}
+
+  size_t num_partitions() const { return num_partitions_; }
+
+  /// Routes one committed map task's output into per-partition sorted
+  /// runs. Buckets and sorts into locals first and installs with
+  /// noexcept moves only, so a throwing Partitioner leaves the buffers
+  /// untouched (task-attempt isolation). The per-key emit order of the
+  /// map task survives: the sort is stable and pairs are bucketed in
+  /// emission order.
+  void CommitMapOutput(size_t map_index, std::vector<std::pair<K, V>> pairs,
+                       const Partitioner<K>& partitioner) {
+    std::vector<std::vector<std::pair<K, V>>> buckets(num_partitions_);
+    if (num_partitions_ == 1) {
+      buckets[0] = std::move(pairs);
+    } else {
+      for (auto& kv : pairs) {
+        const size_t p = partitioner.Partition(kv.first, num_partitions_);
+        if (p >= num_partitions_) {
+          throw std::out_of_range(
+              "Partitioner returned partition " + std::to_string(p) +
+              " for " + std::to_string(num_partitions_) + " partitions");
+        }
+        buckets[p].push_back(std::move(kv));
+      }
+    }
+    for (auto& bucket : buckets) {
+      std::stable_sort(
+          bucket.begin(), bucket.end(),
+          [](const auto& a, const auto& b) { return a.first < b.first; });
+    }
+    for (size_t p = 0; p < num_partitions_; ++p) {
+      runs_[p * num_maps_ + map_index] = std::move(buckets[p]);
+    }
+  }
+
+  /// K-way merges partition p's runs into its MergedPartition, grouping
+  /// equal keys. Ties between runs break toward the lower map index, so
+  /// within a key the values appear in (map task, emit order) order —
+  /// exactly the order the former global stable sort produced. Consumes
+  /// the runs (values are moved, run storage is released).
+  void MergePartition(size_t p) {
+    auto runs = std::span(runs_).subspan(p * num_maps_, num_maps_);
+    MergedPartition<K, V>& out = merged_[p];
+    size_t total = 0;
+    for (const auto& run : runs) total += run.size();
+    out.values.reserve(total);
+
+    struct Cursor {
+      size_t run;
+      size_t pos;
+    };
+    std::vector<Cursor> heap;
+    for (size_t m = 0; m < runs.size(); ++m) {
+      if (!runs[m].empty()) heap.push_back(Cursor{m, 0});
+    }
+    // Min-heap via std::*_heap with an inverted comparator.
+    const auto after = [&runs](const Cursor& a, const Cursor& b) {
+      const K& ka = runs[a.run][a.pos].first;
+      const K& kb = runs[b.run][b.pos].first;
+      if (ka < kb) return false;
+      if (kb < ka) return true;
+      return a.run > b.run;
+    };
+    std::make_heap(heap.begin(), heap.end(), after);
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), after);
+      Cursor cur = heap.back();
+      heap.pop_back();
+      auto& kv = runs[cur.run][cur.pos];
+      if (out.group_keys.empty() || out.group_keys.back() < kv.first) {
+        out.group_offsets.push_back(out.values.size());
+        out.group_keys.push_back(std::move(kv.first));
+      }
+      out.values.push_back(std::move(kv.second));
+      if (++cur.pos < runs[cur.run].size()) {
+        heap.push_back(cur);
+        std::push_heap(heap.begin(), heap.end(), after);
+      }
+    }
+    out.group_offsets.push_back(out.values.size());
+    for (auto& run : runs) run = {};
+  }
+
+  /// Merged form of partition p; valid after MergePartition(p).
+  const MergedPartition<K, V>& partition(size_t p) const {
+    return merged_[p];
+  }
+
+ private:
+  size_t num_partitions_;
+  size_t num_maps_;
+  std::vector<std::vector<std::pair<K, V>>> runs_;  ///< [p * num_maps_ + m]
+  std::vector<MergedPartition<K, V>> merged_;
+};
+
+/// K-way merge of key-sorted pair runs into one sorted vector (ties
+/// break toward the lower run index). The map-only shuffle: per-split
+/// runs are sorted in parallel at map-commit time and only the merge is
+/// left, replacing the former O(n log n) global sort with O(n log M).
+template <typename K, typename V>
+std::vector<std::pair<K, V>> MergeSortedRuns(
+    std::vector<std::vector<std::pair<K, V>>> runs) {
+  size_t total = 0;
+  for (const auto& run : runs) total += run.size();
+  std::vector<std::pair<K, V>> out;
+  out.reserve(total);
+
+  struct Cursor {
+    size_t run;
+    size_t pos;
+  };
+  std::vector<Cursor> heap;
+  for (size_t m = 0; m < runs.size(); ++m) {
+    if (!runs[m].empty()) heap.push_back(Cursor{m, 0});
+  }
+  const auto after = [&runs](const Cursor& a, const Cursor& b) {
+    const K& ka = runs[a.run][a.pos].first;
+    const K& kb = runs[b.run][b.pos].first;
+    if (ka < kb) return false;
+    if (kb < ka) return true;
+    return a.run > b.run;
+  };
+  std::make_heap(heap.begin(), heap.end(), after);
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), after);
+    Cursor cur = heap.back();
+    heap.pop_back();
+    out.push_back(std::move(runs[cur.run][cur.pos]));
+    if (++cur.pos < runs[cur.run].size()) {
+      heap.push_back(cur);
+      std::push_heap(heap.begin(), heap.end(), after);
+    }
+  }
+  return out;
+}
+
+/// Per-job shuffle overrides, passed alongside the task factories.
+template <typename K>
+struct ShuffleOptions {
+  /// Partition routing; null selects the engine's HashPartitioner<K>.
+  /// The pointee must outlive the job and be thread-safe.
+  const Partitioner<K>* partitioner = nullptr;
+  /// Reduce partitions for this job; 0 defers to
+  /// RunnerOptions::num_reducers (which resolves 0 to the worker count).
+  /// Job wrappers that know their key cardinality cap this to avoid
+  /// empty partitions (e.g. the support job emits a single key).
+  size_t num_reducers = 0;
+};
+
+}  // namespace p3c::mr
+
+#endif  // P3C_MAPREDUCE_PARTITION_H_

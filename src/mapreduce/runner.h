@@ -23,6 +23,7 @@
 #include "src/mapreduce/fault.h"
 #include "src/mapreduce/job.h"
 #include "src/mapreduce/metrics.h"
+#include "src/mapreduce/partition.h"
 
 namespace p3c::mr {
 
@@ -34,9 +35,12 @@ struct RunnerOptions {
   /// four splits per worker ("we do not artificially split the input
   /// files" — splits grow with the data, §7.5.2).
   size_t records_per_split = 0;
-  /// Number of reduce tasks per job (the paper's jobs mostly use a single
-  /// reducer; the engine still exercises the partition/merge machinery).
-  size_t num_reducers = 1;
+  /// Number of reduce partitions per job; 0 means one partition per
+  /// worker thread. Jobs may override per job via ShuffleOptions (the
+  /// src/mr wrappers cap it at their key cardinality). The partition
+  /// count never changes job output — only how the shuffle and reduce
+  /// work are spread across workers.
+  size_t num_reducers = 0;
   /// Maximum attempts per task before the job fails — Hadoop's
   /// `mapreduce.{map,reduce}.maxattempts`, default 4. Each map, combine,
   /// and reduce task runs as up to this many attempts; a failed attempt
@@ -61,11 +65,21 @@ struct RunnerOptions {
 ///
 /// Preserves the framework semantics the paper's algorithm design relies
 /// on: record-parallel mappers over splits with Setup/Map/Cleanup
-/// lifecycle, a sort-based shuffle that groups equal keys, key-grouped
-/// reducers, per-phase barriers, counters, and shuffle-volume accounting.
-/// Output order is deterministic: reducers observe keys in sorted order
-/// and outputs are concatenated in key order, so runs are reproducible
-/// regardless of thread scheduling.
+/// lifecycle, a partitioned sort-based shuffle that groups equal keys,
+/// key-grouped reducers, per-phase barriers, counters, and
+/// shuffle-volume accounting.
+///
+/// The shuffle is Hadoop-shaped (partition.h, DESIGN.md §9): a
+/// Partitioner routes each map task's committed output into per-reducer
+/// partition buffers at map-commit time (key-sorted runs, built inside
+/// the map workers), each partition k-way merges its runs in parallel
+/// after the map barrier, and reducers consume only their own partition,
+/// reading value groups as std::span views into the merged buffer —
+/// no per-group copies. Output order is deterministic and independent of
+/// the partition count and thread count: within a key, values appear in
+/// (map task, emit order) order exactly as a global stable sort would
+/// produce, and reducer outputs are stitched back together in global key
+/// order by a final deterministic merge over the partitions.
 ///
 /// Fault tolerance mirrors Hadoop's task-attempt model: every map,
 /// combine, and reduce task executes as a sequence of attempts, each of
@@ -79,8 +93,9 @@ struct RunnerOptions {
 ///
 /// Retryability contract: mapper/reducer/combiner factories may be
 /// invoked several times per task (once per attempt) and task input is
-/// treated as immutable — shuffle values are copied, not moved, into
-/// reducer calls, so `V` must be copyable.
+/// treated as immutable — reducers see the merged partition through
+/// read-only spans, and combiner retries re-read the intact map output
+/// (`V` must be copyable when a combiner is used).
 ///
 /// Substitution note (DESIGN.md §2): this replaces the paper's Hadoop
 /// cluster; the job decompositions in src/mr are expressed against this
@@ -102,16 +117,19 @@ class LocalRunner {
   ///
   /// The factories are invoked once per task *attempt* from worker
   /// threads and must be thread-safe; the produced mapper/reducer
-  /// instances are used by a single thread only.
+  /// instances are used by a single thread only. `shuffle` overrides the
+  /// partitioner and reducer count for this job.
   template <typename Record, typename K, typename V, typename Out>
   Result<std::vector<Out>> Run(
       const std::string& job_name, std::span<const Record> input,
       const std::function<std::unique_ptr<Mapper<Record, K, V>>()>&
           mapper_factory,
       const std::function<std::unique_ptr<Reducer<K, V, Out>>()>&
-          reducer_factory) {
+          reducer_factory,
+      const ShuffleOptions<K>& shuffle = {}) {
     return RunWithCombiner<Record, K, V, Out>(job_name, input, mapper_factory,
-                                              reducer_factory, nullptr);
+                                              reducer_factory, nullptr,
+                                              shuffle);
   }
 
   /// Run() plus a per-mapper combiner: each map task's output is grouped
@@ -128,69 +146,111 @@ class LocalRunner {
       const std::function<std::unique_ptr<Reducer<K, V, Out>>()>&
           reducer_factory,
       const std::function<std::unique_ptr<Combiner<K, V>>()>&
-          combiner_factory) {
+          combiner_factory,
+      const ShuffleOptions<K>& shuffle = {}) {
     Stopwatch total_watch;
     JobMetrics metrics;
     metrics.job_name = job_name;
     metrics.input_records = input.size();
-    metrics.num_reducers = std::max<size_t>(1, options_.num_reducers);
+    const size_t num_partitions = ResolveNumReducers(shuffle.num_reducers);
+    metrics.num_reducers = num_partitions;
     AttemptAccounting acct;
     Counters job_counters;
 
-    // ---- Map phase -----------------------------------------------------
-    Stopwatch map_watch;
-    Result<std::vector<std::pair<K, V>>> map_result = MapPhase<Record, K, V>(
-        job_name, input, mapper_factory, combiner_factory, &metrics,
-        &job_counters, acct);
-    metrics.map_seconds = map_watch.ElapsedSeconds();
-    if (!map_result.ok()) {
-      return RecordFailure(metrics, acct, total_watch, map_result.status());
-    }
-    std::vector<std::pair<K, V>> pairs = std::move(map_result).value();
+    const HashPartitioner<K> default_partitioner;
+    const Partitioner<K>& partitioner = shuffle.partitioner != nullptr
+                                            ? *shuffle.partitioner
+                                            : default_partitioner;
+    ShuffleBuffers<K, V> buffers(num_partitions, NumSplits(input.size()));
 
-    // ---- Shuffle: sort-based grouping ---------------------------------
+    // ---- Map phase -----------------------------------------------------
+    // Each map task's committed (post-combine) output is partitioned and
+    // run-sorted inside the map worker, so that part of the shuffle
+    // overlaps with other map tasks still running. The commit runs as
+    // engine code after the attempts succeeded: a throwing custom
+    // Partitioner is a deterministic job failure, not a retryable task
+    // fault, and it leaves the buffers untouched.
+    Stopwatch map_watch;
+    Status map_status = MapPhase<Record, K, V>(
+        job_name, input, mapper_factory, combiner_factory, &metrics,
+        &job_counters, acct,
+        [&](size_t s, std::vector<std::pair<K, V>> pairs) {
+          try {
+            buffers.CommitMapOutput(s, std::move(pairs), partitioner);
+          } catch (const std::exception& e) {
+            return Status::InvalidArgument(StringPrintf(
+                "job '%s': partitioning map task %zu output failed: %s",
+                job_name.c_str(), s, e.what()));
+          }
+          return Status::OK();
+        });
+    metrics.map_seconds = map_watch.ElapsedSeconds();
+    if (!map_status.ok()) {
+      return RecordFailure(metrics, acct, total_watch, map_status);
+    }
+
+    // ---- Shuffle: parallel per-partition k-way merge -------------------
     Stopwatch shuffle_watch;
-    std::stable_sort(
-        pairs.begin(), pairs.end(),
-        [](const auto& a, const auto& b) { return a.first < b.first; });
-    // Group boundaries [begin, end) of equal keys.
-    std::vector<std::pair<size_t, size_t>> groups;
-    for (size_t i = 0; i < pairs.size();) {
-      size_t j = i + 1;
-      while (j < pairs.size() && !(pairs[i].first < pairs[j].first)) ++j;
-      groups.emplace_back(i, j);
-      i = j;
+    metrics.partition_shuffle_seconds.assign(num_partitions, 0.0);
+    try {
+      pool_.ParallelFor(num_partitions, /*grain=*/1, [&](size_t p) {
+        Stopwatch partition_watch;
+        buffers.MergePartition(p);
+        metrics.partition_shuffle_seconds[p] =
+            partition_watch.ElapsedSeconds();
+      });
+    } catch (const std::exception& e) {
+      metrics.shuffle_seconds = shuffle_watch.ElapsedSeconds();
+      return RecordFailure(
+          metrics, acct, total_watch,
+          Status::Internal(StringPrintf("job '%s': shuffle merge failed: %s",
+                                        job_name.c_str(), e.what())));
     }
     metrics.shuffle_seconds = shuffle_watch.ElapsedSeconds();
+    metrics.partition_records.resize(num_partitions);
+    uint64_t shuffled_total = 0;
+    uint64_t shuffled_max = 0;
+    for (size_t p = 0; p < num_partitions; ++p) {
+      const uint64_t records = buffers.partition(p).values.size();
+      metrics.partition_records[p] = records;
+      shuffled_total += records;
+      shuffled_max = std::max(shuffled_max, records);
+    }
+    metrics.partition_skew =
+        shuffled_total == 0 ? 0.0
+                            : static_cast<double>(shuffled_max) *
+                                  static_cast<double>(num_partitions) /
+                                  static_cast<double>(shuffled_total);
 
     // ---- Reduce phase --------------------------------------------------
+    // One reduce task per non-empty partition; the task index is the
+    // partition index (stable addressing for fault injection). Reducers
+    // read value groups as spans into the merged buffer — zero-copy, and
+    // naturally retry-safe because the views are immutable.
     Stopwatch reduce_watch;
-    const size_t num_reduce_tasks =
-        std::min(metrics.num_reducers, std::max<size_t>(1, groups.size()));
-    std::vector<std::vector<Out>> task_outputs(num_reduce_tasks);
+    std::vector<std::vector<Out>> task_outputs(num_partitions);
+    // Per-group output end offsets, recorded so the final merge can
+    // stitch per-key output slices back into global key order.
+    std::vector<std::vector<size_t>> task_group_ends(num_partitions);
     FailureSlot failure;
-    pool_.ParallelFor(num_reduce_tasks, [&](size_t task) {
+    pool_.ParallelFor(num_partitions, /*grain=*/1, [&](size_t p) {
+      const MergedPartition<K, V>& part = buffers.partition(p);
+      if (part.num_groups() == 0) return;
       if (failure.has_failed()) return;
-      // Contiguous key ranges per reduce task keep output deterministic.
-      const size_t begin = groups.size() * task / num_reduce_tasks;
-      const size_t end = groups.size() * (task + 1) / num_reduce_tasks;
       Status st =
-          ExecuteTask(job_name, TaskKind::kReduce, task, acct, [&](size_t) {
+          ExecuteTask(job_name, TaskKind::kReduce, p, acct, [&](size_t) {
             std::unique_ptr<Reducer<K, V, Out>> reducer = reducer_factory();
-            // Fresh output per attempt; shuffle values are copied so a
-            // failed attempt leaves the shuffled input intact for retry.
+            // Fresh output per attempt; the merged partition is read-only
+            // so a failed attempt leaves the shuffled input intact.
             std::vector<Out> attempt_out;
-            std::vector<V> values;
-            for (size_t g = begin; g < end; ++g) {
-              values.clear();
-              values.reserve(groups[g].second - groups[g].first);
-              for (size_t i = groups[g].first; i < groups[g].second; ++i) {
-                values.push_back(pairs[i].second);
-              }
-              reducer->Reduce(pairs[groups[g].first].first, values,
-                              attempt_out);
+            std::vector<size_t> ends;
+            ends.reserve(part.num_groups());
+            for (size_t g = 0; g < part.num_groups(); ++g) {
+              reducer->Reduce(part.key(g), part.group_values(g), attempt_out);
+              ends.push_back(attempt_out.size());
             }
-            task_outputs[task] = std::move(attempt_out);
+            task_outputs[p] = std::move(attempt_out);
+            task_group_ends[p] = std::move(ends);
             return Status::OK();
           });
       if (!st.ok()) failure.Set(std::move(st));
@@ -199,10 +259,46 @@ class LocalRunner {
       metrics.reduce_seconds = reduce_watch.ElapsedSeconds();
       return RecordFailure(metrics, acct, total_watch, failure.Take());
     }
+
+    // ---- Output merge: partition slices back into global key order ----
+    // Keys are unique across partitions (equal keys share a partition),
+    // so merging the partitions' sorted group keys and concatenating
+    // each group's output slice reproduces exactly the key-ordered
+    // output of a single global sort — byte-identical for any partition
+    // count, partitioner, and thread count.
     std::vector<Out> output;
-    for (auto& part : task_outputs) {
-      output.insert(output.end(), std::make_move_iterator(part.begin()),
-                    std::make_move_iterator(part.end()));
+    {
+      size_t total_out = 0;
+      for (const auto& t : task_outputs) total_out += t.size();
+      output.reserve(total_out);
+      struct Cursor {
+        size_t p;
+        size_t g;
+      };
+      std::vector<Cursor> heap;
+      for (size_t p = 0; p < num_partitions; ++p) {
+        if (buffers.partition(p).num_groups() > 0) heap.push_back({p, 0});
+      }
+      const auto after = [&buffers](const Cursor& a, const Cursor& b) {
+        return buffers.partition(b.p).key(b.g) <
+               buffers.partition(a.p).key(a.g);
+      };
+      std::make_heap(heap.begin(), heap.end(), after);
+      while (!heap.empty()) {
+        std::pop_heap(heap.begin(), heap.end(), after);
+        Cursor cur = heap.back();
+        heap.pop_back();
+        auto& slice = task_outputs[cur.p];
+        const auto& ends = task_group_ends[cur.p];
+        const size_t begin = cur.g == 0 ? 0 : ends[cur.g - 1];
+        output.insert(output.end(),
+                      std::make_move_iterator(slice.begin() + begin),
+                      std::make_move_iterator(slice.begin() + ends[cur.g]));
+        if (++cur.g < buffers.partition(cur.p).num_groups()) {
+          heap.push_back(cur);
+          std::push_heap(heap.begin(), heap.end(), after);
+        }
+      }
     }
     metrics.reduce_seconds = reduce_watch.ElapsedSeconds();
     metrics.output_records = output.size();
@@ -211,7 +307,11 @@ class LocalRunner {
   }
 
   /// Runs a map-only job (the paper's OD job, §5.5): the mappers'
-  /// emissions are the job output, sorted by key for determinism.
+  /// emissions are the job output, sorted by key for determinism. Each
+  /// split's output is sorted inside its map worker (a stable per-split
+  /// run); the only serial work left is the final k-way merge, whose
+  /// lower-run-index tie-break reproduces the order of a global stable
+  /// sort exactly.
   template <typename Record, typename K, typename V>
   Result<std::vector<std::pair<K, V>>> RunMapOnly(
       const std::string& job_name, std::span<const Record> input,
@@ -225,20 +325,24 @@ class LocalRunner {
     AttemptAccounting acct;
     Counters job_counters;
 
+    std::vector<std::vector<std::pair<K, V>>> runs(NumSplits(input.size()));
     Stopwatch map_watch;
-    Result<std::vector<std::pair<K, V>>> map_result = MapPhase<Record, K, V>(
+    Status map_status = MapPhase<Record, K, V>(
         job_name, input, mapper_factory, nullptr, &metrics, &job_counters,
-        acct);
+        acct, [&runs](size_t s, std::vector<std::pair<K, V>> pairs) {
+          std::stable_sort(
+              pairs.begin(), pairs.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+          runs[s] = std::move(pairs);
+          return Status::OK();
+        });
     metrics.map_seconds = map_watch.ElapsedSeconds();
-    if (!map_result.ok()) {
-      return RecordFailure(metrics, acct, total_watch, map_result.status());
+    if (!map_status.ok()) {
+      return RecordFailure(metrics, acct, total_watch, map_status);
     }
-    std::vector<std::pair<K, V>> pairs = std::move(map_result).value();
 
     Stopwatch shuffle_watch;
-    std::stable_sort(
-        pairs.begin(), pairs.end(),
-        [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<std::pair<K, V>> pairs = MergeSortedRuns(std::move(runs));
     metrics.shuffle_seconds = shuffle_watch.ElapsedSeconds();
 
     metrics.output_records = pairs.size();
@@ -252,6 +356,12 @@ class LocalRunner {
     const size_t per_split = SplitSize(n);
     return (n + per_split - 1) / per_split;
   }
+
+  /// Reduce-partition count a job gets when neither the job's
+  /// ShuffleOptions nor RunnerOptions::num_reducers overrides it: one
+  /// partition per worker thread. Job wrappers cap their per-job reducer
+  /// count against this (e.g. min(number of distinct keys, default)).
+  size_t DefaultNumReducers() const { return pool_.num_threads(); }
 
  private:
   /// Attempt/failure/retry totals of one job, accumulated lock-free from
@@ -292,6 +402,14 @@ class LocalRunner {
     if (options_.records_per_split > 0) return options_.records_per_split;
     const size_t target_tasks = pool_.num_threads() * 4;
     return std::max<size_t>(1, (n + target_tasks - 1) / target_tasks);
+  }
+
+  /// Effective reduce-partition count: per-job override, then
+  /// RunnerOptions::num_reducers, then one partition per worker.
+  size_t ResolveNumReducers(size_t job_override) const {
+    if (job_override > 0) return job_override;
+    if (options_.num_reducers > 0) return options_.num_reducers;
+    return pool_.num_threads();
   }
 
   /// Deterministic exponential backoff before retry number `retry`
@@ -387,25 +505,42 @@ class LocalRunner {
     }
     Counters& counters() override { return counters_; }
 
+    /// Size hint from the engine (records-per-split heuristic): most of
+    /// the paper's mappers emit at least one pair per record, so
+    /// reserving the split size up front removes the early reallocation
+    /// churn of wide-emit jobs. The capacity is transient — commit moves
+    /// the pairs into tight shuffle buckets.
+    void Reserve(size_t expected_pairs) { pairs_.reserve(expected_pairs); }
+
     std::vector<std::pair<K, V>> pairs_;
     Counters counters_;
     uint64_t bytes_ = 0;
   };
 
+  /// Runs the map (+optional combine) tasks and hands each split's
+  /// committed output to `commit` — still inside the worker, so
+  /// per-split shuffle work (partitioning, run sorting) overlaps with
+  /// other map tasks. `commit` is engine code, not a task attempt: it
+  /// runs at most once per split, only after the split's attempts
+  /// succeeded, and a non-OK return fails the job deterministically.
   template <typename Record, typename K, typename V>
-  Result<std::vector<std::pair<K, V>>> MapPhase(
+  Status MapPhase(
       const std::string& job_name, std::span<const Record> input,
       const std::function<std::unique_ptr<Mapper<Record, K, V>>()>&
           mapper_factory,
       const std::function<std::unique_ptr<Combiner<K, V>>()>&
           combiner_factory,
-      JobMetrics* metrics, Counters* job_counters, AttemptAccounting& acct) {
+      JobMetrics* metrics, Counters* job_counters, AttemptAccounting& acct,
+      const std::function<Status(size_t split,
+                                 std::vector<std::pair<K, V>> pairs)>&
+          commit) {
     const size_t n = input.size();
     const size_t per_split = SplitSize(std::max<size_t>(1, n));
     const size_t num_splits = n == 0 ? 0 : (n + per_split - 1) / per_split;
     metrics->num_splits = num_splits;
 
     std::vector<VectorEmitter<Record, K, V>> emitters(num_splits);
+    std::atomic<uint64_t> map_output_records{0};
     FailureSlot failure;
     pool_.ParallelFor(num_splits, [&](size_t s) {
       if (failure.has_failed()) return;
@@ -419,6 +554,7 @@ class LocalRunner {
             // only the winning attempt's output is committed to the
             // split slot below.
             VectorEmitter<Record, K, V> out;
+            out.Reserve(split.size());
             std::unique_ptr<Mapper<Record, K, V>> mapper = mapper_factory();
             mapper->Setup(s, split, out);
             for (const Record& record : split) mapper->Map(record, out);
@@ -434,31 +570,33 @@ class LocalRunner {
           return CombineAttempt(combiner_factory, emitters[s]);
         });
       }
+      if (st.ok()) {
+        map_output_records.fetch_add(emitters[s].pairs_.size(),
+                                     std::memory_order_relaxed);
+        st = commit(s, std::move(emitters[s].pairs_));
+      }
       if (!st.ok()) failure.Set(std::move(st));
     });
     if (failure.has_failed()) return failure.Take();
 
-    size_t total_pairs = 0;
-    for (const auto& e : emitters) total_pairs += e.pairs_.size();
-    std::vector<std::pair<K, V>> pairs;
-    pairs.reserve(total_pairs);
     for (auto& e : emitters) {
       metrics->shuffle_bytes += e.bytes_;
-      pairs.insert(pairs.end(), std::make_move_iterator(e.pairs_.begin()),
-                   std::make_move_iterator(e.pairs_.end()));
       job_counters->Merge(e.counters_);
     }
-    metrics->map_output_records = total_pairs;
-    return pairs;
+    metrics->map_output_records =
+        map_output_records.load(std::memory_order_relaxed);
+    return Status::OK();
   }
 
   /// One combine attempt over one map task's committed output: groups by
   /// key and collapses each group with a fresh combiner instance. The
   /// emitter is only mutated after the combiner has processed every
-  /// group (values are copied into the combiner, the in-place key sort
-  /// is idempotent), so a failed attempt leaves the map output intact.
-  /// The byte accounting is redone so shuffle_bytes reflects the
-  /// post-combine volume.
+  /// group (values are copied into a scratch buffer the combiner sees
+  /// through a span, the in-place key sort is idempotent), so a failed
+  /// attempt leaves the map output intact. The byte accounting is redone
+  /// so shuffle_bytes reflects the post-combine volume. This is the one
+  /// shuffle path that still copies values: the emitter's pairs are not
+  /// value-contiguous, so a span over them does not exist.
   template <typename Record, typename K, typename V>
   static Status CombineAttempt(
       const std::function<std::unique_ptr<Combiner<K, V>>()>&
@@ -480,7 +618,8 @@ class LocalRunner {
       for (size_t v = i; v < j; ++v) {
         values.push_back(pairs[v].second);
       }
-      V result = combiner->Combine(pairs[i].first, values);
+      V result =
+          combiner->Combine(pairs[i].first, std::span<const V>(values));
       bytes += SerializedSize(pairs[i].first) + SerializedSize(result);
       combined.emplace_back(pairs[i].first, std::move(result));
       i = j;

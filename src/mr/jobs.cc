@@ -18,7 +18,8 @@ using KeyedDoubles = std::pair<int64_t, std::vector<double>>;
 class VectorSumReducer
     : public Reducer<int64_t, std::vector<double>, KeyedDoubles> {
  public:
-  void Reduce(const int64_t& key, std::vector<std::vector<double>>& values,
+  void Reduce(const int64_t& key,
+              std::span<const std::vector<double>> values,
               std::vector<KeyedDoubles>& out) override {
     std::vector<double> acc;
     for (const auto& v : values) {
@@ -34,7 +35,8 @@ class CountSumReducer
     : public Reducer<int64_t, std::vector<uint64_t>,
                      std::pair<int64_t, std::vector<uint64_t>>> {
  public:
-  void Reduce(const int64_t& key, std::vector<std::vector<uint64_t>>& values,
+  void Reduce(const int64_t& key,
+              std::span<const std::vector<uint64_t>> values,
               std::vector<std::pair<int64_t, std::vector<uint64_t>>>& out)
       override {
     std::vector<uint64_t> acc;
@@ -45,6 +47,15 @@ class CountSumReducer
     out.emplace_back(key, std::move(acc));
   }
 };
+
+/// Per-job reducer count: the paper's jobs have small, known key
+/// cardinalities (an attribute index, a cluster index), so partitions
+/// beyond that are guaranteed-empty reduce tasks. Cap the runner's
+/// default at the job's key count.
+size_t ReducersForKeys(const LocalRunner& runner, size_t num_keys) {
+  return std::max<size_t>(
+      1, std::min(num_keys, runner.DefaultNumReducers()));
+}
 
 // ---------------------------------------------------------------------------
 // Histogram job (§5.1)
@@ -271,7 +282,8 @@ class MvbBallMapper : public Mapper<Record, int64_t, std::vector<double>> {
 class MvbBallReducer
     : public Reducer<int64_t, std::vector<double>, KeyedDoubles> {
  public:
-  void Reduce(const int64_t& key, std::vector<std::vector<double>>& values,
+  void Reduce(const int64_t& key,
+              std::span<const std::vector<double>> values,
               std::vector<KeyedDoubles>& out) override {
     if (values.empty()) return;
     const size_t dim = values.front().size() - 1;
@@ -421,7 +433,8 @@ class TighteningMapper : public Mapper<Record, int64_t, std::vector<double>> {
 class TighteningReducer
     : public Reducer<int64_t, std::vector<double>, KeyedDoubles> {
  public:
-  void Reduce(const int64_t& key, std::vector<std::vector<double>>& values,
+  void Reduce(const int64_t& key,
+              std::span<const std::vector<double>> values,
               std::vector<KeyedDoubles>& out) override {
     if (values.empty()) return;
     const size_t half = values.front().size() / 2;
@@ -483,11 +496,13 @@ Result<std::vector<stats::Histogram>> RunHistogramJob(
   const size_t bins = static_cast<size_t>(
       stats::NumBins(rule, std::max<uint64_t>(1, dataset.num_points())));
   HistogramJobConfig config{&dataset, bins};
+  ShuffleOptions<int64_t> shuffle;
+  shuffle.num_reducers = ReducersForKeys(runner, dataset.num_dims());
   auto run = runner.Run<Record, int64_t, std::vector<uint64_t>,
                         std::pair<int64_t, std::vector<uint64_t>>>(
       "histogram", records,
       [&config] { return std::make_unique<HistogramMapper>(&config); },
-      [] { return std::make_unique<CountSumReducer>(); });
+      [] { return std::make_unique<CountSumReducer>(); }, shuffle);
   if (!run.ok()) return run.status();
   auto& out = *run;
   std::vector<stats::Histogram> histograms(dataset.num_dims(),
@@ -505,11 +520,13 @@ Result<std::vector<uint64_t>> RunSupportJob(
   const std::vector<Record> records = MakeRecords(dataset);
   const core::Rssc rssc(signatures);  // "calculated by the main program"
   SupportJobConfig config{&dataset, &rssc};
+  ShuffleOptions<int64_t> shuffle;
+  shuffle.num_reducers = 1;  // the job emits a single key
   auto run = runner.Run<Record, int64_t, std::vector<uint64_t>,
                         std::pair<int64_t, std::vector<uint64_t>>>(
       "support-count", records,
       [&config] { return std::make_unique<SupportMapper>(&config); },
-      [] { return std::make_unique<CountSumReducer>(); });
+      [] { return std::make_unique<CountSumReducer>(); }, shuffle);
   if (!run.ok()) return run.status();
   auto& out = *run;
   std::vector<uint64_t> supports(signatures.size(), 0);
@@ -529,10 +546,13 @@ Result<MomentSums> RunMomentJob(LocalRunner& runner,
                                 const char* job_name) {
   const std::vector<Record> records = MakeRecords(dataset);
   MomentJobConfig config{&dataset, &model, &membership};
+  ShuffleOptions<int64_t> shuffle;
+  // k component keys plus the log-likelihood key.
+  shuffle.num_reducers = ReducersForKeys(runner, model.num_components() + 1);
   auto run = runner.Run<Record, int64_t, std::vector<double>, KeyedDoubles>(
       job_name, records,
       [&config] { return std::make_unique<MomentMapper>(&config); },
-      [] { return std::make_unique<VectorSumReducer>(); });
+      [] { return std::make_unique<VectorSumReducer>(); }, shuffle);
   if (!run.ok()) return run.status();
   auto& out = *run;
   MomentSums sums;
@@ -558,10 +578,12 @@ Result<std::vector<linalg::Matrix>> RunCovarianceJob(
     const std::vector<linalg::Vector>& means, const char* job_name) {
   const std::vector<Record> records = MakeRecords(dataset);
   CovarianceJobConfig config{&dataset, &model, &membership, &means};
+  ShuffleOptions<int64_t> shuffle;
+  shuffle.num_reducers = ReducersForKeys(runner, model.num_components());
   auto run = runner.Run<Record, int64_t, std::vector<double>, KeyedDoubles>(
       job_name, records,
       [&config] { return std::make_unique<CovarianceMapper>(&config); },
-      [] { return std::make_unique<VectorSumReducer>(); });
+      [] { return std::make_unique<VectorSumReducer>(); }, shuffle);
   if (!run.ok()) return run.status();
   auto& out = *run;
   const size_t dim = model.dim();
@@ -582,10 +604,12 @@ Result<std::vector<MvbBall>> RunMvbBallJob(
     const core::GmmModel& model, const core::GmmEvaluator& evaluator) {
   const std::vector<Record> records = MakeRecords(dataset);
   MvbBallJobConfig config{&dataset, &model, &evaluator};
+  ShuffleOptions<int64_t> shuffle;
+  shuffle.num_reducers = ReducersForKeys(runner, model.num_components());
   auto run = runner.Run<Record, int64_t, std::vector<double>, KeyedDoubles>(
       "mvb-ball", records,
       [&config] { return std::make_unique<MvbBallMapper>(&config); },
-      [] { return std::make_unique<MvbBallReducer>(); });
+      [] { return std::make_unique<MvbBallReducer>(); }, shuffle);
   if (!run.ok()) return run.status();
   auto& out = *run;
   std::vector<MvbBall> balls(model.num_components());
@@ -621,11 +645,14 @@ Result<std::vector<std::vector<stats::Histogram>>> RunClusterHistogramJob(
     const std::vector<size_t>& bins_per_cluster) {
   const std::vector<Record> records = MakeRecords(dataset);
   ClusterHistogramJobConfig config{&dataset, &membership, &bins_per_cluster};
+  ShuffleOptions<int64_t> shuffle;
+  shuffle.num_reducers =
+      ReducersForKeys(runner, num_clusters * dataset.num_dims());
   auto run = runner.Run<Record, int64_t, std::vector<uint64_t>,
                         std::pair<int64_t, std::vector<uint64_t>>>(
       "cluster-histograms", records,
       [&config] { return std::make_unique<ClusterHistogramMapper>(&config); },
-      [] { return std::make_unique<CountSumReducer>(); });
+      [] { return std::make_unique<CountSumReducer>(); }, shuffle);
   if (!run.ok()) return run.status();
   auto& out = *run;
   const size_t d = dataset.num_dims();
@@ -647,10 +674,12 @@ Result<std::vector<std::vector<core::Interval>>> RunTighteningJob(
     const std::vector<std::vector<size_t>>& attrs) {
   const std::vector<Record> records = MakeRecords(dataset);
   TighteningJobConfig config{&dataset, &membership, &attrs};
+  ShuffleOptions<int64_t> shuffle;
+  shuffle.num_reducers = ReducersForKeys(runner, attrs.size());
   auto run = runner.Run<Record, int64_t, std::vector<double>, KeyedDoubles>(
       "interval-tightening", records,
       [&config] { return std::make_unique<TighteningMapper>(&config); },
-      [] { return std::make_unique<TighteningReducer>(); });
+      [] { return std::make_unique<TighteningReducer>(); }, shuffle);
   if (!run.ok()) return run.status();
   auto& out = *run;
   std::vector<std::vector<core::Interval>> intervals(attrs.size());

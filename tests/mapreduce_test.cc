@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <span>
 #include <string>
 
 #include "src/mapreduce/cache.h"
@@ -28,7 +29,7 @@ class WordCountMapper : public Mapper<std::string, std::string, uint64_t> {
 class SumReducer
     : public Reducer<std::string, uint64_t, std::pair<std::string, uint64_t>> {
  public:
-  void Reduce(const std::string& key, std::vector<uint64_t>& values,
+  void Reduce(const std::string& key, std::span<const uint64_t> values,
               std::vector<std::pair<std::string, uint64_t>>& out) override {
     uint64_t total = 0;
     for (uint64_t v : values) total += v;
@@ -97,6 +98,7 @@ TEST(LocalRunnerTest, MetricsRecorded) {
   MetricsRegistry metrics;
   RunnerOptions options;
   options.records_per_split = 2;
+  options.num_reducers = 1;  // pin the attempt count below
   options.metrics = &metrics;
   LocalRunner runner(options);
   RunWordCount(runner, {"a", "b", "c", "d", "e"});
@@ -113,6 +115,11 @@ TEST(LocalRunnerTest, MetricsRecorded) {
   EXPECT_EQ(job.task_failures, 0u);
   EXPECT_EQ(job.retried_tasks, 0u);
   EXPECT_TRUE(job.succeeded);
+  // Single-partition shuffle: all records on partition 0, skew exactly 1.
+  ASSERT_EQ(job.partition_records.size(), 1u);
+  EXPECT_EQ(job.partition_records[0], 5u);
+  ASSERT_EQ(job.partition_shuffle_seconds.size(), 1u);
+  EXPECT_DOUBLE_EQ(job.partition_skew, 1.0);
   EXPECT_FALSE(metrics.ToString().empty());
 }
 
@@ -121,7 +128,7 @@ TEST(LocalRunnerTest, MetricsRecorded) {
 class SumCombiner : public Combiner<std::string, uint64_t> {
  public:
   uint64_t Combine(const std::string& key,
-                   std::vector<uint64_t>& values) override {
+                   std::span<const uint64_t> values) override {
     (void)key;
     uint64_t total = 0;
     for (uint64_t v : values) total += v;
@@ -199,7 +206,7 @@ class LifecycleMapper : public Mapper<int, int, int> {
 
 class IdentityReducer : public Reducer<int, int, std::pair<int, int>> {
  public:
-  void Reduce(const int& key, std::vector<int>& values,
+  void Reduce(const int& key, std::span<const int> values,
               std::vector<std::pair<int, int>>& out) override {
     for (int v : values) out.emplace_back(key, v);
   }

@@ -6,6 +6,7 @@
 
 #include <map>
 #include <memory>
+#include <span>
 
 #include "src/common/random.h"
 #include "src/mapreduce/runner.h"
@@ -28,7 +29,7 @@ class KeyedSumMapper : public Mapper<KeyedRecord, int, int64_t> {
 class Int64SumReducer
     : public Reducer<int, int64_t, std::pair<int, int64_t>> {
  public:
-  void Reduce(const int& key, std::vector<int64_t>& values,
+  void Reduce(const int& key, std::span<const int64_t> values,
               std::vector<std::pair<int, int64_t>>& out) override {
     int64_t total = 0;
     for (int64_t v : values) total += v;
@@ -38,7 +39,7 @@ class Int64SumReducer
 
 class Int64SumCombiner : public Combiner<int, int64_t> {
  public:
-  int64_t Combine(const int& key, std::vector<int64_t>& values) override {
+  int64_t Combine(const int& key, std::span<const int64_t> values) override {
     (void)key;
     int64_t total = 0;
     for (int64_t v : values) total += v;

@@ -1,0 +1,278 @@
+// Determinism suite for the partitioned shuffle (labeled shuffle-smoke;
+// tools/run_sanitizers.sh runs it under ASan/UBSan and TSan): job output
+// must be byte-identical across thread counts, reducer counts, with and
+// without a combiner, and under injected task faults. The reducer below
+// folds its values through an order-sensitive polynomial hash, so any
+// change in value order — not just in the multiset of values — flips the
+// output and fails the suite.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/mapreduce/fault.h"
+#include "src/mapreduce/partition.h"
+#include "src/mapreduce/runner.h"
+#include "src/mr/p3c_mr.h"
+
+namespace p3c::mr {
+namespace {
+
+struct KeyedRecord {
+  int64_t key;
+  uint64_t value;
+};
+
+class KeyedMapper : public Mapper<KeyedRecord, int64_t, uint64_t> {
+ public:
+  void Map(const KeyedRecord& record,
+           Emitter<int64_t, uint64_t>& out) override {
+    out.Emit(record.key, record.value);
+  }
+};
+
+/// Order-sensitive fold: h = h * 31 + v. Detects any reordering of a
+/// key's values relative to the (map task, emit order) contract.
+class OrderHashReducer
+    : public Reducer<int64_t, uint64_t, std::pair<int64_t, uint64_t>> {
+ public:
+  void Reduce(const int64_t& key, std::span<const uint64_t> values,
+              std::vector<std::pair<int64_t, uint64_t>>& out) override {
+    uint64_t h = 1469598103934665603ull;
+    for (uint64_t v : values) h = h * 31 + v;
+    out.emplace_back(key, h);
+  }
+};
+
+/// Matching combiner: also an order-sensitive fold, so combined runs
+/// stay order-sensitive. (Combined output differs from uncombined output
+/// by design — the suite compares like with like.)
+class OrderHashCombiner : public Combiner<int64_t, uint64_t> {
+ public:
+  uint64_t Combine(const int64_t& key,
+                   std::span<const uint64_t> values) override {
+    (void)key;
+    uint64_t h = 1469598103934665603ull;
+    for (uint64_t v : values) h = h * 31 + v;
+    return h;
+  }
+};
+
+std::vector<KeyedRecord> MakeRecords(size_t n, size_t num_keys) {
+  std::vector<KeyedRecord> records(n);
+  for (size_t i = 0; i < n; ++i) {
+    records[i].key = static_cast<int64_t>(ShuffleMix64(i) % num_keys);
+    records[i].value = ShuffleMix64(i ^ 0xabcdef);
+  }
+  return records;
+}
+
+using Output = std::vector<std::pair<int64_t, uint64_t>>;
+
+Output RunJob(const std::vector<KeyedRecord>& records, size_t num_threads,
+              size_t num_reducers, bool with_combiner,
+              FaultInjector* injector = nullptr,
+              MetricsRegistry* metrics = nullptr,
+              const Partitioner<int64_t>* partitioner = nullptr) {
+  RunnerOptions options;
+  options.num_threads = num_threads;
+  options.records_per_split = 64;
+  options.fault_injector = injector;
+  options.metrics = metrics;
+  LocalRunner runner(options);
+  ShuffleOptions<int64_t> shuffle;
+  shuffle.num_reducers = num_reducers;
+  shuffle.partitioner = partitioner;
+  const auto mapper = [] { return std::make_unique<KeyedMapper>(); };
+  const auto reducer = [] { return std::make_unique<OrderHashReducer>(); };
+  auto result =
+      with_combiner
+          ? runner.RunWithCombiner<KeyedRecord, int64_t, uint64_t,
+                                   std::pair<int64_t, uint64_t>>(
+                "determinism", records, mapper, reducer,
+                [] { return std::make_unique<OrderHashCombiner>(); }, shuffle)
+          : runner.Run<KeyedRecord, int64_t, uint64_t,
+                       std::pair<int64_t, uint64_t>>(
+                "determinism", records, mapper, reducer, shuffle);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? std::move(result).value() : Output{};
+}
+
+// ---- The equivalence contract ----------------------------------------
+
+using Param = std::tuple<size_t /*threads*/, size_t /*reducers*/,
+                         bool /*combiner*/, bool /*faults*/>;
+
+class ShuffleDeterminism : public ::testing::TestWithParam<Param> {};
+
+TEST_P(ShuffleDeterminism, ByteIdenticalToSerialSingleReducerRun) {
+  const auto [threads, reducers, with_combiner, with_faults] = GetParam();
+  const auto records = MakeRecords(3000, 37);
+  // Baseline: serial, one reducer, fault-free — the configuration whose
+  // reduce input order is trivially the global stable-sort order.
+  const Output baseline = RunJob(records, 1, 1, with_combiner);
+  ASSERT_EQ(baseline.size(), 37u);
+
+  SeededFaultInjector injector(/*seed=*/23, /*fail_probability=*/1.0,
+                               /*max_faults_per_task=*/1);
+  MetricsRegistry metrics;
+  const Output out =
+      RunJob(records, threads, reducers, with_combiner,
+             with_faults ? &injector : nullptr, &metrics);
+  EXPECT_EQ(out, baseline);
+  if (with_faults) {
+    EXPECT_GT(injector.injected_faults(), 0u);
+  }
+
+  // Partition accounting invariants: per-partition records sum to the
+  // shuffled total, and the skew factor is at least 1 by construction.
+  ASSERT_EQ(metrics.num_jobs(), 1u);
+  const JobMetrics& job = metrics.jobs().front();
+  ASSERT_EQ(job.partition_records.size(), reducers);
+  ASSERT_EQ(job.partition_shuffle_seconds.size(), reducers);
+  uint64_t shuffled = 0;
+  for (uint64_t r : job.partition_records) shuffled += r;
+  EXPECT_EQ(shuffled, job.map_output_records);
+  EXPECT_GE(job.partition_skew, 1.0);
+  EXPECT_LE(job.partition_skew, static_cast<double>(reducers));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ShuffleDeterminism,
+    ::testing::Combine(::testing::Values(size_t{1}, size_t{4},
+                                         ThreadPool::HardwareConcurrency()),
+                       ::testing::Values(size_t{1}, size_t{3}, size_t{8}),
+                       ::testing::Bool(), ::testing::Bool()));
+
+// ---- Partitioner contract --------------------------------------------
+
+/// A deliberately skewed-but-valid partitioner: all keys below the pivot
+/// on partition 0, the rest spread by hash.
+class PivotPartitioner : public Partitioner<int64_t> {
+ public:
+  size_t Partition(const int64_t& key, size_t num_partitions) const override {
+    if (key < 8 || num_partitions == 1) return 0;
+    return 1 + ShuffleKeyHash(key) % (num_partitions - 1);
+  }
+};
+
+TEST(ShuffleDeterminismTest, CustomPartitionerPreservesOutput) {
+  const auto records = MakeRecords(2000, 37);
+  const Output baseline = RunJob(records, 1, 1, /*with_combiner=*/false);
+  const PivotPartitioner partitioner;
+  for (size_t reducers : {size_t{1}, size_t{3}, size_t{8}}) {
+    const Output out = RunJob(records, 4, reducers, /*with_combiner=*/false,
+                              nullptr, nullptr, &partitioner);
+    EXPECT_EQ(out, baseline) << reducers << " reducers";
+  }
+}
+
+class OutOfRangePartitioner : public Partitioner<int64_t> {
+ public:
+  size_t Partition(const int64_t& key, size_t num_partitions) const override {
+    (void)key;
+    return num_partitions;  // one past the end
+  }
+};
+
+TEST(ShuffleDeterminismTest, OutOfRangePartitionerFailsTheJob) {
+  const auto records = MakeRecords(100, 7);
+  RunnerOptions options;
+  options.num_threads = 2;
+  LocalRunner runner(options);
+  const OutOfRangePartitioner partitioner;
+  ShuffleOptions<int64_t> shuffle;
+  shuffle.num_reducers = 3;
+  shuffle.partitioner = &partitioner;
+  auto result = runner.Run<KeyedRecord, int64_t, uint64_t,
+                           std::pair<int64_t, uint64_t>>(
+      "bad-partitioner", records,
+      [] { return std::make_unique<KeyedMapper>(); },
+      [] { return std::make_unique<OrderHashReducer>(); }, shuffle);
+  ASSERT_FALSE(result.ok());
+  // Deterministic misconfiguration, not a transient fault: surfaces as
+  // InvalidArgument so job-level retry does not re-run it.
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(IsRetryableJobFailure(result.status()));
+}
+
+// ---- Within-key value order ------------------------------------------
+
+/// Emits each record's global index under one shared key; the reducer
+/// must then see 0, 1, 2, ... — the (map task, emit order) order a
+/// global stable sort produces.
+class IndexMapper : public Mapper<uint64_t, int64_t, uint64_t> {
+ public:
+  void Map(const uint64_t& record,
+           Emitter<int64_t, uint64_t>& out) override {
+    out.Emit(0, record);
+  }
+};
+
+class AscendingCheckReducer
+    : public Reducer<int64_t, uint64_t, std::pair<int64_t, uint64_t>> {
+ public:
+  void Reduce(const int64_t& key, std::span<const uint64_t> values,
+              std::vector<std::pair<int64_t, uint64_t>>& out) override {
+    uint64_t in_order = 1;
+    for (size_t i = 0; i + 1 < values.size(); ++i) {
+      if (values[i] + 1 != values[i + 1]) in_order = 0;
+    }
+    out.emplace_back(key, in_order);
+  }
+};
+
+TEST(ShuffleDeterminismTest, ValuesArriveInMapTaskEmitOrder) {
+  std::vector<uint64_t> records(1000);
+  for (size_t i = 0; i < records.size(); ++i) records[i] = i;
+  RunnerOptions options;
+  options.num_threads = 8;
+  options.records_per_split = 33;
+  LocalRunner runner(options);
+  auto result =
+      runner.Run<uint64_t, int64_t, uint64_t, std::pair<int64_t, uint64_t>>(
+          "value-order", records,
+          [] { return std::make_unique<IndexMapper>(); },
+          [] { return std::make_unique<AscendingCheckReducer>(); });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].second, 1u) << "values were reordered";
+}
+
+// ---- Map-only path ----------------------------------------------------
+
+class EchoMapper : public Mapper<uint64_t, uint64_t, uint64_t> {
+ public:
+  void Map(const uint64_t& record,
+           Emitter<uint64_t, uint64_t>& out) override {
+    out.Emit(ShuffleMix64(record) % 97, record);
+  }
+};
+
+TEST(ShuffleDeterminismTest, MapOnlyMergeMatchesSerialRun) {
+  std::vector<uint64_t> records(2000);
+  for (size_t i = 0; i < records.size(); ++i) records[i] = i;
+  std::vector<std::pair<uint64_t, uint64_t>> baseline;
+  for (size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+    RunnerOptions options;
+    options.num_threads = threads;
+    options.records_per_split = 61;
+    LocalRunner runner(options);
+    auto result = runner.RunMapOnly<uint64_t, uint64_t, uint64_t>(
+        "map-only", records, [] { return std::make_unique<EchoMapper>(); });
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    if (threads == 1) {
+      baseline = std::move(result).value();
+      ASSERT_EQ(baseline.size(), records.size());
+    } else {
+      EXPECT_EQ(*result, baseline) << threads << " threads";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace p3c::mr

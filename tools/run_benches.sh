@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Builds the benchmark binaries in Release and runs the engine-level
+# shuffle sweep, writing machine-readable results to BENCH_shuffle.json
+# at the repo root.
+#
+#   tools/run_benches.sh               # shuffle sweep -> BENCH_shuffle.json
+#   P3C_BENCH_SCALE=4 tools/run_benches.sh
+#                                      # scale record counts up 4x
+#
+# The sweep's acceptance bar: >= 2x shuffle-phase speedup over the serial
+# global sort at 8 threads / 8 reducers on the 1M-record rows, with
+# byte-identical output in every cell (the binary exits non-zero on any
+# divergence).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-bench}"
+
+echo "==== configure + build (${BUILD_DIR}, Release) ===="
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target bench_mr_shuffle
+
+echo "==== bench_mr_shuffle ===="
+"${BUILD_DIR}/bench/bench_mr_shuffle" --json BENCH_shuffle.json
+
+echo "==== results: BENCH_shuffle.json ===="

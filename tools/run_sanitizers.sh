@@ -6,6 +6,10 @@
 #   tools/run_sanitizers.sh tsan       # TSan only (fault/engine tests at
 #                                      # minimum; pass a ctest -R regex as
 #                                      # the second argument to narrow)
+#   tools/run_sanitizers.sh shuffle-smoke
+#                                      # shuffle determinism suite (ctest
+#                                      # -L shuffle-smoke) under both
+#                                      # sanitizers
 #
 # The fault-tolerance machinery (task retry, first-error-wins failure
 # slots, exception capture in ParallelFor) is concurrency-heavy; TSan on
@@ -16,6 +20,7 @@ cd "$(dirname "$0")/.."
 
 MODE="${1:-all}"
 FILTER="${2:-}"
+LABEL="${LABEL:-}"
 
 run_suite() {
   local name="$1" build_type="$2" build_dir="$3" env_opts="$4"
@@ -26,6 +31,9 @@ run_suite() {
   local args=(--output-on-failure --test-dir "${build_dir}")
   if [[ -n "${FILTER}" ]]; then
     args+=(-R "${FILTER}")
+  fi
+  if [[ -n "${LABEL}" ]]; then
+    args+=(-L "${LABEL}")
   fi
   env ${env_opts} ctest "${args[@]}"
 }
@@ -41,12 +49,23 @@ case "${MODE}" in
     FILTER="${FILTER:-FaultInjection|ThreadPool|MapReduce|RunnerProperties|P3CMR}"
     run_suite "TSan" Tsan build-tsan "TSAN_OPTIONS=halt_on_error=1"
     ;;
+  shuffle-smoke)
+    # The partitioned-shuffle determinism suite (byte-identical output
+    # across threads/reducers/combiner/faults) under both sanitizers:
+    # ASan/UBSan catches span-lifetime bugs in the zero-copy reduce path,
+    # TSan catches races in the per-partition merge and chunk-claiming
+    # ParallelFor.
+    LABEL="shuffle-smoke"
+    run_suite "ASan+UBSan shuffle-smoke" Sanitize build-asan \
+      "ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1"
+    run_suite "TSan shuffle-smoke" Tsan build-tsan "TSAN_OPTIONS=halt_on_error=1"
+    ;;
   all)
     "$0" asan
     "$0" tsan
     ;;
   *)
-    echo "usage: $0 [asan|tsan|all] [ctest -R filter]" >&2
+    echo "usage: $0 [asan|tsan|all|shuffle-smoke] [ctest -R filter]" >&2
     exit 2
     ;;
 esac
