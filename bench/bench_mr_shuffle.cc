@@ -17,6 +17,8 @@
 
 #include "bench/bench_util.h"
 #include "src/common/stopwatch.h"
+#include "src/common/string_util.h"
+#include "src/common/trace.h"
 #include "src/mapreduce/partition.h"
 #include "src/mapreduce/runner.h"
 
@@ -106,9 +108,22 @@ struct Row {
 int main(int argc, char** argv) {
   using namespace p3c;
   const char* json_path = nullptr;
+  const char* trace_path = nullptr;
+  const char* metrics_path = nullptr;
   for (int i = 1; i < argc - 1; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--trace-out") == 0) trace_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      metrics_path = argv[i + 1];
+    }
   }
+  if (trace_path != nullptr) {
+    // Note: tracing adds per-task overhead; don't compare traced shuffle
+    // numbers against untraced baselines.
+    Tracer::Global().Clear();
+    Tracer::Global().Enable(true);
+  }
+  mr::MetricsRegistry sweep_metrics;  // one entry per sweep cell
 
   bench::Banner("Partitioned shuffle — records x threads x reducers",
                 "the engine-side analog of §7.5's scale-up argument");
@@ -147,6 +162,14 @@ int main(int argc, char** argv) {
         }
         if (reference.empty()) reference = *result;
 
+        {
+          // Keep a copy in the sweep-wide registry, tagged with the cell
+          // coordinates so --metrics-out rows are self-describing.
+          mr::JobMetrics tagged = metrics.jobs().front();
+          tagged.job_name = StringPrintf("shuffle-bench/n=%zu/t=%zu/r=%zu",
+                                         n, threads, reducers);
+          sweep_metrics.Record(std::move(tagged));
+        }
         const mr::JobMetrics& job = metrics.jobs().front();
         Row row;
         row.records = n;
@@ -203,6 +226,29 @@ int main(int argc, char** argv) {
     std::fprintf(f, "]\n");
     std::fclose(f);
     std::printf("\nwrote %zu rows to %s\n", rows.size(), json_path);
+  }
+
+  if (metrics_path != nullptr) {
+    std::FILE* f = std::fopen(metrics_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_path);
+      return 1;
+    }
+    const std::string json = sweep_metrics.ToJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote engine metrics for %zu cells to %s\n",
+                sweep_metrics.num_jobs(), metrics_path);
+  }
+
+  if (trace_path != nullptr) {
+    const Status st = Tracer::Global().WriteJson(trace_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote trace (%zu events) to %s\n",
+                Tracer::Global().NumEvents(), trace_path);
   }
 
   bench::Rule();

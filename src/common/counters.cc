@@ -1,0 +1,133 @@
+#include "src/common/counters.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/string_util.h"
+
+namespace p3c {
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+size_t Metric::BucketIndex(double value) {
+  if (!(value > 1.0)) return 0;  // NaN and v <= 1 land in bucket 0
+  const double l = std::log2(value);
+  const auto idx = static_cast<size_t>(std::ceil(l));
+  return std::min(idx, kNumBuckets - 1);
+}
+
+void Metric::MergeFrom(const Metric& other) {
+  if (kind != other.kind) return;  // mixed kinds: keep ours (see header)
+  switch (kind) {
+    case MetricKind::kCounter:
+      count += other.count;
+      break;
+    case MetricKind::kGauge:
+      sum = std::max(sum, other.sum);
+      break;
+    case MetricKind::kHistogram:
+      count += other.count;
+      sum += other.sum;
+      min = std::min(min, other.min);
+      max = std::max(max, other.max);
+      for (size_t i = 0; i < kNumBuckets; ++i) buckets[i] += other.buckets[i];
+      break;
+  }
+}
+
+bool Metric::operator==(const Metric& other) const {
+  return kind == other.kind && count == other.count && sum == other.sum &&
+         (min == other.min || (std::isinf(min) && std::isinf(other.min))) &&
+         (max == other.max || (std::isinf(max) && std::isinf(other.max))) &&
+         buckets == other.buckets;
+}
+
+void MetricBag::Observe(const std::string& name, double value) {
+  Metric& m = values_[name];
+  m.kind = MetricKind::kHistogram;
+  ++m.count;
+  m.sum += value;
+  m.min = std::min(m.min, value);
+  m.max = std::max(m.max, value);
+  ++m.buckets[Metric::BucketIndex(value)];
+}
+
+uint64_t MetricBag::Get(const std::string& name) const {
+  const Metric* m = Find(name);
+  return m != nullptr && m->kind == MetricKind::kCounter ? m->count : 0;
+}
+
+double MetricBag::GetGauge(const std::string& name) const {
+  const Metric* m = Find(name);
+  return m != nullptr && m->kind == MetricKind::kGauge ? m->sum : 0.0;
+}
+
+const Metric* MetricBag::Find(const std::string& name) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+/// Doubles rendered with %.17g round-trip exactly, so equal values
+/// serialize to equal bytes (the byte-identity acceptance criterion).
+/// Non-finite values have no JSON literal; null stands in.
+std::string JsonDouble(double v) {
+  if (!std::isfinite(v)) return "null";
+  return StringPrintf("%.17g", v);
+}
+
+}  // namespace
+
+std::string MetricBag::ToJson() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, m] : values_) {
+    if (!first) out += ", ";
+    first = false;
+    out += StringPrintf("\"%s\": ", JsonEscape(name).c_str());
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out += StringPrintf("{\"kind\": \"counter\", \"value\": %llu}",
+                            static_cast<unsigned long long>(m.count));
+        break;
+      case MetricKind::kGauge:
+        out += StringPrintf("{\"kind\": \"gauge\", \"value\": %s}",
+                            JsonDouble(m.sum).c_str());
+        break;
+      case MetricKind::kHistogram: {
+        // Trim trailing empty buckets so small histograms stay small.
+        size_t last = Metric::kNumBuckets;
+        while (last > 0 && m.buckets[last - 1] == 0) --last;
+        std::string buckets;
+        for (size_t i = 0; i < last; ++i) {
+          buckets += StringPrintf(
+              "%s%llu", i == 0 ? "" : ", ",
+              static_cast<unsigned long long>(m.buckets[i]));
+        }
+        out += StringPrintf(
+            "{\"kind\": \"histogram\", \"count\": %llu, \"sum\": %s, "
+            "\"min\": %s, \"max\": %s, \"buckets\": [%s]}",
+            static_cast<unsigned long long>(m.count),
+            JsonDouble(m.sum).c_str(),
+            JsonDouble(m.count == 0 ? 0.0 : m.min).c_str(),
+            JsonDouble(m.count == 0 ? 0.0 : m.max).c_str(), buckets.c_str());
+        break;
+      }
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace p3c

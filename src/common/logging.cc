@@ -3,17 +3,27 @@
 #include <atomic>
 #include <cstdio>
 #include <mutex>
+#include <utility>
 
 namespace p3c {
 
 namespace {
 
-std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+std::atomic<LogLevel> g_log_level{LogLevel::kWarning};
 
-// Serializes writes so concurrent mapper threads do not interleave lines.
+// Guards sink replacement *and* emission, so SetLogSink never races a
+// concurrently emitting mapper thread. Leaked to survive static
+// destruction (worker threads may log late).
 std::mutex& LogMutex() {
   static std::mutex* mu = new std::mutex;
   return *mu;
+}
+
+// The active sink; empty function = default stderr writer. Only read
+// and written under LogMutex().
+LogSink& GlobalSink() {
+  static LogSink* sink = new LogSink;
+  return *sink;
 }
 
 const char* LevelTag(LogLevel level) {
@@ -35,28 +45,83 @@ const char* LevelTag(LogLevel level) {
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
-  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  g_log_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel GetLogLevel() {
-  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+  return g_log_level.load(std::memory_order_relaxed);
+}
+
+bool ParseLogLevel(const std::string& name, LogLevel* out) {
+  if (name == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (name == "info") {
+    *out = LogLevel::kInfo;
+  } else if (name == "warning" || name == "warn") {
+    *out = LogLevel::kWarning;
+  } else if (name == "error") {
+    *out = LogLevel::kError;
+  } else if (name == "off") {
+    *out = LogLevel::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+LogSink SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(LogMutex());
+  LogSink previous = std::move(GlobalSink());
+  GlobalSink() = std::move(sink);
+  return previous;
+}
+
+struct ScopedLogCapture::State {
+  mutable std::mutex mu;
+  std::vector<std::string> lines;
+};
+
+ScopedLogCapture::ScopedLogCapture() : state_(std::make_shared<State>()) {
+  std::shared_ptr<State> state = state_;
+  previous_ = SetLogSink([state](LogLevel level, const char* file, int line,
+                                 const std::string& message) {
+    char prefix[256];
+    std::snprintf(prefix, sizeof(prefix), "[%s %s:%d] ", LevelTag(level),
+                  file, line);
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->lines.push_back(prefix + message);
+  });
+}
+
+ScopedLogCapture::~ScopedLogCapture() { SetLogSink(std::move(previous_)); }
+
+std::vector<std::string> ScopedLogCapture::lines() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->lines;
 }
 
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : level_(level) {
+    : level_(level), line_(line) {
   // Keep only the basename to keep lines short.
   const char* base = file;
   for (const char* p = file; *p; ++p) {
     if (*p == '/') base = p + 1;
   }
-  stream_ << "[" << LevelTag(level_) << " " << base << ":" << line << "] ";
+  file_ = base;
 }
 
 LogMessage::~LogMessage() {
+  const std::string message = stream_.str();
   std::lock_guard<std::mutex> lock(LogMutex());
-  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  const LogSink& sink = GlobalSink();
+  if (sink) {
+    sink(level_, file_, line_, message);
+  } else {
+    std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level_), file_, line_,
+                 message.c_str());
+  }
 }
 
 }  // namespace internal

@@ -1,8 +1,11 @@
 #ifndef P3C_COMMON_LOGGING_H_
 #define P3C_COMMON_LOGGING_H_
 
+#include <functional>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace p3c {
 
@@ -17,9 +20,50 @@ enum class LogLevel : int {
 
 /// Global minimum level; messages below it are discarded. Defaults to
 /// kWarning so library users are not spammed; benchmarks raise it to
-/// kInfo when narrating progress.
+/// kInfo when narrating progress. Backed by std::atomic<LogLevel>
+/// (relaxed) — mapper threads consult it concurrently while the driver
+/// or a test may change it.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses "debug" / "info" / "warning" (or "warn") / "error" / "off"
+/// (case-sensitive, the CLI's --log-level values). Returns false and
+/// leaves `out` untouched on unknown names.
+bool ParseLogLevel(const std::string& name, LogLevel* out);
+
+/// One formatted log line, delivered to the active sink. `file` is the
+/// basename only; `message` carries no trailing newline.
+using LogSink = std::function<void(LogLevel level, const char* file,
+                                   int line, const std::string& message)>;
+
+/// Replaces the global sink; an empty function restores the default
+/// stderr writer. Returns the previous sink (empty = default) so
+/// scoped captures can restore it. Sink replacement is serialized with
+/// in-flight emissions: a sink is never invoked after SetLogSink
+/// returned with a different one.
+LogSink SetLogSink(LogSink sink);
+
+/// Test/CLI helper: captures every emitted line (post level filter)
+/// into an in-memory list instead of stderr, restoring the previous
+/// sink on destruction. Not reentrant across threads creating captures
+/// concurrently; capturing while worker threads *log* concurrently is
+/// safe.
+class ScopedLogCapture {
+ public:
+  ScopedLogCapture();
+  ~ScopedLogCapture();
+
+  ScopedLogCapture(const ScopedLogCapture&) = delete;
+  ScopedLogCapture& operator=(const ScopedLogCapture&) = delete;
+
+  /// Snapshot of the captured lines, formatted "[LEVEL file:line] msg".
+  std::vector<std::string> lines() const;
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+  LogSink previous_;
+};
 
 namespace internal {
 
@@ -37,6 +81,8 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* file_;
+  int line_;
   std::ostringstream stream_;
 };
 

@@ -30,6 +30,11 @@ std::string FormatDouble(double value, int digits = 6);
 /// paper's "1.E+04" axis labels.
 std::string HumanCount(uint64_t n);
 
+/// Escapes `s` for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters). Used by the trace/metrics JSON
+/// writers; does not add the surrounding quotes.
+std::string JsonEscape(std::string_view s);
+
 }  // namespace p3c
 
 #endif  // P3C_COMMON_STRING_UTIL_H_

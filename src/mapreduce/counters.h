@@ -6,14 +6,21 @@
 #include <mutex>
 #include <string>
 
+#include "src/common/counters.h"
+
 namespace p3c::mr {
 
-/// Named monotone counters, the MapReduce framework's classic side
-/// channel for job statistics ("records skipped", "candidates merged").
+/// Named task metrics, the MapReduce framework's classic side channel
+/// for job statistics ("records skipped", "candidates merged"). Backed
+/// by p3c::MetricBag, so tasks can report three Hadoop-style kinds:
+/// monotone counters (Increment), level gauges (SetGauge; merged by
+/// max, the order-free combination), and power-of-two histograms
+/// (Observe) — see src/common/counters.h for the merge semantics that
+/// keep all three deterministic across thread counts.
 ///
-/// Mapper/reducer tasks accumulate into task-local Counters instances and
-/// the runner merges them after each phase, so no locking happens on the
-/// hot path; `Merge` takes the lock once per task.
+/// Mapper/reducer tasks accumulate into task-local Counters instances
+/// and the runner merges them after each phase, so no locking happens
+/// on the hot path; `Merge` takes the lock once per task.
 ///
 /// Exactly-once semantics under retry: a task attempt accumulates into
 /// an attempt-local instance that is dropped with the attempt on
@@ -26,35 +33,59 @@ class Counters {
 
   // Movable for collecting task-local instances; not copyable to avoid
   // accidentally duplicating counts.
-  Counters(Counters&& other) noexcept : values_(std::move(other.values_)) {}
+  Counters(Counters&& other) noexcept : bag_(std::move(other.bag_)) {}
   Counters& operator=(Counters&& other) noexcept {
-    values_ = std::move(other.values_);
+    bag_ = std::move(other.bag_);
     return *this;
   }
 
   /// Adds `delta` to the named counter (task-local use; not thread-safe).
   void Increment(const std::string& name, uint64_t delta = 1) {
-    values_[name] += delta;
+    bag_.Increment(name, delta);
   }
 
-  /// Current value; 0 for unknown names.
-  uint64_t Get(const std::string& name) const {
-    auto it = values_.find(name);
-    return it == values_.end() ? 0 : it->second;
+  /// Sets the named gauge (task-local last-write-wins; cross-task merge
+  /// takes the maximum).
+  void SetGauge(const std::string& name, double value) {
+    bag_.SetGauge(name, value);
+  }
+
+  /// Records one observation into the named histogram.
+  void Observe(const std::string& name, double value) {
+    bag_.Observe(name, value);
+  }
+
+  /// Current counter value; 0 for unknown names.
+  uint64_t Get(const std::string& name) const { return bag_.Get(name); }
+  /// Current gauge level; 0.0 for unknown names.
+  double GetGauge(const std::string& name) const {
+    return bag_.GetGauge(name);
+  }
+  /// Full metric (any kind), or nullptr when unknown.
+  const Metric* Find(const std::string& name) const {
+    return bag_.Find(name);
   }
 
   /// Thread-safe accumulation of a task-local instance into this one.
   void Merge(const Counters& other) {
     std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& [name, value] : other.values_) values_[name] += value;
+    bag_.MergeFrom(other.bag_);
   }
 
-  const std::map<std::string, uint64_t>& values() const { return values_; }
+  const std::map<std::string, Metric>& values() const {
+    return bag_.values();
+  }
 
-  void Clear() { values_.clear(); }
+  /// Copyable snapshot of the merged metrics (JobMetrics embeds one).
+  MetricBag Snapshot() const { return bag_; }
+
+  /// JSON object of every metric (see MetricBag::ToJson).
+  std::string ToJson() const { return bag_.ToJson(); }
+
+  void Clear() { bag_.Clear(); }
 
  private:
-  std::map<std::string, uint64_t> values_;
+  MetricBag bag_;
   std::mutex mu_;
 };
 

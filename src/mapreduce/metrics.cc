@@ -1,5 +1,7 @@
 #include "src/mapreduce/metrics.h"
 
+#include <cmath>
+
 #include "src/common/string_util.h"
 
 namespace p3c::mr {
@@ -34,19 +36,31 @@ uint64_t MetricsRegistry::TotalInputRecords() const {
   return acc;
 }
 
+MetricBag MetricsRegistry::MergedCounters() const {
+  MetricBag merged;
+  for (const auto& j : jobs_) merged.MergeFrom(j.counters);
+  return merged;
+}
+
 std::string MetricsRegistry::ToString() const {
-  std::string out = StringPrintf("%-34s %8s %6s %12s %12s %6s %6s %6s %10s\n",
-                                 "job", "splits", "red.", "input",
-                                 "shuffled(B)", "att.", "fail.", "skew",
-                                 "time(s)");
+  std::string out = StringPrintf(
+      "%-34s %8s %6s %12s %12s %6s %6s %6s %6s %10s\n", "job", "splits",
+      "red.", "input", "shuffled(B)", "att.", "fail.", "retr.", "skew",
+      "time(s)");
   for (const auto& j : jobs_) {
+    // Map-only jobs have no shuffle partitions; print "-" instead of a
+    // meaningless 0.00 skew so the column stays readable either way.
+    const std::string skew = j.partition_records.empty()
+                                 ? std::string("     -")
+                                 : StringPrintf("%6.2f", j.partition_skew);
     out += StringPrintf(
-        "%-34s %8zu %6zu %12llu %12llu %6llu %6llu %6.2f %10.4f%s\n",
+        "%-34s %8zu %6zu %12llu %12llu %6llu %6llu %6llu %s %10.4f%s\n",
         j.job_name.c_str(), j.num_splits, j.num_reducers,
         static_cast<unsigned long long>(j.input_records),
         static_cast<unsigned long long>(j.shuffle_bytes),
         static_cast<unsigned long long>(j.task_attempts),
-        static_cast<unsigned long long>(j.task_failures), j.partition_skew,
+        static_cast<unsigned long long>(j.task_failures),
+        static_cast<unsigned long long>(j.retried_tasks), skew.c_str(),
         j.total_seconds, j.succeeded ? "" : "  FAILED");
   }
   out += StringPrintf("TOTAL: %zu jobs, %llu input records, %llu shuffle "
@@ -58,6 +72,76 @@ std::string MetricsRegistry::ToString() const {
                       static_cast<unsigned long long>(TotalTaskFailures()),
                       static_cast<unsigned long long>(TotalRetriedTasks()),
                       TotalSeconds());
+  return out;
+}
+
+namespace {
+
+template <typename T, typename Fn>
+std::string JsonArray(const std::vector<T>& values, Fn&& render) {
+  std::string out = "[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += render(values[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{\n  \"jobs\": [";
+  for (size_t i = 0; i < jobs_.size(); ++i) {
+    const JobMetrics& j = jobs_[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += StringPrintf(
+        "    {\"job_name\": \"%s\", \"num_splits\": %zu, "
+        "\"num_reducers\": %zu, \"input_records\": %llu, "
+        "\"map_output_records\": %llu, \"shuffle_bytes\": %llu, "
+        "\"output_records\": %llu, \"task_attempts\": %llu, "
+        "\"task_failures\": %llu, \"retried_tasks\": %llu, "
+        "\"succeeded\": %s, \"map_seconds\": %.6f, "
+        "\"shuffle_seconds\": %.6f, \"reduce_seconds\": %.6f, "
+        "\"total_seconds\": %.6f, \"partition_skew\": %.6f, "
+        "\"partition_records\": %s, \"partition_shuffle_seconds\": %s, "
+        "\"counters\": %s}",
+        JsonEscape(j.job_name).c_str(), j.num_splits, j.num_reducers,
+        static_cast<unsigned long long>(j.input_records),
+        static_cast<unsigned long long>(j.map_output_records),
+        static_cast<unsigned long long>(j.shuffle_bytes),
+        static_cast<unsigned long long>(j.output_records),
+        static_cast<unsigned long long>(j.task_attempts),
+        static_cast<unsigned long long>(j.task_failures),
+        static_cast<unsigned long long>(j.retried_tasks),
+        j.succeeded ? "true" : "false", j.map_seconds, j.shuffle_seconds,
+        j.reduce_seconds, j.total_seconds, j.partition_skew,
+        JsonArray(j.partition_records,
+                  [](uint64_t r) {
+                    return StringPrintf(
+                        "%llu", static_cast<unsigned long long>(r));
+                  })
+            .c_str(),
+        JsonArray(j.partition_shuffle_seconds,
+                  [](double s) { return StringPrintf("%.6f", s); })
+            .c_str(),
+        j.counters.ToJson().c_str());
+  }
+  out += StringPrintf(
+      "\n  ],\n"
+      "  \"num_jobs\": %zu,\n"
+      "  \"total_seconds\": %.6f,\n"
+      "  \"total_shuffle_bytes\": %llu,\n"
+      "  \"total_input_records\": %llu,\n"
+      "  \"total_task_failures\": %llu,\n"
+      "  \"total_retried_tasks\": %llu,\n"
+      "  \"counters\": %s\n}\n",
+      jobs_.size(), TotalSeconds(),
+      static_cast<unsigned long long>(TotalShuffleBytes()),
+      static_cast<unsigned long long>(TotalInputRecords()),
+      static_cast<unsigned long long>(TotalTaskFailures()),
+      static_cast<unsigned long long>(TotalRetriedTasks()),
+      MergedCounters().ToJson().c_str());
   return out;
 }
 

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/counters.h"
+
 namespace p3c::mr {
 
 /// Per-job execution statistics. The paper's efficiency arguments (§5.3's
@@ -39,6 +41,10 @@ struct JobMetrics {
   std::vector<double> partition_shuffle_seconds;
   std::vector<uint64_t> partition_records;
   double partition_skew = 0.0;
+  /// Snapshot of the job's merged user counters (counter/gauge/
+  /// histogram, see src/common/counters.h). Empty for failed jobs —
+  /// failed attempts and failed jobs leave no counter side effects.
+  MetricBag counters;
 };
 
 /// Accumulates the job log of one clustering run.
@@ -73,8 +79,22 @@ class MetricsRegistry {
   /// the storage system in a real deployment.
   uint64_t TotalInputRecords() const;
 
-  /// Multi-line human-readable table of all jobs.
+  /// Kind-aware aggregation of every successful job's counter snapshot
+  /// — equal to the RunnerOptions::counters sink of the same run.
+  MetricBag MergedCounters() const;
+
+  /// Multi-line human-readable table of all jobs, including the
+  /// fault-tolerance columns (attempts / failures / retried tasks) and
+  /// the shuffle skew ("-" for map-only jobs, whose partition vectors
+  /// are empty).
   std::string ToString() const;
+
+  /// Machine-readable export of the whole registry: a JSON object with
+  /// a "jobs" array (every JobMetrics field including per-job counters
+  /// and per-partition vectors), the aggregate totals, and the merged
+  /// counters. Counter values are deterministic — byte-identical across
+  /// thread counts and under injected faults; timings of course vary.
+  std::string ToJson() const;
 
   void Clear() { jobs_.clear(); }
 

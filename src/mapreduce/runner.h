@@ -19,6 +19,7 @@
 #include "src/common/stopwatch.h"
 #include "src/common/string_util.h"
 #include "src/common/threadpool.h"
+#include "src/common/trace.h"
 #include "src/mapreduce/counters.h"
 #include "src/mapreduce/fault.h"
 #include "src/mapreduce/job.h"
@@ -156,6 +157,13 @@ class LocalRunner {
     metrics.num_reducers = num_partitions;
     AttemptAccounting acct;
     Counters job_counters;
+    Tracer& tracer = Tracer::Global();
+    TraceSpan job_span(
+        "job:" + job_name,
+        tracer.enabled()
+            ? StringPrintf("{\"input_records\": %zu, \"num_reducers\": %zu}",
+                           input.size(), num_partitions)
+            : std::string());
 
     const HashPartitioner<K> default_partitioner;
     const Partitioner<K>& partitioner = shuffle.partitioner != nullptr
@@ -193,7 +201,20 @@ class LocalRunner {
     Stopwatch shuffle_watch;
     metrics.partition_shuffle_seconds.assign(num_partitions, 0.0);
     try {
+      TraceSpan shuffle_span("shuffle-phase");
       pool_.ParallelFor(num_partitions, /*grain=*/1, [&](size_t p) {
+        // Per-partition merge spans live on synthetic partition lanes,
+        // so reducer-side skew shows up as lane-length imbalance.
+        const uint32_t lane =
+            Tracer::kPartitionLaneBase + static_cast<uint32_t>(p);
+        const bool tracing = Tracer::Global().enabled();
+        if (tracing) {
+          Tracer::Global().NameLane(
+              lane, StringPrintf("shuffle partition %zu", p));
+        }
+        TraceSpan partition_span(
+            tracing ? StringPrintf("merge partition %zu", p) : std::string(),
+            std::string(), lane);
         Stopwatch partition_watch;
         buffers.MergePartition(p);
         metrics.partition_shuffle_seconds[p] =
@@ -233,28 +254,41 @@ class LocalRunner {
     // stitch per-key output slices back into global key order.
     std::vector<std::vector<size_t>> task_group_ends(num_partitions);
     FailureSlot failure;
-    pool_.ParallelFor(num_partitions, /*grain=*/1, [&](size_t p) {
-      const MergedPartition<K, V>& part = buffers.partition(p);
-      if (part.num_groups() == 0) return;
-      if (failure.has_failed()) return;
-      Status st =
-          ExecuteTask(job_name, TaskKind::kReduce, p, acct, [&](size_t) {
-            std::unique_ptr<Reducer<K, V, Out>> reducer = reducer_factory();
-            // Fresh output per attempt; the merged partition is read-only
-            // so a failed attempt leaves the shuffled input intact.
-            std::vector<Out> attempt_out;
-            std::vector<size_t> ends;
-            ends.reserve(part.num_groups());
-            for (size_t g = 0; g < part.num_groups(); ++g) {
-              reducer->Reduce(part.key(g), part.group_values(g), attempt_out);
-              ends.push_back(attempt_out.size());
-            }
-            task_outputs[p] = std::move(attempt_out);
-            task_group_ends[p] = std::move(ends);
-            return Status::OK();
-          });
-      if (!st.ok()) failure.Set(std::move(st));
-    });
+    {
+      TraceSpan reduce_span("reduce-phase");
+      pool_.ParallelFor(num_partitions, /*grain=*/1, [&](size_t p) {
+        const MergedPartition<K, V>& part = buffers.partition(p);
+        if (part.num_groups() == 0) return;
+        if (failure.has_failed()) return;
+        // Reduce attempts render on the same partition lane as the
+        // partition's shuffle merge (stable addressing: task index ==
+        // partition index).
+        const uint32_t lane =
+            Tracer::kPartitionLaneBase + static_cast<uint32_t>(p);
+        Status st = ExecuteTask(
+            job_name, TaskKind::kReduce, p, acct,
+            [&](size_t) {
+              std::unique_ptr<Reducer<K, V, Out>> reducer =
+                  reducer_factory();
+              // Fresh output per attempt; the merged partition is
+              // read-only so a failed attempt leaves the shuffled input
+              // intact.
+              std::vector<Out> attempt_out;
+              std::vector<size_t> ends;
+              ends.reserve(part.num_groups());
+              for (size_t g = 0; g < part.num_groups(); ++g) {
+                reducer->Reduce(part.key(g), part.group_values(g),
+                                attempt_out);
+                ends.push_back(attempt_out.size());
+              }
+              task_outputs[p] = std::move(attempt_out);
+              task_group_ends[p] = std::move(ends);
+              return Status::OK();
+            },
+            lane);
+        if (!st.ok()) failure.Set(std::move(st));
+      });
+    }
     if (failure.has_failed()) {
       metrics.reduce_seconds = reduce_watch.ElapsedSeconds();
       return RecordFailure(metrics, acct, total_watch, failure.Take());
@@ -268,6 +302,7 @@ class LocalRunner {
     // count, partitioner, and thread count.
     std::vector<Out> output;
     {
+      TraceSpan merge_span("output-merge");
       size_t total_out = 0;
       for (const auto& t : task_outputs) total_out += t.size();
       output.reserve(total_out);
@@ -324,6 +359,12 @@ class LocalRunner {
     metrics.num_reducers = 0;
     AttemptAccounting acct;
     Counters job_counters;
+    TraceSpan job_span(
+        "job:" + job_name,
+        Tracer::Global().enabled()
+            ? StringPrintf("{\"input_records\": %zu, \"map_only\": true}",
+                           input.size())
+            : std::string());
 
     std::vector<std::vector<std::pair<K, V>>> runs(NumSplits(input.size()));
     Stopwatch map_watch;
@@ -342,7 +383,11 @@ class LocalRunner {
     }
 
     Stopwatch shuffle_watch;
-    std::vector<std::pair<K, V>> pairs = MergeSortedRuns(std::move(runs));
+    std::vector<std::pair<K, V>> pairs;
+    {
+      TraceSpan merge_span("output-merge");
+      pairs = MergeSortedRuns(std::move(runs));
+    }
     metrics.shuffle_seconds = shuffle_watch.ElapsedSeconds();
 
     metrics.output_records = pairs.size();
@@ -431,26 +476,63 @@ class LocalRunner {
   /// is indistinguishable from a cleanly failing one. The body must
   /// only commit side effects on its success path (attempt isolation is
   /// the body's contract; the loop supplies the retry policy).
+  ///
+  /// Tracing: each attempt is its own span on `lane` (0 = the worker
+  /// thread's lane; reduce tasks pass their partition lane), and a
+  /// retry is stitched to the attempt it replaces with a flow event
+  /// pair, so Perfetto draws an arrow from the failed attempt to its
+  /// re-run.
   Status ExecuteTask(const std::string& job_name, TaskKind kind, size_t task,
                      AttemptAccounting& acct,
-                     const std::function<Status(size_t attempt)>& body) {
+                     const std::function<Status(size_t attempt)>& body,
+                     uint32_t lane = 0) {
     const size_t max_attempts = std::max<size_t>(1, options_.max_attempts);
+    Tracer& tracer = Tracer::Global();
     Status last;
+    uint64_t pending_flow = 0;
     for (size_t attempt = 0; attempt < max_attempts; ++attempt) {
       if (attempt > 0) SleepBackoff(attempt);
       acct.attempts.fetch_add(1, std::memory_order_relaxed);
       Status st;
-      try {
-        if (options_.fault_injector != nullptr) {
-          st = options_.fault_injector->OnAttemptStart(
-              TaskAttempt{job_name, kind, task, attempt});
+      {
+        const bool tracing = tracer.enabled();
+        TraceSpan attempt_span(
+            tracing ? StringPrintf("%s task %zu attempt %zu",
+                                   TaskKindName(kind), task, attempt)
+                    : std::string(),
+            tracing ? StringPrintf("{\"job\": \"%s\"}",
+                                   JsonEscape(job_name).c_str())
+                    : std::string(),
+            lane);
+        if (pending_flow != 0) {
+          tracer.RecordFlowEnd(pending_flow, "task-retry", lane);
+          pending_flow = 0;
         }
-        if (st.ok()) st = body(attempt);
-      } catch (const std::exception& e) {
-        st = Status::Internal(
-            StringPrintf("uncaught exception: %s", e.what()));
-      } catch (...) {
-        st = Status::Internal("uncaught non-standard exception");
+        try {
+          if (options_.fault_injector != nullptr) {
+            st = options_.fault_injector->OnAttemptStart(
+                TaskAttempt{job_name, kind, task, attempt});
+          }
+          if (st.ok()) st = body(attempt);
+        } catch (const std::exception& e) {
+          st = Status::Internal(
+              StringPrintf("uncaught exception: %s", e.what()));
+        } catch (...) {
+          st = Status::Internal("uncaught non-standard exception");
+        }
+        if (!st.ok() && tracing) {
+          tracer.RecordInstant(
+              StringPrintf("%s task %zu attempt %zu failed",
+                           TaskKindName(kind), task, attempt),
+              StringPrintf("{\"job\": \"%s\", \"error\": \"%s\"}",
+                           JsonEscape(job_name).c_str(),
+                           JsonEscape(st.message()).c_str()),
+              lane);
+          if (attempt + 1 < max_attempts) {
+            pending_flow = tracer.NextFlowId();
+            tracer.RecordFlowStart(pending_flow, "task-retry", lane);
+          }
+        }
       }
       if (st.ok()) return st;
       acct.failures.fetch_add(1, std::memory_order_relaxed);
@@ -486,12 +568,14 @@ class LocalRunner {
     return status;
   }
 
-  /// Success epilogue: stamps the accounting and commits the job's
-  /// counters to the cross-job sink in one merge.
+  /// Success epilogue: stamps the accounting, snapshots the job's
+  /// merged user counters into its JobMetrics row, and commits them to
+  /// the cross-job sink in one merge.
   void FinishSucceeded(JobMetrics& metrics, const AttemptAccounting& acct,
                        const Stopwatch& total_watch, Counters& job_counters) {
     StampAccounting(metrics, acct, /*succeeded=*/true);
     metrics.total_seconds = total_watch.ElapsedSeconds();
+    metrics.counters = job_counters.Snapshot();
     if (options_.metrics != nullptr) options_.metrics->Record(metrics);
     if (options_.counters != nullptr) options_.counters->Merge(job_counters);
   }
@@ -538,6 +622,11 @@ class LocalRunner {
     const size_t per_split = SplitSize(std::max<size_t>(1, n));
     const size_t num_splits = n == 0 ? 0 : (n + per_split - 1) / per_split;
     metrics->num_splits = num_splits;
+    TraceSpan map_span(
+        "map-phase",
+        Tracer::Global().enabled()
+            ? StringPrintf("{\"num_splits\": %zu}", num_splits)
+            : std::string());
 
     std::vector<VectorEmitter<Record, K, V>> emitters(num_splits);
     std::atomic<uint64_t> map_output_records{0};

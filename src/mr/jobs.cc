@@ -78,17 +78,25 @@ class HistogramMapper : public Mapper<Record, int64_t, std::vector<uint64_t>> {
     (void)out;
     const auto row = config_->dataset->Row(record);
     for (size_t j = 0; j < local_.size(); ++j) local_[j].Add(row[j]);
+    ++points_;
   }
 
   void Cleanup(Emitter<int64_t, std::vector<uint64_t>>& out) override {
     for (size_t j = 0; j < local_.size(); ++j) {
       out.Emit(static_cast<int64_t>(j), local_[j].counts());
     }
+    // Flushed once per task so the per-record path stays counter-free;
+    // integer-valued counters keep the exported JSON byte-identical
+    // across thread counts (doubles sum exactly below 2^53).
+    out.counters().Increment("histogram/points", points_);
+    out.counters().SetGauge("histogram/bins",
+                            static_cast<double>(config_->bins));
   }
 
  private:
   const HistogramJobConfig* config_;
   std::vector<stats::Histogram> local_;
+  uint64_t points_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -111,10 +119,14 @@ class SupportMapper : public Mapper<Record, int64_t, std::vector<uint64_t>> {
     (void)out;
     config_->rssc->Accumulate(config_->dataset->Row(record), scratch_,
                               supports_);
+    ++points_;
   }
 
   void Cleanup(Emitter<int64_t, std::vector<uint64_t>>& out) override {
     // In-mapper combining: one record per split instead of one per point.
+    out.counters().Increment("support/points", points_);
+    out.counters().SetGauge("support/candidates",
+                            static_cast<double>(supports_.size()));
     out.Emit(0, std::move(supports_));
   }
 
@@ -122,6 +134,7 @@ class SupportMapper : public Mapper<Record, int64_t, std::vector<uint64_t>> {
   const SupportJobConfig* config_;
   std::vector<uint64_t> scratch_;
   std::vector<uint64_t> supports_;
+  uint64_t points_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -322,11 +335,27 @@ class OdMapper : public Mapper<Record, data::PointId, int32_t> {
     const size_t c = config_->evaluator->HardAssign(x);
     const double d2 =
         (*config_->factors)[c].MahalanobisSquared(x, (*config_->centers)[c]);
-    out.Emit(record, d2 > config_->critical ? -1 : static_cast<int32_t>(c));
+    const bool outlier = d2 > config_->critical;
+    if (outlier) {
+      ++outliers_;
+    } else {
+      ++members_;
+      // Integer observations: the histogram's double sum stays exact, so
+      // the exported bucket counts AND sum are thread-count invariant.
+      out.counters().Observe("od/cluster", static_cast<double>(c));
+    }
+    out.Emit(record, outlier ? -1 : static_cast<int32_t>(c));
+  }
+
+  void Cleanup(Emitter<data::PointId, int32_t>& out) override {
+    out.counters().Increment("od/outliers", outliers_);
+    out.counters().Increment("od/members", members_);
   }
 
  private:
   const OdJobConfig* config_;
+  uint64_t outliers_ = 0;
+  uint64_t members_ = 0;
 };
 
 // ---------------------------------------------------------------------------

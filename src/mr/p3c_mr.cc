@@ -8,6 +8,7 @@
 
 #include "src/common/stopwatch.h"
 #include "src/common/string_util.h"
+#include "src/common/trace.h"
 #include "src/core/attribute_inspection.h"
 #include "src/core/gmm.h"
 #include "src/core/relevant_intervals.h"
@@ -33,6 +34,11 @@ namespace {
 template <typename Fn>
 auto RunPipelineJob(const JobRetryPolicy& policy, const char* phase,
                     Fn&& fn) -> decltype(fn()) {
+  // Phase span: the middle level of the trace hierarchy (pipeline →
+  // phase → job → task attempt). One span per job run, so a job-level
+  // retry shows as a second phase slice with the failure instant
+  // between them.
+  TraceSpan phase_span(std::string("phase:") + phase);
   const size_t max_attempts = std::max<size_t>(1, policy.max_job_attempts);
   Status last;
   size_t attempts = 0;
@@ -44,6 +50,12 @@ auto RunPipelineJob(const JobRetryPolicy& policy, const char* phase,
     auto result = fn();
     if (result.ok()) return result;
     last = result.status();
+    if (Tracer::Global().enabled()) {
+      Tracer::Global().RecordInstant(
+          StringPrintf("job-failed (phase %s)", phase),
+          StringPrintf("{\"error\": \"%s\"}",
+                       JsonEscape(last.message()).c_str()));
+    }
     if (!IsRetryableJobFailure(last)) {
       ++attempts;
       break;
@@ -227,6 +239,12 @@ P3CMR::P3CMR(P3CMROptions options) : options_(std::move(options)) {
 
 Result<core::ClusteringResult> P3CMR::Cluster(const data::Dataset& dataset) {
   Stopwatch watch;
+  TraceSpan pipeline_span(
+      options_.params.light ? "pipeline:p3c+-mr-light" : "pipeline:p3c+-mr",
+      Tracer::Global().enabled()
+          ? StringPrintf("{\"points\": %zu, \"dims\": %zu}",
+                         dataset.num_points(), dataset.num_dims())
+          : std::string());
   metrics_.Clear();
   counters_.Clear();
   if (dataset.num_points() == 0 || dataset.num_dims() == 0) {

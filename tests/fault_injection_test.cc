@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
 #include <memory>
 #include <span>
 #include <string>
@@ -31,8 +33,20 @@ class KeyedSumMapper : public Mapper<KeyedRecord, int, int64_t> {
  public:
   void Map(const KeyedRecord& record, Emitter<int, int64_t>& out) override {
     out.counters().Increment("records_mapped");
+    // All three metric kinds ride through the exactly-once checks below:
+    // a faulty run must reproduce counter, gauge AND histogram state.
+    out.counters().Observe("abs_value",
+                           std::abs(static_cast<double>(record.value)));
+    max_abs_ = std::max<int64_t>(max_abs_, std::abs(record.value));
     out.Emit(record.key, record.value);
   }
+
+  void Cleanup(Emitter<int, int64_t>& out) override {
+    out.counters().SetGauge("max_abs_value", static_cast<double>(max_abs_));
+  }
+
+ private:
+  int64_t max_abs_ = 0;
 };
 
 class Int64SumReducer
@@ -116,6 +130,18 @@ TEST(FaultInjectionTest, FlakyMapTaskYieldsIdenticalOutputAndCounters) {
   EXPECT_EQ(*flaky.result, *clean.result);
   EXPECT_EQ(flaky.counters.values(), clean.counters.values());
   EXPECT_EQ(flaky.counters.Get("records_mapped"), 1000u);
+  // Kind-specific double-count probes: a replayed attempt would inflate
+  // the histogram's count and the counter, and could move the gauge.
+  const Metric* hist = flaky.counters.Find("abs_value");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 1000u);
+  EXPECT_EQ(flaky.counters.GetGauge("max_abs_value"),
+            clean.counters.GetGauge("max_abs_value"));
+  // The machine-readable export is byte-identical too.
+  EXPECT_EQ(flaky.counters.ToJson(), clean.counters.ToJson());
+  // The job-level snapshot embedded in JobMetrics matches the sink.
+  EXPECT_EQ(flaky.metrics.jobs().front().counters.values(),
+            flaky.counters.values());
 
   // The accounting, however, shows exactly the injected faults.
   ASSERT_EQ(flaky.metrics.num_jobs(), 1u);
@@ -179,6 +205,7 @@ TEST(FaultInjectionTest, ExhaustedAttemptsFailWithTaskDetail) {
   EXPECT_TRUE(failed.counters.values().empty());
   ASSERT_EQ(failed.metrics.num_jobs(), 1u);
   EXPECT_FALSE(failed.metrics.jobs().front().succeeded);
+  EXPECT_TRUE(failed.metrics.jobs().front().counters.empty());
   EXPECT_GE(failed.metrics.jobs().front().task_failures, 3u);
 }
 

@@ -6,6 +6,11 @@
 //   p3c_cli cluster  --in points.csv --algo ALGO [--out assignments.csv]
 //           [--clusters-out clusters.txt] [--normalize] [--threads T]
 //           [--theta F] [--alpha-poisson F] [--job-log]
+//           [--trace-out=trace.json]   Chrome trace-event JSON (load in
+//                                      Perfetto / chrome://tracing)
+//           [--metrics-out=m.json]     per-job MR metrics + counters
+//                                      (mr / mr-light only)
+//           [--log-level=LEVEL]        debug|info|warning|error|off
 //           [--k K --l L]                    (PROCLUS only)
 //           [--doc-alpha F --doc-beta F --doc-w F]        (DOC only)
 //           [--block-rows N]                 (streaming-light only)
@@ -27,7 +32,9 @@
 #include "src/baselines/doc.h"
 #include "src/baselines/proclus.h"
 #include "src/bow/bow.h"
+#include "src/common/logging.h"
 #include "src/common/string_util.h"
+#include "src/common/trace.h"
 #include "src/core/p3c.h"
 #include "src/core/streaming.h"
 #include "src/data/generator.h"
@@ -44,7 +51,8 @@ namespace {
 
 using namespace p3c;
 
-/// Minimal --flag value parser; flags without a value get "1".
+/// Minimal --flag value parser; accepts both `--flag value` and
+/// `--flag=value`; flags without a value get "1".
 class Args {
  public:
   Args(int argc, char** argv) {
@@ -52,7 +60,10 @@ class Args {
       std::string key = argv[i];
       if (key.rfind("--", 0) != 0) continue;
       key = key.substr(2);
-      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      const size_t eq = key.find('=');
+      if (eq != std::string::npos) {
+        values_[key.substr(0, eq)] = key.substr(eq + 1);
+      } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
         values_[key] = argv[++i];
       } else {
         values_[key] = "1";
@@ -89,6 +100,18 @@ int Usage() {
                "see the header of tools/p3c_cli.cc for the full flag "
                "list\n");
   return 2;
+}
+
+Status WriteStringToFile(const std::string& contents,
+                         const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  std::fclose(f);
+  if (written != contents.size()) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
 }
 
 Status WriteLabels(const std::vector<int>& labels, const std::string& path) {
@@ -182,6 +205,15 @@ Result<core::ClusteringResult> RunAlgo(const std::string& algo,
     if (result.ok() && args.Has("job-log")) {
       std::printf("%s", pipeline.metrics().ToString().c_str());
     }
+    const std::string metrics_out = args.Get("metrics-out", "");
+    if (!metrics_out.empty()) {
+      // Written even when clustering failed: the per-job table up to the
+      // failure is exactly what a post-mortem needs.
+      const Status st =
+          WriteStringToFile(pipeline.metrics().ToJson(), metrics_out);
+      if (!st.ok()) return st;
+      std::printf("wrote MR metrics to %s\n", metrics_out.c_str());
+    }
     return result;
   }
   if (algo == "bow") {
@@ -243,6 +275,11 @@ int CmdCluster(const Args& args) {
   if (args.Has("normalize")) dataset->NormalizeMinMax();
 
   const std::string algo = args.Get("algo", "light");
+  if (args.Has("metrics-out") && algo != "mr" && algo != "mr-light") {
+    std::fprintf(stderr,
+                 "warning: --metrics-out only applies to --algo mr / "
+                 "mr-light; ignoring\n");
+  }
   Result<core::ClusteringResult> result = RunAlgo(algo, *dataset, args);
   if (!result.ok()) return Fail(result.status().ToString());
 
@@ -352,14 +389,49 @@ int CmdInfo(const Args& args) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  const std::string command = argv[1];
-  const Args args(argc, argv);
+int RunCommand(const std::string& command, const Args& args) {
   if (command == "generate") return CmdGenerate(args);
   if (command == "cluster") return CmdCluster(args);
   if (command == "evaluate") return CmdEvaluate(args);
   if (command == "evaluate-subspace") return CmdEvaluateSubspace(args);
   if (command == "info") return CmdInfo(args);
   return Usage();
+}
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Args args(argc, argv);
+
+  const std::string log_level = args.Get("log-level", "");
+  if (!log_level.empty()) {
+    LogLevel level;
+    if (!ParseLogLevel(log_level, &level)) {
+      return Fail("unknown --log-level '" + log_level +
+                  "' (want debug|info|warning|error|off)");
+    }
+    SetLogLevel(level);
+  }
+
+  const std::string trace_out = args.Get("trace-out", "");
+  if (!trace_out.empty()) {
+    Tracer::Global().Clear();
+    Tracer::Global().Enable(true);
+    if (!Tracer::Global().enabled()) {
+      std::fprintf(stderr,
+                   "warning: binary built with P3C_ENABLE_TRACING=OFF; "
+                   "%s will be empty\n",
+                   trace_out.c_str());
+    }
+  }
+
+  const int exit_code = RunCommand(command, args);
+
+  if (!trace_out.empty()) {
+    const Status st = Tracer::Global().WriteJson(trace_out);
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("wrote trace (%zu events) to %s\n",
+                Tracer::Global().NumEvents(), trace_out.c_str());
+  }
+  return exit_code;
 }

@@ -4,8 +4,13 @@
 # at the repo root.
 #
 #   tools/run_benches.sh               # shuffle sweep -> BENCH_shuffle.json
+#                                      #   + BENCH_shuffle_metrics.json
 #   P3C_BENCH_SCALE=4 tools/run_benches.sh
 #                                      # scale record counts up 4x
+#   P3C_BENCH_TRACE=1 tools/run_benches.sh
+#                                      # also write BENCH_shuffle_trace.json
+#                                      # (Perfetto-loadable; adds overhead,
+#                                      # don't compare its timings)
 #
 # The sweep's acceptance bar: >= 2x shuffle-phase speedup over the serial
 # global sort at 8 threads / 8 reducers on the 1M-record rows, with
@@ -22,6 +27,11 @@ cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "${BUILD_DIR}" -j "$(nproc)" --target bench_mr_shuffle
 
 echo "==== bench_mr_shuffle ===="
-"${BUILD_DIR}/bench/bench_mr_shuffle" --json BENCH_shuffle.json
+TRACE_ARGS=()
+if [[ "${P3C_BENCH_TRACE:-0}" != "0" ]]; then
+  TRACE_ARGS=(--trace-out BENCH_shuffle_trace.json)
+fi
+"${BUILD_DIR}/bench/bench_mr_shuffle" --json BENCH_shuffle.json \
+    --metrics-out BENCH_shuffle_metrics.json "${TRACE_ARGS[@]}"
 
-echo "==== results: BENCH_shuffle.json ===="
+echo "==== results: BENCH_shuffle.json + BENCH_shuffle_metrics.json ===="

@@ -10,6 +10,11 @@
 #                                      # shuffle determinism suite (ctest
 #                                      # -L shuffle-smoke) under both
 #                                      # sanitizers
+#   tools/run_sanitizers.sh trace-smoke
+#                                      # tracing/metrics suite (ctest -L
+#                                      # trace-smoke) under both sanitizers
+#                                      # (TSan exercises the tracer's
+#                                      # per-thread buffered spans)
 #
 # The fault-tolerance machinery (task retry, first-error-wins failure
 # slots, exception capture in ParallelFor) is concurrency-heavy; TSan on
@@ -60,12 +65,23 @@ case "${MODE}" in
       "ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1"
     run_suite "TSan shuffle-smoke" Tsan build-tsan "TSAN_OPTIONS=halt_on_error=1"
     ;;
+  trace-smoke)
+    # The tracing + counters suite: balanced-span/monotone-timestamp
+    # validation over real traced runs. TSan is the interesting gate —
+    # many worker threads record into the tracer's per-thread buffers
+    # while the driver names partition lanes and exports.
+    LABEL="trace-smoke"
+    run_suite "ASan+UBSan trace-smoke" Sanitize build-asan \
+      "ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1"
+    run_suite "TSan trace-smoke" Tsan build-tsan "TSAN_OPTIONS=halt_on_error=1"
+    ;;
   all)
     "$0" asan
     "$0" tsan
     ;;
   *)
-    echo "usage: $0 [asan|tsan|all|shuffle-smoke] [ctest -R filter]" >&2
+    echo "usage: $0 [asan|tsan|all|shuffle-smoke|trace-smoke]" \
+         "[ctest -R filter]" >&2
     exit 2
     ;;
 esac
