@@ -1,0 +1,43 @@
+#include "src/common/cancellation.h"
+
+#include <thread>
+
+namespace p3c {
+
+bool CancellationToken::WaitFor(double seconds) const {
+  if (seconds < 0.0) seconds = 0.0;
+  if (state_ == nullptr) {
+    // Never-cancellable token: a plain bounded sleep.
+    if (seconds > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    }
+    return false;
+  }
+  if (state_->cancelled.load(std::memory_order_relaxed)) return true;
+  std::unique_lock<std::mutex> lock(state_->mu);
+  return state_->cv.wait_for(
+      lock, std::chrono::duration<double>(seconds),
+      [this] { return state_->cancelled.load(std::memory_order_relaxed); });
+}
+
+void CancellationToken::WaitForCancel() const {
+  if (state_ == nullptr) return;
+  if (state_->cancelled.load(std::memory_order_relaxed)) return;
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] {
+    return state_->cancelled.load(std::memory_order_relaxed);
+  });
+}
+
+void CancellationSource::Cancel() {
+  // The store happens under the mutex so a sleeper cannot check the
+  // flag, decide to wait, and then miss the notify (the classic lost
+  // wakeup); polls still see the flag with a plain relaxed load.
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->cancelled.store(true, std::memory_order_relaxed);
+  }
+  state_->cv.notify_all();
+}
+
+}  // namespace p3c

@@ -20,6 +20,12 @@ enum class StatusCode {
   kFailedPrecondition = 5,
   kInternal = 6,
   kNotImplemented = 7,
+  /// A wall-clock bound was exceeded: a task attempt outlived
+  /// RunnerOptions::task_deadline_seconds and was killed by the
+  /// watchdog, or a pipeline phase blew through its
+  /// P3CMROptions::phase_budget_seconds. Retryable at the task level
+  /// (stragglers are transient), bounded at the phase level.
+  kDeadlineExceeded = 8,
 };
 
 /// Returns a stable, human-readable name for a status code ("OK",
@@ -66,6 +72,9 @@ class Status {
   }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/cancellation.h"
 #include "src/common/status.h"
 #include "src/common/string_util.h"
 
@@ -41,6 +42,13 @@ struct TaskAttempt {
   TaskKind kind;
   size_t task_index;
   size_t attempt;  ///< 0-based attempt number within the task
+  /// True for the duplicate copy launched by speculative execution;
+  /// the primary copy of the same attempt number has this false.
+  bool speculative = false;
+  /// Cancellation token of this attempt copy. Injected delays and
+  /// hangs wait on it so a watchdog kill (or a speculation loser-kill)
+  /// unblocks them immediately; a default token never cancels.
+  CancellationToken cancel{};
 };
 
 /// Fault-injection hook consulted by LocalRunner at the start of every
@@ -78,10 +86,26 @@ class ScriptedFaultInjector : public FaultInjector {
     std::optional<size_t> attempt;
     /// How many attempts this rule kills before burning out.
     size_t fires = 1;
+    /// Unset matches both copies; set, it matches only the primary
+    /// (false) or only the speculative (true) copy of an attempt.
+    std::optional<bool> speculative;
     /// Throw instead of returning the status (simulates a crash the
     /// engine must catch rather than a clean failure).
     bool throws = false;
-    /// Failure returned (or wrapped in the thrown exception).
+    /// Straggler injection: sleep this long before resolving the rule.
+    /// The sleep waits on the attempt's cancellation token, so a
+    /// watchdog deadline-kill or a speculation loser-kill interrupts
+    /// it immediately (the delayed attempt then fails as cancelled).
+    double delay_seconds = 0.0;
+    /// Hang injection: block until the attempt is cancelled, then fail
+    /// as cancelled — a task that never finishes on its own, the
+    /// failure mode deadlines exist for. A hung attempt whose token is
+    /// never cancelled (no deadline configured) blocks forever, which
+    /// is exactly what the uninstrumented engine would do.
+    bool hang = false;
+    /// Failure returned (or wrapped in the thrown exception). Delay
+    /// rules with an OK status model a pure straggler: slow but
+    /// correct.
     Status status = Status::Internal("injected fault");
   };
 
@@ -101,33 +125,87 @@ class ScriptedFaultInjector : public FaultInjector {
     AddRule(std::move(rule));
   }
 
+  /// Convenience: one-shot pure straggler — `attempt` of `task` runs
+  /// `delay_seconds` late but succeeds (status OK).
+  void DelayOnce(std::string job_substring, size_t task_index, size_t attempt,
+                 double delay_seconds) {
+    Rule rule;
+    rule.job_substring = std::move(job_substring);
+    rule.task_index = task_index;
+    rule.attempt = attempt;
+    rule.delay_seconds = delay_seconds;
+    rule.status = Status::OK();
+    AddRule(std::move(rule));
+  }
+
+  /// Convenience: one-shot permanent hang of `attempt` of `task` —
+  /// blocks until the engine cancels the attempt (deadline kill or
+  /// speculation loser-kill).
+  void HangOnce(std::string job_substring, size_t task_index,
+                size_t attempt) {
+    Rule rule;
+    rule.job_substring = std::move(job_substring);
+    rule.task_index = task_index;
+    rule.attempt = attempt;
+    rule.hang = true;
+    AddRule(std::move(rule));
+  }
+
   Status OnAttemptStart(const TaskAttempt& attempt) override {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (Rule& rule : rules_) {
-      if (rule.fires == 0) continue;
-      if (!rule.job_substring.empty() &&
-          attempt.job_name.find(rule.job_substring) == std::string::npos) {
-        continue;
+    // Match and consume the rule under the lock, but perform blocking
+    // actions (delay, hang) outside it — a hanging attempt must not
+    // wedge every other attempt's injector consult.
+    Rule fired;
+    bool matched = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (Rule& rule : rules_) {
+        if (rule.fires == 0) continue;
+        if (!rule.job_substring.empty() &&
+            attempt.job_name.find(rule.job_substring) == std::string::npos) {
+          continue;
+        }
+        if (rule.kind.has_value() && *rule.kind != attempt.kind) continue;
+        if (rule.task_index.has_value() &&
+            *rule.task_index != attempt.task_index) {
+          continue;
+        }
+        if (rule.attempt.has_value() && *rule.attempt != attempt.attempt) {
+          continue;
+        }
+        if (rule.speculative.has_value() &&
+            *rule.speculative != attempt.speculative) {
+          continue;
+        }
+        if (rule.fires != kUnlimitedFires) --rule.fires;
+        ++injected_;
+        fired = rule;
+        matched = true;
+        break;
       }
-      if (rule.kind.has_value() && *rule.kind != attempt.kind) continue;
-      if (rule.task_index.has_value() &&
-          *rule.task_index != attempt.task_index) {
-        continue;
-      }
-      if (rule.attempt.has_value() && *rule.attempt != attempt.attempt) {
-        continue;
-      }
-      if (rule.fires != kUnlimitedFires) --rule.fires;
-      ++injected_;
-      if (rule.throws) {
-        throw std::runtime_error(StringPrintf(
-            "injected crash: job '%s' %s task %zu attempt %zu",
-            attempt.job_name.c_str(), TaskKindName(attempt.kind),
-            attempt.task_index, attempt.attempt));
-      }
-      return rule.status;
     }
-    return Status::OK();
+    if (!matched) return Status::OK();
+    if (fired.hang) {
+      // Block until the engine gives up on this copy. A null token
+      // (cancellation disabled) blocks forever — the honest rendition
+      // of a hung task on an engine without deadlines.
+      attempt.cancel.WaitForCancel();
+      throw CancelledError();
+    }
+    if (fired.delay_seconds > 0.0) {
+      if (attempt.cancel.WaitFor(fired.delay_seconds)) {
+        // Killed mid-delay: the attempt dies as cancelled, not with
+        // the rule's status.
+        throw CancelledError();
+      }
+    }
+    if (fired.throws) {
+      throw std::runtime_error(StringPrintf(
+          "injected crash: job '%s' %s task %zu attempt %zu",
+          attempt.job_name.c_str(), TaskKindName(attempt.kind),
+          attempt.task_index, attempt.attempt));
+    }
+    return fired.status;
   }
 
   uint64_t injected_faults() const {

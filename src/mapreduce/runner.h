@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
@@ -15,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/cancellation.h"
 #include "src/common/status.h"
 #include "src/common/stopwatch.h"
 #include "src/common/string_util.h"
@@ -25,6 +27,7 @@
 #include "src/mapreduce/job.h"
 #include "src/mapreduce/metrics.h"
 #include "src/mapreduce/partition.h"
+#include "src/mapreduce/straggler.h"
 
 namespace p3c::mr {
 
@@ -53,6 +56,40 @@ struct RunnerOptions {
   /// retry_backoff_max_seconds). 0 disables sleeping (tests).
   double retry_backoff_seconds = 0.0;
   double retry_backoff_max_seconds = 0.05;
+  /// Wall-clock deadline per task-attempt copy, Hadoop's
+  /// `mapreduce.task.timeout` collapsed to elapsed time (there is no
+  /// progress reporting in-process). 0 disables. An overdue copy is
+  /// cooperatively cancelled by the runner's watchdog, counted in
+  /// JobMetrics::killed_attempts / deadline_exceeded, converted to
+  /// StatusCode::kDeadlineExceeded, and re-run under the normal
+  /// max_attempts loop.
+  double task_deadline_seconds = 0.0;
+  /// Hadoop-style speculative execution: once an attempt has run
+  /// `speculative_slowness_factor ×` the median completed-attempt
+  /// duration of its (job, task kind) population, the watchdog launches
+  /// a duplicate copy of the SAME attempt on a dedicated thread; the
+  /// first copy to finish commits (exactly once, via a CAS commit
+  /// slot) and the loser is cancelled. Output is byte-identical to a
+  /// non-speculative run: copies execute the same deterministic body
+  /// over the same immutable input, and results are always assembled
+  /// in task-index order, never finish order.
+  bool speculative_execution = false;
+  /// Slowness multiple over the median that marks a straggler
+  /// (Hadoop's 1.0-progress-score analog). Values <= 1 are treated
+  /// as 1 (the CLI rejects them outright).
+  double speculative_slowness_factor = 4.0;
+  /// Completed attempts of the same (job, kind) required before the
+  /// median is trusted.
+  size_t speculative_min_samples = 3;
+  /// Never speculate before an attempt has run at least this long —
+  /// a near-zero median must not turn every task into a speculation
+  /// candidate.
+  double speculative_min_runtime_seconds = 0.02;
+  /// Cap on concurrently running speculative copies (each runs on its
+  /// own dedicated thread, never on a pool worker — a speculative copy
+  /// queued behind the hung task it is meant to bypass would deadlock
+  /// the job).
+  size_t max_concurrent_speculative = 2;
   /// Optional fault-injection hook consulted at the start of every task
   /// attempt (see fault.h); the test substrate for the retry machinery.
   FaultInjector* fault_injector = nullptr;
@@ -155,7 +192,7 @@ class LocalRunner {
     metrics.input_records = input.size();
     const size_t num_partitions = ResolveNumReducers(shuffle.num_reducers);
     metrics.num_reducers = num_partitions;
-    AttemptAccounting acct;
+    JobExecState exec;
     Counters job_counters;
     Tracer& tracer = Tracer::Global();
     TraceSpan job_span(
@@ -181,7 +218,7 @@ class LocalRunner {
     Stopwatch map_watch;
     Status map_status = MapPhase<Record, K, V>(
         job_name, input, mapper_factory, combiner_factory, &metrics,
-        &job_counters, acct,
+        &job_counters, exec,
         [&](size_t s, std::vector<std::pair<K, V>> pairs) {
           try {
             buffers.CommitMapOutput(s, std::move(pairs), partitioner);
@@ -194,7 +231,7 @@ class LocalRunner {
         });
     metrics.map_seconds = map_watch.ElapsedSeconds();
     if (!map_status.ok()) {
-      return RecordFailure(metrics, acct, total_watch, map_status);
+      return RecordFailure(metrics, exec.acct, total_watch, map_status);
     }
 
     // ---- Shuffle: parallel per-partition k-way merge -------------------
@@ -223,7 +260,7 @@ class LocalRunner {
     } catch (const std::exception& e) {
       metrics.shuffle_seconds = shuffle_watch.ElapsedSeconds();
       return RecordFailure(
-          metrics, acct, total_watch,
+          metrics, exec.acct, total_watch,
           Status::Internal(StringPrintf("job '%s': shuffle merge failed: %s",
                                         job_name.c_str(), e.what())));
     }
@@ -253,7 +290,7 @@ class LocalRunner {
     // Per-group output end offsets, recorded so the final merge can
     // stitch per-key output slices back into global key order.
     std::vector<std::vector<size_t>> task_group_ends(num_partitions);
-    FailureSlot failure;
+    FailureSlot failure(&exec.job_cancel);
     {
       TraceSpan reduce_span("reduce-phase");
       pool_.ParallelFor(num_partitions, /*grain=*/1, [&](size_t p) {
@@ -266,23 +303,27 @@ class LocalRunner {
         const uint32_t lane =
             Tracer::kPartitionLaneBase + static_cast<uint32_t>(p);
         Status st = ExecuteTask(
-            job_name, TaskKind::kReduce, p, acct,
-            [&](size_t) {
+            job_name, TaskKind::kReduce, p, exec,
+            [&](const TaskContext& ctx) {
               std::unique_ptr<Reducer<K, V, Out>> reducer =
                   reducer_factory();
-              // Fresh output per attempt; the merged partition is
+              // Fresh output per attempt copy; the merged partition is
               // read-only so a failed attempt leaves the shuffled input
-              // intact.
+              // intact, and racing speculative copies never share
+              // output buffers.
               std::vector<Out> attempt_out;
               std::vector<size_t> ends;
               ends.reserve(part.num_groups());
               for (size_t g = 0; g < part.num_groups(); ++g) {
+                if ((g & 63u) == 0) ctx.cancel.ThrowIfCancelled();
                 reducer->Reduce(part.key(g), part.group_values(g),
                                 attempt_out);
                 ends.push_back(attempt_out.size());
               }
-              task_outputs[p] = std::move(attempt_out);
-              task_group_ends[p] = std::move(ends);
+              ctx.Commit([&] {
+                task_outputs[p] = std::move(attempt_out);
+                task_group_ends[p] = std::move(ends);
+              });
               return Status::OK();
             },
             lane);
@@ -291,7 +332,7 @@ class LocalRunner {
     }
     if (failure.has_failed()) {
       metrics.reduce_seconds = reduce_watch.ElapsedSeconds();
-      return RecordFailure(metrics, acct, total_watch, failure.Take());
+      return RecordFailure(metrics, exec.acct, total_watch, failure.Take());
     }
 
     // ---- Output merge: partition slices back into global key order ----
@@ -337,7 +378,7 @@ class LocalRunner {
     }
     metrics.reduce_seconds = reduce_watch.ElapsedSeconds();
     metrics.output_records = output.size();
-    FinishSucceeded(metrics, acct, total_watch, job_counters);
+    FinishSucceeded(metrics, exec.acct, total_watch, job_counters);
     return output;
   }
 
@@ -357,7 +398,7 @@ class LocalRunner {
     metrics.job_name = job_name;
     metrics.input_records = input.size();
     metrics.num_reducers = 0;
-    AttemptAccounting acct;
+    JobExecState exec;
     Counters job_counters;
     TraceSpan job_span(
         "job:" + job_name,
@@ -370,7 +411,7 @@ class LocalRunner {
     Stopwatch map_watch;
     Status map_status = MapPhase<Record, K, V>(
         job_name, input, mapper_factory, nullptr, &metrics, &job_counters,
-        acct, [&runs](size_t s, std::vector<std::pair<K, V>> pairs) {
+        exec, [&runs](size_t s, std::vector<std::pair<K, V>> pairs) {
           std::stable_sort(
               pairs.begin(), pairs.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -379,7 +420,7 @@ class LocalRunner {
         });
     metrics.map_seconds = map_watch.ElapsedSeconds();
     if (!map_status.ok()) {
-      return RecordFailure(metrics, acct, total_watch, map_status);
+      return RecordFailure(metrics, exec.acct, total_watch, map_status);
     }
 
     Stopwatch shuffle_watch;
@@ -391,7 +432,7 @@ class LocalRunner {
     metrics.shuffle_seconds = shuffle_watch.ElapsedSeconds();
 
     metrics.output_records = pairs.size();
-    FinishSucceeded(metrics, acct, total_watch, job_counters);
+    FinishSucceeded(metrics, exec.acct, total_watch, job_counters);
     return pairs;
   }
 
@@ -411,23 +452,48 @@ class LocalRunner {
  private:
   /// Attempt/failure/retry totals of one job, accumulated lock-free from
   /// worker threads and copied into JobMetrics when the job finishes.
+  /// `failures` counts genuine failures (thrown exception / non-OK
+  /// Status); engine kills (deadline, speculation loser) count in
+  /// `killed` instead so the two causes stay distinguishable, exactly
+  /// like Hadoop's FAILED vs KILLED attempt states.
   struct AttemptAccounting {
     std::atomic<uint64_t> attempts{0};
     std::atomic<uint64_t> failures{0};
     std::atomic<uint64_t> retried{0};
+    std::atomic<uint64_t> speculative{0};
+    std::atomic<uint64_t> killed{0};
+    std::atomic<uint64_t> deadline_exceeded{0};
+  };
+
+  /// Per-job execution state shared by every task of the job: the
+  /// attempt accounting, the completed-duration populations feeding
+  /// speculation, and the job-wide cancellation source that wakes
+  /// retry-backoff sleepers the moment the job has already failed.
+  struct JobExecState {
+    AttemptAccounting acct;
+    TaskDurationStats durations[3];  ///< indexed by TaskKind
+    CancellationSource job_cancel;
   };
 
   /// First-error-wins slot shared by the tasks of one phase: the first
   /// task to exhaust its attempts parks its Status here and later tasks
-  /// short-circuit via has_failed().
+  /// short-circuit via has_failed(). Setting the slot also cancels the
+  /// job's cancellation source (when wired), so workers sleeping in
+  /// retry backoff wake immediately instead of delaying the failure.
   class FailureSlot {
    public:
+    FailureSlot() = default;
+    explicit FailureSlot(CancellationSource* wake) : wake_(wake) {}
+
     void Set(Status status) {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (!failed_.load(std::memory_order_relaxed)) {
-        status_ = std::move(status);
-        failed_.store(true, std::memory_order_release);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!failed_.load(std::memory_order_relaxed)) {
+          status_ = std::move(status);
+          failed_.store(true, std::memory_order_release);
+        }
       }
+      if (wake_ != nullptr) wake_->Cancel();
     }
     bool has_failed() const {
       return failed_.load(std::memory_order_acquire);
@@ -441,7 +507,67 @@ class LocalRunner {
     std::mutex mu_;
     Status status_;
     std::atomic<bool> failed_{false};
+    CancellationSource* wake_ = nullptr;
   };
+
+  /// Kill flags of one attempt copy. The watchdog (deadline) or the
+  /// rival copy (speculation) sets the flag explaining WHY before
+  /// cancelling, so the resolution can classify a cancelled copy.
+  struct CopyControl {
+    CancellationSource cancel;
+    std::atomic<bool> deadline_killed{false};
+    std::atomic<bool> loser_killed{false};
+  };
+
+  /// How one attempt copy ended: its status, and whether it ended by
+  /// cooperative cancellation (CancelledError) rather than on its own.
+  struct CopyOutcome {
+    Status status;
+    bool cancelled = false;
+  };
+
+  /// Rendezvous between the primary copy (inline on the pool worker)
+  /// and the speculative copy (dedicated thread, launched by the
+  /// watchdog). Guarded by `mu`; the worker always joins `spec_thread`
+  /// before the attempt resolves, so copy-local state outlives both
+  /// copies.
+  struct AttemptRace {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool spec_launched = false;
+    bool spec_done = false;
+    CopyOutcome spec_outcome;
+    std::thread spec_thread;
+    std::shared_ptr<CopyControl> spec_ctl;
+  };
+
+  /// Per-copy view handed to task bodies. Bodies must (a) poll `cancel`
+  /// in their long loops (emit / per-record / per-group) and surface it
+  /// via ThrowIfCancelled, and (b) publish their side effects only
+  /// through Commit. The CAS commit slot is shared by all copies of all
+  /// attempts of one task, so exactly one copy ever commits — racing
+  /// copies compute identical results from the same immutable input,
+  /// and whichever loses the CAS simply discards its (identical) work.
+  struct TaskContext {
+    size_t attempt = 0;
+    bool speculative = false;
+    CancellationToken cancel{};
+    std::atomic<bool>* commit_slot = nullptr;
+
+    template <typename Fn>
+    bool Commit(Fn&& fn) const {
+      bool expected = false;
+      if (commit_slot == nullptr ||
+          commit_slot->compare_exchange_strong(expected, true,
+                                               std::memory_order_acq_rel)) {
+        std::forward<Fn>(fn)();
+        return true;
+      }
+      return false;
+    }
+  };
+
+  using TaskBody = std::function<Status(const TaskContext&)>;
 
   size_t SplitSize(size_t n) const {
     if (options_.records_per_split > 0) return options_.records_per_split;
@@ -459,85 +585,59 @@ class LocalRunner {
 
   /// Deterministic exponential backoff before retry number `retry`
   /// (1-based): min(base * 2^(retry-1), max). No jitter — retry timing
-  /// must not introduce nondeterminism into tests.
-  void SleepBackoff(size_t retry) const {
+  /// must not introduce nondeterminism into tests. The sleep waits on
+  /// the job's cancellation token, so a job that has already failed
+  /// (FailureSlot::Set) wakes its sleeping workers immediately instead
+  /// of holding a pool thread hostage for the full backoff.
+  void SleepBackoff(size_t retry, const CancellationToken& wake) const {
     double seconds = options_.retry_backoff_seconds;
     if (seconds <= 0.0) return;
     for (size_t r = 1; r < retry; ++r) seconds *= 2.0;
     seconds = std::min(seconds, options_.retry_backoff_max_seconds);
-    if (seconds > 0.0) {
-      std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
-    }
+    if (seconds > 0.0) wake.WaitFor(seconds);
+  }
+
+  bool StragglerControlEnabled() const {
+    return options_.task_deadline_seconds > 0.0 ||
+           options_.speculative_execution;
   }
 
   /// Runs one task as up to `max_attempts` attempts of `body`. Each
   /// attempt first consults the fault injector, then runs the body;
   /// exceptions from either are converted to Status so a crashing task
   /// is indistinguishable from a cleanly failing one. The body must
-  /// only commit side effects on its success path (attempt isolation is
-  /// the body's contract; the loop supplies the retry policy).
+  /// publish side effects only through TaskContext::Commit on its
+  /// success path (attempt isolation is the body's contract; the loop
+  /// supplies the retry policy, the watchdog supplies deadlines and
+  /// speculation).
   ///
-  /// Tracing: each attempt is its own span on `lane` (0 = the worker
-  /// thread's lane; reduce tasks pass their partition lane), and a
-  /// retry is stitched to the attempt it replaces with a flow event
-  /// pair, so Perfetto draws an arrow from the failed attempt to its
-  /// re-run.
+  /// Tracing: each attempt copy is its own span on `lane` (0 = the
+  /// executing thread's lane; reduce tasks pass their partition lane),
+  /// a retry is stitched to the attempt it replaces with a "task-retry"
+  /// flow arrow, and a speculative copy is stitched to its launch
+  /// decision with a "speculative-copy" flow arrow.
   Status ExecuteTask(const std::string& job_name, TaskKind kind, size_t task,
-                     AttemptAccounting& acct,
-                     const std::function<Status(size_t attempt)>& body,
+                     JobExecState& exec, const TaskBody& body,
                      uint32_t lane = 0) {
     const size_t max_attempts = std::max<size_t>(1, options_.max_attempts);
-    Tracer& tracer = Tracer::Global();
+    const CancellationToken job_token = exec.job_cancel.token();
+    std::atomic<bool> commit_slot{false};
     Status last;
     uint64_t pending_flow = 0;
     for (size_t attempt = 0; attempt < max_attempts; ++attempt) {
-      if (attempt > 0) SleepBackoff(attempt);
-      acct.attempts.fetch_add(1, std::memory_order_relaxed);
-      Status st;
-      {
-        const bool tracing = tracer.enabled();
-        TraceSpan attempt_span(
-            tracing ? StringPrintf("%s task %zu attempt %zu",
-                                   TaskKindName(kind), task, attempt)
-                    : std::string(),
-            tracing ? StringPrintf("{\"job\": \"%s\"}",
-                                   JsonEscape(job_name).c_str())
-                    : std::string(),
-            lane);
-        if (pending_flow != 0) {
-          tracer.RecordFlowEnd(pending_flow, "task-retry", lane);
-          pending_flow = 0;
+      if (attempt > 0) SleepBackoff(attempt, job_token);
+      Stopwatch attempt_watch;
+      Status st = RunAttemptRace(job_name, kind, task, attempt, exec, body,
+                                 lane, commit_slot, pending_flow);
+      if (st.ok()) {
+        if (options_.speculative_execution) {
+          exec.durations[static_cast<size_t>(kind)].Add(
+              attempt_watch.ElapsedSeconds());
         }
-        try {
-          if (options_.fault_injector != nullptr) {
-            st = options_.fault_injector->OnAttemptStart(
-                TaskAttempt{job_name, kind, task, attempt});
-          }
-          if (st.ok()) st = body(attempt);
-        } catch (const std::exception& e) {
-          st = Status::Internal(
-              StringPrintf("uncaught exception: %s", e.what()));
-        } catch (...) {
-          st = Status::Internal("uncaught non-standard exception");
-        }
-        if (!st.ok() && tracing) {
-          tracer.RecordInstant(
-              StringPrintf("%s task %zu attempt %zu failed",
-                           TaskKindName(kind), task, attempt),
-              StringPrintf("{\"job\": \"%s\", \"error\": \"%s\"}",
-                           JsonEscape(job_name).c_str(),
-                           JsonEscape(st.message()).c_str()),
-              lane);
-          if (attempt + 1 < max_attempts) {
-            pending_flow = tracer.NextFlowId();
-            tracer.RecordFlowStart(pending_flow, "task-retry", lane);
-          }
-        }
+        return st;
       }
-      if (st.ok()) return st;
-      acct.failures.fetch_add(1, std::memory_order_relaxed);
       if (attempt == 0 && max_attempts > 1) {
-        acct.retried.fetch_add(1, std::memory_order_relaxed);
+        exec.acct.retried.fetch_add(1, std::memory_order_relaxed);
       }
       last = std::move(st);
     }
@@ -548,11 +648,298 @@ class LocalRunner {
                      last.message().c_str()));
   }
 
+  /// One attempt of one task, run as a race between the primary copy
+  /// (inline, on the calling pool worker) and at most one speculative
+  /// copy (dedicated thread, launched by the watchdog when the primary
+  /// looks like a straggler). The attempt succeeds when EITHER copy
+  /// succeeds; the commit slot guarantees exactly one of them
+  /// published. The loser is cancelled and counted as killed, never as
+  /// failed. Always joins the speculative thread before returning, so
+  /// attempt-local state (the body's captures, the race object) is
+  /// never touched after the attempt resolves.
+  Status RunAttemptRace(const std::string& job_name, TaskKind kind,
+                        size_t task, size_t attempt, JobExecState& exec,
+                        const TaskBody& body, uint32_t lane,
+                        std::atomic<bool>& commit_slot,
+                        uint64_t& pending_flow) {
+    auto primary_ctl = std::make_shared<CopyControl>();
+    auto race = std::make_shared<AttemptRace>();
+    Tracer& tracer = Tracer::Global();
+    TaskWatchdog* watchdog =
+        StragglerControlEnabled() ? &watchdog_ : nullptr;
+    uint64_t entry_id = 0;
+    if (watchdog != nullptr) {
+      TaskWatchdog::Entry entry;
+      entry.deadline_seconds = options_.task_deadline_seconds;
+      entry.kill = MakeKillClosure(primary_ctl, job_name, kind, task, attempt,
+                                   /*speculative=*/false, lane);
+      if (options_.speculative_execution) {
+        entry.stats = &exec.durations[static_cast<size_t>(kind)];
+        entry.slowness_factor = options_.speculative_slowness_factor;
+        entry.min_samples = options_.speculative_min_samples;
+        entry.min_runtime_seconds = options_.speculative_min_runtime_seconds;
+        entry.max_concurrent = std::max<size_t>(
+            1, options_.max_concurrent_speculative);
+        // Runs on the watchdog thread, under the watchdog mutex. Spawns
+        // the speculative copy on its own thread — NEVER on the pool,
+        // where it could queue behind the very straggler it bypasses.
+        entry.launch = [this, race, primary_ctl, &job_name, kind, task,
+                        attempt, &exec, &body, lane, &commit_slot,
+                        watchdog] {
+          LaunchSpeculativeCopy(race, primary_ctl, job_name, kind, task,
+                                attempt, exec, body, lane, commit_slot,
+                                watchdog);
+        };
+      }
+      entry_id = watchdog->Register(std::move(entry));
+    }
+
+    CopyOutcome primary =
+        RunAttemptCopy(job_name, kind, task, attempt, /*speculative=*/false,
+                       primary_ctl, exec, body, lane, commit_slot,
+                       &pending_flow, /*spec_flow=*/0);
+    if (watchdog != nullptr) watchdog->Deregister(entry_id);
+
+    // Resolve the race. Deregister happened first, so spec_launched is
+    // stable: no new launch can occur, and any launch that did occur
+    // has fully stored the thread handle (both run under the watchdog
+    // mutex).
+    bool spec_launched = false;
+    CopyOutcome spec;
+    std::shared_ptr<CopyControl> spec_ctl;
+    std::thread spec_thread;
+    {
+      std::unique_lock<std::mutex> lock(race->mu);
+      spec_launched = race->spec_launched;
+      if (spec_launched) {
+        spec_ctl = race->spec_ctl;
+        if (primary.status.ok() && !race->spec_done) {
+          // Primary won; the speculative copy is the loser.
+          spec_ctl->loser_killed.store(true, std::memory_order_relaxed);
+          spec_ctl->cancel.Cancel();
+        }
+        race->cv.wait(lock, [&] { return race->spec_done; });
+        spec = std::move(race->spec_outcome);
+        spec_thread = std::move(race->spec_thread);
+      }
+    }
+    if (spec_thread.joinable()) spec_thread.join();
+
+    // Classify both copies for the accounting (Hadoop FAILED vs
+    // KILLED): a cancelled copy was killed by the engine, anything
+    // else that ended non-OK genuinely failed.
+    ClassifyCopy(exec.acct, primary, *primary_ctl);
+    if (spec_launched) ClassifyCopy(exec.acct, spec, *spec_ctl);
+
+    const bool primary_ok = primary.status.ok();
+    const bool spec_ok = spec_launched && spec.status.ok();
+    if (primary_ok || spec_ok) return Status::OK();
+
+    Status st = FailureStatusFor(primary, *primary_ctl);
+    if (tracer.enabled()) {
+      tracer.RecordInstant(
+          StringPrintf("%s task %zu attempt %zu failed", TaskKindName(kind),
+                       task, attempt),
+          StringPrintf("{\"job\": \"%s\", \"error\": \"%s\"}",
+                       JsonEscape(job_name).c_str(),
+                       JsonEscape(st.message()).c_str()),
+          lane);
+      if (attempt + 1 < std::max<size_t>(1, options_.max_attempts)) {
+        pending_flow = tracer.NextFlowId();
+        tracer.RecordFlowStart(pending_flow, "task-retry", lane);
+      }
+    }
+    return st;
+  }
+
+  /// Executes one copy of one attempt: fault injector, then body, with
+  /// every exception converted to a CopyOutcome. CancelledError is the
+  /// cooperative-cancellation channel and is flagged separately so the
+  /// resolution can tell a killed copy from a failed one.
+  CopyOutcome RunAttemptCopy(const std::string& job_name, TaskKind kind,
+                             size_t task, size_t attempt, bool speculative,
+                             const std::shared_ptr<CopyControl>& ctl,
+                             JobExecState& exec, const TaskBody& body,
+                             uint32_t lane, std::atomic<bool>& commit_slot,
+                             uint64_t* pending_flow, uint64_t spec_flow) {
+    exec.acct.attempts.fetch_add(1, std::memory_order_relaxed);
+    if (speculative) {
+      exec.acct.speculative.fetch_add(1, std::memory_order_relaxed);
+    }
+    Tracer& tracer = Tracer::Global();
+    const bool tracing = tracer.enabled();
+    // Speculative copies run on their own thread and therefore on
+    // their own trace lane; forcing them onto the primary's lane would
+    // overlap two concurrent spans on one row.
+    const uint32_t copy_lane = speculative ? 0 : lane;
+    TraceSpan attempt_span(
+        tracing ? StringPrintf("%s task %zu attempt %zu%s",
+                               TaskKindName(kind), task, attempt,
+                               speculative ? " (speculative)" : "")
+                : std::string(),
+        tracing ? StringPrintf("{\"job\": \"%s\"}",
+                               JsonEscape(job_name).c_str())
+                : std::string(),
+        copy_lane);
+    if (tracing && pending_flow != nullptr && *pending_flow != 0) {
+      tracer.RecordFlowEnd(*pending_flow, "task-retry", copy_lane);
+      *pending_flow = 0;
+    }
+    if (tracing && spec_flow != 0) {
+      tracer.RecordFlowEnd(spec_flow, "speculative-copy", copy_lane);
+    }
+    TaskContext ctx;
+    ctx.attempt = attempt;
+    ctx.speculative = speculative;
+    ctx.cancel = ctl->cancel.token();
+    ctx.commit_slot = &commit_slot;
+    CopyOutcome out;
+    try {
+      Status st;
+      if (options_.fault_injector != nullptr) {
+        st = options_.fault_injector->OnAttemptStart(TaskAttempt{
+            job_name, kind, task, attempt, speculative, ctx.cancel});
+      }
+      if (st.ok()) st = body(ctx);
+      out.status = std::move(st);
+    } catch (const CancelledError&) {
+      out.status = Status::Internal("task attempt cancelled");
+      out.cancelled = true;
+    } catch (const std::exception& e) {
+      out.status =
+          Status::Internal(StringPrintf("uncaught exception: %s", e.what()));
+    } catch (...) {
+      out.status = Status::Internal("uncaught non-standard exception");
+    }
+    return out;
+  }
+
+  /// Launched on the watchdog thread (under the watchdog mutex) when
+  /// the primary copy looks like a straggler. Stores the speculative
+  /// thread handle into the race under its mutex; the primary joins it
+  /// at resolution.
+  void LaunchSpeculativeCopy(const std::shared_ptr<AttemptRace>& race,
+                             const std::shared_ptr<CopyControl>& primary_ctl,
+                             const std::string& job_name, TaskKind kind,
+                             size_t task, size_t attempt, JobExecState& exec,
+                             const TaskBody& body, uint32_t lane,
+                             std::atomic<bool>& commit_slot,
+                             TaskWatchdog* watchdog) {
+    std::lock_guard<std::mutex> lock(race->mu);
+    if (race->spec_launched) return;
+    race->spec_launched = true;
+    race->spec_ctl = std::make_shared<CopyControl>();
+    std::shared_ptr<CopyControl> spec_ctl = race->spec_ctl;
+    Tracer& tracer = Tracer::Global();
+    uint64_t flow = 0;
+    if (tracer.enabled()) {
+      flow = tracer.NextFlowId();
+      tracer.RecordInstant(
+          StringPrintf("speculating %s task %zu attempt %zu",
+                       TaskKindName(kind), task, attempt),
+          StringPrintf("{\"job\": \"%s\"}", JsonEscape(job_name).c_str()),
+          lane);
+      tracer.RecordFlowStart(flow, "speculative-copy", lane);
+    }
+    race->spec_thread = std::thread([this, race, primary_ctl, spec_ctl,
+                                     &job_name, kind, task, attempt, &exec,
+                                     &body, lane, &commit_slot, watchdog,
+                                     flow] {
+      // The speculative copy gets its own deadline entry — a hung
+      // speculative copy must be killable too.
+      uint64_t spec_entry = 0;
+      if (options_.task_deadline_seconds > 0.0) {
+        TaskWatchdog::Entry entry;
+        entry.deadline_seconds = options_.task_deadline_seconds;
+        entry.kill = MakeKillClosure(spec_ctl, job_name, kind, task, attempt,
+                                     /*speculative=*/true, /*lane=*/0);
+        spec_entry = watchdog->Register(std::move(entry));
+      }
+      CopyOutcome out = RunAttemptCopy(job_name, kind, task, attempt,
+                                       /*speculative=*/true, spec_ctl, exec,
+                                       body, lane, commit_slot,
+                                       /*pending_flow=*/nullptr, flow);
+      if (spec_entry != 0) watchdog->Deregister(spec_entry);
+      if (out.status.ok()) {
+        // Speculative winner: cancel the straggling primary so the
+        // pool worker unblocks. If the primary already finished, the
+        // flags are set but never observed — harmless.
+        primary_ctl->loser_killed.store(true, std::memory_order_relaxed);
+        primary_ctl->cancel.Cancel();
+      }
+      {
+        std::lock_guard<std::mutex> inner(race->mu);
+        race->spec_outcome = std::move(out);
+        race->spec_done = true;
+      }
+      race->cv.notify_all();
+      watchdog->OnSpeculativeFinished();
+    });
+  }
+
+  /// Kill closure for the watchdog: flags the copy as deadline-killed,
+  /// cancels it, and drops a trace instant at the kill decision.
+  std::function<void()> MakeKillClosure(
+      const std::shared_ptr<CopyControl>& ctl, std::string job_name,
+      TaskKind kind, size_t task, size_t attempt, bool speculative,
+      uint32_t lane) const {
+    const double deadline = options_.task_deadline_seconds;
+    return [ctl, job_name = std::move(job_name), kind, task, attempt,
+            speculative, lane, deadline] {
+      ctl->deadline_killed.store(true, std::memory_order_relaxed);
+      ctl->cancel.Cancel();
+      Tracer& tracer = Tracer::Global();
+      if (tracer.enabled()) {
+        tracer.RecordInstant(
+            StringPrintf("deadline-kill %s task %zu attempt %zu%s",
+                         TaskKindName(kind), task, attempt,
+                         speculative ? " (speculative)" : ""),
+            StringPrintf("{\"job\": \"%s\", \"deadline_seconds\": %.3f}",
+                         JsonEscape(job_name).c_str(), deadline),
+            lane);
+      }
+    };
+  }
+
+  static void ClassifyCopy(AttemptAccounting& acct, const CopyOutcome& out,
+                           const CopyControl& ctl) {
+    if (!out.cancelled) {
+      if (!out.status.ok()) {
+        acct.failures.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    }
+    acct.killed.fetch_add(1, std::memory_order_relaxed);
+    if (ctl.deadline_killed.load(std::memory_order_relaxed)) {
+      acct.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Failure status of a resolved attempt whose copies all failed,
+  /// converting engine kills into kDeadlineExceeded (the retryable
+  /// "too slow" failure class).
+  Status FailureStatusFor(const CopyOutcome& primary,
+                          const CopyControl& ctl) const {
+    if (primary.cancelled &&
+        ctl.deadline_killed.load(std::memory_order_relaxed)) {
+      return Status::DeadlineExceeded(
+          StringPrintf("attempt exceeded the %.3fs task deadline and was "
+                       "killed by the watchdog",
+                       options_.task_deadline_seconds));
+    }
+    return primary.status;
+  }
+
   static void StampAccounting(JobMetrics& metrics,
                               const AttemptAccounting& acct, bool succeeded) {
     metrics.task_attempts = acct.attempts.load(std::memory_order_relaxed);
     metrics.task_failures = acct.failures.load(std::memory_order_relaxed);
     metrics.retried_tasks = acct.retried.load(std::memory_order_relaxed);
+    metrics.speculative_attempts =
+        acct.speculative.load(std::memory_order_relaxed);
+    metrics.killed_attempts = acct.killed.load(std::memory_order_relaxed);
+    metrics.deadline_exceeded =
+        acct.deadline_exceeded.load(std::memory_order_relaxed);
     metrics.succeeded = succeeded;
   }
 
@@ -584,10 +971,16 @@ class LocalRunner {
   class VectorEmitter : public Emitter<K, V> {
    public:
     void Emit(K key, V value) override {
+      // Cooperative cancellation checkpoint: a wide-emit mapper that
+      // never returns to the engine's record loop is still killable.
+      // One relaxed load every 256 emits; null tokens never cancel.
+      if (((++emit_calls_) & 255u) == 0) cancel_.ThrowIfCancelled();
       bytes_ += SerializedSize(key) + SerializedSize(value);
       pairs_.emplace_back(std::move(key), std::move(value));
     }
     Counters& counters() override { return counters_; }
+
+    void set_cancel(CancellationToken token) { cancel_ = std::move(token); }
 
     /// Size hint from the engine (records-per-split heuristic): most of
     /// the paper's mappers emit at least one pair per record, so
@@ -599,6 +992,10 @@ class LocalRunner {
     std::vector<std::pair<K, V>> pairs_;
     Counters counters_;
     uint64_t bytes_ = 0;
+
+   private:
+    CancellationToken cancel_{};
+    uint64_t emit_calls_ = 0;
   };
 
   /// Runs the map (+optional combine) tasks and hands each split's
@@ -614,7 +1011,7 @@ class LocalRunner {
           mapper_factory,
       const std::function<std::unique_ptr<Combiner<K, V>>()>&
           combiner_factory,
-      JobMetrics* metrics, Counters* job_counters, AttemptAccounting& acct,
+      JobMetrics* metrics, Counters* job_counters, JobExecState& exec,
       const std::function<Status(size_t split,
                                  std::vector<std::pair<K, V>> pairs)>&
           commit) {
@@ -630,34 +1027,56 @@ class LocalRunner {
 
     std::vector<VectorEmitter<Record, K, V>> emitters(num_splits);
     std::atomic<uint64_t> map_output_records{0};
-    FailureSlot failure;
+    FailureSlot failure(&exec.job_cancel);
+    // Speculative copies race on the SAME task state; combine attempts
+    // must then work on an isolated copy of the map output instead of
+    // sorting it in place (retries alone never overlap, so the copy is
+    // skipped when speculation is off).
+    const bool isolate_combine = options_.speculative_execution;
     pool_.ParallelFor(num_splits, [&](size_t s) {
       if (failure.has_failed()) return;
       const size_t begin = s * per_split;
       const size_t end = std::min(n, begin + per_split);
       std::span<const Record> split = input.subspan(begin, end - begin);
-      Status st =
-          ExecuteTask(job_name, TaskKind::kMap, s, acct, [&](size_t) {
-            // Fresh emitter per attempt: records, counters, and byte
-            // accounting of a failed attempt are discarded wholesale;
-            // only the winning attempt's output is committed to the
-            // split slot below.
+      Status st = ExecuteTask(
+          job_name, TaskKind::kMap, s, exec, [&](const TaskContext& ctx) {
+            // Fresh emitter per attempt copy: records, counters, and
+            // byte accounting of a failed attempt are discarded
+            // wholesale; only the winning copy's output is committed
+            // to the split slot below.
             VectorEmitter<Record, K, V> out;
+            out.set_cancel(ctx.cancel);
             out.Reserve(split.size());
             std::unique_ptr<Mapper<Record, K, V>> mapper = mapper_factory();
             mapper->Setup(s, split, out);
-            for (const Record& record : split) mapper->Map(record, out);
+            size_t record_index = 0;
+            for (const Record& record : split) {
+              // Cooperative cancellation checkpoint for mappers that
+              // emit rarely (the emitter checkpoint never fires).
+              if ((record_index++ & 63u) == 0) ctx.cancel.ThrowIfCancelled();
+              mapper->Map(record, out);
+            }
             mapper->Cleanup(out);
-            emitters[s] = std::move(out);
+            ctx.Commit([&] { emitters[s] = std::move(out); });
             return Status::OK();
           });
       if (st.ok() && combiner_factory != nullptr) {
         // The combiner is its own attempt (Hadoop re-runs it with the
         // map attempt; isolating it here means a crashing combiner
         // retries against the intact, already-committed map output).
-        st = ExecuteTask(job_name, TaskKind::kCombine, s, acct, [&](size_t) {
-          return CombineAttempt(combiner_factory, emitters[s]);
-        });
+        // Under speculation the input is snapshotted ONCE, before the
+        // attempt race starts: a racing copy must never read the
+        // emitter the winning copy's commit mutates.
+        std::vector<std::pair<K, V>> combine_snapshot;
+        if (isolate_combine) combine_snapshot = emitters[s].pairs_;
+        const std::vector<std::pair<K, V>>& combine_input =
+            isolate_combine ? combine_snapshot : emitters[s].pairs_;
+        st = ExecuteTask(job_name, TaskKind::kCombine, s, exec,
+                         [&](const TaskContext& ctx) {
+                           return CombineAttempt(combiner_factory,
+                                                 combine_input, emitters[s],
+                                                 ctx, isolate_combine);
+                         });
       }
       if (st.ok()) {
         map_output_records.fetch_add(emitters[s].pairs_.size(),
@@ -679,19 +1098,30 @@ class LocalRunner {
 
   /// One combine attempt over one map task's committed output: groups by
   /// key and collapses each group with a fresh combiner instance. The
-  /// emitter is only mutated after the combiner has processed every
-  /// group (values are copied into a scratch buffer the combiner sees
-  /// through a span, the in-place key sort is idempotent), so a failed
-  /// attempt leaves the map output intact. The byte accounting is redone
-  /// so shuffle_bytes reflects the post-combine volume. This is the one
-  /// shuffle path that still copies values: the emitter's pairs are not
+  /// emitter is only mutated inside TaskContext::Commit, after the
+  /// combiner has processed every group, so a failed (or losing
+  /// speculative) attempt leaves the map output intact. With
+  /// speculation off the in-place key sort is safe (attempts of one
+  /// task never overlap) and idempotent across retries; with
+  /// speculation on, racing copies each sort a private copy of the
+  /// pairs (`isolate`). The byte accounting is redone so shuffle_bytes
+  /// reflects the post-combine volume. This is the one shuffle path
+  /// that still copies values: the emitter's pairs are not
   /// value-contiguous, so a span over them does not exist.
   template <typename Record, typename K, typename V>
   static Status CombineAttempt(
       const std::function<std::unique_ptr<Combiner<K, V>>()>&
           combiner_factory,
-      VectorEmitter<Record, K, V>& out) {
-    auto& pairs = out.pairs_;
+      const std::vector<std::pair<K, V>>& input,
+      VectorEmitter<Record, K, V>& out, const TaskContext& ctx,
+      bool isolate) {
+    // Isolated (speculation) mode: `input` is an immutable per-task
+    // snapshot shared by the racing copies; each copy sorts a private
+    // copy of it. In-place mode: `input` IS out.pairs_, and the sort
+    // mutates it directly (idempotent across non-overlapping retries).
+    std::vector<std::pair<K, V>> local;
+    if (isolate) local = input;
+    auto& pairs = isolate ? local : out.pairs_;
     std::stable_sort(
         pairs.begin(), pairs.end(),
         [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -699,7 +1129,9 @@ class LocalRunner {
     std::vector<std::pair<K, V>> combined;
     std::vector<V> values;
     uint64_t bytes = 0;
+    size_t group_index = 0;
     for (size_t i = 0; i < pairs.size();) {
+      if ((group_index++ & 63u) == 0) ctx.cancel.ThrowIfCancelled();
       size_t j = i + 1;
       while (j < pairs.size() && !(pairs[i].first < pairs[j].first)) ++j;
       values.clear();
@@ -713,13 +1145,20 @@ class LocalRunner {
       combined.emplace_back(pairs[i].first, std::move(result));
       i = j;
     }
-    pairs = std::move(combined);
-    out.bytes_ = bytes;
+    ctx.Commit([&] {
+      out.pairs_ = std::move(combined);
+      out.bytes_ = bytes;
+    });
     return Status::OK();
   }
 
   RunnerOptions options_;
   ThreadPool pool_;
+  /// Deadline/speculation monitor; its thread starts lazily on the
+  /// first registered attempt, so runners with straggler control
+  /// disabled never create it. Declared last: destroyed (and joined)
+  /// first, while the pool and options are still alive.
+  TaskWatchdog watchdog_;
 };
 
 }  // namespace p3c::mr

@@ -1,0 +1,231 @@
+#ifndef P3C_MAPREDUCE_STRAGGLER_H_
+#define P3C_MAPREDUCE_STRAGGLER_H_
+
+// Straggler detection for the MapReduce engine (DESIGN.md §11): a
+// per-runner watchdog thread that enforces wall-clock task deadlines
+// and launches Hadoop-style speculative task copies.
+//
+// The watchdog never touches task state directly — it only invokes the
+// `kill` / `launch` closures the runner registered, which flip flags on
+// the attempt's CopyControl and cancel its CancellationSource. All
+// policy inputs (deadline, slowness threshold, concurrency cap) are
+// carried per entry so the watchdog itself is stateless across jobs.
+//
+// Lock ordering: watchdog `mu_` is taken FIRST, then any lock the kill
+// or launch closures take (the attempt race mutex, the cancellation
+// state mutex). Runner code deregisters an entry (watchdog `mu_`)
+// before inspecting race state, never while holding the race mutex.
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace p3c::mr {
+
+/// Completed-attempt durations of one (job, task kind) population —
+/// the baseline against which the watchdog judges slowness. Hadoop
+/// speculates against the mean progress rate of completed tasks; with
+/// no progress reporting in-process, the median completed duration is
+/// the robust equivalent (immune to the stragglers themselves).
+class TaskDurationStats {
+ public:
+  void Add(double seconds) {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples_.push_back(seconds);
+  }
+
+  /// Median completed duration, or a negative value while fewer than
+  /// `min_samples` completions exist — the estimate is not trusted
+  /// until enough siblings have finished (Hadoop's
+  /// MINIMUM_COMPLETE_NUMBER_TO_SPECULATE).
+  double Median(size_t min_samples) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (samples_.empty() || samples_.size() < std::max<size_t>(1, min_samples)) {
+      return -1.0;
+    }
+    std::vector<double> copy = samples_;
+    const size_t mid = copy.size() / 2;
+    std::nth_element(copy.begin(), copy.begin() + mid, copy.end());
+    return copy[mid];
+  }
+
+  size_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return samples_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> samples_;
+};
+
+/// Monitors in-flight task attempts. One instance per LocalRunner; the
+/// thread starts lazily on the first Register, so runners that never
+/// enable deadlines or speculation pay nothing.
+class TaskWatchdog {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Entry {
+    Clock::time_point start{};
+    /// Wall-clock deadline for this attempt copy; 0 disables. `kill`
+    /// must be set when non-zero — it is invoked exactly once, under
+    /// the watchdog mutex, when the deadline passes.
+    double deadline_seconds = 0.0;
+    std::function<void()> kill;
+    /// Speculation policy; `launch` empty disables it for this entry.
+    /// `launch` is invoked at most once, under the watchdog mutex, when
+    /// the attempt has run `slowness_factor ×` the median completed
+    /// duration of its population (but never sooner than
+    /// `min_runtime_seconds` — near-zero medians must not trigger a
+    /// speculation storm) and a concurrency slot is free.
+    const TaskDurationStats* stats = nullptr;
+    double slowness_factor = 4.0;
+    size_t min_samples = 3;
+    double min_runtime_seconds = 0.0;
+    size_t max_concurrent = 2;
+    std::function<void()> launch;
+    // Internal state, owned by the watchdog.
+    bool killed = false;
+    bool speculated = false;
+  };
+
+  TaskWatchdog() = default;
+  ~TaskWatchdog() { Shutdown(); }
+
+  TaskWatchdog(const TaskWatchdog&) = delete;
+  TaskWatchdog& operator=(const TaskWatchdog&) = delete;
+
+  /// Registers an attempt copy; the returned id must be passed to
+  /// Deregister when the copy finishes (success or failure). `start`
+  /// is stamped here so registration latency never counts against the
+  /// deadline.
+  uint64_t Register(Entry entry) {
+    std::lock_guard<std::mutex> lock(mu_);
+    entry.start = Clock::now();
+    const uint64_t id = next_id_++;
+    entries_.emplace(id, std::move(entry));
+    EnsureThreadLocked();
+    cv_.notify_all();
+    return id;
+  }
+
+  /// Removes an entry. On return it is guaranteed that neither `kill`
+  /// nor `launch` is running or will run for this entry (both execute
+  /// under the same mutex), so the caller may inspect the race state
+  /// they mutate.
+  void Deregister(uint64_t id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.erase(id);
+  }
+
+  /// Called by the runner when a speculative copy finishes, releasing
+  /// its concurrency slot (acquired by the watchdog at launch time).
+  void OnSpeculativeFinished() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (active_speculative_ > 0) --active_speculative_;
+    cv_.notify_all();
+  }
+
+  size_t active_speculative() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return active_speculative_;
+  }
+
+  /// Stops and joins the watchdog thread. Entries must already be
+  /// deregistered (jobs complete before the runner is destroyed).
+  void Shutdown() {
+    std::thread to_join;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+      cv_.notify_all();
+      to_join = std::move(thread_);
+    }
+    if (to_join.joinable()) to_join.join();
+  }
+
+ private:
+  /// How often the watchdog re-evaluates speculation candidates whose
+  /// threshold is not yet computable (median pending) or whose
+  /// concurrency slot is taken. Deadlines do not rely on this — their
+  /// wake-ups are scheduled exactly.
+  static constexpr std::chrono::milliseconds kPollInterval{2};
+
+  void EnsureThreadLocked() {
+    if (thread_.joinable()) return;
+    shutdown_ = false;
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!shutdown_) {
+      const Clock::time_point now = Clock::now();
+      // Default wake-up far in the future; tightened below by the
+      // nearest deadline / speculation threshold.
+      Clock::time_point next_wake = now + std::chrono::seconds(1);
+      for (auto& [id, e] : entries_) {
+        const double elapsed =
+            std::chrono::duration<double>(now - e.start).count();
+        if (e.deadline_seconds > 0.0 && !e.killed) {
+          if (elapsed >= e.deadline_seconds) {
+            e.killed = true;
+            if (e.kill) e.kill();
+          } else {
+            next_wake = std::min(
+                next_wake,
+                e.start + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(
+                                  e.deadline_seconds)));
+          }
+        }
+        if (e.launch && e.stats != nullptr && !e.speculated && !e.killed) {
+          const double median = e.stats->Median(e.min_samples);
+          if (median < 0.0) {
+            // Not enough completed siblings yet; re-check shortly.
+            next_wake = std::min(next_wake, now + kPollInterval);
+            continue;
+          }
+          const double threshold = std::max(
+              e.min_runtime_seconds,
+              std::max(1.0, e.slowness_factor) * median);
+          if (elapsed < threshold) {
+            next_wake = std::min(
+                next_wake,
+                e.start + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(threshold)));
+          } else if (active_speculative_ < e.max_concurrent) {
+            e.speculated = true;
+            ++active_speculative_;
+            e.launch();
+          } else {
+            // Cap reached; OnSpeculativeFinished notifies, but poll as
+            // a backstop.
+            next_wake = std::min(next_wake, now + kPollInterval);
+          }
+        }
+      }
+      cv_.wait_until(lock, next_wake);
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool shutdown_ = false;
+  uint64_t next_id_ = 1;
+  size_t active_speculative_ = 0;
+  std::unordered_map<uint64_t, Entry> entries_;
+};
+
+}  // namespace p3c::mr
+
+#endif  // P3C_MAPREDUCE_STRAGGLER_H_

@@ -20,8 +20,14 @@
 namespace p3c::mr {
 
 bool IsRetryableJobFailure(const Status& status) {
+  // kDeadlineExceeded: a task was killed for running past its wall-clock
+  // deadline and exhausted its attempts — slowness is transient (a loaded
+  // machine, a stuck disk), so the job is worth one more run. The phase
+  // budget, not the retry policy, bounds how long the pipeline keeps
+  // trying.
   return status.code() == StatusCode::kInternal ||
-         status.code() == StatusCode::kIOError;
+         status.code() == StatusCode::kIOError ||
+         status.code() == StatusCode::kDeadlineExceeded;
 }
 
 namespace {
@@ -30,7 +36,12 @@ namespace {
 /// failures re-run the whole job (failed jobs leave no side effects, so
 /// this is safe), fatal ones and exhausted policies surface a Status
 /// naming the pipeline phase and the attempt count on top of the
-/// engine's job/task detail.
+/// engine's job/task detail. A phase that has already consumed
+/// JobRetryPolicy::phase_budget_seconds of wall-clock time stops
+/// retrying and fails with a phase-tagged kDeadlineExceeded — a
+/// pathological phase (every attempt deadline-killed, every job re-run)
+/// degrades into a bounded, explained failure instead of wedging the
+/// caller.
 template <typename Fn>
 auto RunPipelineJob(const JobRetryPolicy& policy, const char* phase,
                     Fn&& fn) -> decltype(fn()) {
@@ -39,6 +50,7 @@ auto RunPipelineJob(const JobRetryPolicy& policy, const char* phase,
   // retry shows as a second phase slice with the failure instant
   // between them.
   TraceSpan phase_span(std::string("phase:") + phase);
+  Stopwatch budget_watch;
   const size_t max_attempts = std::max<size_t>(1, policy.max_job_attempts);
   Status last;
   size_t attempts = 0;
@@ -59,6 +71,15 @@ auto RunPipelineJob(const JobRetryPolicy& policy, const char* phase,
     if (!IsRetryableJobFailure(last)) {
       ++attempts;
       break;
+    }
+    if (policy.phase_budget_seconds > 0.0 &&
+        budget_watch.ElapsedSeconds() >= policy.phase_budget_seconds) {
+      ++attempts;
+      return Status::DeadlineExceeded(StringPrintf(
+          "P3C+-MR phase '%s' exceeded its %.3fs wall-clock budget after "
+          "%zu job attempt(s); last failure: %s",
+          phase, policy.phase_budget_seconds, attempts,
+          last.message().c_str()));
     }
   }
   return Status(last.code(),

@@ -25,6 +25,14 @@ struct JobRetryPolicy {
   size_t max_job_attempts = 2;
   /// Fixed sleep between job attempts; 0 disables sleeping.
   double backoff_seconds = 0.0;
+  /// Wall-clock budget per pipeline phase (0 disables): once a phase
+  /// has spent this long across its job attempts, the driver stops
+  /// retrying and fails the pipeline with a phase-tagged
+  /// kDeadlineExceeded Status. The backstop above task deadlines — a
+  /// pathological phase degrades into a bounded, explained failure
+  /// instead of wedging the caller. A successfully finishing job is
+  /// never failed by the budget.
+  double phase_budget_seconds = 0.0;
 };
 
 /// True for failures worth re-running a job on: kInternal (crashed /

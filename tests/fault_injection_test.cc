@@ -256,6 +256,9 @@ TEST(FaultInjectionTest, ScriptedRulesAreOneShotByDefault) {
 TEST(FaultInjectionTest, RetryableClassification) {
   EXPECT_TRUE(IsRetryableJobFailure(Status::Internal("crash")));
   EXPECT_TRUE(IsRetryableJobFailure(Status::IOError("disk")));
+  // Deadline kills are environmental (a straggling attempt), so the
+  // job is worth re-running — the phase budget bounds the retries.
+  EXPECT_TRUE(IsRetryableJobFailure(Status::DeadlineExceeded("slow")));
   EXPECT_FALSE(IsRetryableJobFailure(Status::InvalidArgument("bad")));
   EXPECT_FALSE(IsRetryableJobFailure(Status::NotImplemented("todo")));
   EXPECT_FALSE(IsRetryableJobFailure(Status::OK()));

@@ -98,5 +98,64 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(1u, 7u, 1000u),
                        ::testing::Bool()));
 
+// Straggler-control variant of the property: with a (non-firing)
+// deadline armed and a deliberately trigger-happy speculation policy
+// (slowness 1.0, no minimum runtime), duplicate attempt copies race on
+// ordinary healthy tasks — and the output must STILL match the
+// reference exactly, whichever copy wins each commit. This is the
+// determinism argument of DESIGN.md §11 exercised as a property.
+class StragglerRunnerProperties : public ::testing::TestWithParam<Param> {};
+
+TEST_P(StragglerRunnerProperties, KeyedSumMatchesReferenceUnderSpeculation) {
+  const auto [seed, threads, split, with_combiner] = GetParam();
+  Rng rng(seed);
+  const size_t n = 500 + rng.UniformInt(2000);
+  std::vector<KeyedRecord> records(n);
+  std::map<int, int64_t> reference;
+  for (auto& record : records) {
+    record.key = static_cast<int>(rng.UniformInt(40));
+    record.value = static_cast<int64_t>(rng.UniformInt(1000)) - 500;
+    reference[record.key] += record.value;
+  }
+
+  RunnerOptions options;
+  options.num_threads = threads;
+  options.records_per_split = split;
+  options.num_reducers = threads;
+  options.task_deadline_seconds = 30.0;  // armed, but healthy tasks fit
+  options.speculative_execution = true;
+  options.speculative_slowness_factor = 1.0;  // everything is "slow"
+  options.speculative_min_samples = 1;
+  options.speculative_min_runtime_seconds = 0.0;
+  LocalRunner runner(options);
+  const auto mapper = [] { return std::make_unique<KeyedSumMapper>(); };
+  const auto reducer = [] { return std::make_unique<Int64SumReducer>(); };
+  const auto result =
+      with_combiner
+          ? runner.RunWithCombiner<KeyedRecord, int, int64_t,
+                                   std::pair<int, int64_t>>(
+                "keyed-sum", records, mapper, reducer,
+                [] { return std::make_unique<Int64SumCombiner>(); })
+          : runner.Run<KeyedRecord, int, int64_t, std::pair<int, int64_t>>(
+                "keyed-sum", records, mapper, reducer);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto& out = *result;
+
+  ASSERT_EQ(out.size(), reference.size());
+  size_t i = 0;
+  for (const auto& [key, total] : reference) {
+    EXPECT_EQ(out[i].first, key);
+    EXPECT_EQ(out[i].second, total);
+    ++i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StragglerGrid, StragglerRunnerProperties,
+    ::testing::Combine(::testing::Values(1u, 2u),
+                       ::testing::Values(1u, 4u),
+                       ::testing::Values(7u, 200u),
+                       ::testing::Bool()));
+
 }  // namespace
 }  // namespace p3c::mr

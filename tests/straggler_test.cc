@@ -1,0 +1,659 @@
+// Straggler-control tests (DESIGN.md §11): cooperative cancellation,
+// task deadlines with watchdog kills, and speculative re-execution.
+//
+// The two acceptance scenarios of the straggler layer live here:
+//   - a permanently hung map task completes the job via deadline-kill +
+//     retry, with no test-harness timeout;
+//   - a job with speculation enabled on a delay-injected straggler
+//     produces output byte-identical to the same job with speculation
+//     disabled (whichever attempt copy wins the race).
+// This suite builds as its own binary (p3c_straggler_tests) under the
+// straggler-smoke ctest label so tools/run_sanitizers.sh can run it in
+// isolation under ASan/UBSan and — the real reviewer of the attempt
+// race — TSan.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "src/common/cancellation.h"
+#include "src/common/stopwatch.h"
+#include "src/common/trace.h"
+#include "src/data/generator.h"
+#include "src/mapreduce/fault.h"
+#include "src/mapreduce/runner.h"
+#include "src/mapreduce/straggler.h"
+#include "src/mr/p3c_mr.h"
+
+namespace p3c::mr {
+namespace {
+
+// ---- Cooperative cancellation primitives -----------------------------
+
+TEST(CancellationTest, DefaultTokenIsNeverCancelled) {
+  CancellationToken token;
+  EXPECT_FALSE(token.CanBeCancelled());
+  EXPECT_FALSE(token.cancelled());
+  // Null tokens degrade to a plain timed sleep that reports "not
+  // cancelled" — the non-straggler fast path.
+  EXPECT_FALSE(token.WaitFor(0.001));
+  // And WaitForCancel must NOT block forever on a token nobody can
+  // cancel.
+  token.WaitForCancel();
+  EXPECT_NO_THROW(token.ThrowIfCancelled());
+}
+
+TEST(CancellationTest, CancelIsStickyAndObservable) {
+  CancellationSource source;
+  CancellationToken token = source.token();
+  EXPECT_TRUE(token.CanBeCancelled());
+  EXPECT_FALSE(token.cancelled());
+  source.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(source.cancelled());
+  // An already-cancelled token returns from waits immediately.
+  EXPECT_TRUE(token.WaitFor(10.0));
+  token.WaitForCancel();
+  EXPECT_THROW(token.ThrowIfCancelled(), CancelledError);
+  // Idempotent.
+  source.Cancel();
+  EXPECT_TRUE(token.cancelled());
+}
+
+// The satellite fix for SleepBackoff: a sleeper parked in WaitFor must
+// wake immediately when the source cancels, not after the full wait.
+TEST(CancellationTest, WaitForWakesEarlyOnCancel) {
+  CancellationSource source;
+  CancellationToken token = source.token();
+  Stopwatch watch;
+  std::thread canceller([&source] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    source.Cancel();
+  });
+  // Without the condvar wake-up this would sleep the full 30 seconds
+  // and blow the test timeout.
+  EXPECT_TRUE(token.WaitFor(30.0));
+  canceller.join();
+  EXPECT_LT(watch.ElapsedSeconds(), 10.0);
+}
+
+// ---- Straggler-detection statistics ----------------------------------
+
+TEST(TaskDurationStatsTest, MedianWithheldBelowMinSamples) {
+  TaskDurationStats stats;
+  EXPECT_LT(stats.Median(3), 0.0);
+  stats.Add(0.010);
+  stats.Add(0.012);
+  EXPECT_EQ(stats.count(), 2u);
+  EXPECT_LT(stats.Median(3), 0.0);
+  stats.Add(0.011);
+  EXPECT_GE(stats.Median(3), 0.0);
+  EXPECT_DOUBLE_EQ(stats.Median(3), 0.011);
+}
+
+TEST(TaskDurationStatsTest, MedianIsRobustToStragglerSamples) {
+  TaskDurationStats stats;
+  stats.Add(0.010);
+  stats.Add(0.010);
+  stats.Add(0.010);
+  // The straggler itself must not drag the baseline up — that is the
+  // reason the watchdog uses the median rather than the mean.
+  stats.Add(100.0);
+  EXPECT_DOUBLE_EQ(stats.Median(3), 0.010);
+}
+
+// ---- Injected delays and hangs (unit level) --------------------------
+
+TEST(StragglerInjectionTest, DelayRuleIsSlowButSucceeds) {
+  ScriptedFaultInjector injector;
+  injector.DelayOnce("job", /*task_index=*/0, /*attempt=*/0,
+                     /*delay_seconds=*/0.05);
+  const std::string job = "job";
+  Stopwatch watch;
+  const Status st =
+      injector.OnAttemptStart(TaskAttempt{job, TaskKind::kMap, 0, 0});
+  // A pure straggler: late but correct.
+  EXPECT_TRUE(st.ok());
+  EXPECT_GE(watch.ElapsedSeconds(), 0.05);
+  EXPECT_EQ(injector.injected_faults(), 1u);
+  // One-shot: the retry (or the speculative copy) is fast.
+  EXPECT_TRUE(
+      injector.OnAttemptStart(TaskAttempt{job, TaskKind::kMap, 0, 0}).ok());
+}
+
+TEST(StragglerInjectionTest, HangRuleBlocksUntilCancelled) {
+  ScriptedFaultInjector injector;
+  injector.HangOnce("job", /*task_index=*/0, /*attempt=*/0);
+  CancellationSource source;
+  std::atomic<bool> cancelled_seen{false};
+  std::thread hung([&] {
+    const std::string job = "job";
+    TaskAttempt attempt{job, TaskKind::kMap, 0, 0};
+    attempt.cancel = source.token();
+    try {
+      (void)injector.OnAttemptStart(attempt);
+    } catch (const CancelledError&) {
+      cancelled_seen.store(true);
+    }
+  });
+  // Give the hang a moment to park, then kill it the way the watchdog
+  // would.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(cancelled_seen.load());
+  source.Cancel();
+  hung.join();
+  EXPECT_TRUE(cancelled_seen.load());
+}
+
+TEST(StragglerInjectionTest, SpeculativeFilterMatchesOnlyThatCopy) {
+  ScriptedFaultInjector injector;
+  ScriptedFaultInjector::Rule rule;
+  rule.job_substring = "job";
+  rule.speculative = true;
+  injector.AddRule(std::move(rule));
+  const std::string job = "job";
+  // The primary copy of the attempt sails through...
+  TaskAttempt primary{job, TaskKind::kMap, 0, 0};
+  EXPECT_TRUE(injector.OnAttemptStart(primary).ok());
+  // ...only the duplicate speculative copy trips the rule.
+  TaskAttempt spec{job, TaskKind::kMap, 0, 0};
+  spec.speculative = true;
+  EXPECT_FALSE(injector.OnAttemptStart(spec).ok());
+}
+
+TEST(StragglerInjectionTest, DeadlineExceededIsRetryableAtJobLevel) {
+  // A phase whose tasks keep timing out is worth re-running — the
+  // straggler may have been environmental — until the phase budget
+  // says otherwise.
+  EXPECT_TRUE(IsRetryableJobFailure(Status::DeadlineExceeded("slow")));
+}
+
+// ---- A keyed-sum job with counters for engine-level tests ------------
+
+struct KeyedRecord {
+  int key;
+  int64_t value;
+};
+
+class KeyedSumMapper : public Mapper<KeyedRecord, int, int64_t> {
+ public:
+  void Map(const KeyedRecord& record, Emitter<int, int64_t>& out) override {
+    out.counters().Increment("records_mapped");
+    out.Emit(record.key, record.value);
+  }
+};
+
+class Int64SumReducer
+    : public Reducer<int, int64_t, std::pair<int, int64_t>> {
+ public:
+  void Reduce(const int& key, std::span<const int64_t> values,
+              std::vector<std::pair<int, int64_t>>& out) override {
+    int64_t total = 0;
+    for (int64_t v : values) total += v;
+    out.emplace_back(key, total);
+  }
+};
+
+class Int64SumCombiner : public Combiner<int, int64_t> {
+ public:
+  int64_t Combine(const int& key, std::span<const int64_t> values) override {
+    (void)key;
+    int64_t total = 0;
+    for (int64_t v : values) total += v;
+    return total;
+  }
+};
+
+std::vector<KeyedRecord> MakeRecords(size_t n) {
+  std::vector<KeyedRecord> records(n);
+  for (size_t i = 0; i < n; ++i) {
+    records[i].key = static_cast<int>(i % 17);
+    records[i].value = static_cast<int64_t>(i) - 100;
+  }
+  return records;
+}
+
+struct StragglerConfig {
+  size_t threads = 4;
+  double task_deadline_seconds = 0.0;
+  bool speculative = false;
+  bool with_combiner = false;
+  size_t max_attempts = 4;
+};
+
+struct RunOutcome {
+  Result<std::vector<std::pair<int, int64_t>>> result =
+      Status::Internal("not run");
+  Counters counters;
+  MetricsRegistry metrics;
+};
+
+RunOutcome RunKeyedSum(FaultInjector* injector, const StragglerConfig& cfg) {
+  RunOutcome outcome;
+  RunnerOptions options;
+  options.num_threads = cfg.threads;
+  options.records_per_split = 100;
+  options.num_reducers = 3;
+  options.max_attempts = cfg.max_attempts;
+  options.task_deadline_seconds = cfg.task_deadline_seconds;
+  options.speculative_execution = cfg.speculative;
+  // Aggressive policy so tests see speculation without waiting: any
+  // attempt 1.5x slower than the median is a straggler, judged after
+  // only 10ms of runtime.
+  options.speculative_slowness_factor = 1.5;
+  options.speculative_min_samples = 3;
+  options.speculative_min_runtime_seconds = 0.01;
+  options.fault_injector = injector;
+  options.metrics = &outcome.metrics;
+  options.counters = &outcome.counters;
+  LocalRunner runner(options);
+  const auto records = MakeRecords(1000);
+  const auto mapper = [] { return std::make_unique<KeyedSumMapper>(); };
+  const auto reducer = [] { return std::make_unique<Int64SumReducer>(); };
+  outcome.result =
+      cfg.with_combiner
+          ? runner.RunWithCombiner<KeyedRecord, int, int64_t,
+                                   std::pair<int, int64_t>>(
+                "keyed-sum", records, mapper, reducer,
+                [] { return std::make_unique<Int64SumCombiner>(); })
+          : runner.Run<KeyedRecord, int, int64_t, std::pair<int, int64_t>>(
+                "keyed-sum", records, mapper, reducer);
+  return outcome;
+}
+
+// ---- Deadlines: hung tasks become bounded retries --------------------
+
+// Acceptance scenario 1: a permanently hung map task. Without the
+// watchdog this test would never return; with it the hang is killed at
+// the deadline and the retry completes the job.
+TEST(TaskDeadlineTest, HungMapTaskRecoversViaDeadlineKillAndRetry) {
+  const RunOutcome clean = RunKeyedSum(nullptr, {});
+  ASSERT_TRUE(clean.result.ok());
+
+  ScriptedFaultInjector injector;
+  injector.HangOnce("keyed-sum", /*task_index=*/2, /*attempt=*/0);
+  StragglerConfig cfg;
+  cfg.task_deadline_seconds = 0.2;
+  const RunOutcome hung = RunKeyedSum(&injector, cfg);
+  ASSERT_TRUE(hung.result.ok()) << hung.result.status().ToString();
+  EXPECT_EQ(injector.injected_faults(), 1u);
+
+  // Byte-identical recovery: output and user counters match the clean
+  // run exactly.
+  EXPECT_EQ(*hung.result, *clean.result);
+  EXPECT_EQ(hung.counters.values(), clean.counters.values());
+  EXPECT_EQ(hung.counters.Get("records_mapped"), 1000u);
+
+  // Hadoop's FAILED vs KILLED split: a deadline kill is an engine
+  // decision, not a task bug — it lands in killed_attempts (and its
+  // deadline_exceeded subset), never in task_failures.
+  ASSERT_EQ(hung.metrics.num_jobs(), 1u);
+  const JobMetrics& job = hung.metrics.jobs().front();
+  EXPECT_TRUE(job.succeeded);
+  EXPECT_GE(job.killed_attempts, 1u);
+  EXPECT_GE(job.deadline_exceeded, 1u);
+  EXPECT_EQ(job.task_failures, 0u);
+  EXPECT_EQ(job.retried_tasks, 1u);
+  EXPECT_EQ(hung.metrics.TotalKilledAttempts(), job.killed_attempts);
+  EXPECT_EQ(hung.metrics.TotalDeadlineExceeded(), job.deadline_exceeded);
+}
+
+TEST(TaskDeadlineTest, HungReduceTaskRecoversToo) {
+  const RunOutcome clean = RunKeyedSum(nullptr, {});
+  ASSERT_TRUE(clean.result.ok());
+
+  ScriptedFaultInjector injector;
+  ScriptedFaultInjector::Rule rule;
+  rule.job_substring = "keyed-sum";
+  rule.kind = TaskKind::kReduce;
+  rule.task_index = 1;
+  rule.attempt = 0;
+  rule.hang = true;
+  injector.AddRule(std::move(rule));
+  StragglerConfig cfg;
+  cfg.task_deadline_seconds = 0.2;
+  const RunOutcome hung = RunKeyedSum(&injector, cfg);
+  ASSERT_TRUE(hung.result.ok()) << hung.result.status().ToString();
+  EXPECT_EQ(*hung.result, *clean.result);
+  EXPECT_EQ(hung.counters.values(), clean.counters.values());
+  EXPECT_GE(hung.metrics.jobs().front().deadline_exceeded, 1u);
+}
+
+TEST(TaskDeadlineTest, PermanentHangFailsWithDeadlineExceeded) {
+  // Every attempt of the task hangs: the watchdog kills each at the
+  // deadline until max_attempts is exhausted, and the job fails with a
+  // kDeadlineExceeded Status naming the task — bounded, explained
+  // failure instead of a wedged test harness.
+  ScriptedFaultInjector injector;
+  ScriptedFaultInjector::Rule rule;
+  rule.job_substring = "keyed-sum";
+  rule.kind = TaskKind::kMap;
+  rule.task_index = 0;
+  rule.hang = true;
+  rule.fires = ScriptedFaultInjector::kUnlimitedFires;
+  injector.AddRule(std::move(rule));
+  StragglerConfig cfg;
+  cfg.task_deadline_seconds = 0.1;
+  cfg.max_attempts = 2;
+  const RunOutcome failed = RunKeyedSum(&injector, cfg);
+  ASSERT_FALSE(failed.result.ok());
+  const Status& st = failed.result.status();
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(st.message().find("map task 0"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find("2 attempt(s)"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find("deadline"), std::string::npos)
+      << st.ToString();
+
+  // Both hung attempts were killed, none "failed", and no counters
+  // escaped the failed job.
+  const JobMetrics& job = failed.metrics.jobs().front();
+  EXPECT_FALSE(job.succeeded);
+  EXPECT_GE(job.killed_attempts, 2u);
+  EXPECT_GE(job.deadline_exceeded, 2u);
+  EXPECT_EQ(job.task_failures, 0u);
+  EXPECT_TRUE(failed.counters.values().empty());
+}
+
+TEST(TaskDeadlineTest, StragglerAccountingIsZeroWhenDisabled) {
+  const RunOutcome clean = RunKeyedSum(nullptr, {});
+  ASSERT_TRUE(clean.result.ok());
+  const JobMetrics& job = clean.metrics.jobs().front();
+  EXPECT_EQ(job.speculative_attempts, 0u);
+  EXPECT_EQ(job.killed_attempts, 0u);
+  EXPECT_EQ(job.deadline_exceeded, 0u);
+}
+
+// ---- Speculative execution -------------------------------------------
+
+// Acceptance scenario 2: a delay-injected straggler (slow but correct)
+// with speculation enabled. The duplicate copy overtakes the delayed
+// primary; output and user counters are byte-identical to the same job
+// with speculation disabled.
+TEST(SpeculativeExecutionTest, RescuesDelayedStragglerWithIdenticalOutput) {
+  const RunOutcome baseline = RunKeyedSum(nullptr, {});
+  ASSERT_TRUE(baseline.result.ok());
+
+  ScriptedFaultInjector injector;
+  // The delay rule matches only the primary copy, so the speculative
+  // duplicate of the same attempt runs at full speed and wins.
+  ScriptedFaultInjector::Rule rule;
+  rule.job_substring = "keyed-sum";
+  rule.kind = TaskKind::kMap;
+  rule.task_index = 7;
+  rule.attempt = 0;
+  rule.speculative = false;
+  rule.delay_seconds = 30.0;
+  rule.status = Status::OK();
+  injector.AddRule(std::move(rule));
+
+  StragglerConfig cfg;
+  cfg.speculative = true;
+  Stopwatch watch;
+  const RunOutcome spec = RunKeyedSum(&injector, cfg);
+  ASSERT_TRUE(spec.result.ok()) << spec.result.status().ToString();
+  // The speculative copy must have rescued the job: waiting out the
+  // full 30s delay would blow the test timeout, and the cancelled
+  // primary never finishes its sleep.
+  EXPECT_LT(watch.ElapsedSeconds(), 25.0);
+
+  EXPECT_EQ(*spec.result, *baseline.result);
+  EXPECT_EQ(spec.counters.values(), baseline.counters.values());
+  EXPECT_EQ(spec.counters.Get("records_mapped"), 1000u);
+
+  const JobMetrics& job = spec.metrics.jobs().front();
+  EXPECT_TRUE(job.succeeded);
+  EXPECT_GE(job.speculative_attempts, 1u);
+  // The delayed primary lost the race and was killed — an engine kill,
+  // not a failure — and no deadline was configured.
+  EXPECT_GE(job.killed_attempts, 1u);
+  EXPECT_EQ(job.task_failures, 0u);
+  EXPECT_EQ(job.deadline_exceeded, 0u);
+  EXPECT_EQ(spec.metrics.TotalSpeculativeAttempts(),
+            job.speculative_attempts);
+}
+
+TEST(SpeculativeExecutionTest, SpeculationRescuesHungTaskWithoutDeadline) {
+  // Even with no deadline configured, a hung primary is recovered:
+  // the speculative duplicate wins and cancels it (the loser-kill
+  // channel, independent of the watchdog's deadline kill).
+  const RunOutcome baseline = RunKeyedSum(nullptr, {});
+  ASSERT_TRUE(baseline.result.ok());
+
+  ScriptedFaultInjector injector;
+  ScriptedFaultInjector::Rule rule;
+  rule.job_substring = "keyed-sum";
+  rule.kind = TaskKind::kMap;
+  rule.task_index = 3;
+  rule.attempt = 0;
+  rule.speculative = false;  // only the primary hangs
+  rule.hang = true;
+  injector.AddRule(std::move(rule));
+
+  StragglerConfig cfg;
+  cfg.speculative = true;
+  const RunOutcome spec = RunKeyedSum(&injector, cfg);
+  ASSERT_TRUE(spec.result.ok()) << spec.result.status().ToString();
+  EXPECT_EQ(*spec.result, *baseline.result);
+  EXPECT_EQ(spec.counters.values(), baseline.counters.values());
+  EXPECT_GE(spec.metrics.jobs().front().speculative_attempts, 1u);
+  EXPECT_GE(spec.metrics.jobs().front().killed_attempts, 1u);
+}
+
+// ---- The deadline x speculation x fault-mode x threads grid ----------
+
+enum class FaultMode { kDelay, kHang };
+
+using GridParam = std::tuple<size_t /*threads*/, double /*deadline*/,
+                             bool /*speculative*/, FaultMode,
+                             bool /*combiner*/>;
+
+class StragglerGrid : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(StragglerGrid, OutputIsByteIdenticalUnderStragglerControl) {
+  const auto [threads, deadline, speculative, mode, with_combiner] =
+      GetParam();
+  // A hang is unrecoverable without a kill channel; such configurations
+  // are excluded from the grid rather than silently skipped.
+  ASSERT_TRUE(mode != FaultMode::kHang || deadline > 0.0 || speculative);
+
+  StragglerConfig base;
+  base.threads = threads;
+  base.with_combiner = with_combiner;
+  const RunOutcome reference = RunKeyedSum(nullptr, base);
+  ASSERT_TRUE(reference.result.ok());
+
+  ScriptedFaultInjector injector;
+  ScriptedFaultInjector::Rule rule;
+  rule.job_substring = "keyed-sum";
+  rule.kind = TaskKind::kMap;
+  rule.task_index = 1;
+  rule.attempt = 0;
+  rule.speculative = false;  // the injected straggler is the primary
+  if (mode == FaultMode::kHang) {
+    rule.hang = true;
+  } else {
+    rule.delay_seconds = 30.0;  // rescued by deadline kill or speculation
+    rule.status = Status::OK();
+  }
+  injector.AddRule(std::move(rule));
+
+  StragglerConfig cfg = base;
+  cfg.task_deadline_seconds = deadline;
+  cfg.speculative = speculative;
+  const RunOutcome out = RunKeyedSum(&injector, cfg);
+  ASSERT_TRUE(out.result.ok()) << out.result.status().ToString();
+
+  // Exactly-once, whichever copy won: output and every user counter
+  // match the unperturbed reference byte for byte.
+  EXPECT_EQ(*out.result, *reference.result);
+  EXPECT_EQ(out.counters.values(), reference.counters.values());
+  EXPECT_EQ(out.counters.ToJson(), reference.counters.ToJson());
+  const JobMetrics& job = out.metrics.jobs().front();
+  EXPECT_TRUE(job.succeeded);
+  // The straggler was killed, not failed.
+  EXPECT_GE(job.killed_attempts, 1u);
+  EXPECT_EQ(job.task_failures, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DeadlineOnly, StragglerGrid,
+    ::testing::Combine(::testing::Values<size_t>(2, 4),
+                       ::testing::Values(0.15),
+                       ::testing::Values(false),
+                       ::testing::Values(FaultMode::kDelay, FaultMode::kHang),
+                       ::testing::Bool()));
+
+INSTANTIATE_TEST_SUITE_P(
+    SpeculationOnly, StragglerGrid,
+    ::testing::Combine(::testing::Values<size_t>(2, 4),
+                       ::testing::Values(0.0),
+                       ::testing::Values(true),
+                       ::testing::Values(FaultMode::kDelay, FaultMode::kHang),
+                       ::testing::Bool()));
+
+INSTANTIATE_TEST_SUITE_P(
+    DeadlinePlusSpeculation, StragglerGrid,
+    ::testing::Combine(::testing::Values<size_t>(2, 4),
+                       ::testing::Values(0.15),
+                       ::testing::Values(true),
+                       ::testing::Values(FaultMode::kDelay, FaultMode::kHang),
+                       ::testing::Bool()));
+
+// ---- Trace surface of the straggler machinery ------------------------
+
+TEST(StragglerTraceTest, KillsAndSpeculationAreVisibleInTheTrace) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Clear();
+  tracer.Enable(true);
+
+  // One hung map task under deadline + speculation: however the race
+  // resolves, the trace must show at least one engine intervention —
+  // a watchdog deadline-kill instant or a speculative-copy flow (with
+  // its "(speculative)" attempt span).
+  ScriptedFaultInjector injector;
+  ScriptedFaultInjector::Rule rule;
+  rule.job_substring = "keyed-sum";
+  rule.kind = TaskKind::kMap;
+  rule.task_index = 2;
+  rule.attempt = 0;
+  rule.speculative = false;
+  rule.hang = true;
+  injector.AddRule(std::move(rule));
+  StragglerConfig cfg;
+  cfg.task_deadline_seconds = 0.15;
+  cfg.speculative = true;
+  const RunOutcome out = RunKeyedSum(&injector, cfg);
+  const std::string json = tracer.ToJson();
+  tracer.Enable(false);
+  tracer.Clear();
+
+  ASSERT_TRUE(out.result.ok()) << out.result.status().ToString();
+  const JobMetrics& job = out.metrics.jobs().front();
+  if (job.deadline_exceeded > 0) {
+    EXPECT_NE(json.find("deadline-kill"), std::string::npos);
+  }
+  if (job.speculative_attempts > 0) {
+    EXPECT_NE(json.find("speculative-copy"), std::string::npos);
+    EXPECT_NE(json.find("(speculative)"), std::string::npos);
+  }
+  EXPECT_GT(job.deadline_exceeded + job.speculative_attempts, 0u);
+}
+
+// ---- Phase-level wall-clock budget -----------------------------------
+
+TEST(PhaseBudgetTest, HopelessPhaseFailsWithinBudget) {
+  data::GeneratorConfig config;
+  config.num_points = 2000;
+  config.num_dims = 20;
+  config.num_clusters = 3;
+  config.seed = 91;
+  const auto data = data::GenerateSynthetic(config).value();
+
+  // Every attempt of every histogram task hangs; each job attempt dies
+  // at the task deadline with kDeadlineExceeded, which is retryable at
+  // the job level — without the budget the driver would grind through
+  // all 1000 job attempts.
+  ScriptedFaultInjector injector;
+  ScriptedFaultInjector::Rule rule;
+  rule.job_substring = "histogram";
+  rule.hang = true;
+  rule.fires = ScriptedFaultInjector::kUnlimitedFires;
+  injector.AddRule(std::move(rule));
+
+  P3CMROptions options;
+  options.params.light = true;
+  options.runner.max_attempts = 1;
+  options.runner.task_deadline_seconds = 0.05;
+  options.runner.fault_injector = &injector;
+  options.retry.max_job_attempts = 1000;
+  options.retry.phase_budget_seconds = 0.3;
+  P3CMR mr{options};
+  Stopwatch watch;
+  auto result = mr.Cluster(data.dataset);
+  ASSERT_FALSE(result.ok());
+  // Bounded: the budget stopped the retry loop shortly after 0.3s, far
+  // from the 1000-attempt worst case (which would run ~50s).
+  EXPECT_LT(watch.ElapsedSeconds(), 10.0);
+  const Status& st = result.status();
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(st.message().find("phase 'histogram'"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find("budget"), std::string::npos) << st.ToString();
+  // More than one job attempt ran before the budget tripped.
+  EXPECT_GE(mr.metrics().num_jobs(), 2u);
+  for (const JobMetrics& job : mr.metrics().jobs()) {
+    EXPECT_FALSE(job.succeeded);
+    EXPECT_GE(job.deadline_exceeded, 1u);
+  }
+}
+
+TEST(PhaseBudgetTest, PipelineSurvivesDeadlineKillsWithinBudget) {
+  // A transient hang (one-shot rule) under a deadline + budget: the
+  // first histogram job attempt recovers via task retry, the pipeline
+  // completes, and the result matches a clean run.
+  data::GeneratorConfig config;
+  config.num_points = 2000;
+  config.num_dims = 20;
+  config.num_clusters = 3;
+  config.seed = 92;
+  const auto data = data::GenerateSynthetic(config).value();
+
+  P3CMROptions clean_options;
+  clean_options.params.light = true;
+  P3CMR clean{clean_options};
+  auto clean_result = clean.Cluster(data.dataset);
+  ASSERT_TRUE(clean_result.ok()) << clean_result.status().ToString();
+
+  ScriptedFaultInjector injector;
+  injector.HangOnce("histogram", /*task_index=*/0, /*attempt=*/0);
+  P3CMROptions options;
+  options.params.light = true;
+  options.runner.task_deadline_seconds = 0.2;
+  options.runner.fault_injector = &injector;
+  options.retry.phase_budget_seconds = 60.0;
+  P3CMR mr{options};
+  auto result = mr.Cluster(data.dataset);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(injector.injected_faults(), 1u);
+  EXPECT_EQ(mr.counters().values(), clean.counters().values());
+  EXPECT_GE(mr.metrics().TotalDeadlineExceeded(), 1u);
+  ASSERT_EQ(result->clusters.size(), clean_result->clusters.size());
+  for (size_t c = 0; c < result->clusters.size(); ++c) {
+    EXPECT_EQ(result->clusters[c].points, clean_result->clusters[c].points);
+    EXPECT_EQ(result->clusters[c].attrs, clean_result->clusters[c].attrs);
+  }
+}
+
+}  // namespace
+}  // namespace p3c::mr

@@ -10,6 +10,15 @@
 //                                      Perfetto / chrome://tracing)
 //           [--metrics-out=m.json]     per-job MR metrics + counters
 //                                      (mr / mr-light only)
+//           [--max-attempts N]         task attempts per task (>= 1)
+//           [--task-deadline S]        wall-clock deadline per task
+//                                      attempt in seconds (0 = off)
+//           [--speculative]            enable speculative execution
+//           [--speculative-slowness F] straggler threshold: F x median
+//                                      completed duration (> 1)
+//           [--phase-budget S]         wall-clock budget per pipeline
+//                                      phase in seconds (0 = off)
+//                                      (all five: mr / mr-light only)
 //           [--log-level=LEVEL]        debug|info|warning|error|off
 //           [--k K --l L]                    (PROCLUS only)
 //           [--doc-alpha F --doc-beta F --doc-w F]        (DOC only)
@@ -200,6 +209,38 @@ Result<core::ClusteringResult> RunAlgo(const std::string& algo,
     options.params.t_c = 2000;
     options.params.light = algo == "mr-light";
     options.runner.num_threads = threads;
+    // Straggler/fault-tolerance knobs (mr / mr-light only). Nonsense
+    // values are rejected here, not silently clamped: a user who typed
+    // --task-deadline=-1 meant something, and it was not "disable".
+    const int64_t max_attempts =
+        args.GetInt("max-attempts",
+                    static_cast<int64_t>(options.runner.max_attempts));
+    if (max_attempts < 1) {
+      return Status::InvalidArgument(
+          "--max-attempts must be >= 1 (each task runs at least once)");
+    }
+    options.runner.max_attempts = static_cast<size_t>(max_attempts);
+    const double task_deadline = args.GetDouble("task-deadline", 0.0);
+    if (task_deadline < 0.0) {
+      return Status::InvalidArgument(
+          "--task-deadline must be >= 0 seconds (0 disables the deadline)");
+    }
+    options.runner.task_deadline_seconds = task_deadline;
+    options.runner.speculative_execution = args.Has("speculative");
+    const double slowness = args.GetDouble(
+        "speculative-slowness", options.runner.speculative_slowness_factor);
+    if (slowness <= 1.0) {
+      return Status::InvalidArgument(
+          "--speculative-slowness must be > 1 (an attempt is a straggler "
+          "only when slower than the median of its siblings)");
+    }
+    options.runner.speculative_slowness_factor = slowness;
+    const double phase_budget = args.GetDouble("phase-budget", 0.0);
+    if (phase_budget < 0.0) {
+      return Status::InvalidArgument(
+          "--phase-budget must be >= 0 seconds (0 disables the budget)");
+    }
+    options.retry.phase_budget_seconds = phase_budget;
     mr::P3CMR pipeline{options};
     Result<core::ClusteringResult> result = pipeline.Cluster(dataset);
     if (result.ok() && args.Has("job-log")) {

@@ -15,6 +15,11 @@
 #                                      # trace-smoke) under both sanitizers
 #                                      # (TSan exercises the tracer's
 #                                      # per-thread buffered spans)
+#   tools/run_sanitizers.sh straggler-smoke
+#                                      # straggler suite (ctest -L
+#                                      # straggler-smoke): deadlines,
+#                                      # cancellation, speculative attempt
+#                                      # races under both sanitizers
 #
 # The fault-tolerance machinery (task retry, first-error-wins failure
 # slots, exception capture in ParallelFor) is concurrency-heavy; TSan on
@@ -51,7 +56,7 @@ case "${MODE}" in
   tsan)
     # Default TSan scope: the concurrent engine paths. Full suite works
     # too but is slow under TSan.
-    FILTER="${FILTER:-FaultInjection|ThreadPool|MapReduce|RunnerProperties|P3CMR}"
+    FILTER="${FILTER:-FaultInjection|ThreadPool|MapReduce|RunnerProperties|StragglerRunnerProperties|P3CMR}"
     run_suite "TSan" Tsan build-tsan "TSAN_OPTIONS=halt_on_error=1"
     ;;
   shuffle-smoke)
@@ -75,12 +80,23 @@ case "${MODE}" in
       "ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1"
     run_suite "TSan trace-smoke" Tsan build-tsan "TSAN_OPTIONS=halt_on_error=1"
     ;;
+  straggler-smoke)
+    # The straggler-control suite: watchdog deadline kills, cooperative
+    # cancellation, and the primary-vs-speculative attempt race. TSan is
+    # the real reviewer here — the race commits via a CAS slot, the
+    # watchdog thread launches/kills from under its own mutex, and the
+    # loser's cancellation must never tear a committed result.
+    LABEL="straggler-smoke"
+    run_suite "ASan+UBSan straggler-smoke" Sanitize build-asan \
+      "ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1"
+    run_suite "TSan straggler-smoke" Tsan build-tsan "TSAN_OPTIONS=halt_on_error=1"
+    ;;
   all)
     "$0" asan
     "$0" tsan
     ;;
   *)
-    echo "usage: $0 [asan|tsan|all|shuffle-smoke|trace-smoke]" \
+    echo "usage: $0 [asan|tsan|all|shuffle-smoke|trace-smoke|straggler-smoke]" \
          "[ctest -R filter]" >&2
     exit 2
     ;;
