@@ -61,13 +61,13 @@ class CancellationToken {
   CancellationToken() = default;
 
   /// True once the owning source called Cancel(). One relaxed load.
-  bool cancelled() const {
+  [[nodiscard]] bool cancelled() const {
     return state_ != nullptr &&
            state_->cancelled.load(std::memory_order_relaxed);
   }
 
   /// True when this token is connected to a source at all.
-  bool CanBeCancelled() const { return state_ != nullptr; }
+  [[nodiscard]] bool CanBeCancelled() const { return state_ != nullptr; }
 
   /// Sleeps up to `seconds` but wakes immediately on cancellation.
   /// Returns true when the wait ended because of cancellation (or the
@@ -106,7 +106,7 @@ class CancellationSource {
 
   CancellationToken token() const { return CancellationToken(state_); }
 
-  bool cancelled() const {
+  [[nodiscard]] bool cancelled() const {
     return state_->cancelled.load(std::memory_order_relaxed);
   }
 

@@ -78,11 +78,11 @@ class MetricBag {
   void Observe(const std::string& name, double value);
 
   /// Counter value; 0 for unknown names and non-counters.
-  uint64_t Get(const std::string& name) const;
+  [[nodiscard]] uint64_t Get(const std::string& name) const;
   /// Gauge level; 0.0 for unknown names and non-gauges.
-  double GetGauge(const std::string& name) const;
+  [[nodiscard]] double GetGauge(const std::string& name) const;
   /// Full metric, or nullptr when the name is unknown.
-  const Metric* Find(const std::string& name) const;
+  [[nodiscard]] const Metric* Find(const std::string& name) const;
 
   /// Kind-aware accumulation of every metric of `other`. Names absent
   /// here are copied wholesale — operator[] would default-construct a
@@ -95,8 +95,10 @@ class MetricBag {
     }
   }
 
-  const std::map<std::string, Metric>& values() const { return values_; }
-  bool empty() const { return values_.empty(); }
+  [[nodiscard]] const std::map<std::string, Metric>& values() const {
+    return values_;
+  }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
   void Clear() { values_.clear(); }
 
   /// JSON object mapping each name to its metric:
@@ -106,7 +108,7 @@ class MetricBag {
   ///                  "min": X, "max": X, "buckets": [...trimmed...]}
   /// Keys are emitted in map (lexicographic) order, so two bags with
   /// equal contents serialize byte-identically.
-  std::string ToJson() const;
+  [[nodiscard]] std::string ToJson() const;
 
  private:
   std::map<std::string, Metric> values_;

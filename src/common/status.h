@@ -38,7 +38,13 @@ const char* StatusCodeToString(StatusCode code);
 /// Functions that can fail return `Status` (or `Result<T>` when they also
 /// produce a value). A default-constructed `Status` is OK. Statuses are
 /// cheap to copy for the OK case and carry a message otherwise.
-class Status {
+///
+/// The class itself is `[[nodiscard]]`: any call that returns a Status
+/// and ignores it is a compile-time warning (an error under
+/// P3C_WERROR=ON), and p3c_lint's p3c-unchecked-status rule enforces
+/// the same convention across files the compiler cannot see together.
+/// Discard deliberately with `(void)Expr();` plus a comment.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -77,12 +83,12 @@ class Status {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return msg_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return msg_; }
 
   /// "OK" or "<Code>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
  private:
   StatusCode code_;
@@ -94,7 +100,7 @@ class Status {
 /// checking `ok()`; accessing the value of a failed result aborts in debug
 /// builds (assert) and is undefined otherwise.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value makes `return value;` work in
   /// functions returning Result<T>.
@@ -107,18 +113,18 @@ class Result {
     assert(!status_.ok() && "Result constructed from OK status with no value");
   }
 
-  bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
-  const T& value() const& {
+  [[nodiscard]] const T& value() const& {
     assert(ok());
     return *value_;
   }
-  T& value() & {
+  [[nodiscard]] T& value() & {
     assert(ok());
     return *value_;
   }
-  T&& value() && {
+  [[nodiscard]] T&& value() && {
     assert(ok());
     return std::move(*value_);
   }
@@ -129,7 +135,9 @@ class Result {
   T* operator->() { return &value(); }
 
   /// Returns the contained value or `fallback` if this result failed.
-  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
 
  private:
   Status status_;

@@ -14,12 +14,12 @@ class Stopwatch {
   void Restart() { start_ = Clock::now(); }
 
   /// Seconds elapsed since construction / last Restart().
-  double ElapsedSeconds() const {
+  [[nodiscard]] double ElapsedSeconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
 
   /// Milliseconds elapsed since construction / last Restart().
-  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  [[nodiscard]] double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
  private:
   using Clock = std::chrono::steady_clock;

@@ -14,14 +14,16 @@ struct Interval {
   double lower = 0.0;
   double upper = 0.0;
 
-  double width() const { return upper - lower; }
+  [[nodiscard]] double width() const { return upper - lower; }
 
   /// Closed-interval containment of a single coordinate.
-  bool Contains(double x) const { return x >= lower && x <= upper; }
+  [[nodiscard]] bool Contains(double x) const {
+    return x >= lower && x <= upper;
+  }
 
   /// Two intervals overlap when they share at least one coordinate value
   /// on the same attribute.
-  bool Overlaps(const Interval& other) const {
+  [[nodiscard]] bool Overlaps(const Interval& other) const {
     return attr == other.attr && lower <= other.upper &&
            other.lower <= upper;
   }
@@ -31,7 +33,7 @@ struct Interval {
   friend auto operator<=>(const Interval&, const Interval&) = default;
 
   /// "a3:[0.2,0.4]" debug rendering.
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 };
 
 }  // namespace p3c::core

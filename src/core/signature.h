@@ -27,47 +27,49 @@ class Signature {
   /// Convenience for a 1-signature.
   static Signature Single(const Interval& interval);
 
-  size_t size() const { return intervals_.size(); }
-  bool empty() const { return intervals_.empty(); }
-  const std::vector<Interval>& intervals() const { return intervals_; }
+  [[nodiscard]] size_t size() const { return intervals_.size(); }
+  [[nodiscard]] bool empty() const { return intervals_.empty(); }
+  [[nodiscard]] const std::vector<Interval>& intervals() const {
+    return intervals_;
+  }
 
   /// Attributes of the signature, sorted (Attr(S) in the paper).
-  std::vector<size_t> attrs() const;
+  [[nodiscard]] std::vector<size_t> attrs() const;
 
   /// True iff the signature has an interval on `attr`.
-  bool HasAttr(size_t attr) const;
+  [[nodiscard]] bool HasAttr(size_t attr) const;
 
   /// Interval on `attr`, if present.
-  std::optional<Interval> Find(size_t attr) const;
+  [[nodiscard]] std::optional<Interval> Find(size_t attr) const;
 
   /// Point containment: x in every interval of the signature; coordinates
   /// outside Attr(S) are unconstrained. `point` is a full d-dimensional
   /// row.
-  bool Contains(std::span<const double> point) const;
+  [[nodiscard]] bool Contains(std::span<const double> point) const;
 
   /// Product of interval widths: Supp_exp(S) / n under the uniform
   /// assumption (Eq. 7).
-  double VolumeFraction() const;
+  [[nodiscard]] double VolumeFraction() const;
 
   /// New signature with the interval at position `index` removed (the
   /// S \ {I} of Eq. 1).
-  Signature Without(size_t index) const;
+  [[nodiscard]] Signature Without(size_t index) const;
 
   /// New signature with `interval` added. Fails if the attribute is
   /// already present.
-  Result<Signature> With(const Interval& interval) const;
+  [[nodiscard]] Result<Signature> With(const Interval& interval) const;
 
   /// A-priori join: succeeds iff the two signatures have the same size p,
   /// share exactly p-1 identical intervals, and the two odd intervals lie
   /// on distinct attributes; the result is the (p+1)-signature union.
-  Result<Signature> JoinWith(const Signature& other) const;
+  [[nodiscard]] Result<Signature> JoinWith(const Signature& other) const;
 
   /// Subset test on interval sets (identical attribute AND bounds).
-  bool IsSubsetOf(const Signature& other) const;
+  [[nodiscard]] bool IsSubsetOf(const Signature& other) const;
 
   /// Subset test against an arbitrary pool of intervals (used by the
   /// redundancy filter, Eq. 5: S ⊆ ∪ S_i).
-  bool IsCoveredBy(const std::vector<Interval>& pool) const;
+  [[nodiscard]] bool IsCoveredBy(const std::vector<Interval>& pool) const;
 
   friend bool operator==(const Signature& a, const Signature& b) {
     return a.intervals_ == b.intervals_;
@@ -77,10 +79,10 @@ class Signature {
   }
 
   /// FNV-style hash over the canonical interval sequence.
-  uint64_t Hash() const;
+  [[nodiscard]] uint64_t Hash() const;
 
   /// "{a1:[0,0.1], a3:[0.5,0.7]}" debug rendering.
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
  private:
   std::vector<Interval> intervals_;  // sorted by attr, unique attrs

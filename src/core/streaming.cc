@@ -144,9 +144,18 @@ Result<StreamingLightResult> StreamingLightPipeline::Run(
   // ---- Relevant intervals + cluster cores --------------------------------
   const std::vector<Interval> relevant =
       FindAllRelevantIntervals(histograms, params_.alpha_chi2);
+  // First failed support scan. SupportCountFn returns a plain count
+  // vector, so the counter cannot propagate a Status through
+  // GenerateClusterCores/ProveSuggestedIntervals; it records the
+  // failure here and Run checks after each call that consumes counts.
+  // (Returning all-zero supports *without* recording the error used to
+  // silently turn a mid-run I/O failure — truncation, corruption — into
+  // "no clusters found".)
+  Status counter_status;
   SupportCountFn counter = [&](const std::vector<Signature>& sigs) {
     std::vector<uint64_t> supports(sigs.size(), 0);
     if (sigs.empty()) return supports;
+    if (before_support_scan_hook_) before_support_scan_hook_();
     const Rssc index(sigs);
     std::vector<uint64_t> padded(index.num_words() * 64, 0);
     Status scan = reader->ForEachBlock(
@@ -159,14 +168,17 @@ Result<StreamingLightResult> StreamingLightPipeline::Run(
           }
           return Status::OK();
         });
-    if (scan.ok()) {
-      for (size_t s = 0; s < sigs.size(); ++s) supports[s] = padded[s];
-      ++result.passes;
+    if (!scan.ok()) {
+      if (counter_status.ok()) counter_status = std::move(scan);
+      return supports;
     }
+    for (size_t s = 0; s < sigs.size(); ++s) supports[s] = padded[s];
+    ++result.passes;
     return supports;
   };
   CoreDetectionResult detection =
       GenerateClusterCores(relevant, n, params_, counter, nullptr);
+  P3C_RETURN_NOT_OK(counter_status);
   result.core_stats = detection.stats;
   if (detection.cores.empty()) {
     result.seconds = watch.ElapsedSeconds();
@@ -242,6 +254,7 @@ Result<StreamingLightResult> StreamingLightPipeline::Run(
   }
   const std::vector<std::vector<Interval>> accepted =
       ProveSuggestedIntervals(detection.cores, suggestions, params_, counter);
+  P3C_RETURN_NOT_OK(counter_status);
 
   // ---- Assemble clusters ---------------------------------------------------
   for (size_t c = 0; c < k; ++c) {

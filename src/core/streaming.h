@@ -95,12 +95,22 @@ class StreamingLightPipeline {
   Result<StreamingLightResult> ClusterAndAssign(
       const std::string& binary_path, const std::string& assignment_csv);
 
+  /// Test-only fault-injection seam (the streaming analog of
+  /// mapreduce's FaultInjector): invoked immediately before every
+  /// support-counting scan. The regression test for the once
+  /// silently-dropped scan Status corrupts the file here, *between*
+  /// passes — the only point where a mid-run I/O failure can appear.
+  void set_before_support_scan_hook_for_test(std::function<void()> hook) {
+    before_support_scan_hook_ = std::move(hook);
+  }
+
  private:
   Result<StreamingLightResult> Run(const std::string& binary_path,
                                    const std::string* assignment_csv);
 
   P3CParams params_;
   size_t block_rows_;
+  std::function<void()> before_support_scan_hook_;
 };
 
 }  // namespace p3c::core

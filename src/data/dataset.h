@@ -33,13 +33,13 @@ class Dataset {
   static Result<Dataset> FromRowMajor(std::vector<double> values,
                                       size_t num_dims);
 
-  size_t num_points() const {
+  [[nodiscard]] size_t num_points() const {
     return num_dims_ == 0 ? 0 : values_.size() / num_dims_;
   }
-  size_t num_dims() const { return num_dims_; }
-  bool empty() const { return values_.empty(); }
+  [[nodiscard]] size_t num_dims() const { return num_dims_; }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
 
-  double Get(PointId point, size_t dim) const {
+  [[nodiscard]] double Get(PointId point, size_t dim) const {
     return values_[static_cast<size_t>(point) * num_dims_ + dim];
   }
   void Set(PointId point, size_t dim, double value) {
@@ -47,12 +47,12 @@ class Dataset {
   }
 
   /// Read-only view of one row.
-  std::span<const double> Row(PointId point) const {
+  [[nodiscard]] std::span<const double> Row(PointId point) const {
     return {values_.data() + static_cast<size_t>(point) * num_dims_,
             num_dims_};
   }
 
-  const std::vector<double>& values() const { return values_; }
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
 
   /// Appends one point; `row.size()` must equal num_dims() (or set the
   /// dimensionality on the first append to an empty dataset).
@@ -65,10 +65,10 @@ class Dataset {
   std::vector<std::pair<double, double>> NormalizeMinMax();
 
   /// True when every value already lies in [0, 1].
-  bool IsNormalized() const;
+  [[nodiscard]] bool IsNormalized() const;
 
   /// New dataset containing the selected rows (in the given order).
-  Dataset Select(std::span<const PointId> points) const;
+  [[nodiscard]] Dataset Select(std::span<const PointId> points) const;
 
  private:
   size_t num_dims_;

@@ -60,11 +60,11 @@ class MetricsRegistry {
  public:
   void Record(JobMetrics metrics) { jobs_.push_back(std::move(metrics)); }
 
-  const std::vector<JobMetrics>& jobs() const { return jobs_; }
-  size_t num_jobs() const { return jobs_.size(); }
+  [[nodiscard]] const std::vector<JobMetrics>& jobs() const { return jobs_; }
+  [[nodiscard]] size_t num_jobs() const { return jobs_.size(); }
 
   /// Sum of per-job wall times.
-  double TotalSeconds() const;
+  [[nodiscard]] double TotalSeconds() const;
   /// Projected wall time on a cluster whose scheduler costs
   /// `per_job_overhead_seconds` per MR job (Hadoop-style job latencies
   /// are tens of seconds). This is the quantity behind the paper's §5.3
@@ -76,40 +76,40 @@ class MetricsRegistry {
            per_job_overhead_seconds * static_cast<double>(jobs_.size());
   }
   /// Sum of shuffle volumes.
-  uint64_t TotalShuffleBytes() const;
+  [[nodiscard]] uint64_t TotalShuffleBytes() const;
   /// Sums of the fault-tolerance accounting across jobs: failed task
   /// attempts and tasks that needed more than one attempt. Both are 0
   /// on a fault-free run.
-  uint64_t TotalTaskFailures() const;
-  uint64_t TotalRetriedTasks() const;
+  [[nodiscard]] uint64_t TotalTaskFailures() const;
+  [[nodiscard]] uint64_t TotalRetriedTasks() const;
   /// Sums of the straggler accounting across jobs: speculative copies
   /// launched, attempt copies killed by the engine, and the subset of
   /// kills caused by the task deadline. All 0 when straggler control
   /// (deadlines, speculation) is disabled.
-  uint64_t TotalSpeculativeAttempts() const;
-  uint64_t TotalKilledAttempts() const;
-  uint64_t TotalDeadlineExceeded() const;
+  [[nodiscard]] uint64_t TotalSpeculativeAttempts() const;
+  [[nodiscard]] uint64_t TotalKilledAttempts() const;
+  [[nodiscard]] uint64_t TotalDeadlineExceeded() const;
   /// Sum of map input records over all jobs — the "I/O workload" proxy:
   /// each input record of each job corresponds to one record read from
   /// the storage system in a real deployment.
-  uint64_t TotalInputRecords() const;
+  [[nodiscard]] uint64_t TotalInputRecords() const;
 
   /// Kind-aware aggregation of every successful job's counter snapshot
   /// — equal to the RunnerOptions::counters sink of the same run.
-  MetricBag MergedCounters() const;
+  [[nodiscard]] MetricBag MergedCounters() const;
 
   /// Multi-line human-readable table of all jobs, including the
   /// fault-tolerance columns (attempts / failures / retried tasks) and
   /// the shuffle skew ("-" for map-only jobs, whose partition vectors
   /// are empty).
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   /// Machine-readable export of the whole registry: a JSON object with
   /// a "jobs" array (every JobMetrics field including per-job counters
   /// and per-partition vectors), the aggregate totals, and the merged
   /// counters. Counter values are deterministic — byte-identical across
   /// thread counts and under injected faults; timings of course vary.
-  std::string ToJson() const;
+  [[nodiscard]] std::string ToJson() const;
 
   void Clear() { jobs_.clear(); }
 

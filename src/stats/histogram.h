@@ -45,16 +45,16 @@ class Histogram {
   /// reducer-side combination of per-split partial histograms (§5.1).
   void Merge(const Histogram& other);
 
-  size_t num_bins() const { return counts_.size(); }
-  uint64_t count(size_t bin) const { return counts_[bin]; }
-  uint64_t total() const;
-  const std::vector<uint64_t>& counts() const { return counts_; }
+  [[nodiscard]] size_t num_bins() const { return counts_.size(); }
+  [[nodiscard]] uint64_t count(size_t bin) const { return counts_[bin]; }
+  [[nodiscard]] uint64_t total() const;
+  [[nodiscard]] const std::vector<uint64_t>& counts() const { return counts_; }
   std::vector<uint64_t>& counts() { return counts_; }
 
   /// Lower edge of bin i (= i / m).
-  double BinLower(size_t bin) const;
+  [[nodiscard]] double BinLower(size_t bin) const;
   /// Upper edge of bin i (= (i+1) / m).
-  double BinUpper(size_t bin) const;
+  [[nodiscard]] double BinUpper(size_t bin) const;
 
  private:
   std::vector<uint64_t> counts_;

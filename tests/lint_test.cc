@@ -1,0 +1,354 @@
+// Tests of p3c_lint (tools/lint/): every rule fires on a known-bad
+// fixture snippet, every NOLINT form suppresses, the tokenizer is not
+// fooled by strings/comments, and the binary's exit codes hold (0
+// clean / 1 findings / 2 usage error). DESIGN.md §12 documents the
+// rule catalogue these fixtures pin down.
+
+#include "tools/lint/linter.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lexer.h"
+
+namespace p3c::lint {
+namespace {
+
+// Builds a registry from the snippet itself, mirroring the binary's
+// first pass.
+StatusFnRegistry RegistryFor(const std::string& source) {
+  StatusFnRegistry registry;
+  CollectStatusReturning(Lex(source), &registry);
+  return registry;
+}
+
+std::vector<Diagnostic> RunLint(const std::string& path,
+                                const std::string& source) {
+  return LintSource(path, source, RegistryFor(source), AllRules());
+}
+
+std::vector<std::string> RuleIds(const std::vector<Diagnostic>& diags) {
+  std::vector<std::string> ids;
+  for (const auto& d : diags) ids.push_back(d.rule);
+  return ids;
+}
+
+// ---------------------------------------------------------------------------
+// p3c-unchecked-status
+// ---------------------------------------------------------------------------
+
+TEST(LintUncheckedStatus, FiresOnDiscardedCall) {
+  const std::string src = R"cc(
+    Status DoWrite(int x);
+    void f() {
+      DoWrite(1);
+    }
+  )cc";
+  const auto diags = RunLint("src/a.cc", src);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "p3c-unchecked-status");
+  EXPECT_EQ(diags[0].line, 4);
+}
+
+TEST(LintUncheckedStatus, FiresOnDiscardedResultCall) {
+  const std::string src = R"cc(
+    Result<std::vector<double>> Load(const std::string& p);
+    void f() {
+      Load("x");
+    }
+  )cc";
+  const auto diags = RunLint("src/a.cc", src);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "p3c-unchecked-status");
+}
+
+TEST(LintUncheckedStatus, FiresOnMemberAndQualifiedCalls) {
+  const std::string src = R"cc(
+    struct File { Status Close(); };
+    Status io::Flush(int fd);
+    void f(File* file) {
+      file->Close();
+      io::Flush(3);
+    }
+  )cc";
+  EXPECT_EQ(RunLint("src/a.cc", src).size(), 2u);
+}
+
+TEST(LintUncheckedStatus, FiresInsideBracelessIf) {
+  const std::string src = R"cc(
+    Status DoWrite(int x);
+    void f(bool b) {
+      if (b) DoWrite(1);
+    }
+  )cc";
+  EXPECT_EQ(RunLint("src/a.cc", src).size(), 1u);
+}
+
+TEST(LintUncheckedStatus, SilentOnCheckedUses) {
+  const std::string src = R"cc(
+    Status DoWrite(int x);
+    Status g() {
+      Status st = DoWrite(1);
+      if (!st.ok()) return st;
+      P3C_RETURN_NOT_OK(DoWrite(2));
+      (void)DoWrite(3);
+      return DoWrite(4);
+    }
+  )cc";
+  EXPECT_TRUE(RunLint("src/a.cc", src).empty());
+}
+
+TEST(LintUncheckedStatus, DeclarationsAreNotCallSites) {
+  const std::string src = R"cc(
+    Status DoWrite(int x);
+    struct S {
+      Status DoWrite(int x);
+    };
+    Status S::DoWrite(int x) { return Status(); }
+  )cc";
+  EXPECT_TRUE(RunLint("src/a.cc", src).empty());
+}
+
+// ---------------------------------------------------------------------------
+// p3c-unordered-emit
+// ---------------------------------------------------------------------------
+
+TEST(LintUnorderedEmit, FiresOnDirectIteration) {
+  const std::string src = R"cc(
+    void f(Emitter& out) {
+      std::unordered_map<int, double> counts;
+      for (const auto& [k, v] : counts) {
+        out.Emit(k, v);
+      }
+    }
+  )cc";
+  const auto diags = RunLint("src/a.cc", src);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "p3c-unordered-emit");
+}
+
+TEST(LintUnorderedEmit, FiresThroughTypeAlias) {
+  const std::string src = R"cc(
+    using SupportTable = std::unordered_map<Signature, uint64_t, Hash>;
+    void f(Emitter& out, const SupportTable& table) {
+      for (const auto& kv : table) out.Emit(kv.first, kv.second);
+    }
+  )cc";
+  EXPECT_EQ(RuleIds(RunLint("src/a.cc", src)),
+            std::vector<std::string>{"p3c-unordered-emit"});
+}
+
+TEST(LintUnorderedEmit, SilentWithoutEmitOrOnOrderedContainers) {
+  const std::string src = R"cc(
+    void f(Emitter& out) {
+      std::unordered_map<int, double> counts;
+      for (const auto& [k, v] : counts) sum += v;  // no Emit: fine
+      std::map<int, double> sorted(counts.begin(), counts.end());
+      for (const auto& [k, v] : sorted) out.Emit(k, v);  // ordered: fine
+    }
+  )cc";
+  EXPECT_TRUE(RunLint("src/a.cc", src).empty());
+}
+
+// ---------------------------------------------------------------------------
+// p3c-cancellation-poll
+// ---------------------------------------------------------------------------
+
+TEST(LintCancellationPoll, FiresOnUnpolledDispatchLoop) {
+  const std::string src = R"cc(
+    void Drive(Mapper& mapper, std::span<const Record> split, Emitter& out) {
+      for (const Record& r : split) {
+        mapper.Map(r, out);
+      }
+    }
+  )cc";
+  const auto diags = RunLint("src/a.cc", src);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "p3c-cancellation-poll");
+}
+
+TEST(LintCancellationPoll, SilentWhenLoopPolls) {
+  const std::string src = R"cc(
+    void Drive(Mapper& mapper, std::span<const Record> split, Emitter& out,
+               const TaskContext& ctx) {
+      size_t i = 0;
+      for (const Record& r : split) {
+        if ((i++ & 63u) == 0) ctx.cancel.ThrowIfCancelled();
+        mapper.Map(r, out);
+      }
+      while (Pending()) {
+        if (token.cancelled()) break;
+        reducer->Reduce(Next());
+      }
+    }
+  )cc";
+  EXPECT_TRUE(RunLint("src/a.cc", src).empty());
+}
+
+TEST(LintCancellationPoll, SilentOnLoopsWithoutDispatch) {
+  const std::string src = R"cc(
+    void f(const std::vector<double>& xs) {
+      double sum = 0;
+      for (double x : xs) sum += x;
+      while (sum > 1) sum /= 2;
+    }
+  )cc";
+  EXPECT_TRUE(RunLint("src/a.cc", src).empty());
+}
+
+// ---------------------------------------------------------------------------
+// p3c-no-iostream
+// ---------------------------------------------------------------------------
+
+TEST(LintNoIostream, FiresOnlyUnderSrc) {
+  const std::string src = R"cc(
+    void f() { std::cout << "hello"; std::cerr << "oops"; }
+  )cc";
+  EXPECT_EQ(RunLint("src/core/a.cc", src).size(), 2u);
+  // CLI tools and tests may print.
+  EXPECT_TRUE(RunLint("tools/p3c_cli.cc", src).empty());
+  EXPECT_TRUE(RunLint("tests/a_test.cc", src).empty());
+}
+
+// ---------------------------------------------------------------------------
+// p3c-banned-nondeterminism
+// ---------------------------------------------------------------------------
+
+TEST(LintBannedNondeterminism, FiresOnEntropySources) {
+  const std::string src = R"cc(
+    void f() {
+      int a = rand();
+      srand(42);
+      std::random_device rd;
+      long t = time(nullptr);
+    }
+  )cc";
+  EXPECT_EQ(RunLint("src/a.cc", src).size(), 4u);
+  EXPECT_EQ(RunLint("tests/a_test.cc", src).size(), 4u);  // tests too
+}
+
+TEST(LintBannedNondeterminism, ExemptsTheProjectRng) {
+  const std::string src = "void f() { std::random_device rd; }";
+  EXPECT_TRUE(RunLint("src/common/random.cc", src).empty());
+  EXPECT_FALSE(RunLint("src/common/other.cc", src).empty());
+}
+
+TEST(LintBannedNondeterminism, NotFooledByStringsAndComments) {
+  const std::string src = R"cc(
+    // calls time() and rand() -- in a comment only
+    const char* kHeader = "spec. kill. ddl. skew time(s)";
+    const char* kRaw = R"(rand())";
+  )cc";
+  EXPECT_TRUE(RunLint("src/a.cc", src).empty());
+}
+
+// ---------------------------------------------------------------------------
+// NOLINT suppressions
+// ---------------------------------------------------------------------------
+
+TEST(LintNolint, EveryFormSuppresses) {
+  const std::string src = R"cc(
+    Status DoWrite(int x);
+    void f() {
+      DoWrite(1);  // NOLINT(p3c-unchecked-status)
+      DoWrite(2);  // NOLINT
+      // NOLINTNEXTLINE(p3c-unchecked-status)
+      DoWrite(3);
+      // NOLINTNEXTLINE(p3c-no-iostream, p3c-unchecked-status)
+      DoWrite(4);
+    }
+  )cc";
+  EXPECT_TRUE(RunLint("src/a.cc", src).empty());
+}
+
+TEST(LintNolint, WrongRuleDoesNotSuppress) {
+  const std::string src = R"cc(
+    Status DoWrite(int x);
+    void f() {
+      DoWrite(1);  // NOLINT(p3c-no-iostream)
+    }
+  )cc";
+  EXPECT_EQ(RunLint("src/a.cc", src).size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(LintRegistry, CollectsStatusAndResultDeclarations) {
+  StatusFnRegistry registry;
+  CollectStatusReturning(Lex(R"cc(
+    Status WriteCsv(const Dataset& d, const std::string& p);
+    Result<Dataset> ReadCsv(const std::string& p);
+    Status File::Close();
+    Result<std::vector<std::pair<K, V>>> Drain();
+    Status st = NotADecl();
+    void TakesStatus(Status s);
+  )cc"),
+                         &registry);
+  EXPECT_EQ(registry.names.count("WriteCsv"), 1u);
+  EXPECT_EQ(registry.names.count("ReadCsv"), 1u);
+  EXPECT_EQ(registry.names.count("Close"), 1u);
+  EXPECT_EQ(registry.names.count("Drain"), 1u);
+  EXPECT_EQ(registry.names.count("NotADecl"), 0u);
+  EXPECT_EQ(registry.names.count("s"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Binary exit codes (0 clean / 1 findings / 2 usage error)
+// ---------------------------------------------------------------------------
+
+#ifdef P3C_LINT_BIN
+
+std::string WriteFixture(const char* name, const std::string& content) {
+  const std::string path = std::string(::testing::TempDir()) + "/" + name;
+  std::ofstream out(path);
+  out << content;
+  return path;
+}
+
+int RunBinary(const std::string& args) {
+  const int rc = std::system((std::string(P3C_LINT_BIN) + " " + args +
+                              " > /dev/null 2> /dev/null")
+                                 .c_str());
+  return WEXITSTATUS(rc);
+}
+
+TEST(LintBinary, ExitCodesMatchContract) {
+  const std::string clean =
+      WriteFixture("lint_clean.cc", "int Add(int a, int b) { return a + b; }\n");
+  const std::string dirty = WriteFixture(
+      "lint_dirty.cc",
+      "Status DoWrite(int x);\nvoid f() { DoWrite(1); }\n");
+  EXPECT_EQ(RunBinary(clean), 0);
+  EXPECT_EQ(RunBinary(dirty), 1);
+  EXPECT_EQ(RunBinary(clean + " " + dirty), 1);
+  EXPECT_EQ(RunBinary("--rules=p3c-no-iostream " + dirty), 0);
+  EXPECT_EQ(RunBinary("--rules=no-such-rule " + dirty), 2);
+  EXPECT_EQ(RunBinary("/no/such/file.cc"), 2);
+  EXPECT_EQ(RunBinary(""), 2);  // no inputs: usage
+}
+
+TEST(LintBinary, HeaderSelfContainmentMode) {
+  const std::string good = WriteFixture(
+      "lint_good.h",
+      "#include <vector>\n"
+      "inline std::size_t F(const std::vector<int>& v)"
+      " { return v.size(); }\n");
+  const std::string bad = WriteFixture(
+      "lint_bad.h",
+      "inline std::size_t F(const std::vector<int>& v)"
+      " { return v.size(); }\n");
+  EXPECT_EQ(RunBinary("--check-headers --root=/ " + good), 0);
+  EXPECT_EQ(RunBinary("--check-headers --root=/ " + bad), 1);
+}
+
+#endif  // P3C_LINT_BIN
+
+}  // namespace
+}  // namespace p3c::lint

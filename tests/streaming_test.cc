@@ -262,5 +262,42 @@ TEST(StreamingLightTest, MissingFile) {
   EXPECT_FALSE(streaming.Cluster(TempPath("nope.p3cd")).ok());
 }
 
+// Regression: a support-counting scan that fails mid-run (file
+// truncated between passes) must surface as an error, not be silently
+// treated as zero support. Before the fix, the counter swallowed the
+// scan Status and the pipeline reported a clean "no clusters" result
+// from a corrupt file.
+TEST(StreamingLightTest, MidRunTruncationIsAnErrorNotEmptyResult) {
+  const auto data = MakeData(57);
+  const std::string path = TempPath("midrun_truncate.p3cd");
+  ASSERT_TRUE(data::WriteBinary(data.dataset, path).ok());
+
+  StreamingLightPipeline streaming{LightParams(), /*block_rows=*/500};
+  bool truncated = false;
+  streaming.set_before_support_scan_hook_for_test([&] {
+    if (truncated) return;
+    truncated = true;
+    // Drop the payload tail after the (successful) histogram pass:
+    // every subsequent scan hits a short read.
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 0, SEEK_END), 0);
+    const long size = std::ftell(f);
+    ASSERT_GT(size, 4096);
+    ASSERT_EQ(ftruncate(fileno(f), size - 4096), 0);
+    std::fclose(f);
+  });
+
+  auto out = streaming.Cluster(path);
+  ASSERT_TRUE(truncated) << "support scan hook never ran";
+  ASSERT_FALSE(out.ok())
+      << "mid-run truncation produced a clean result instead of an error";
+  EXPECT_EQ(out.status().code(), StatusCode::kIOError)
+      << out.status().ToString();
+  EXPECT_NE(out.status().message().find("truncated"), std::string::npos)
+      << out.status().ToString();
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace p3c::core

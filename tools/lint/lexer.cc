@@ -1,0 +1,219 @@
+#include "tools/lint/lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace p3c::lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character operators the rules care about. Order matters:
+// longest first so "->" never lexes as "-" ">".
+const char* const kMultiOps[] = {
+    "->*", "...", "::", "->", "<<=", ">>=", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&", "||", "+=",  "-=",  "*=", "/=", "++", "--",
+};
+
+// Scans a comment body for NOLINT / NOLINTNEXTLINE markers and appends
+// the resolved suppressions. `line` is the line the comment starts on.
+void ScanCommentForNolint(const std::string& body, int line,
+                          std::vector<Suppression>* out) {
+  size_t pos = 0;
+  while ((pos = body.find("NOLINT", pos)) != std::string::npos) {
+    size_t after = pos + 6;
+    int target = line;
+    if (body.compare(pos, 14, "NOLINTNEXTLINE") == 0) {
+      after = pos + 14;
+      target = line + 1;
+    }
+    if (after < body.size() && body[after] == '(') {
+      const size_t close = body.find(')', after);
+      const std::string list =
+          close == std::string::npos
+              ? body.substr(after + 1)
+              : body.substr(after + 1, close - after - 1);
+      // Comma-separated rule names; whitespace-tolerant.
+      size_t start = 0;
+      while (start <= list.size()) {
+        size_t comma = list.find(',', start);
+        if (comma == std::string::npos) comma = list.size();
+        std::string rule = list.substr(start, comma - start);
+        // Trim.
+        while (!rule.empty() && std::isspace(static_cast<unsigned char>(
+                                    rule.front()))) {
+          rule.erase(rule.begin());
+        }
+        while (!rule.empty() &&
+               std::isspace(static_cast<unsigned char>(rule.back()))) {
+          rule.pop_back();
+        }
+        if (!rule.empty()) out->push_back({target, rule});
+        start = comma + 1;
+      }
+    } else {
+      out->push_back({target, ""});  // bare NOLINT: everything
+    }
+    pos = after;
+  }
+}
+
+}  // namespace
+
+LexedFile Lex(const std::string& source) {
+  LexedFile out;
+  const size_t n = source.size();
+  size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since last newline
+
+  auto advance_over = [&](size_t count) {
+    for (size_t k = 0; k < count && i < n; ++k) {
+      if (source[i] == '\n') {
+        ++line;
+        at_line_start = true;
+      }
+      ++i;
+    }
+  };
+
+  while (i < n) {
+    const char c = source[i];
+
+    if (c == '\n') {
+      ++line;
+      at_line_start = true;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive: swallow to end of line, honoring
+    // backslash continuations. Comments inside are still NOLINT-scanned
+    // conservatively? No — directives carry no lintable tokens here.
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (source[i] == '\\' && i + 1 < n && source[i + 1] == '\n') {
+          advance_over(2);
+          continue;
+        }
+        if (source[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      const size_t end = source.find('\n', i);
+      const std::string body = source.substr(
+          i, (end == std::string::npos ? n : end) - i);
+      ScanCommentForNolint(body, line, &out.suppressions);
+      i = (end == std::string::npos) ? n : end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      const int start_line = line;
+      size_t end = source.find("*/", i + 2);
+      if (end == std::string::npos) end = n;
+      const std::string body = source.substr(i, end - i);
+      ScanCommentForNolint(body, start_line, &out.suppressions);
+      advance_over((end == n ? n : end + 2) - i);
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && source[i + 1] == '"') {
+      size_t d = i + 2;
+      while (d < n && source[d] != '(' && source[d] != '"' &&
+             source[d] != '\n') {
+        ++d;
+      }
+      if (d < n && source[d] == '(') {
+        const std::string delim = source.substr(i + 2, d - (i + 2));
+        const std::string closer = ")" + delim + "\"";
+        size_t end = source.find(closer, d + 1);
+        if (end == std::string::npos) end = n;
+        out.tokens.push_back({TokKind::kString, "", line});
+        advance_over((end == n ? n : end + closer.size()) - i);
+        continue;
+      }
+      // Not actually a raw string ("R" identifier followed by a plain
+      // string, e.g. a macro); fall through to identifier lexing.
+    }
+
+    // String / char literal (with escape handling).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      size_t j = i + 1;
+      while (j < n && source[j] != quote) {
+        if (source[j] == '\\' && j + 1 < n) ++j;
+        if (source[j] == '\n') break;  // unterminated; bail at newline
+        ++j;
+      }
+      out.tokens.push_back(
+          {quote == '"' ? TokKind::kString : TokKind::kChar, "", line});
+      advance_over((j < n ? j + 1 : n) - i);
+      continue;
+    }
+
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(source[j])) ++j;
+      out.tokens.push_back(
+          {TokKind::kIdentifier, source.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i + 1;
+      while (j < n && (IsIdentChar(source[j]) || source[j] == '.' ||
+                       ((source[j] == '+' || source[j] == '-') &&
+                        (source[j - 1] == 'e' || source[j - 1] == 'E' ||
+                         source[j - 1] == 'p' || source[j - 1] == 'P')))) {
+        ++j;
+      }
+      out.tokens.push_back({TokKind::kNumber, source.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+
+    // Multi-char operator?
+    bool matched = false;
+    for (const char* op : kMultiOps) {
+      const size_t len = std::string(op).size();
+      if (source.compare(i, len, op) == 0) {
+        out.tokens.push_back({TokKind::kPunct, op, line});
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+bool IsSuppressed(const LexedFile& file, int line, const std::string& rule) {
+  for (const Suppression& s : file.suppressions) {
+    if (s.line == line && (s.rule.empty() || s.rule == rule)) return true;
+  }
+  return false;
+}
+
+}  // namespace p3c::lint

@@ -1,0 +1,53 @@
+#ifndef P3C_TOOLS_LINT_LEXER_H_
+#define P3C_TOOLS_LINT_LEXER_H_
+
+// Lightweight C++ tokenizer for p3c_lint (see linter.h). Not a real
+// C++ lexer: it produces just enough structure for the project-native
+// pattern rules — identifiers, punctuation, literals — with line
+// numbers, while correctly skipping the places naive text matching
+// goes wrong (comments, string/char literals, raw strings, and
+// preprocessor directives). `NOLINT` / `NOLINTNEXTLINE` markers are
+// extracted from comments during lexing so rules never see them.
+
+#include <string>
+#include <vector>
+
+namespace p3c::lint {
+
+enum class TokKind {
+  kIdentifier,  // identifiers and keywords, no distinction
+  kNumber,
+  kString,  // string literal (contents dropped)
+  kChar,    // character literal (contents dropped)
+  kPunct,   // operators/punctuation; multi-char ops kept together
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;  // 1-based
+};
+
+/// One `// NOLINT(p3c-foo)` marker, already resolved to the line it
+/// suppresses (NOLINTNEXTLINE markers point at the following line).
+/// An empty rule means "suppress every rule on that line".
+struct Suppression {
+  int line;
+  std::string rule;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Suppression> suppressions;
+};
+
+/// Tokenizes `source`. Never fails: unrecognized bytes become
+/// single-character punctuation tokens.
+LexedFile Lex(const std::string& source);
+
+/// True when a NOLINT marker suppresses `rule` on `line`.
+bool IsSuppressed(const LexedFile& file, int line, const std::string& rule);
+
+}  // namespace p3c::lint
+
+#endif  // P3C_TOOLS_LINT_LEXER_H_

@@ -1,0 +1,414 @@
+#include "tools/lint/linter.h"
+
+#include <cstddef>
+#include <string>
+
+namespace p3c::lint {
+namespace {
+
+using Tokens = std::vector<Token>;
+
+constexpr size_t kNpos = static_cast<size_t>(-1);
+
+bool IsIdent(const Tokens& t, size_t i, const char* text = nullptr) {
+  return i < t.size() && t[i].kind == TokKind::kIdentifier &&
+         (text == nullptr || t[i].text == text);
+}
+
+bool IsPunct(const Tokens& t, size_t i, const char* text) {
+  return i < t.size() && t[i].kind == TokKind::kPunct && t[i].text == text;
+}
+
+/// Index just past the matching ')' for the '(' at `open`, or kNpos.
+size_t MatchParen(const Tokens& t, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kPunct) continue;
+    if (t[i].text == "(") ++depth;
+    if (t[i].text == ")" && --depth == 0) return i + 1;
+  }
+  return kNpos;
+}
+
+/// Index just past the template closer for the '<' at `open`, or kNpos.
+/// `>>` closes two levels (nested template args); gives up at `;`/`{`
+/// so a stray comparison never swallows the file.
+size_t MatchAngle(const Tokens& t, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kPunct) continue;
+    const std::string& p = t[i].text;
+    if (p == "<") ++depth;
+    if (p == "<<") depth += 2;
+    if (p == ">") --depth;
+    if (p == ">>") depth -= 2;
+    if (p == ";" || p == "{") return kNpos;
+    if (depth <= 0 && (p == ">" || p == ">>")) return i + 1;
+  }
+  return kNpos;
+}
+
+/// Token range [begin, end) of the statement starting at `i`: a `{...}`
+/// block, or a single statement through its terminating `;` at depth 0.
+/// Used to delimit loop bodies.
+size_t StatementEnd(const Tokens& t, size_t i) {
+  if (i >= t.size()) return t.size();
+  int depth = 0;
+  for (size_t j = i; j < t.size(); ++j) {
+    if (t[j].kind != TokKind::kPunct) continue;
+    const std::string& p = t[j].text;
+    if (p == "(" || p == "[" || p == "{") ++depth;
+    if (p == ")" || p == "]") --depth;
+    if (p == "}") {
+      --depth;
+      if (depth == 0 && IsPunct(t, i, "{")) return j + 1;
+    }
+    if (p == ";" && depth == 0 && !IsPunct(t, i, "{")) return j + 1;
+  }
+  return t.size();
+}
+
+bool PathStartsWith(const std::string& path, const std::string& prefix) {
+  return path.rfind(prefix, 0) == 0 ||
+         path.find("/" + prefix) != std::string::npos;
+}
+
+bool PathEndsWith(const std::string& path, const std::string& suffix) {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// C++ keywords (and contextually reserved names) that can open a
+// statement but never name a Status-returning call.
+bool IsStatementKeyword(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "if",       "else",     "for",     "while",    "do",       "switch",
+      "case",     "default",  "break",   "continue", "return",   "goto",
+      "using",    "typedef",  "namespace", "class",  "struct",   "union",
+      "enum",     "template", "public",  "private",  "protected", "new",
+      "delete",   "throw",    "try",     "catch",    "static",   "const",
+      "constexpr", "inline",  "extern",  "virtual",  "explicit", "friend",
+      "operator", "sizeof",   "co_return", "co_await", "co_yield",
+  };
+  return kKeywords.count(s) > 0;
+}
+
+/// Marks token indices that begin a statement: after `;`/`{`/`}`, after
+/// `else`/`do`, and after the control clause of if/for/while/switch
+/// (so `if (cond) DropStatus();` is still caught).
+std::vector<bool> StatementStarts(const Tokens& t) {
+  std::vector<bool> starts(t.size() + 1, false);
+  if (!t.empty()) starts[0] = true;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind == TokKind::kPunct &&
+        (t[i].text == ";" || t[i].text == "{" || t[i].text == "}")) {
+      starts[i + 1] = true;
+    }
+    if (IsIdent(t, i, "else") || IsIdent(t, i, "do")) starts[i + 1] = true;
+    if ((IsIdent(t, i, "if") || IsIdent(t, i, "for") ||
+         IsIdent(t, i, "while") || IsIdent(t, i, "switch")) &&
+        IsPunct(t, i + 1, "(")) {
+      const size_t after = MatchParen(t, i + 1);
+      if (after != kNpos && after < starts.size()) starts[after] = true;
+    }
+  }
+  return starts;
+}
+
+// ---------------------------------------------------------------------------
+// p3c-unchecked-status
+// ---------------------------------------------------------------------------
+
+void RuleUncheckedStatus(const std::string& path, const LexedFile& file,
+                         const StatusFnRegistry& registry,
+                         std::vector<Diagnostic>* out) {
+  const Tokens& t = file.tokens;
+  const std::vector<bool> starts = StatementStarts(t);
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (!starts[i] || !IsIdent(t, i) || IsStatementKeyword(t[i].text)) {
+      continue;
+    }
+    // Walk a qualified/member chain: a (:: . ->)-separated identifier
+    // sequence; `last` ends up as the called name.
+    size_t j = i;
+    std::string last;
+    while (IsIdent(t, j)) {
+      last = t[j].text;
+      ++j;
+      if (IsPunct(t, j, "::") || IsPunct(t, j, ".") || IsPunct(t, j, "->")) {
+        ++j;
+        continue;
+      }
+      break;
+    }
+    if (!IsPunct(t, j, "(") || registry.names.count(last) == 0) continue;
+    const size_t after = MatchParen(t, j);
+    if (after == kNpos || !IsPunct(t, after, ";")) continue;
+    out->push_back(
+        {path, t[i].line, "p3c-unchecked-status",
+         "result of '" + last +
+             "' (declared to return Status/Result) is silently discarded; "
+             "check it, propagate it, or cast to (void) with a reason"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// p3c-unordered-emit
+// ---------------------------------------------------------------------------
+
+bool IsUnorderedName(const std::string& s) {
+  return s == "unordered_map" || s == "unordered_set" ||
+         s == "unordered_multimap" || s == "unordered_multiset";
+}
+
+void RuleUnorderedEmit(const std::string& path, const LexedFile& file,
+                       std::vector<Diagnostic>* out) {
+  const Tokens& t = file.tokens;
+
+  // Pass 1a: type aliases of unordered containers
+  // (`using SupportTable = std::unordered_map<...>;`).
+  std::set<std::string> aliases;
+  for (size_t i = 0; i + 2 < t.size(); ++i) {
+    if (!IsIdent(t, i, "using") || !IsIdent(t, i + 1) ||
+        !IsPunct(t, i + 2, "=")) {
+      continue;
+    }
+    for (size_t j = i + 3; j < t.size() && !IsPunct(t, j, ";"); ++j) {
+      if (IsIdent(t, j) && IsUnorderedName(t[j].text)) {
+        aliases.insert(t[i + 1].text);
+        break;
+      }
+    }
+  }
+
+  // Pass 1b: names declared with an unordered container type, directly
+  // or through an alias. Includes members, locals, parameters, and
+  // functions returning one (a range-for over `MakeTable()` is just as
+  // order-unstable).
+  std::set<std::string> names;
+  auto record_declared_name = [&](size_t type_end) {
+    size_t j = type_end;
+    while (IsPunct(t, j, "&") || IsPunct(t, j, "*") || IsIdent(t, j, "const")) {
+      ++j;
+    }
+    if (IsIdent(t, j) && !IsStatementKeyword(t[j].text)) {
+      names.insert(t[j].text);
+    }
+  };
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (!IsIdent(t, i)) continue;
+    if (IsUnorderedName(t[i].text) && IsPunct(t, i + 1, "<")) {
+      const size_t after = MatchAngle(t, i + 1);
+      if (after != kNpos) record_declared_name(after);
+    } else if (aliases.count(t[i].text) > 0) {
+      record_declared_name(i + 1);
+    }
+  }
+
+  // Pass 2: range-for loops whose sequence expression names one of the
+  // collected identifiers and whose body emits.
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (!IsIdent(t, i, "for") || !IsPunct(t, i + 1, "(")) continue;
+    const size_t after = MatchParen(t, i + 1);
+    if (after == kNpos) continue;
+    const size_t close = after - 1;
+    // Find the range-for ':' at paren depth 1; a ';' first means a
+    // classic three-clause for, which this rule does not model.
+    size_t colon = kNpos;
+    int depth = 0;
+    for (size_t j = i + 1; j < close; ++j) {
+      if (t[j].kind != TokKind::kPunct) continue;
+      const std::string& p = t[j].text;
+      if (p == "(" || p == "[" || p == "{") ++depth;
+      if (p == ")" || p == "]" || p == "}") --depth;
+      if (depth == 1 && p == ";") break;
+      if (depth == 1 && p == ":") {
+        colon = j;
+        break;
+      }
+    }
+    if (colon == kNpos) continue;
+    // The iterated name: last identifier before any call parens in the
+    // sequence expression (`counts`, `obj.table_`, `MakeTable()`).
+    std::string seq_name;
+    for (size_t j = colon + 1; j < close; ++j) {
+      if (IsPunct(t, j, "(")) break;
+      if (IsIdent(t, j)) seq_name = t[j].text;
+    }
+    if (seq_name.empty() || names.count(seq_name) == 0) continue;
+    const size_t body_end = StatementEnd(t, after);
+    for (size_t j = after; j < body_end; ++j) {
+      if (IsIdent(t, j, "Emit") && IsPunct(t, j + 1, "(")) {
+        out->push_back(
+            {path, t[i].line, "p3c-unordered-emit",
+             "range-for over unordered container '" + seq_name +
+                 "' feeds Emit(); iteration order is not deterministic — "
+                 "copy into a sorted container first"});
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// p3c-cancellation-poll
+// ---------------------------------------------------------------------------
+
+void RuleCancellationPoll(const std::string& path, const LexedFile& file,
+                          std::vector<Diagnostic>* out) {
+  const Tokens& t = file.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    const bool is_for = IsIdent(t, i, "for");
+    const bool is_while = IsIdent(t, i, "while");
+    if ((!is_for && !is_while) || !IsPunct(t, i + 1, "(")) continue;
+    // Skip the `while` of a do-while: its body already ran.
+    if (is_while && i > 0 && IsPunct(t, i - 1, "}")) continue;
+    const size_t after = MatchParen(t, i + 1);
+    if (after == kNpos) continue;
+    const size_t body_end = StatementEnd(t, after);
+    bool dispatches = false;
+    bool polls = false;
+    for (size_t j = after; j + 2 < body_end; ++j) {
+      if ((IsPunct(t, j, ".") || IsPunct(t, j, "->")) && IsIdent(t, j + 1) &&
+          IsPunct(t, j + 2, "(")) {
+        const std::string& m = t[j + 1].text;
+        if (m == "Map" || m == "Reduce" || m == "Combine") dispatches = true;
+      }
+    }
+    for (size_t j = after; j < body_end; ++j) {
+      if (IsIdent(t, j, "ThrowIfCancelled") || IsIdent(t, j, "cancelled")) {
+        polls = true;
+        break;
+      }
+    }
+    if (dispatches && !polls) {
+      out->push_back(
+          {path, t[i].line, "p3c-cancellation-poll",
+           "loop drives user task code (Map/Reduce/Combine) but never "
+           "consults a CancellationToken; the watchdog's deadline kill and "
+           "the speculation loser-kill cannot stop it — poll "
+           "ThrowIfCancelled() every few iterations"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// p3c-no-iostream
+// ---------------------------------------------------------------------------
+
+void RuleNoIostream(const std::string& path, const LexedFile& file,
+                    std::vector<Diagnostic>* out) {
+  if (!PathStartsWith(path, "src/")) return;
+  const Tokens& t = file.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (IsIdent(t, i, "cout") || IsIdent(t, i, "cerr") ||
+        IsIdent(t, i, "clog")) {
+      out->push_back({path, t[i].line, "p3c-no-iostream",
+                      "raw std::" + t[i].text +
+                          " in library code; use P3C_LOG (logging.h) so "
+                          "sinks, levels, and test captures apply"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// p3c-banned-nondeterminism
+// ---------------------------------------------------------------------------
+
+void RuleBannedNondeterminism(const std::string& path, const LexedFile& file,
+                              std::vector<Diagnostic>* out) {
+  if (PathEndsWith(path, "common/random.cc") ||
+      PathEndsWith(path, "common/random.h")) {
+    return;
+  }
+  const Tokens& t = file.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (!IsIdent(t, i)) continue;
+    const std::string& s = t[i].text;
+    const bool call_like = IsPunct(t, i + 1, "(");
+    if (((s == "rand" || s == "srand" || s == "time") && call_like) ||
+        s == "random_device") {
+      out->push_back(
+          {path, t[i].line, "p3c-banned-nondeterminism",
+           "'" + s +
+               "' is a banned entropy/time source; route all randomness "
+               "through src/common/random.h so runs are reproducible"});
+    }
+  }
+}
+
+}  // namespace
+
+std::string FormatDiagnostic(const Diagnostic& d) {
+  return d.file + ":" + std::to_string(d.line) + ": error: " + d.message +
+         " [" + d.rule + "]";
+}
+
+void CollectStatusReturning(const LexedFile& file,
+                            StatusFnRegistry* registry) {
+  const Tokens& t = file.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (!IsIdent(t, i)) continue;
+    size_t name_begin = kNpos;
+    if (t[i].text == "Status" && IsIdent(t, i + 1)) {
+      name_begin = i + 1;
+    } else if (t[i].text == "Result" && IsPunct(t, i + 1, "<")) {
+      const size_t after = MatchAngle(t, i + 1);
+      if (after != kNpos && IsIdent(t, after)) name_begin = after;
+    }
+    if (name_begin == kNpos) continue;
+    // Walk `Foo::Bar::Baz` to the final name; require '(' right after
+    // so variable declarations (`Status st = ...;`) are not recorded.
+    size_t j = name_begin;
+    std::string last;
+    while (IsIdent(t, j)) {
+      last = t[j].text;
+      ++j;
+      if (IsPunct(t, j, "::")) {
+        ++j;
+        continue;
+      }
+      break;
+    }
+    if (IsPunct(t, j, "(") && !IsStatementKeyword(last)) {
+      registry->names.insert(last);
+    }
+  }
+}
+
+const std::vector<std::string>& AllRules() {
+  static const std::vector<std::string> kRules = {
+      "p3c-unchecked-status",   "p3c-unordered-emit",
+      "p3c-cancellation-poll",  "p3c-no-iostream",
+      "p3c-banned-nondeterminism",
+  };
+  return kRules;
+}
+
+std::vector<Diagnostic> LintSource(const std::string& path,
+                                   const std::string& source,
+                                   const StatusFnRegistry& registry,
+                                   const std::vector<std::string>& enabled) {
+  const LexedFile file = Lex(source);
+  std::vector<Diagnostic> raw;
+  for (const std::string& rule : enabled) {
+    if (rule == "p3c-unchecked-status") {
+      RuleUncheckedStatus(path, file, registry, &raw);
+    } else if (rule == "p3c-unordered-emit") {
+      RuleUnorderedEmit(path, file, &raw);
+    } else if (rule == "p3c-cancellation-poll") {
+      RuleCancellationPoll(path, file, &raw);
+    } else if (rule == "p3c-no-iostream") {
+      RuleNoIostream(path, file, &raw);
+    } else if (rule == "p3c-banned-nondeterminism") {
+      RuleBannedNondeterminism(path, file, &raw);
+    }
+  }
+  std::vector<Diagnostic> kept;
+  for (Diagnostic& d : raw) {
+    if (!IsSuppressed(file, d.line, d.rule)) kept.push_back(std::move(d));
+  }
+  return kept;
+}
+
+}  // namespace p3c::lint

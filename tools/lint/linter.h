@@ -1,0 +1,83 @@
+#ifndef P3C_TOOLS_LINT_LINTER_H_
+#define P3C_TOOLS_LINT_LINTER_H_
+
+// p3c_lint: project-native static analysis for the P3C+-MR codebase.
+//
+// The engine's correctness claims rest on repo-wide conventions that
+// neither the compiler nor the sanitizers enforce (DESIGN.md §12):
+// every Status/Result is checked, loops that drive user task code poll
+// their CancellationToken, unordered containers never iterate straight
+// into emitted output, logging goes through logging.h, and entropy
+// sources live only in src/common/random.cc. Each convention is a rule
+// here, written as token-stream pattern matching (no libclang): fast,
+// dependency-free, and precise enough that every firing is either a
+// real violation or carries an explanatory `// NOLINT(p3c-...)`.
+//
+// Rules (IDs are stable; suppressions reference them):
+//   p3c-unchecked-status       A call to a function declared to return
+//                              Status/Result<T> used as a bare
+//                              expression statement — the error is
+//                              silently dropped.
+//   p3c-unordered-emit         A range-for over a container declared
+//                              std::unordered_map/set whose body calls
+//                              Emit(...) — iteration order is
+//                              implementation-defined, so emitted
+//                              output would not be byte-stable.
+//   p3c-cancellation-poll      A for/while loop whose body dispatches
+//                              into user task code (`->Map(`,
+//                              `->Reduce(`, `->Combine(`) without ever
+//                              consulting a CancellationToken — the
+//                              watchdog's deadline kill and the
+//                              speculation loser-kill cannot stop it.
+//   p3c-no-iostream            std::cout/cerr/clog in src/ — library
+//                              code must log through logging.h so
+//                              sinks, levels, and captures work.
+//   p3c-banned-nondeterminism  rand()/srand()/std::random_device/
+//                              time() outside src/common/random.cc —
+//                              all entropy flows through the seeded
+//                              project RNG for reproducibility.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lexer.h"
+
+namespace p3c::lint {
+
+struct Diagnostic {
+  std::string file;
+  int line;
+  std::string rule;
+  std::string message;
+};
+
+/// "file:line: error: message [rule]" — clang-style, clickable.
+std::string FormatDiagnostic(const Diagnostic& d);
+
+/// Names of functions declared (anywhere in the scanned set) to return
+/// `Status` or `Result<T>`. Built in a first pass over every input
+/// file so call sites in one file see declarations from another.
+struct StatusFnRegistry {
+  std::set<std::string> names;
+};
+
+/// Scans one file's tokens for `Status Name(` / `Result<...> Name(`
+/// declarations and records `Name`.
+void CollectStatusReturning(const LexedFile& file, StatusFnRegistry* registry);
+
+/// All rule IDs, in diagnostic order.
+const std::vector<std::string>& AllRules();
+
+/// Runs `enabled` rules over `source`. `path` determines path-scoped
+/// behavior (p3c-no-iostream fires only under src/;
+/// p3c-banned-nondeterminism exempts src/common/random.cc) and is used
+/// verbatim in diagnostics. NOLINT suppressions are already applied.
+std::vector<Diagnostic> LintSource(const std::string& path,
+                                   const std::string& source,
+                                   const StatusFnRegistry& registry,
+                                   const std::vector<std::string>& enabled);
+
+}  // namespace p3c::lint
+
+#endif  // P3C_TOOLS_LINT_LINTER_H_

@@ -1,0 +1,195 @@
+// p3c_lint — project-native static analysis driver (see linter.h for
+// the rule catalogue, DESIGN.md §12 for the policy).
+//
+// Usage:
+//   p3c_lint [--rules=r1,r2,...] FILE...          lint mode (default)
+//   p3c_lint --check-headers [--root=DIR] [--cxx=BIN] HEADER...
+//
+// Lint mode runs two passes: first every file is scanned for
+// Status/Result-returning declarations (so call sites in one file see
+// declarations from another), then the enabled rules run per file.
+// Diagnostics go to stdout in clang style.
+//
+// --check-headers verifies header self-containment: each header gets a
+// one-include translation unit compiled with `-fsyntax-only` from
+// --root, so a header that silently leans on its includer's includes
+// fails here instead of in the next refactor.
+//
+// Exit codes: 0 clean, 1 diagnostics/failed headers, 2 usage or I/O
+// error. tests/lint_test.cc asserts all three.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "tools/lint/lexer.h"
+#include "tools/lint/linter.h"
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+std::vector<std::string> SplitCommaList(const std::string& list) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= list.size()) {
+    size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    if (comma > start) out.push_back(list.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// Compiles `#include "header"` as its own TU. Returns true on
+/// success; on failure `output` carries the compiler's message.
+bool CheckHeaderSelfContained(const std::string& root,
+                              const std::string& header,
+                              const std::string& cxx, std::string* output) {
+  char tu_path[] = "/tmp/p3c_lint_hdr_XXXXXX.cc";
+  const int fd = mkstemps(tu_path, 3);
+  if (fd < 0) {
+    *output = "cannot create temporary translation unit";
+    return false;
+  }
+  {
+    const std::string tu = "#include \"" + header + "\"\n";
+    const ssize_t written = write(fd, tu.data(), tu.size());
+    close(fd);
+    if (written != static_cast<ssize_t>(tu.size())) {
+      unlink(tu_path);
+      *output = "cannot write temporary translation unit";
+      return false;
+    }
+  }
+  const std::string cmd = cxx + " -std=c++20 -fsyntax-only -I\"" + root +
+                          "\" \"" + tu_path + "\" 2>&1";
+  std::string captured;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    unlink(tu_path);
+    *output = "cannot invoke compiler: " + cmd;
+    return false;
+  }
+  char buf[4096];
+  size_t got = 0;
+  while ((got = fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    captured.append(buf, got);
+  }
+  const int rc = pclose(pipe);
+  unlink(tu_path);
+  *output = captured;
+  return rc == 0;
+}
+
+int Usage() {
+  std::cerr
+      << "usage: p3c_lint [--rules=r1,r2,...] FILE...\n"
+      << "       p3c_lint --check-headers [--root=DIR] [--cxx=BIN] "
+         "HEADER...\n"
+      << "       p3c_lint --list-rules\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  std::vector<std::string> rules = p3c::lint::AllRules();
+  std::string root = ".";
+  std::string cxx = "c++";
+  if (const char* env = std::getenv("CXX"); env != nullptr && *env != '\0') {
+    cxx = env;
+  }
+  bool check_headers = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check-headers") {
+      check_headers = true;
+    } else if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg.rfind("--cxx=", 0) == 0) {
+      cxx = arg.substr(6);
+    } else if (arg.rfind("--rules=", 0) == 0) {
+      rules = SplitCommaList(arg.substr(8));
+      for (const std::string& r : rules) {
+        bool known = false;
+        for (const std::string& k : p3c::lint::AllRules()) {
+          if (k == r) known = true;
+        }
+        if (!known) {
+          std::cerr << "p3c_lint: unknown rule '" << r << "'\n";
+          return 2;
+        }
+      }
+    } else if (arg == "--list-rules") {
+      for (const std::string& r : p3c::lint::AllRules()) {
+        std::cout << r << "\n";
+      }
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "p3c_lint: unknown flag '" << arg << "'\n";
+      return Usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return Usage();
+
+  if (check_headers) {
+    int failures = 0;
+    for (const std::string& header : files) {
+      std::string output;
+      if (!CheckHeaderSelfContained(root, header, cxx, &output)) {
+        ++failures;
+        std::cout << header
+                  << ":1: error: header is not self-contained "
+                     "[p3c-header-self-contained]\n"
+                  << output;
+      }
+    }
+    std::cerr << "p3c_lint: " << files.size() << " header(s) checked, "
+              << failures << " not self-contained\n";
+    return failures == 0 ? 0 : 1;
+  }
+
+  // Pass 1: build the Status/Result registry across every input file.
+  std::vector<std::pair<std::string, std::string>> sources;
+  p3c::lint::StatusFnRegistry registry;
+  for (const std::string& path : files) {
+    std::string content;
+    if (!ReadFile(path, &content)) {
+      std::cerr << "p3c_lint: cannot read '" << path << "'\n";
+      return 2;
+    }
+    p3c::lint::CollectStatusReturning(p3c::lint::Lex(content), &registry);
+    sources.emplace_back(path, std::move(content));
+  }
+
+  // Pass 2: rules.
+  size_t count = 0;
+  for (const auto& [path, content] : sources) {
+    for (const p3c::lint::Diagnostic& d :
+         p3c::lint::LintSource(path, content, registry, rules)) {
+      std::cout << p3c::lint::FormatDiagnostic(d) << "\n";
+      ++count;
+    }
+  }
+  std::cerr << "p3c_lint: " << sources.size() << " file(s) checked, " << count
+            << " diagnostic(s)\n";
+  return count == 0 ? 0 : 1;
+}
