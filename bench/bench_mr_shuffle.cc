@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/common/atomic_file.h"
 #include "src/common/stopwatch.h"
 #include "src/common/string_util.h"
 #include "src/common/trace.h"
@@ -202,11 +203,12 @@ int main(int argc, char** argv) {
   }
 
   if (json_path != nullptr) {
-    std::FILE* f = std::fopen(json_path, "w");
-    if (f == nullptr) {
+    AtomicFileWriter writer{std::string(json_path)};
+    if (!writer.Open().ok()) {
       std::fprintf(stderr, "cannot write %s\n", json_path);
       return 1;
     }
+    std::FILE* f = writer.stream();
     std::fprintf(f, "[\n");
     for (size_t i = 0; i < rows.size(); ++i) {
       const Row& r = rows[i];
@@ -224,19 +226,21 @@ int main(int argc, char** argv) {
           i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(f, "]\n");
-    std::fclose(f);
+    if (!writer.Commit().ok()) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
     std::printf("\nwrote %zu rows to %s\n", rows.size(), json_path);
   }
 
   if (metrics_path != nullptr) {
-    std::FILE* f = std::fopen(metrics_path, "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot write %s\n", metrics_path);
+    const Status st =
+        AtomicWriteFile(std::string(metrics_path), sweep_metrics.ToJson());
+    if (!st.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", metrics_path,
+                   st.ToString().c_str());
       return 1;
     }
-    const std::string json = sweep_metrics.ToJson();
-    std::fwrite(json.data(), 1, json.size(), f);
-    std::fclose(f);
     std::printf("wrote engine metrics for %zu cells to %s\n",
                 sweep_metrics.num_jobs(), metrics_path);
   }

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <string>
 
+#include "src/common/atomic_file.h"
 #include "src/core/support_counter.h"
 #include "src/data/generator.h"
 #include "src/data/io.h"
@@ -71,16 +72,19 @@ int main(int argc, char** argv) {
       assignment[p] = assignment[p] == -1 ? static_cast<int>(c) : assignment[p];
     }
   }
-  std::FILE* f = std::fopen(output.c_str(), "w");
-  if (f == nullptr) {
+  p3c::AtomicFileWriter writer(output);
+  if (!writer.Open().ok()) {
     std::fprintf(stderr, "cannot open %s for writing\n", output.c_str());
     return 1;
   }
-  std::fprintf(f, "point,cluster\n");
+  std::fprintf(writer.stream(), "point,cluster\n");
   for (size_t i = 0; i < assignment.size(); ++i) {
-    std::fprintf(f, "%zu,%d\n", i, assignment[i]);
+    std::fprintf(writer.stream(), "%zu,%d\n", i, assignment[i]);
   }
-  std::fclose(f);
+  if (!writer.Commit().ok()) {
+    std::fprintf(stderr, "cannot write %s\n", output.c_str());
+    return 1;
+  }
   std::printf("wrote assignments: %s\n", output.c_str());
 
   for (size_t c = 0; c < result->clusters.size(); ++c) {

@@ -1,0 +1,141 @@
+#include "src/common/atomic_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "src/common/string_util.h"
+
+namespace p3c {
+
+namespace {
+
+/// Process-wide temp-name sequence. Combined with the pid this makes
+/// concurrent writers (threads or processes) target distinct temp files
+/// without consulting an entropy source (p3c-banned-nondeterminism).
+std::atomic<uint64_t> g_temp_seq{0};
+
+std::string ParentDirectory(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status SyncFd(int fd, const std::string& path) {
+  // EINVAL/ENOTSUP: the filesystem cannot sync this handle (some
+  // virtual/network mounts). Not a torn write, so not an error — the
+  // rename still gives atomic visibility, just without the durability
+  // half of the guarantee.
+  if (::fsync(fd) != 0 && errno != EINVAL && errno != ENOTSUP &&
+      errno != EROFS) {
+    return Status::IOError("fsync failed: " + path + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SyncParentDirectory(const std::string& path) {
+  const std::string dir = ParentDirectory(path);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IOError("cannot open directory for fsync: " + dir + ": " +
+                           std::strerror(errno));
+  }
+  Status st = SyncFd(fd, dir);
+  ::close(fd);
+  return st;
+}
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : final_path_(std::move(path)) {}
+
+AtomicFileWriter::~AtomicFileWriter() { Abandon(); }
+
+Status AtomicFileWriter::Open() {
+  if (f_ != nullptr) {
+    return Status::FailedPrecondition("AtomicFileWriter already open: " +
+                                      final_path_);
+  }
+  temp_path_ = StringPrintf(
+      "%s.tmp.%llu.%llu", final_path_.c_str(),
+      static_cast<unsigned long long>(::getpid()),
+      static_cast<unsigned long long>(
+          g_temp_seq.fetch_add(1, std::memory_order_relaxed)));
+  f_ = std::fopen(temp_path_.c_str(), "wb");
+  if (f_ == nullptr) {
+    return Status::IOError("cannot create temp file: " + temp_path_ + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status AtomicFileWriter::Append(const void* data, size_t len) {
+  if (f_ == nullptr) {
+    return Status::FailedPrecondition("AtomicFileWriter not open: " +
+                                      final_path_);
+  }
+  if (len > 0 && std::fwrite(data, 1, len, f_) != len) {
+    return Status::IOError("write failed: " + temp_path_);
+  }
+  return Status::OK();
+}
+
+Status AtomicFileWriter::Append(const std::string& data) {
+  return Append(data.data(), data.size());
+}
+
+Status AtomicFileWriter::Commit() {
+  if (f_ == nullptr) {
+    return Status::FailedPrecondition("AtomicFileWriter not open: " +
+                                      final_path_);
+  }
+  Status st;
+  if (std::fflush(f_) != 0) {
+    st = Status::IOError("flush failed: " + temp_path_);
+  }
+  if (st.ok()) st = SyncFd(::fileno(f_), temp_path_);
+  const bool close_ok = std::fclose(f_) == 0;
+  f_ = nullptr;
+  if (st.ok() && !close_ok) {
+    st = Status::IOError("close failed: " + temp_path_);
+  }
+  if (st.ok() && std::rename(temp_path_.c_str(), final_path_.c_str()) != 0) {
+    st = Status::IOError("rename failed: " + temp_path_ + " -> " +
+                         final_path_ + ": " + std::strerror(errno));
+  }
+  if (!st.ok()) {
+    std::remove(temp_path_.c_str());
+    temp_path_.clear();
+    return st;
+  }
+  temp_path_.clear();
+  return SyncParentDirectory(final_path_);
+}
+
+void AtomicFileWriter::Abandon() {
+  if (f_ != nullptr) {
+    std::fclose(f_);
+    f_ = nullptr;
+  }
+  if (!temp_path_.empty()) {
+    std::remove(temp_path_.c_str());
+    temp_path_.clear();
+  }
+}
+
+Status AtomicWriteFile(const std::string& path, const std::string& contents) {
+  AtomicFileWriter writer(path);
+  P3C_RETURN_NOT_OK(writer.Open());
+  P3C_RETURN_NOT_OK(writer.Append(contents));
+  return writer.Commit();
+}
+
+}  // namespace p3c

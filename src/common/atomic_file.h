@@ -1,0 +1,82 @@
+#ifndef P3C_COMMON_ATOMIC_FILE_H_
+#define P3C_COMMON_ATOMIC_FILE_H_
+
+// Crash-consistent file writes: every artifact and checkpoint the
+// library produces goes through the temp+fsync+rename protocol, so a
+// kill at any instant leaves either the complete old file or the
+// complete new file on disk — never a torn one.
+//
+// Protocol (the classic POSIX durable-replace sequence):
+//   1. write into `<path>.tmp.<pid>.<seq>` in the target directory
+//      (same filesystem, so the final rename cannot degrade to a copy),
+//   2. fflush + fsync the temp file (data reaches the device, not just
+//      the page cache),
+//   3. rename(temp, path) — atomic on POSIX: readers see old or new,
+//   4. fsync the parent directory (the rename itself is durable).
+//
+// The p3c-raw-file-write lint rule rejects direct std::ofstream/fopen
+// file creation everywhere outside this module and src/data/io.*, so
+// the protocol cannot be bypassed by accident.
+
+#include <cstdio>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace p3c {
+
+/// Streaming writer with commit/abandon semantics. Typical use:
+///
+///   AtomicFileWriter w(path);
+///   P3C_RETURN_NOT_OK(w.Open());
+///   std::fprintf(w.stream(), ...);   // or w.Append(...)
+///   P3C_RETURN_NOT_OK(w.Commit());
+///
+/// Destruction without Commit() abandons the write: the temp file is
+/// removed and `path` is untouched — which is exactly the crash
+/// behavior too, since an unrenamed temp file is never read back.
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(std::string path);
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// Creates the temp file. Fails if the directory is missing or not
+  /// writable.
+  Status Open();
+
+  /// Raw byte append; Open() must have succeeded.
+  Status Append(const void* data, size_t len);
+  Status Append(const std::string& data);
+
+  /// The temp file's stdio stream, for fprintf-style formatting.
+  /// Null before Open() and after Commit()/Abandon().
+  std::FILE* stream() { return f_; }
+
+  /// Flushes, fsyncs, closes, renames over the final path, and fsyncs
+  /// the parent directory. After a successful Commit the writer is
+  /// inert. On failure the temp file is removed and the final path is
+  /// untouched.
+  Status Commit();
+
+  /// Drops the temp file without touching the final path. Idempotent.
+  void Abandon();
+
+ private:
+  std::string final_path_;
+  std::string temp_path_;
+  std::FILE* f_ = nullptr;
+};
+
+/// One-shot convenience: atomically replaces `path` with `contents`.
+Status AtomicWriteFile(const std::string& path, const std::string& contents);
+
+/// fsyncs the directory containing `path` so a preceding rename into it
+/// is durable. Exposed for the checkpoint manager's manifest commit.
+Status SyncParentDirectory(const std::string& path);
+
+}  // namespace p3c
+
+#endif  // P3C_COMMON_ATOMIC_FILE_H_

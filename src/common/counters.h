@@ -77,6 +77,14 @@ class MetricBag {
   /// Records one observation into the named histogram.
   void Observe(const std::string& name, double value);
 
+  /// Installs `metric` under `name` wholesale, replacing any previous
+  /// value. Deserialization hook (checkpoint restore rebuilds bags from
+  /// persisted Metric structs); the accumulation API above remains the
+  /// path for live updates.
+  void Set(const std::string& name, const Metric& metric) {
+    values_[name] = metric;
+  }
+
   /// Counter value; 0 for unknown names and non-counters.
   [[nodiscard]] uint64_t Get(const std::string& name) const;
   /// Gauge level; 0.0 for unknown names and non-gauges.

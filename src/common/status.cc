@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "NotImplemented";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

@@ -26,6 +26,11 @@ enum class StatusCode {
   /// P3CMROptions::phase_budget_seconds. Retryable at the task level
   /// (stragglers are transient), bounded at the phase level.
   kDeadlineExceeded = 8,
+  /// The caller asked the work to stop (SIGINT/SIGTERM routed through a
+  /// CancellationSource, or a driver noticing its CancellationToken).
+  /// Never retryable: retrying cancelled work defeats the point of
+  /// cancelling it.
+  kCancelled = 9,
 };
 
 /// Returns a stable, human-readable name for a status code ("OK",
@@ -81,6 +86,9 @@ class [[nodiscard]] Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

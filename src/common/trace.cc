@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "src/common/atomic_file.h"
 #include "src/common/string_util.h"
 
 namespace p3c {
@@ -159,15 +160,7 @@ std::string Tracer::ToJson() const {
 }
 
 Status Tracer::WriteJson(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return Status::IOError("cannot open " + path);
-  const std::string json = ToJson();
-  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
-  std::fclose(f);
-  if (written != json.size()) {
-    return Status::IOError("short write to " + path);
-  }
-  return Status::OK();
+  return AtomicWriteFile(path, ToJson());
 }
 
 void Tracer::Clear() {

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <limits>
 
+#include "src/common/atomic_file.h"
 #include "src/common/stopwatch.h"
 #include "src/common/string_util.h"
 #include "src/core/attribute_inspection.h"
@@ -278,10 +279,9 @@ Result<StreamingLightResult> StreamingLightPipeline::Run(
 
   // ---- Optional assignment pass -------------------------------------------
   if (assignment_csv != nullptr) {
-    std::FILE* out = std::fopen(assignment_csv->c_str(), "w");
-    if (out == nullptr) {
-      return Status::IOError("cannot open " + *assignment_csv);
-    }
+    AtomicFileWriter writer(*assignment_csv);
+    P3C_RETURN_NOT_OK(writer.Open());
+    std::FILE* out = writer.stream();
     std::fprintf(out, "point,cluster\n");
     pass = reader->ForEachBlock(
         block_rows_, [&](data::PointId first, const data::Dataset& block) {
@@ -300,8 +300,8 @@ Result<StreamingLightResult> StreamingLightPipeline::Run(
           }
           return Status::OK();
         });
-    std::fclose(out);
     P3C_RETURN_NOT_OK(pass);
+    P3C_RETURN_NOT_OK(writer.Commit());
     ++result.passes;
   }
 

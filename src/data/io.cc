@@ -1,11 +1,13 @@
 #include "src/data/io.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <vector>
 
+#include "src/common/atomic_file.h"
 #include "src/common/string_util.h"
 
 namespace p3c::data {
@@ -42,23 +44,20 @@ class File {
 }  // namespace
 
 Status WriteCsv(const Dataset& dataset, const std::string& path) {
-  File f(path, "w");
-  if (!f.ok()) {
-    return Status::IOError("cannot open for writing: " + path + ": " +
-                           std::strerror(errno));
-  }
+  AtomicFileWriter writer(path);
+  P3C_RETURN_NOT_OK(writer.Open());
   const size_t n = dataset.num_points();
   const size_t d = dataset.num_dims();
   for (size_t i = 0; i < n; ++i) {
     const auto row = dataset.Row(static_cast<PointId>(i));
     for (size_t j = 0; j < d; ++j) {
-      if (std::fprintf(f.get(), j + 1 < d ? "%.17g," : "%.17g\n", row[j]) <
-          0) {
+      if (std::fprintf(writer.stream(), j + 1 < d ? "%.17g," : "%.17g\n",
+                       row[j]) < 0) {
         return Status::IOError("write failed: " + path);
       }
     }
   }
-  return Status::OK();
+  return writer.Commit();
 }
 
 Result<Dataset> ReadCsv(const std::string& path) {
@@ -161,29 +160,23 @@ Status ValidateBinarySize(const BinaryHeader& header, uint64_t file_size,
 }
 
 Status WriteBinary(const Dataset& dataset, const std::string& path) {
-  File f(path, "wb");
-  if (!f.ok()) {
-    return Status::IOError("cannot open for writing: " + path + ": " +
-                           std::strerror(errno));
-  }
+  AtomicFileWriter writer(path);
+  P3C_RETURN_NOT_OK(writer.Open());
   const uint64_t n = dataset.num_points();
   const uint64_t d = dataset.num_dims();
   const auto& values = dataset.values();
   const uint64_t checksum =
       Fnv1a64(values.data(), values.size() * sizeof(double));
-  if (std::fwrite(kMagic, 1, sizeof(kMagic), f.get()) != sizeof(kMagic) ||
-      std::fwrite(&kVersion, sizeof(kVersion), 1, f.get()) != 1 ||
-      std::fwrite(&n, sizeof(n), 1, f.get()) != 1 ||
-      std::fwrite(&d, sizeof(d), 1, f.get()) != 1 ||
-      std::fwrite(&checksum, sizeof(checksum), 1, f.get()) != 1) {
-    return Status::IOError("header write failed: " + path);
+  P3C_RETURN_NOT_OK(writer.Append(kMagic, sizeof(kMagic)));
+  P3C_RETURN_NOT_OK(writer.Append(&kVersion, sizeof(kVersion)));
+  P3C_RETURN_NOT_OK(writer.Append(&n, sizeof(n)));
+  P3C_RETURN_NOT_OK(writer.Append(&d, sizeof(d)));
+  P3C_RETURN_NOT_OK(writer.Append(&checksum, sizeof(checksum)));
+  if (!values.empty()) {
+    P3C_RETURN_NOT_OK(
+        writer.Append(values.data(), values.size() * sizeof(double)));
   }
-  if (!values.empty() &&
-      std::fwrite(values.data(), sizeof(double), values.size(), f.get()) !=
-          values.size()) {
-    return Status::IOError("payload write failed: " + path);
-  }
-  return Status::OK();
+  return writer.Commit();
 }
 
 Result<Dataset> ReadBinary(const std::string& path) {
@@ -226,6 +219,98 @@ Result<Dataset> ReadBinary(const std::string& path) {
   }
   if (d == 0) return Dataset();
   return Dataset::FromRowMajor(std::move(values), d);
+}
+
+namespace {
+
+constexpr char kBlobMagic[4] = {'P', '3', 'C', 'K'};
+constexpr uint32_t kBlobVersion = 1;
+constexpr size_t kBlobHeaderBytes = sizeof(kBlobMagic) + 2 * sizeof(uint32_t) +
+                                    2 * sizeof(uint64_t);
+
+}  // namespace
+
+Status WriteBlobFile(const std::string& path, uint32_t kind,
+                     const std::string& payload) {
+  AtomicFileWriter writer(path);
+  P3C_RETURN_NOT_OK(writer.Open());
+  const uint64_t size = payload.size();
+  const uint64_t checksum = Fnv1a64(payload.data(), payload.size());
+  P3C_RETURN_NOT_OK(writer.Append(kBlobMagic, sizeof(kBlobMagic)));
+  P3C_RETURN_NOT_OK(writer.Append(&kBlobVersion, sizeof(kBlobVersion)));
+  P3C_RETURN_NOT_OK(writer.Append(&kind, sizeof(kind)));
+  P3C_RETURN_NOT_OK(writer.Append(&size, sizeof(size)));
+  P3C_RETURN_NOT_OK(writer.Append(&checksum, sizeof(checksum)));
+  P3C_RETURN_NOT_OK(writer.Append(payload));
+  return writer.Commit();
+}
+
+Result<std::string> ReadBlobFile(const std::string& path,
+                                 uint32_t expected_kind) {
+  File f(path, "rb");
+  if (!f.ok()) {
+    return Status::IOError("cannot open for reading: " + path + ": " +
+                           std::strerror(errno));
+  }
+  char magic[4];
+  uint32_t version = 0;
+  uint32_t kind = 0;
+  uint64_t size = 0;
+  uint64_t checksum = 0;
+  if (std::fread(magic, 1, sizeof(magic), f.get()) != sizeof(magic) ||
+      std::memcmp(magic, kBlobMagic, sizeof(magic)) != 0) {
+    return Status::IOError("not a P3CK blob (bad magic): " + path);
+  }
+  if (std::fread(&version, sizeof(version), 1, f.get()) != 1 ||
+      std::fread(&kind, sizeof(kind), 1, f.get()) != 1 ||
+      std::fread(&size, sizeof(size), 1, f.get()) != 1 ||
+      std::fread(&checksum, sizeof(checksum), 1, f.get()) != 1) {
+    return Status::IOError("truncated blob header: " + path);
+  }
+  if (version != kBlobVersion) {
+    return Status::IOError(StringPrintf(
+        "unsupported blob container version %u (expected %u): %s", version,
+        kBlobVersion, path.c_str()));
+  }
+  if (kind != expected_kind) {
+    return Status::IOError(StringPrintf(
+        "blob kind mismatch (found %u, expected %u): %s", kind, expected_kind,
+        path.c_str()));
+  }
+  if (std::fseek(f.get(), 0, SEEK_END) != 0) {
+    return Status::IOError("seek failed: " + path);
+  }
+  const long file_size = std::ftell(f.get());
+  if (file_size < 0) return Status::IOError("tell failed: " + path);
+  if (static_cast<uint64_t>(file_size) != kBlobHeaderBytes + size) {
+    return Status::IOError(StringPrintf(
+        "%s: blob declares %llu payload bytes, file has %llu after the "
+        "header (truncated or trailing garbage)",
+        path.c_str(), static_cast<unsigned long long>(size),
+        static_cast<unsigned long long>(
+            static_cast<uint64_t>(file_size) -
+            std::min<uint64_t>(static_cast<uint64_t>(file_size),
+                               kBlobHeaderBytes))));
+  }
+  if (std::fseek(f.get(), static_cast<long>(kBlobHeaderBytes), SEEK_SET) !=
+      0) {
+    return Status::IOError("seek failed: " + path);
+  }
+  std::string payload(size, '\0');
+  if (size > 0 &&
+      std::fread(payload.data(), 1, payload.size(), f.get()) !=
+          payload.size()) {
+    return Status::IOError("truncated blob payload: " + path);
+  }
+  const uint64_t computed = Fnv1a64(payload.data(), payload.size());
+  if (computed != checksum) {
+    return Status::IOError(StringPrintf(
+        "%s: blob payload checksum mismatch (header %016llx, computed "
+        "%016llx): file is corrupt",
+        path.c_str(), static_cast<unsigned long long>(checksum),
+        static_cast<unsigned long long>(computed)));
+  }
+  return payload;
 }
 
 }  // namespace p3c::data

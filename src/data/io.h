@@ -57,6 +57,24 @@ Result<BinaryHeader> ReadBinaryHeader(std::FILE* f, const std::string& path);
 Status ValidateBinarySize(const BinaryHeader& header, uint64_t file_size,
                           const std::string& path);
 
+/// Generic checksummed blob container, the checkpoint sibling of the
+/// dataset container above: magic "P3CK", u32 container version, u32
+/// caller-chosen kind tag, u64 payload size, u64 FNV-1a checksum of the
+/// payload, then the payload bytes. The size field rejects truncation
+/// and trailing garbage, the checksum rejects bit flips, and the kind
+/// tag rejects a structurally valid blob of the wrong species (a phase
+/// state file where a manifest was expected). Written via the atomic
+/// temp+fsync+rename writer, so a crash mid-write can never leave a
+/// half blob under `path`.
+Status WriteBlobFile(const std::string& path, uint32_t kind,
+                     const std::string& payload);
+
+/// Reads a blob written by WriteBlobFile, validating magic, container
+/// version, kind tag, exact size, and payload checksum. Every failure
+/// names `path` and the specific violated invariant.
+Result<std::string> ReadBlobFile(const std::string& path,
+                                 uint32_t expected_kind);
+
 }  // namespace p3c::data
 
 #endif  // P3C_DATA_IO_H_

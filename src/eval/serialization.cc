@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "src/common/atomic_file.h"
 #include "src/common/string_util.h"
 
 namespace p3c::eval {
@@ -34,11 +35,9 @@ Status ParseIdList(std::string_view text, std::vector<T>* out) {
 
 Status WriteClusteringFile(const Clustering& clustering,
                            const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    return Status::IOError("cannot open for writing: " + path + ": " +
-                           std::strerror(errno));
-  }
+  AtomicFileWriter writer(path);
+  P3C_RETURN_NOT_OK(writer.Open());
+  std::FILE* f = writer.stream();
   std::fprintf(f, "%s\n", kHeader);
   for (const SubspaceCluster& cluster : clustering) {
     std::fputs("attrs:", f);
@@ -51,9 +50,7 @@ Status WriteClusteringFile(const Clustering& clustering,
     }
     std::fputc('\n', f);
   }
-  const bool ok = std::fflush(f) == 0;
-  std::fclose(f);
-  return ok ? Status::OK() : Status::IOError("write failed: " + path);
+  return writer.Commit();
 }
 
 Result<Clustering> ReadClusteringFile(const std::string& path) {

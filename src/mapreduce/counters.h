@@ -72,6 +72,15 @@ class Counters {
     bag_.MergeFrom(other.bag_);
   }
 
+  /// Thread-safe accumulation of a raw MetricBag. Checkpoint resume
+  /// uses this to replay the counter snapshot persisted with the last
+  /// completed phase, so a resumed pipeline reports the same merged
+  /// counters as an uninterrupted one.
+  void MergeBag(const MetricBag& bag) {
+    std::lock_guard<std::mutex> lock(mu_);
+    bag_.MergeFrom(bag);
+  }
+
   const std::map<std::string, Metric>& values() const {
     return bag_.values();
   }

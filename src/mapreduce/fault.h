@@ -51,6 +51,16 @@ struct TaskAttempt {
   CancellationToken cancel{};
 };
 
+/// Identity of one committed pipeline phase: consulted right after the
+/// P3C+-MR driver has durably written the phase's checkpoint. The
+/// crash-point substrate for the kill-and-resume suite — an injector
+/// that fails (or exits the process) here models a driver death at the
+/// exact instant the phase boundary hit disk.
+struct PhaseCommit {
+  const std::string& phase_name;
+  size_t phase_index;
+};
+
 /// Fault-injection hook consulted by LocalRunner at the start of every
 /// task attempt — the test substrate for the engine's retry machinery.
 ///
@@ -66,6 +76,17 @@ class FaultInjector {
   virtual ~FaultInjector() = default;
 
   virtual Status OnAttemptStart(const TaskAttempt& attempt) = 0;
+
+  /// Driver-side crash point: called by the P3C+-MR pipeline after each
+  /// phase checkpoint commit (never from engine worker threads, but an
+  /// injector shared with the engine must still be thread-safe).
+  /// Returning a non-OK Status aborts the pipeline with that status —
+  /// the in-process stand-in for a SIGKILL at the phase boundary, since
+  /// the checkpoint is already durable when the hook fires.
+  virtual Status OnPhaseCommit(const PhaseCommit& commit) {
+    (void)commit;
+    return Status::OK();
+  }
 };
 
 /// Script-driven injector: fails exactly the (job, kind, task, attempt)
@@ -151,6 +172,63 @@ class ScriptedFaultInjector : public FaultInjector {
     AddRule(std::move(rule));
   }
 
+  /// Crash-point rule for OnPhaseCommit: kills the pipeline right after
+  /// the named phase's checkpoint reached disk.
+  struct PhaseRule {
+    /// Substring of the phase name; empty matches every phase.
+    std::string phase_substring;
+    /// How many commits this rule kills before burning out.
+    size_t fires = 1;
+    /// Throw instead of returning the status.
+    bool throws = false;
+    Status status = Status::Internal("injected crash at phase commit");
+  };
+
+  void AddPhaseRule(PhaseRule rule) {
+    std::lock_guard<std::mutex> lock(mu_);
+    phase_rules_.push_back(std::move(rule));
+  }
+
+  /// Convenience: one-shot driver kill right after `phase_substring`'s
+  /// checkpoint commit.
+  void FailAfterPhase(std::string phase_substring) {
+    PhaseRule rule;
+    rule.phase_substring = std::move(phase_substring);
+    AddPhaseRule(std::move(rule));
+  }
+
+  Status OnPhaseCommit(const PhaseCommit& commit) override {
+    PhaseRule fired;
+    bool matched = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (PhaseRule& rule : phase_rules_) {
+        if (rule.fires == 0) continue;
+        if (!rule.phase_substring.empty() &&
+            commit.phase_name.find(rule.phase_substring) ==
+                std::string::npos) {
+          continue;
+        }
+        if (rule.fires != kUnlimitedFires) --rule.fires;
+        ++injected_;
+        fired = rule;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return Status::OK();
+    if (fired.throws) {
+      throw std::runtime_error(StringPrintf(
+          "injected crash after phase '%s' (index %zu) committed",
+          commit.phase_name.c_str(), commit.phase_index));
+    }
+    return Status(fired.status.code(),
+                  StringPrintf("%s (after phase '%s', index %zu)",
+                               fired.status.message().c_str(),
+                               commit.phase_name.c_str(),
+                               commit.phase_index));
+  }
+
   Status OnAttemptStart(const TaskAttempt& attempt) override {
     // Match and consume the rule under the lock, but perform blocking
     // actions (delay, hang) outside it — a hanging attempt must not
@@ -216,6 +294,7 @@ class ScriptedFaultInjector : public FaultInjector {
  private:
   mutable std::mutex mu_;
   std::vector<Rule> rules_;
+  std::vector<PhaseRule> phase_rules_;
   uint64_t injected_ = 0;
 };
 

@@ -4,8 +4,10 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <thread>
 
+#include "src/common/logging.h"
 #include "src/common/stopwatch.h"
 #include "src/common/string_util.h"
 #include "src/common/trace.h"
@@ -14,6 +16,7 @@
 #include "src/core/relevant_intervals.h"
 #include "src/core/rssc.h"
 #include "src/linalg/cholesky.h"
+#include "src/mr/checkpoint.h"
 #include "src/mr/jobs.h"
 #include "src/stats/chi_squared.h"
 
@@ -250,6 +253,121 @@ Result<std::vector<linalg::Cholesky>> FactorizeAll(
   return factors;
 }
 
+/// Decoded driver state of every phase a valid checkpoint completed.
+/// All payloads are decoded up front: a single undecodable phase
+/// discards the whole checkpoint (DiscardAll), so resume never mixes
+/// restored and stale state.
+struct ResumeState {
+  std::optional<HistogramPhaseState> histogram;
+  std::optional<CoresPhaseState> cores;
+  std::optional<SupportSetsPhaseState> support_sets;  // light pipeline
+  std::optional<GmmPhaseState> gmm;                   // full pipeline
+  std::optional<MembershipPhaseState> od;             // full pipeline
+};
+
+/// Phase names in pipeline order. The parameter hash pins `light`, so a
+/// validated manifest always belongs to the matching variant; the name
+/// check below is defense in depth.
+std::vector<std::string> ExpectedPhaseNames(bool light) {
+  if (light) return {"histogram", "cluster-cores", "support-sets"};
+  return {"histogram", "cluster-cores", "em-refinement",
+          "outlier-detection"};
+}
+
+ResumeState DecodeResumeState(CheckpointManager& ckpt, bool light,
+                              size_t num_points, size_t num_dims) {
+  ResumeState state;
+  const std::vector<std::string> expected = ExpectedPhaseNames(light);
+  if (ckpt.num_completed() > expected.size()) {
+    ckpt.DiscardAll(StringPrintf(
+        "manifest lists %zu phases but the pipeline has %zu",
+        ckpt.num_completed(), expected.size()));
+    return {};
+  }
+  for (size_t i = 0; i < ckpt.num_completed(); ++i) {
+    const std::string& name = ckpt.PhaseName(i);
+    if (name != expected[i]) {
+      ckpt.DiscardAll(StringPrintf(
+          "phase %zu is '%s' where '%s' was expected", i, name.c_str(),
+          expected[i].c_str()));
+      return {};
+    }
+    const std::string& payload = ckpt.PhasePayload(i);
+    Status decode_status;
+    if (name == "histogram") {
+      auto decoded = DecodeHistogramState(payload);
+      if (decoded.ok()) {
+        state.histogram = std::move(decoded).value();
+      } else {
+        decode_status = decoded.status();
+      }
+    } else if (name == "cluster-cores") {
+      auto decoded = DecodeCoresState(payload);
+      if (decoded.ok()) {
+        state.cores = std::move(decoded).value();
+      } else {
+        decode_status = decoded.status();
+      }
+    } else if (name == "support-sets") {
+      auto decoded = DecodeSupportSetsState(payload);
+      if (decoded.ok()) {
+        state.support_sets = std::move(decoded).value();
+      } else {
+        decode_status = decoded.status();
+      }
+    } else if (name == "em-refinement") {
+      auto decoded = DecodeGmmState(payload);
+      if (decoded.ok()) {
+        state.gmm = std::move(decoded).value();
+      } else {
+        decode_status = decoded.status();
+      }
+    } else {  // "outlier-detection"
+      auto decoded = DecodeMembershipState(payload);
+      if (decoded.ok()) {
+        state.od = std::move(decoded).value();
+      } else {
+        decode_status = decoded.status();
+      }
+    }
+    if (!decode_status.ok()) {
+      ckpt.DiscardAll(StringPrintf("phase '%s' payload undecodable: %s",
+                                   name.c_str(),
+                                   decode_status.ToString().c_str()));
+      return {};
+    }
+  }
+  // Cross-phase consistency: every restored structure must agree with
+  // the dataset shape and with the other phases. The checksums already
+  // reject accidental corruption; these checks reject a checkpoint that
+  // is internally coherent but wrong for this run.
+  std::string inconsistency;
+  if (state.histogram && state.histogram->histograms.size() != num_dims) {
+    inconsistency = "histogram count disagrees with the dataset dims";
+  }
+  const size_t k = state.cores ? state.cores->cores.size() : 0;
+  if (inconsistency.empty() && state.support_sets &&
+      (state.support_sets->unique_assignment.size() != num_points ||
+       state.support_sets->support_sets.size() != k)) {
+    inconsistency = "support-sets state disagrees with dataset/cores";
+  }
+  if (inconsistency.empty() && state.gmm && state.cores &&
+      (state.gmm->model.components.size() != k ||
+       state.gmm->model.arel !=
+           core::RelevantAttributeUnion(state.cores->cores))) {
+    inconsistency = "EM model disagrees with the restored cores";
+  }
+  if (inconsistency.empty() && state.od &&
+      state.od->membership.size() != num_points) {
+    inconsistency = "membership size disagrees with the dataset";
+  }
+  if (!inconsistency.empty()) {
+    ckpt.DiscardAll(inconsistency);
+    return {};
+  }
+  return state;
+}
+
 }  // namespace
 
 P3CMR::P3CMR(P3CMROptions options) : options_(std::move(options)) {
@@ -268,6 +386,7 @@ Result<core::ClusteringResult> P3CMR::Cluster(const data::Dataset& dataset) {
           : std::string());
   metrics_.Clear();
   counters_.Clear();
+  driver_metrics_.Clear();
   if (dataset.num_points() == 0 || dataset.num_dims() == 0) {
     return Status::InvalidArgument("dataset is empty");
   }
@@ -285,12 +404,92 @@ Result<core::ClusteringResult> P3CMR::Cluster(const data::Dataset& dataset) {
   const JobRetryPolicy& retry = options_.retry;
   core::ClusteringResult result;
 
+  // ---- 0. Checkpoint scan (DESIGN.md §13) ---------------------------------
+  CheckpointManager::Options ckpt_options;
+  ckpt_options.dir = options_.checkpoint_dir;
+  if (!options_.checkpoint_dir.empty()) {
+    ckpt_options.dataset_fingerprint = DatasetFingerprint(dataset);
+    ckpt_options.params_hash = ParamsHash(params);
+  }
+  ckpt_options.driver_metrics = &driver_metrics_;
+  CheckpointManager ckpt(ckpt_options);
+  ckpt.Initialize();
+  ResumeState resume = DecodeResumeState(ckpt, params.light,
+                                         dataset.num_points(),
+                                         dataset.num_dims());
+  const size_t completed = ckpt.num_completed();
+  if (completed > 0) {
+    // Replay the framework-counter snapshot persisted with the last
+    // completed phase, so the skipped phases' counters are present and
+    // the final counter JSON matches an uninterrupted run's byte for
+    // byte. The resume bookkeeping itself goes to driver_metrics_ only.
+    const std::string& last = ckpt.PhaseName(completed - 1);
+    const MetricBag* snapshot = nullptr;
+    if (last == "histogram") snapshot = &resume.histogram->counters;
+    if (last == "cluster-cores") snapshot = &resume.cores->counters;
+    if (last == "support-sets") snapshot = &resume.support_sets->counters;
+    if (last == "em-refinement") snapshot = &resume.gmm->counters;
+    if (last == "outlier-detection") snapshot = &resume.od->counters;
+    if (snapshot != nullptr) counters_.MergeBag(*snapshot);
+    driver_metrics_.SetGauge("checkpoint.resumed_from_phase",
+                             static_cast<double>(completed));
+    if (Tracer::Global().enabled()) {
+      Tracer::Global().RecordInstant(
+          "checkpoint-resume",
+          StringPrintf("{\"completed_phases\": %zu, \"last_phase\": \"%s\"}",
+                       completed, last.c_str()));
+    }
+    P3C_LOG(kInfo) << "resuming from checkpoint: skipping " << completed
+                   << " completed phase(s), continuing after '" << last
+                   << "'";
+  }
+
+  // Commits one finished phase and then gives the fault injector its
+  // crash point: the checkpoint is durable when the hook fires, so an
+  // injected failure here models a driver killed at the phase boundary.
+  auto commit_phase = [&](const char* name,
+                          const std::string& payload) -> Status {
+    P3C_RETURN_NOT_OK(ckpt.CommitPhase(name, payload));
+    if (options_.runner.fault_injector != nullptr) {
+      const std::string phase_name(name);
+      P3C_RETURN_NOT_OK(options_.runner.fault_injector->OnPhaseCommit(
+          PhaseCommit{phase_name, ckpt.num_completed() - 1}));
+    }
+    return Status::OK();
+  };
+  // Cooperative shutdown: between phases the driver's own token is the
+  // cancellation authority (task-level tokens stop individual attempts;
+  // this stops the pipeline). Checked right after each commit, so a
+  // SIGTERM'd run exits with every finished phase already durable.
+  auto check_cancel = [&](const char* after_phase) -> Status {
+    if (!options_.cancel.cancelled()) return Status::OK();
+    return Status::Cancelled(StringPrintf(
+        "pipeline cancelled after phase '%s'%s", after_phase,
+        ckpt.enabled() ? "; completed phases are checkpointed and the run "
+                         "can resume from the checkpoint directory"
+                       : ""));
+  };
+  P3C_RETURN_NOT_OK(check_cancel("<none>"));
+
   // ---- 1. Histogram job (§5.1) -------------------------------------------
-  auto histograms_result = RunPipelineJob(retry, "histogram", [&] {
-    return RunHistogramJob(runner, dataset, params.binning);
-  });
-  if (!histograms_result.ok()) return histograms_result.status();
-  const std::vector<stats::Histogram>& histograms = *histograms_result;
+  std::vector<stats::Histogram> histograms;
+  if (completed >= 1) {
+    histograms = std::move(resume.histogram->histograms);
+  } else {
+    auto histograms_result = RunPipelineJob(retry, "histogram", [&] {
+      return RunHistogramJob(runner, dataset, params.binning);
+    });
+    if (!histograms_result.ok()) return histograms_result.status();
+    histograms = std::move(histograms_result).value();
+    if (ckpt.enabled()) {
+      HistogramPhaseState state;
+      state.histograms = histograms;
+      state.counters = counters_.Snapshot();
+      P3C_RETURN_NOT_OK(
+          commit_phase("histogram", EncodeHistogramState(state)));
+    }
+    P3C_RETURN_NOT_OK(check_cancel("histogram"));
+  }
 
   // ---- 2. Relevant intervals — driver-side, "computationally cheap" (§5.2)
   const std::vector<core::Interval> relevant =
@@ -300,10 +499,19 @@ Result<core::ClusteringResult> P3CMR::Cluster(const data::Dataset& dataset) {
   // core::SupportCountFn cannot carry a Status, so the counter parks the
   // first unrecoverable job failure here and returns zero supports; the
   // driver checks after each counter-driven stage. Zero supports prove
-  // nothing, so no wrong cores are derived from a failed job.
+  // nothing, so no wrong cores are derived from a failed job. The
+  // cancellation poll makes mid-generation SIGTERM stop at the next
+  // batch instead of grinding through the remaining proving rounds.
   Status support_job_error;
   core::SupportCountFn counter =
       [&](const std::vector<core::Signature>& sigs) {
+        if (options_.cancel.cancelled()) {
+          if (support_job_error.ok()) {
+            support_job_error =
+                Status::Cancelled("pipeline cancelled during support counting");
+          }
+          return std::vector<uint64_t>(sigs.size(), 0);
+        }
         auto supports = RunPipelineJob(retry, "support-count", [&] {
           return RunSupportJob(runner, dataset, sigs);
         });
@@ -313,9 +521,28 @@ Result<core::ClusteringResult> P3CMR::Cluster(const data::Dataset& dataset) {
         }
         return std::move(supports).value();
       };
-  core::CoreDetectionResult detection = core::GenerateClusterCores(
-      relevant, dataset.num_points(), params, counter, &runner.pool());
-  if (!support_job_error.ok()) return support_job_error;
+  // The whole candidate-generation / support-counting / core-detection
+  // block checkpoints as one "cluster-cores" phase: its driver state
+  // (the proven cores and their stats) is small, while mid-generation
+  // state (the A-priori lattice frontier) is not worth persisting.
+  core::CoreDetectionResult detection;
+  if (completed >= 2) {
+    detection.stats = resume.cores->stats;
+    detection.cores = std::move(resume.cores->cores);
+  } else {
+    detection = core::GenerateClusterCores(
+        relevant, dataset.num_points(), params, counter, &runner.pool());
+    if (!support_job_error.ok()) return support_job_error;
+    if (ckpt.enabled()) {
+      CoresPhaseState state;
+      state.stats = detection.stats;
+      state.cores = detection.cores;
+      state.counters = counters_.Snapshot();
+      P3C_RETURN_NOT_OK(
+          commit_phase("cluster-cores", EncodeCoresState(state)));
+    }
+    P3C_RETURN_NOT_OK(check_cancel("cluster-cores"));
+  }
   result.core_stats = detection.stats;
   result.cores = detection.cores;
   if (detection.cores.empty()) {
@@ -334,116 +561,161 @@ Result<core::ClusteringResult> P3CMR::Cluster(const data::Dataset& dataset) {
 
   if (params.light) {
     // ---- Light path (§6) --------------------------------------------------
-    auto sets = RunPipelineJob(retry, "support-sets", [&] {
-      return RunSupportSetJob(runner, dataset, signatures);
-    });
-    if (!sets.ok()) return sets.status();
-    reported_points = std::move(sets->support_sets);
-    membership = std::move(sets->unique_assignment);
+    if (completed >= 3) {
+      reported_points = std::move(resume.support_sets->support_sets);
+      membership = std::move(resume.support_sets->unique_assignment);
+    } else {
+      auto sets = RunPipelineJob(retry, "support-sets", [&] {
+        return RunSupportSetJob(runner, dataset, signatures);
+      });
+      if (!sets.ok()) return sets.status();
+      reported_points = std::move(sets->support_sets);
+      membership = std::move(sets->unique_assignment);
+      if (ckpt.enabled()) {
+        SupportSetsPhaseState state;
+        state.support_sets = reported_points;
+        state.unique_assignment = membership;
+        state.counters = counters_.Snapshot();
+        P3C_RETURN_NOT_OK(
+            commit_phase("support-sets", EncodeSupportSetsState(state)));
+      }
+      P3C_RETURN_NOT_OK(check_cancel("support-sets"));
+    }
     // m': multi-core points carry -2 and are excluded from histograms and
     // tightening by the jobs' `c < 0` guard.
+  } else if (completed >= 4) {
+    // ---- Full path, both refinement phases checkpointed -------------------
+    // The model itself is no longer needed: attribute inspection and
+    // tightening run on the membership alone.
+    membership = std::move(resume.od->membership);
+    for (size_t i = 0; i < membership.size(); ++i) {
+      if (membership[i] >= 0) {
+        reported_points[static_cast<size_t>(membership[i])].push_back(
+            static_cast<data::PointId>(i));
+      }
+    }
   } else {
-    // ---- EM initialization: two rounds of two jobs (§5.4) ----------------
     core::GmmModel model;
-    model.arel = result.arel;
-    const size_t dim = model.arel.size();
-    model.components.assign(k, core::GaussianComponent{
-                                   linalg::Vector(dim, 0.5),
-                                   linalg::Matrix::Identity(dim).Scale(1e-2),
-                                   1.0 / static_cast<double>(k)});
+    const size_t dim = result.arel.size();
+    if (completed >= 3) {
+      // Resume: 'em-refinement' persisted the converged model; outlier
+      // detection below runs live.
+      model = std::move(resume.gmm->model);
+    } else {
+      // ---- EM initialization: two rounds of two jobs (§5.4) --------------
+      model.arel = result.arel;
+      model.components.assign(k,
+                              core::GaussianComponent{
+                                  linalg::Vector(dim, 0.5),
+                                  linalg::Matrix::Identity(dim).Scale(1e-2),
+                                  1.0 / static_cast<double>(k)});
 
-    CoreMembership core_membership(dataset, signatures);
-    auto m1_result = RunPipelineJob(retry, "em-init", [&] {
-      return RunMomentJob(runner, dataset, model, core_membership,
-                          "em-init-1a");
-    });
-    if (!m1_result.ok()) return m1_result.status();
-    MomentSums m1 = std::move(m1_result).value();
-    // Interim means for the covariance job.
-    {
-      core::GmmModel tmp = model;
-      for (size_t c = 0; c < k; ++c) {
-        if (m1.w[c] < 1e-9) continue;
-        for (size_t j = 0; j < dim; ++j) {
-          tmp.components[c].mean[j] = m1.lsum[c][j] / m1.w[c];
+      CoreMembership core_membership(dataset, signatures);
+      auto m1_result = RunPipelineJob(retry, "em-init", [&] {
+        return RunMomentJob(runner, dataset, model, core_membership,
+                            "em-init-1a");
+      });
+      if (!m1_result.ok()) return m1_result.status();
+      MomentSums m1 = std::move(m1_result).value();
+      // Interim means for the covariance job.
+      {
+        core::GmmModel tmp = model;
+        for (size_t c = 0; c < k; ++c) {
+          if (m1.w[c] < 1e-9) continue;
+          for (size_t j = 0; j < dim; ++j) {
+            tmp.components[c].mean[j] = m1.lsum[c][j] / m1.w[c];
+          }
+        }
+        auto cov1 = RunPipelineJob(retry, "em-init", [&] {
+          return RunCovarianceJob(runner, dataset, tmp, core_membership,
+                                  Means(tmp), "em-init-1b");
+        });
+        if (!cov1.ok()) return cov1.status();
+        UpdateModel(m1, *cov1, model);
+        for (size_t c = 0; c < k; ++c) {
+          if (m1.w[c] >= 1e-9) {
+            model.components[c].mean = tmp.components[c].mean;
+          }
         }
       }
-      auto cov1 = RunPipelineJob(retry, "em-init", [&] {
-        return RunCovarianceJob(runner, dataset, tmp, core_membership,
-                                Means(tmp), "em-init-1b");
-      });
-      if (!cov1.ok()) return cov1.status();
-      UpdateModel(m1, *cov1, model);
-      for (size_t c = 0; c < k; ++c) {
-        if (m1.w[c] >= 1e-9) model.components[c].mean = tmp.components[c].mean;
-      }
-    }
-    Result<core::GmmEvaluator> eval1 =
-        core::GmmEvaluator::Make(model, params.covariance_ridge);
-    if (!eval1.ok()) return eval1.status();
-    OrphanAssigningMembership full_membership(core_membership, *eval1);
-    auto m2_result = RunPipelineJob(retry, "em-init", [&] {
-      return RunMomentJob(runner, dataset, model, full_membership,
-                          "em-init-2a");
-    });
-    if (!m2_result.ok()) return m2_result.status();
-    MomentSums m2 = std::move(m2_result).value();
-    {
-      core::GmmModel tmp = model;
-      for (size_t c = 0; c < k; ++c) {
-        if (m2.w[c] < 1e-9) continue;
-        for (size_t j = 0; j < dim; ++j) {
-          tmp.components[c].mean[j] = m2.lsum[c][j] / m2.w[c];
-        }
-      }
-      auto cov2 = RunPipelineJob(retry, "em-init", [&] {
-        return RunCovarianceJob(runner, dataset, tmp, full_membership,
-                                Means(tmp), "em-init-2b");
-      });
-      if (!cov2.ok()) return cov2.status();
-      UpdateModel(m2, *cov2, model);
-      for (size_t c = 0; c < k; ++c) {
-        if (m2.w[c] >= 1e-9) model.components[c].mean = tmp.components[c].mean;
-      }
-    }
-
-    // ---- EM iterations: two jobs per step (§5.4) --------------------------
-    double prev_ll = -std::numeric_limits<double>::infinity();
-    for (size_t iter = 0; iter < params.max_em_iterations; ++iter) {
-      Result<core::GmmEvaluator> evaluator =
+      Result<core::GmmEvaluator> eval1 =
           core::GmmEvaluator::Make(model, params.covariance_ridge);
-      if (!evaluator.ok()) return evaluator.status();
-      SoftMembership soft(*evaluator);
-      auto moments_result = RunPipelineJob(retry, "em-step", [&] {
-        return RunMomentJob(runner, dataset, model, soft, "em-step-means");
+      if (!eval1.ok()) return eval1.status();
+      OrphanAssigningMembership full_membership(core_membership, *eval1);
+      auto m2_result = RunPipelineJob(retry, "em-init", [&] {
+        return RunMomentJob(runner, dataset, model, full_membership,
+                            "em-init-2a");
       });
-      if (!moments_result.ok()) return moments_result.status();
-      MomentSums moments = std::move(moments_result).value();
-      core::GmmModel tmp = model;
-      for (size_t c = 0; c < k; ++c) {
-        if (moments.w[c] < 1e-9) continue;
-        for (size_t j = 0; j < dim; ++j) {
-          tmp.components[c].mean[j] = moments.lsum[c][j] / moments.w[c];
+      if (!m2_result.ok()) return m2_result.status();
+      MomentSums m2 = std::move(m2_result).value();
+      {
+        core::GmmModel tmp = model;
+        for (size_t c = 0; c < k; ++c) {
+          if (m2.w[c] < 1e-9) continue;
+          for (size_t j = 0; j < dim; ++j) {
+            tmp.components[c].mean[j] = m2.lsum[c][j] / m2.w[c];
+          }
+        }
+        auto cov2 = RunPipelineJob(retry, "em-init", [&] {
+          return RunCovarianceJob(runner, dataset, tmp, full_membership,
+                                  Means(tmp), "em-init-2b");
+        });
+        if (!cov2.ok()) return cov2.status();
+        UpdateModel(m2, *cov2, model);
+        for (size_t c = 0; c < k; ++c) {
+          if (m2.w[c] >= 1e-9) {
+            model.components[c].mean = tmp.components[c].mean;
+          }
         }
       }
-      auto covs = RunPipelineJob(retry, "em-step", [&] {
-        return RunCovarianceJob(runner, dataset, tmp, soft, Means(tmp),
-                                "em-step-covs");
-      });
-      if (!covs.ok()) return covs.status();
-      UpdateModel(moments, *covs, model);
-      for (size_t c = 0; c < k; ++c) {
-        if (moments.w[c] >= 1e-9) {
-          model.components[c].mean = tmp.components[c].mean;
+
+      // ---- EM iterations: two jobs per step (§5.4) ------------------------
+      double prev_ll = -std::numeric_limits<double>::infinity();
+      for (size_t iter = 0; iter < params.max_em_iterations; ++iter) {
+        Result<core::GmmEvaluator> evaluator =
+            core::GmmEvaluator::Make(model, params.covariance_ridge);
+        if (!evaluator.ok()) return evaluator.status();
+        SoftMembership soft(*evaluator);
+        auto moments_result = RunPipelineJob(retry, "em-step", [&] {
+          return RunMomentJob(runner, dataset, model, soft, "em-step-means");
+        });
+        if (!moments_result.ok()) return moments_result.status();
+        MomentSums moments = std::move(moments_result).value();
+        core::GmmModel tmp = model;
+        for (size_t c = 0; c < k; ++c) {
+          if (moments.w[c] < 1e-9) continue;
+          for (size_t j = 0; j < dim; ++j) {
+            tmp.components[c].mean[j] = moments.lsum[c][j] / moments.w[c];
+          }
         }
+        auto covs = RunPipelineJob(retry, "em-step", [&] {
+          return RunCovarianceJob(runner, dataset, tmp, soft, Means(tmp),
+                                  "em-step-covs");
+        });
+        if (!covs.ok()) return covs.status();
+        UpdateModel(moments, *covs, model);
+        for (size_t c = 0; c < k; ++c) {
+          if (moments.w[c] >= 1e-9) {
+            model.components[c].mean = tmp.components[c].mean;
+          }
+        }
+        const double denom = std::fabs(prev_ll) + 1e-12;
+        if (iter > 0 &&
+            std::fabs(moments.log_likelihood - prev_ll) / denom <
+                params.em_tolerance) {
+          break;
+        }
+        prev_ll = moments.log_likelihood;
       }
-      const double denom = std::fabs(prev_ll) + 1e-12;
-      if (iter > 0 &&
-          std::fabs(moments.log_likelihood - prev_ll) / denom <
-              params.em_tolerance) {
-        break;
+
+      if (ckpt.enabled()) {
+        GmmPhaseState state;
+        state.model = model;
+        state.counters = counters_.Snapshot();
+        P3C_RETURN_NOT_OK(
+            commit_phase("em-refinement", EncodeGmmState(state)));
       }
-      prev_ll = moments.log_likelihood;
+      P3C_RETURN_NOT_OK(check_cancel("em-refinement"));
     }
 
     // ---- Outlier detection (§5.5) ------------------------------------------
@@ -507,6 +779,14 @@ Result<core::ClusteringResult> P3CMR::Cluster(const data::Dataset& dataset) {
     });
     if (!od.ok()) return od.status();
     membership = std::move(od).value();
+    if (ckpt.enabled()) {
+      MembershipPhaseState state;
+      state.membership = membership;
+      state.counters = counters_.Snapshot();
+      P3C_RETURN_NOT_OK(
+          commit_phase("outlier-detection", EncodeMembershipState(state)));
+    }
+    P3C_RETURN_NOT_OK(check_cancel("outlier-detection"));
     for (size_t i = 0; i < membership.size(); ++i) {
       if (membership[i] >= 0) {
         reported_points[static_cast<size_t>(membership[i])].push_back(

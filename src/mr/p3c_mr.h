@@ -2,7 +2,10 @@
 #define P3C_MR_P3C_MR_H_
 
 #include <memory>
+#include <string>
 
+#include "src/common/cancellation.h"
+#include "src/common/counters.h"
 #include "src/common/status.h"
 #include "src/core/params.h"
 #include "src/core/result.h"
@@ -53,6 +56,18 @@ struct P3CMROptions {
   /// Job-level recovery: how often the driver re-runs a job whose
   /// failure IsRetryableJobFailure() before failing the pipeline.
   JobRetryPolicy retry;
+  /// Durable checkpoint/resume (DESIGN.md §13): when non-empty, the
+  /// driver persists its state into this directory after every
+  /// completed pipeline phase and, on the next Cluster call against the
+  /// same dataset and parameters, skips the completed phases and
+  /// resumes at the first incomplete one. Any corruption or mismatch in
+  /// the directory is logged, counted, and degrades to a fresh run.
+  std::string checkpoint_dir;
+  /// Driver-level cancellation: polled at phase boundaries and between
+  /// support-count batches. When it fires, the pipeline stops with
+  /// kCancelled after its last completed phase's checkpoint is already
+  /// durable — a SIGTERM'd run loses at most the phase in flight.
+  CancellationToken cancel;
 
   P3CMROptions() {
     params.multilevel_candidates = true;
@@ -93,11 +108,18 @@ class P3CMR {
   const MetricsRegistry& metrics() const { return metrics_; }
   /// Merged framework counters of the most recent Cluster call.
   const Counters& counters() const { return counters_; }
+  /// Driver-side observability of the most recent Cluster call:
+  /// checkpoint corruption counter, `resumed_from_phase` gauge, and
+  /// per-phase `checkpoint.write_seconds.*` gauges. Kept apart from
+  /// counters() so resume bookkeeping never perturbs the deterministic
+  /// framework-counter JSON.
+  const MetricBag& driver_metrics() const { return driver_metrics_; }
 
  private:
   P3CMROptions options_;
   MetricsRegistry metrics_;
   Counters counters_;
+  MetricBag driver_metrics_;
   std::unique_ptr<LocalRunner> runner_;
 };
 

@@ -248,6 +248,80 @@ TEST(LintBannedNondeterminism, NotFooledByStringsAndComments) {
 }
 
 // ---------------------------------------------------------------------------
+// p3c-raw-file-write
+// ---------------------------------------------------------------------------
+
+TEST(LintRawFileWrite, FiresOnWriteModeFopen) {
+  const std::string src = R"cc(
+    void f(const std::string& path) {
+      std::FILE* a = std::fopen(path.c_str(), "w");
+      std::FILE* b = std::fopen(path.c_str(), "wb");
+      std::FILE* c = fopen(path.c_str(), "a+");
+    }
+  )cc";
+  const auto diags = RunLint("src/core/a.cc", src);
+  ASSERT_EQ(diags.size(), 3u);
+  EXPECT_EQ(diags[0].rule, "p3c-raw-file-write");
+  EXPECT_EQ(diags[0].line, 3);
+  // Fires everywhere outside the allowlist, not only under src/.
+  EXPECT_EQ(RunLint("bench/a.cc", src).size(), 3u);
+  EXPECT_EQ(RunLint("tools/a.cc", src).size(), 3u);
+}
+
+TEST(LintRawFileWrite, SilentOnReadModeFopen) {
+  const std::string src = R"cc(
+    void f(const std::string& path) {
+      std::FILE* f = std::fopen(path.c_str(), "rb");
+    }
+  )cc";
+  EXPECT_TRUE(RunLint("src/core/a.cc", src).empty());
+}
+
+TEST(LintRawFileWrite, PathLiteralDoesNotTripTheModeCheck) {
+  // 'a' and 'w' in the *path* argument must not look like a mode.
+  const std::string src = R"cc(
+    void f() {
+      std::FILE* f = std::fopen("weather.csv", "r");
+    }
+  )cc";
+  EXPECT_TRUE(RunLint("src/core/a.cc", src).empty());
+}
+
+TEST(LintRawFileWrite, FiresOnOfstream) {
+  const std::string src = R"cc(
+    void f(const std::string& path) {
+      std::ofstream out(path);
+      out << 1;
+    }
+  )cc";
+  const auto diags = RunLint("src/core/a.cc", src);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "p3c-raw-file-write");
+}
+
+TEST(LintRawFileWrite, ExemptsBlessedWritersAndTests) {
+  const std::string src = R"cc(
+    void f(const std::string& path) {
+      std::FILE* f = std::fopen(path.c_str(), "w");
+    }
+  )cc";
+  EXPECT_TRUE(RunLint("src/data/io.cc", src).empty());
+  EXPECT_TRUE(RunLint("src/common/atomic_file.cc", src).empty());
+  EXPECT_TRUE(RunLint("tests/a_test.cc", src).empty());
+  EXPECT_TRUE(RunLint("src/core/foo_test.cc", src).empty());
+}
+
+TEST(LintRawFileWrite, NolintSuppresses) {
+  const std::string src = R"cc(
+    void f(const std::string& path) {
+      // NOLINTNEXTLINE(p3c-raw-file-write)
+      std::FILE* f = std::fopen(path.c_str(), "w");
+    }
+  )cc";
+  EXPECT_TRUE(RunLint("src/core/a.cc", src).empty());
+}
+
+// ---------------------------------------------------------------------------
 // NOLINT suppressions
 // ---------------------------------------------------------------------------
 

@@ -162,8 +162,12 @@ LexedFile Lex(const std::string& source) {
         if (source[j] == '\n') break;  // unterminated; bail at newline
         ++j;
       }
-      out.tokens.push_back(
-          {quote == '"' ? TokKind::kString : TokKind::kChar, "", line});
+      // Plain string literals keep their (unescaped) contents: the
+      // raw-file-write rule inspects fopen mode strings.
+      out.tokens.push_back({quote == '"' ? TokKind::kString : TokKind::kChar,
+                            quote == '"' ? source.substr(i + 1, j - (i + 1))
+                                         : std::string(),
+                            line});
       advance_over((j < n ? j + 1 : n) - i);
       continue;
     }

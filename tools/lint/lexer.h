@@ -17,7 +17,7 @@ namespace p3c::lint {
 enum class TokKind {
   kIdentifier,  // identifiers and keywords, no distinction
   kNumber,
-  kString,  // string literal (contents dropped)
+  kString,  // string literal (text = contents; raw-string contents dropped)
   kChar,    // character literal (contents dropped)
   kPunct,   // operators/punctuation; multi-char ops kept together
 };

@@ -337,6 +337,71 @@ void RuleBannedNondeterminism(const std::string& path, const LexedFile& file,
   }
 }
 
+// ---------------------------------------------------------------------------
+// p3c-raw-file-write
+// ---------------------------------------------------------------------------
+
+void RuleRawFileWrite(const std::string& path, const LexedFile& file,
+                      std::vector<Diagnostic>* out) {
+  // The blessed writers: the dataset/blob writers in src/data/io.* and
+  // the durable-replace machinery itself. Tests write scratch files
+  // however they like.
+  if (PathStartsWith(path, "tests/") ||
+      path.find("_test.") != std::string::npos ||
+      PathEndsWith(path, "data/io.cc") || PathEndsWith(path, "data/io.h") ||
+      PathEndsWith(path, "common/atomic_file.cc") ||
+      PathEndsWith(path, "common/atomic_file.h")) {
+    return;
+  }
+  const Tokens& t = file.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (!IsIdent(t, i)) continue;
+    const std::string& s = t[i].text;
+    if (s == "ofstream" || s == "fstream") {
+      out->push_back(
+          {path, t[i].line, "p3c-raw-file-write",
+           "'std::" + s +
+               "' creates files without the durable temp+fsync+rename "
+               "protocol; write through AtomicFileWriter "
+               "(src/common/atomic_file.h) or the writers in src/data/io.h"});
+      continue;
+    }
+    if (s == "fopen" && IsPunct(t, i + 1, "(")) {
+      const size_t after = MatchParen(t, i + 1);
+      if (after == kNpos) continue;
+      const size_t close = after - 1;
+      // The mode is the argument after the last top-level comma; a
+      // literal containing 'w' or 'a' there creates/truncates a file.
+      // Read-mode opens stay legal, and a path literal like "data.csv"
+      // in the first argument cannot trip the check.
+      size_t last_comma = kNpos;
+      int depth = 0;
+      for (size_t j = i + 1; j < close; ++j) {
+        if (t[j].kind != TokKind::kPunct) continue;
+        const std::string& p = t[j].text;
+        if (p == "(" || p == "[" || p == "{") ++depth;
+        if (p == ")" || p == "]" || p == "}") --depth;
+        if (depth == 1 && p == ",") last_comma = j;
+      }
+      if (last_comma == kNpos) continue;
+      for (size_t j = last_comma + 1; j < close; ++j) {
+        if (t[j].kind == TokKind::kString &&
+            (t[j].text.find('w') != std::string::npos ||
+             t[j].text.find('a') != std::string::npos)) {
+          out->push_back(
+              {path, t[i].line, "p3c-raw-file-write",
+               "fopen in write mode bypasses the durable "
+               "temp+fsync+rename protocol; a crash here leaves a "
+               "truncated file — write through AtomicFileWriter "
+               "(src/common/atomic_file.h) or the writers in "
+               "src/data/io.h"});
+          break;
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::string FormatDiagnostic(const Diagnostic& d) {
@@ -380,7 +445,7 @@ const std::vector<std::string>& AllRules() {
   static const std::vector<std::string> kRules = {
       "p3c-unchecked-status",   "p3c-unordered-emit",
       "p3c-cancellation-poll",  "p3c-no-iostream",
-      "p3c-banned-nondeterminism",
+      "p3c-banned-nondeterminism", "p3c-raw-file-write",
   };
   return kRules;
 }
@@ -402,6 +467,8 @@ std::vector<Diagnostic> LintSource(const std::string& path,
       RuleNoIostream(path, file, &raw);
     } else if (rule == "p3c-banned-nondeterminism") {
       RuleBannedNondeterminism(path, file, &raw);
+    } else if (rule == "p3c-raw-file-write") {
+      RuleRawFileWrite(path, file, &raw);
     }
   }
   std::vector<Diagnostic> kept;

@@ -36,6 +36,13 @@
 //                              time() outside src/common/random.cc —
 //                              all entropy flows through the seeded
 //                              project RNG for reproducibility.
+//   p3c-raw-file-write         std::ofstream, or fopen with a
+//                              write/append mode, outside src/data/io.*
+//                              and src/common/atomic_file.* — every
+//                              artifact must go through the atomic
+//                              temp+fsync+rename writer so a crash
+//                              never leaves a truncated file. Tests
+//                              are exempt.
 
 #include <set>
 #include <string>

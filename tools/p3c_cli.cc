@@ -18,7 +18,16 @@
 //                                      completed duration (> 1)
 //           [--phase-budget S]         wall-clock budget per pipeline
 //                                      phase in seconds (0 = off)
-//                                      (all five: mr / mr-light only)
+//           [--checkpoint-dir DIR]     durable phase checkpoints: persist
+//                                      driver state after each completed
+//                                      phase and resume a re-run of the
+//                                      same dataset+params from the first
+//                                      incomplete phase (DESIGN.md §13)
+//           [--crash-after-phase NAME] kill the process (exit 42) right
+//                                      after phase NAME's checkpoint is
+//                                      durable — test hook for the
+//                                      kill-and-resume CI smoke
+//                                      (all seven: mr / mr-light only)
 //           [--log-level=LEVEL]        debug|info|warning|error|off
 //           [--k K --l L]                    (PROCLUS only)
 //           [--doc-alpha F --doc-beta F --doc-w F]        (DOC only)
@@ -31,16 +40,23 @@
 //
 // Exit code 0 on success; errors go to stderr with a non-zero exit.
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/baselines/doc.h"
 #include "src/baselines/proclus.h"
 #include "src/bow/bow.h"
+#include "src/common/atomic_file.h"
+#include "src/common/cancellation.h"
 #include "src/common/logging.h"
 #include "src/common/string_util.h"
 #include "src/common/trace.h"
@@ -54,6 +70,7 @@
 #include "src/eval/f1.h"
 #include "src/eval/rnia.h"
 #include "src/eval/serialization.h"
+#include "src/mapreduce/fault.h"
 #include "src/mr/p3c_mr.h"
 
 namespace {
@@ -111,25 +128,56 @@ int Usage() {
   return 2;
 }
 
-Status WriteStringToFile(const std::string& contents,
-                         const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return Status::IOError("cannot open " + path);
-  const size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
-  std::fclose(f);
-  if (written != contents.size()) {
-    return Status::IOError("short write to " + path);
-  }
-  return Status::OK();
+Status WriteLabels(const std::vector<int>& labels, const std::string& path) {
+  AtomicFileWriter writer(path);
+  P3C_RETURN_NOT_OK(writer.Open());
+  for (int label : labels) std::fprintf(writer.stream(), "%d\n", label);
+  return writer.Commit();
 }
 
-Status WriteLabels(const std::vector<int>& labels, const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return Status::IOError("cannot open " + path);
-  for (int label : labels) std::fprintf(f, "%d\n", label);
-  std::fclose(f);
-  return Status::OK();
+// ---- Cooperative shutdown ---------------------------------------------------
+//
+// SIGINT/SIGTERM set a flag (the only async-signal-safe thing to do);
+// a watcher thread polls it and trips the cancellation source, which
+// the MR driver checks at phase boundaries. With --checkpoint-dir the
+// killed run therefore loses at most the phase in flight.
+
+volatile std::sig_atomic_t g_signal_flag = 0;
+
+void HandleShutdownSignal(int /*signum*/) { g_signal_flag = 1; }
+
+CancellationSource& ShutdownSource() {
+  static CancellationSource source;
+  return source;
 }
+
+/// Process-exit fault injector behind --crash-after-phase: once the
+/// named phase's checkpoint is durable, dies like a kill -9 would —
+/// no stack unwinding, no atexit, no flushing (_Exit), so the resumed
+/// run proves the checkpoint alone carries the state.
+class CrashAfterPhaseInjector : public mr::FaultInjector {
+ public:
+  explicit CrashAfterPhaseInjector(std::string phase)
+      : phase_(std::move(phase)) {}
+
+  Status OnAttemptStart(const mr::TaskAttempt& /*attempt*/) override {
+    return Status::OK();
+  }
+
+  Status OnPhaseCommit(const mr::PhaseCommit& commit) override {
+    if (commit.phase_name == phase_) {
+      std::fprintf(stderr,
+                   "crash-after-phase: checkpoint of '%s' is durable; "
+                   "simulating driver kill\n",
+                   commit.phase_name.c_str());
+      std::_Exit(42);
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::string phase_;
+};
 
 Result<std::vector<int>> ReadLabels(const std::string& path) {
   Result<data::Dataset> raw = data::ReadCsv(path);
@@ -241,6 +289,19 @@ Result<core::ClusteringResult> RunAlgo(const std::string& algo,
           "--phase-budget must be >= 0 seconds (0 disables the budget)");
     }
     options.retry.phase_budget_seconds = phase_budget;
+    options.checkpoint_dir = args.Get("checkpoint-dir", "");
+    options.cancel = ShutdownSource().token();
+    std::unique_ptr<CrashAfterPhaseInjector> crash_injector;
+    const std::string crash_phase = args.Get("crash-after-phase", "");
+    if (!crash_phase.empty()) {
+      if (options.checkpoint_dir.empty()) {
+        return Status::InvalidArgument(
+            "--crash-after-phase needs --checkpoint-dir (the crash fires "
+            "after the phase checkpoint is durable)");
+      }
+      crash_injector = std::make_unique<CrashAfterPhaseInjector>(crash_phase);
+      options.runner.fault_injector = crash_injector.get();
+    }
     mr::P3CMR pipeline{options};
     Result<core::ClusteringResult> result = pipeline.Cluster(dataset);
     if (result.ok() && args.Has("job-log")) {
@@ -251,7 +312,7 @@ Result<core::ClusteringResult> RunAlgo(const std::string& algo,
       // Written even when clustering failed: the per-job table up to the
       // failure is exactly what a post-mortem needs.
       const Status st =
-          WriteStringToFile(pipeline.metrics().ToJson(), metrics_out);
+          AtomicWriteFile(metrics_out, pipeline.metrics().ToJson());
       if (!st.ok()) return st;
       std::printf("wrote MR metrics to %s\n", metrics_out.c_str());
     }
@@ -444,6 +505,25 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const Args args(argc, argv);
 
+  // Graceful SIGINT/SIGTERM: the handler only sets a flag; this watcher
+  // trips the cancellation source the MR driver polls. Joined before
+  // exit so the thread never outlives main.
+  std::signal(SIGINT, HandleShutdownSignal);
+  std::signal(SIGTERM, HandleShutdownSignal);
+  std::atomic<bool> watcher_done{false};
+  std::thread signal_watcher([&watcher_done] {
+    while (!watcher_done.load(std::memory_order_relaxed)) {
+      if (g_signal_flag != 0) {
+        std::fprintf(stderr,
+                     "shutdown signal received: stopping at the next phase "
+                     "boundary\n");
+        ShutdownSource().Cancel();
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
+
   const std::string log_level = args.Get("log-level", "");
   if (!log_level.empty()) {
     LogLevel level;
@@ -467,6 +547,8 @@ int main(int argc, char** argv) {
   }
 
   const int exit_code = RunCommand(command, args);
+  watcher_done.store(true, std::memory_order_relaxed);
+  signal_watcher.join();
 
   if (!trace_out.empty()) {
     const Status st = Tracer::Global().WriteJson(trace_out);

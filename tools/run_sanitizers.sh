@@ -20,6 +20,12 @@
 #                                      # straggler-smoke): deadlines,
 #                                      # cancellation, speculative attempt
 #                                      # races under both sanitizers
+#   tools/run_sanitizers.sh checkpoint-smoke
+#                                      # checkpoint/resume suite (ctest -L
+#                                      # checkpoint-smoke): kill-and-resume
+#                                      # determinism plus every hostile-
+#                                      # checkpoint scenario under both
+#                                      # sanitizers
 #
 # The fault-tolerance machinery (task retry, first-error-wins failure
 # slots, exception capture in ParallelFor) is concurrency-heavy; TSan on
@@ -91,12 +97,23 @@ case "${MODE}" in
       "ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1"
     run_suite "TSan straggler-smoke" Tsan build-tsan "TSAN_OPTIONS=halt_on_error=1"
     ;;
+  checkpoint-smoke)
+    # The checkpoint/resume suite: resume-at-every-phase-boundary
+    # determinism and the hostile-checkpoint scenarios. ASan/UBSan guards
+    # the blob decoders against hostile payloads (truncation, bit flips,
+    # version skew must degrade to a clean fresh run, never an OOB read);
+    # TSan re-runs the full pipeline phases around each commit point.
+    LABEL="checkpoint-smoke"
+    run_suite "ASan+UBSan checkpoint-smoke" Sanitize build-asan \
+      "ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1"
+    run_suite "TSan checkpoint-smoke" Tsan build-tsan "TSAN_OPTIONS=halt_on_error=1"
+    ;;
   all)
     "$0" asan
     "$0" tsan
     ;;
   *)
-    echo "usage: $0 [asan|tsan|all|shuffle-smoke|trace-smoke|straggler-smoke]" \
+    echo "usage: $0 [asan|tsan|all|shuffle-smoke|trace-smoke|straggler-smoke|checkpoint-smoke]" \
          "[ctest -R filter]" >&2
     exit 2
     ;;
