@@ -4,8 +4,10 @@
 // serial global-sort baseline (the pre-partitioning shuffle: one
 // stable_sort + group scan over all map output), verifies the job output
 // is byte-identical to the serial single-reducer run, and optionally
-// dumps every row as JSON (--json <path>; tools/run_benches.sh writes
-// BENCH_shuffle.json).
+// dumps the sweep as JSON (--json <path>; tools/run_benches.sh writes
+// BENCH_shuffle.json). Each cell reports the min over
+// bench::Repeats() runs; the JSON is {"machine": {...}, "rows": [...]}
+// and tools/check_bench_regression.py gates the committed numbers.
 
 #include <cstdint>
 #include <cstdio>
@@ -142,15 +144,44 @@ int main(int argc, char** argv) {
     const auto records = MakeRecords(n);
     const double baseline_sort = MeasureSerialSortBaseline(records);
     std::vector<std::pair<int64_t, uint64_t>> reference;
+
+    // Min-of-repeats with PAIRED sampling: the repeat loop is the outer
+    // loop, so every repeat sweeps all (threads, reducers) cells through
+    // the same slice of wall-clock time, and the sweep direction
+    // alternates per repeat (palindromic order). Machine drift — a noisy
+    // neighbor on a shared host, thermal/frequency wander — then hits
+    // every cell alike instead of whichever thread count happened to run
+    // last, which matters because the no-inversion gate compares cells
+    // against each other. Scheduling noise only ever inflates a run, so
+    // the per-cell min is the cleanest estimate of the work actually
+    // done. Output must be identical in every repeat of every cell.
+    struct Cell {
+      size_t threads = 0;
+      size_t reducers = 0;
+      mr::JobMetrics best;
+      bool have_best = false;
+      bool identical = true;
+    };
+    std::vector<Cell> cells;
     for (size_t threads : thread_counts) {
       for (size_t reducers : reducer_counts) {
+        cells.push_back(Cell{threads, reducers, {}, false, true});
+      }
+    }
+    const size_t repeats = bench::Repeats();
+    for (size_t rep = 0; rep < repeats; ++rep) {
+      for (size_t i = 0; i < cells.size(); ++i) {
+        // Forward on even repeats, backward on odd — the first run of
+        // repeat 0 is the 1-thread/1-reducer cell, which seeds the
+        // byte-identity reference with the serial single-reducer output.
+        Cell& cell = cells[rep % 2 == 0 ? i : cells.size() - 1 - i];
         mr::MetricsRegistry metrics;
         mr::RunnerOptions options;
-        options.num_threads = threads;
+        options.num_threads = cell.threads;
         options.metrics = &metrics;
         mr::LocalRunner runner(options);
         mr::ShuffleOptions<int64_t> shuffle;
-        shuffle.num_reducers = reducers;
+        shuffle.num_reducers = cell.reducers;
         auto result = runner.Run<KeyedRecord, int64_t, uint64_t,
                                  std::pair<int64_t, uint64_t>>(
             "shuffle-bench", records,
@@ -162,42 +193,51 @@ int main(int argc, char** argv) {
           return 1;
         }
         if (reference.empty()) reference = *result;
-
-        {
-          // Keep a copy in the sweep-wide registry, tagged with the cell
-          // coordinates so --metrics-out rows are self-describing.
-          mr::JobMetrics tagged = metrics.jobs().front();
-          tagged.job_name = StringPrintf("shuffle-bench/n=%zu/t=%zu/r=%zu",
-                                         n, threads, reducers);
-          sweep_metrics.Record(std::move(tagged));
-        }
+        cell.identical = cell.identical && *result == reference;
         const mr::JobMetrics& job = metrics.jobs().front();
-        Row row;
-        row.records = n;
-        row.threads = threads;
-        row.reducers = reducers;
-        row.map_seconds = job.map_seconds;
-        row.shuffle_seconds = job.shuffle_seconds;
-        row.reduce_seconds = job.reduce_seconds;
-        row.total_seconds = job.total_seconds;
-        row.baseline_sort_seconds = baseline_sort;
-        row.shuffle_speedup =
-            job.shuffle_seconds > 0.0 ? baseline_sort / job.shuffle_seconds
-                                      : 0.0;
-        row.partition_skew = job.partition_skew;
-        row.output_identical = *result == reference;
-        rows.push_back(row);
-        std::printf("%9zu %8zu %9zu %9.4f %10.4f %10.4f %8.2fx %6.2f %5s\n",
-                    n, threads, reducers, row.map_seconds,
-                    row.shuffle_seconds, baseline_sort, row.shuffle_speedup,
-                    row.partition_skew, row.output_identical ? "yes" : "NO");
-        if (!row.output_identical) {
-          std::fprintf(stderr,
-                       "output diverged from the serial single-reducer "
-                       "run at %zu threads / %zu reducers\n",
-                       threads, reducers);
-          return 1;
+        if (!cell.have_best ||
+            job.shuffle_seconds < cell.best.shuffle_seconds) {
+          cell.best = job;
+          cell.have_best = true;
         }
+      }
+    }
+
+    for (const Cell& cell : cells) {
+      const mr::JobMetrics& best = cell.best;
+      {
+        // Keep a copy in the sweep-wide registry, tagged with the cell
+        // coordinates so --metrics-out rows are self-describing.
+        mr::JobMetrics tagged = best;
+        tagged.job_name = StringPrintf("shuffle-bench/n=%zu/t=%zu/r=%zu", n,
+                                       cell.threads, cell.reducers);
+        sweep_metrics.Record(std::move(tagged));
+      }
+      Row row;
+      row.records = n;
+      row.threads = cell.threads;
+      row.reducers = cell.reducers;
+      row.map_seconds = best.map_seconds;
+      row.shuffle_seconds = best.shuffle_seconds;
+      row.reduce_seconds = best.reduce_seconds;
+      row.total_seconds = best.total_seconds;
+      row.baseline_sort_seconds = baseline_sort;
+      row.shuffle_speedup =
+          best.shuffle_seconds > 0.0 ? baseline_sort / best.shuffle_seconds
+                                     : 0.0;
+      row.partition_skew = best.partition_skew;
+      row.output_identical = cell.identical;
+      rows.push_back(row);
+      std::printf("%9zu %8zu %9zu %9.4f %10.4f %10.4f %8.2fx %6.2f %5s\n",
+                  n, cell.threads, cell.reducers, row.map_seconds,
+                  row.shuffle_seconds, baseline_sort, row.shuffle_speedup,
+                  row.partition_skew, row.output_identical ? "yes" : "NO");
+      if (!row.output_identical) {
+        std::fprintf(stderr,
+                     "output diverged from the serial single-reducer "
+                     "run at %zu threads / %zu reducers\n",
+                     cell.threads, cell.reducers);
+        return 1;
       }
     }
   }
@@ -209,7 +249,8 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::FILE* f = writer.stream();
-    std::fprintf(f, "[\n");
+    std::fprintf(f, "{\n\"machine\": %s,\n\"rows\": [\n",
+                 bench::MachineJson().c_str());
     for (size_t i = 0; i < rows.size(); ++i) {
       const Row& r = rows[i];
       std::fprintf(
@@ -225,7 +266,7 @@ int main(int argc, char** argv) {
           r.output_identical ? "true" : "false",
           i + 1 < rows.size() ? "," : "");
     }
-    std::fprintf(f, "]\n");
+    std::fprintf(f, "]\n}\n");
     if (!writer.Commit().ok()) {
       std::fprintf(stderr, "cannot write %s\n", json_path);
       return 1;
@@ -257,10 +298,11 @@ int main(int argc, char** argv) {
 
   bench::Rule();
   std::printf(
-      "Shape check: shuffle time falls as reducers grow (per-partition\n"
-      "merges run in parallel) and the speedup over the serial global\n"
-      "sort exceeds 2x at 8 threads / 8 reducers on the 1M-record row;\n"
-      "output is byte-identical to the serial single-reducer run in\n"
-      "every cell.\n");
+      "Shape check: the merge plan is a pure function of the data, never\n"
+      "the thread count, so shuffle time at 8 threads must not exceed the\n"
+      "1-thread time (no scaling inversion; tools/check_bench_regression.py\n"
+      "gates this), the speedup over the serial global sort stays > 1x,\n"
+      "and output is byte-identical to the serial single-reducer run in\n"
+      "every cell and every repeat.\n");
   return 0;
 }

@@ -8,9 +8,20 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "src/core/kernels/kernels.h"
 #include "src/data/generator.h"
+
+// Build metadata stamped by bench/CMakeLists.txt; empty when a bench is
+// built outside the tree.
+#ifndef P3C_BENCH_BUILD_TYPE
+#define P3C_BENCH_BUILD_TYPE ""
+#endif
+#ifndef P3C_BENCH_CXX_FLAGS
+#define P3C_BENCH_CXX_FLAGS ""
+#endif
 
 namespace p3c::bench {
 
@@ -53,6 +64,45 @@ inline data::SyntheticData MakeWorkload(size_t num_points, size_t num_clusters,
     std::exit(1);
   }
   return std::move(data).value();
+}
+
+/// Repeat count for timing loops (min-of-repeats). Committed numbers use
+/// the default; set P3C_BENCH_REPEATS to trade time for stability.
+inline size_t Repeats(size_t fallback = 3) {
+  const char* env = std::getenv("P3C_BENCH_REPEATS");
+  if (env == nullptr) return fallback;
+  const long v = std::atol(env);
+  return v > 0 ? static_cast<size_t>(v) : fallback;
+}
+
+/// JSON object describing the machine and build, embedded at the head of
+/// every bench artifact ("machine": {...}) so committed numbers carry
+/// their provenance: core count, compiler, flags, build type, and which
+/// kernel backends were available at run time.
+inline std::string MachineJson() {
+  std::string backends;
+  for (const core::kernels::Ops* ops : core::kernels::AvailableBackends()) {
+    if (!backends.empty()) backends += ", ";
+    backends += '"';
+    backends += ops->name;
+    backends += '"';
+  }
+#if defined(__clang__)
+  const char* compiler = "clang " __VERSION__;
+#elif defined(__GNUC__)
+  const char* compiler = "gcc " __VERSION__;
+#else
+  const char* compiler = __VERSION__;
+#endif
+  char buf[768];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"cores\": %u, \"compiler\": \"%s\", \"build_type\": \"%s\", "
+      "\"cxx_flags\": \"%s\", \"kernel_backends\": [%s], "
+      "\"bench_scale\": %g, \"repeats\": %zu}",
+      std::thread::hardware_concurrency(), compiler, P3C_BENCH_BUILD_TYPE,
+      P3C_BENCH_CXX_FLAGS, backends.c_str(), ScaleFactor(), Repeats());
+  return std::string(buf);
 }
 
 /// Prints a horizontal rule sized for the standard tables.

@@ -47,17 +47,25 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
 
 void ThreadPool::ParallelFor(size_t n, size_t grain,
                              const std::function<void(size_t)>& fn) {
+  ParallelForCapped(n, /*max_workers=*/0, grain, fn);
+}
+
+void ThreadPool::ParallelForCapped(size_t n, size_t max_workers, size_t grain,
+                                   const std::function<void(size_t)>& fn) {
   if (n == 0) return;
-  if (n == 1 || workers_.size() == 1) {
+  const size_t width = max_workers == 0
+                           ? workers_.size()
+                           : std::min(max_workers, workers_.size());
+  if (n == 1 || width == 1) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
   // Auto grain: ~8 claims per worker balances load across uneven bodies
   // while keeping counter traffic negligible even for n in the tens of
   // thousands (the map-split regime the runner produces at scale).
-  if (grain == 0) grain = std::max<size_t>(1, n / (workers_.size() * 8));
+  if (grain == 0) grain = std::max<size_t>(1, n / (width * 8));
   const size_t num_claims = (n + grain - 1) / grain;
-  const size_t closures = std::min(num_claims, workers_.size());
+  const size_t closures = std::min(num_claims, width);
   std::atomic<size_t> next{0};
   // First-error-wins capture: an exception escaping `fn` on a worker
   // must surface on the caller, not std::terminate the process. Workers

@@ -57,6 +57,16 @@ class ThreadPool {
   void ParallelFor(size_t n, size_t grain,
                    const std::function<void(size_t)>& fn);
 
+  /// ParallelFor with at most `max_workers` concurrent claimants (0 =
+  /// no cap). For CPU-bound phases, claimants beyond the machine's core
+  /// count are pure scheduling overhead — the work is serialized by the
+  /// hardware anyway, the context switches are not. Callers with purely
+  /// compute-bound bodies pass HardwareConcurrency(); a cap of 1 runs
+  /// the whole loop inline on the caller. Do NOT cap loops whose bodies
+  /// block on each other (they need real oversubscription).
+  void ParallelForCapped(size_t n, size_t max_workers, size_t grain,
+                         const std::function<void(size_t)>& fn);
+
   size_t num_threads() const { return workers_.size(); }
 
   /// std::thread::hardware_concurrency with a floor of 1.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "src/core/kernels/kernels.h"
 #include "src/core/rssc.h"
 
 namespace p3c::core {
@@ -25,7 +26,7 @@ struct MomentAccumulator {
   void Add(const linalg::Vector& x, double r) {
     w += r;
     w2 += r * r;
-    for (size_t i = 0; i < sum.size(); ++i) sum[i] += r * x[i];
+    kernels::Active().axpy(sum.data(), x.data(), r, sum.size());
     outer.AddOuterProduct(x, r);
   }
 
@@ -142,22 +143,11 @@ size_t GmmEvaluator::Responsibilities(const linalg::Vector& x,
                                       std::vector<double>& r) const {
   const size_t k = factors_.size();
   r.resize(k);
-  double max_log = -std::numeric_limits<double>::infinity();
-  size_t argmax = 0;
-  for (size_t i = 0; i < k; ++i) {
-    r[i] = LogWeightedDensity(i, x);
-    if (r[i] > max_log) {
-      max_log = r[i];
-      argmax = i;
-    }
-  }
-  double sum = 0.0;
-  for (size_t i = 0; i < k; ++i) {
-    r[i] = std::exp(r[i] - max_log);
-    sum += r[i];
-  }
-  for (size_t i = 0; i < k; ++i) r[i] /= sum;
-  return argmax;
+  for (size_t i = 0; i < k; ++i) r[i] = LogWeightedDensity(i, x);
+  // In-place log-sum-exp softmax; every backend is bit-exact with the
+  // scalar reference (kernel-smoke), so results don't depend on which
+  // backend dispatch picked.
+  return kernels::Active().softmax_normalize(r.data(), k);
 }
 
 size_t GmmEvaluator::HardAssign(const linalg::Vector& x) const {

@@ -1,0 +1,94 @@
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "src/core/kernels/kernels.h"
+
+// Scalar reference backend: the semantic ground truth every vectorized
+// backend must match bit-for-bit (kernel-smoke). Written for clarity
+// first, but the compiler's baseline autovectorization is left on — the
+// speedups reported by bench_kernels are against *this*, not against a
+// deliberately hobbled loop.
+
+namespace p3c::core::kernels {
+namespace {
+
+void BitmapAndReduce(uint64_t* bits, const uint64_t* const* masks,
+                     size_t num_masks, size_t num_words) {
+  for (size_t m = 0; m < num_masks; ++m) {
+    const uint64_t* mask = masks[m];
+    for (size_t w = 0; w < num_words; ++w) bits[w] &= mask[w];
+  }
+}
+
+void SupportAccumulate(const uint64_t* bits, size_t num_words,
+                       uint64_t* counters) {
+  // Sparse per-set-bit walk: fast when few signatures match a point.
+  for (size_t w = 0; w < num_words; ++w) {
+    uint64_t word = bits[w];
+    uint64_t* base = counters + w * 64;
+    while (word != 0) {
+      base[static_cast<size_t>(std::countr_zero(word))] += 1;
+      word &= word - 1;
+    }
+  }
+}
+
+// Eq. 8 binning, defined for every double (see Ops::histogram_bin).
+// stats::BinIndex implements the same formula; the kernel-smoke suite
+// pins the two together.
+size_t BinIndex(double x, size_t num_bins) {
+  if (!(x > 0.0)) return 0;
+  const double scaled = std::ceil(static_cast<double>(num_bins) * x);
+  if (scaled >= static_cast<double>(num_bins)) return num_bins - 1;
+  return static_cast<size_t>(scaled) - 1;
+}
+
+void HistogramBin(const double* xs, size_t n, size_t stride, size_t num_bins,
+                  uint64_t* counts) {
+  for (size_t i = 0; i < n; ++i) ++counts[BinIndex(xs[i * stride], num_bins)];
+}
+
+size_t SoftmaxNormalize(double* logw, size_t k) {
+  double max_log = -std::numeric_limits<double>::infinity();
+  size_t argmax = 0;
+  for (size_t i = 0; i < k; ++i) {
+    if (logw[i] > max_log) {
+      max_log = logw[i];
+      argmax = i;
+    }
+  }
+  double sum = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    logw[i] = std::exp(logw[i] - max_log);
+    sum += logw[i];
+  }
+  for (size_t i = 0; i < k; ++i) logw[i] /= sum;
+  return argmax;
+}
+
+void Axpy(double* acc, const double* x, double a, size_t n) {
+  for (size_t i = 0; i < n; ++i) acc[i] += a * x[i];
+}
+
+void OuterAccumulate(double* out, const double* x, double w, size_t d) {
+  for (size_t i = 0; i < d; ++i) {
+    const double wi = w * x[i];
+    if (wi == 0.0) continue;
+    double* row = out + i * d;
+    for (size_t j = 0; j < d; ++j) row[j] += wi * x[j];
+  }
+}
+
+constexpr Ops kScalarOps = {
+    "scalar",          BitmapAndReduce, SupportAccumulate, HistogramBin,
+    SoftmaxNormalize, Axpy,            OuterAccumulate,
+};
+
+}  // namespace
+
+const Ops& ScalarOps() { return kScalarOps; }
+
+}  // namespace p3c::core::kernels

@@ -6,6 +6,8 @@
 #include <limits>
 #include <unordered_map>
 
+#include "src/core/kernels/kernels.h"
+
 namespace p3c::core {
 
 Rssc::Rssc(const std::vector<Signature>& signatures)
@@ -84,21 +86,58 @@ Rssc::Rssc(const std::vector<Signature>& signatures)
   std::sort(attrs_.begin(), attrs_.end());
 }
 
+namespace {
+
+/// Bin of x: the number of separators <= x (std::upper_bound). Most
+/// attributes carry only a handful of interval bounds, where a
+/// branch-predictable linear scan beats the binary search's data-
+/// dependent branches; above the cutoff, binary search wins. Both paths
+/// compare through the same `x < separator` predicate in the same
+/// left-to-right order, so the chosen bin is identical (including for
+/// NaN coordinates, which no separator exceeds).
+constexpr size_t kLinearScanSeparators = 8;
+
+size_t FindBin(const std::vector<double>& separators, double x) {
+  const size_t m = separators.size();
+  if (m < kLinearScanSeparators) {
+    size_t b = 0;
+    while (b < m && !(x < separators[b])) ++b;
+    return b;
+  }
+  return static_cast<size_t>(
+      std::upper_bound(separators.begin(), separators.end(), x) -
+      separators.begin());
+}
+
+/// Attributes batched per bitmap_and_reduce call: enough to amortize the
+/// dispatch and the loads/stores of `bits` across attributes, small
+/// enough for a stack array.
+constexpr size_t kMaskBatch = 16;
+
+}  // namespace
+
 void Rssc::Match(std::span<const double> point,
                  std::vector<uint64_t>& bits_out) const {
   bits_out.assign(num_words_, ~uint64_t{0});
   if (num_words_ == 0) return;
-  // Clear the padding bits of the last word.
+  // Clear the padding bits of the last word, so downstream counters can
+  // size their storage to num_signatures() (no phantom high lanes).
   const size_t tail = num_signatures_ % 64;
   if (tail != 0) bits_out.back() = (uint64_t{1} << tail) - 1;
 
+  const kernels::Ops& ops = kernels::Active();
+  const uint64_t* masks[kMaskBatch];
+  size_t batched = 0;
   for (const AttrIndex& ai : index_) {
     const double x = ai.attr < point.size() ? point[ai.attr] : 0.0;
-    const size_t bin = static_cast<size_t>(
-        std::upper_bound(ai.separators.begin(), ai.separators.end(), x) -
-        ai.separators.begin());
-    const uint64_t* mask = ai.masks.data() + bin * num_words_;
-    for (size_t w = 0; w < num_words_; ++w) bits_out[w] &= mask[w];
+    masks[batched++] = ai.masks.data() + FindBin(ai.separators, x) * num_words_;
+    if (batched == kMaskBatch) {
+      ops.bitmap_and_reduce(bits_out.data(), masks, batched, num_words_);
+      batched = 0;
+    }
+  }
+  if (batched > 0) {
+    ops.bitmap_and_reduce(bits_out.data(), masks, batched, num_words_);
   }
 }
 
@@ -106,11 +145,16 @@ void Rssc::Accumulate(std::span<const double> point,
                       std::vector<uint64_t>& scratch,
                       std::span<uint64_t> supports) const {
   Match(point, scratch);
-  for (size_t w = 0; w < num_words_; ++w) {
-    uint64_t bits = scratch[w];
+  // Full words through the kernel; the partial tail word stays scalar so
+  // `supports` only ever needs num_signatures() entries.
+  const size_t full_words = num_signatures_ / 64;
+  kernels::Active().support_accumulate(scratch.data(), full_words,
+                                       supports.data());
+  if (full_words < num_words_) {
+    uint64_t bits = scratch[full_words];
     while (bits != 0) {
       const int bit = std::countr_zero(bits);
-      ++supports[w * 64 + static_cast<size_t>(bit)];
+      ++supports[full_words * 64 + static_cast<size_t>(bit)];
       bits &= bits - 1;
     }
   }

@@ -43,7 +43,10 @@ class Rssc {
              std::vector<uint64_t>& bits_out) const;
 
   /// Adds 1 to `supports[j]` for every signature j containing the point.
-  /// `scratch` avoids per-call allocation in hot loops.
+  /// `scratch` avoids per-call allocation in hot loops. `supports` needs
+  /// exactly num_signatures() entries — Match clears the padding bits of
+  /// the last word, so no counter above the live lane count is ever
+  /// touched.
   void Accumulate(std::span<const double> point,
                   std::vector<uint64_t>& scratch,
                   std::span<uint64_t> supports) const;

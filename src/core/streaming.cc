@@ -133,9 +133,11 @@ Result<StreamingLightResult> StreamingLightPipeline::Run(
               "file contains values outside [0, 1]; normalize before "
               "writing");
         }
-        for (size_t i = 0; i < block.num_points(); ++i) {
-          const auto row = block.Row(static_cast<data::PointId>(i));
-          for (size_t j = 0; j < d; ++j) histograms[j].Add(row[j]);
+        // Column-at-a-time over the row-major block (stride = d) so each
+        // attribute's whole batch goes through one kernel call.
+        const double* values = block.values().data();
+        for (size_t j = 0; j < d; ++j) {
+          histograms[j].AddStrided(values + j, block.num_points(), d);
         }
         return Status::OK();
       });
@@ -158,22 +160,23 @@ Result<StreamingLightResult> StreamingLightPipeline::Run(
     if (sigs.empty()) return supports;
     if (before_support_scan_hook_) before_support_scan_hook_();
     const Rssc index(sigs);
-    std::vector<uint64_t> padded(index.num_words() * 64, 0);
+    // Accumulate straight into the result: Rssc::Accumulate only needs
+    // one counter per live signature (no padded-lane copy-out).
     Status scan = reader->ForEachBlock(
         block_rows_, [&](data::PointId first, const data::Dataset& block) {
           (void)first;
           std::vector<uint64_t> scratch;
           for (size_t i = 0; i < block.num_points(); ++i) {
             index.Accumulate(block.Row(static_cast<data::PointId>(i)),
-                             scratch, padded);
+                             scratch, supports);
           }
           return Status::OK();
         });
     if (!scan.ok()) {
       if (counter_status.ok()) counter_status = std::move(scan);
+      supports.assign(sigs.size(), 0);
       return supports;
     }
-    for (size_t s = 0; s < sigs.size(); ++s) supports[s] = padded[s];
     ++result.passes;
     return supports;
   };

@@ -39,8 +39,10 @@ std::vector<uint64_t> CountSupports(const data::Dataset& dataset,
   const size_t n = dataset.num_points();
 
   const size_t num_tasks = NumTasks(n, pool);
-  std::vector<std::vector<uint64_t>> partials(
-      num_tasks, std::vector<uint64_t>(index.num_words() * 64, 0));
+  // One counter per live signature — Rssc::Accumulate never touches the
+  // padding lanes of its last word (see rssc.h).
+  std::vector<std::vector<uint64_t>> partials(num_tasks,
+                                              std::vector<uint64_t>(k, 0));
   ForEachRange(n, pool, [&](size_t task, size_t begin, size_t end) {
     std::vector<uint64_t> scratch;
     auto& local = partials[task];

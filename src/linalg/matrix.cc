@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/core/kernels/kernels.h"
+
 namespace p3c::linalg {
 
 Matrix Matrix::Identity(size_t n) {
@@ -77,13 +79,7 @@ void Matrix::AddToDiagonal(double eps) {
 
 void Matrix::AddOuterProduct(const Vector& v, double w) {
   assert(IsSquare() && v.size() == cols_);
-  for (size_t i = 0; i < rows_; ++i) {
-    const double wi = w * v[i];
-    if (wi == 0.0) continue;
-    for (size_t j = 0; j < cols_; ++j) {
-      (*this)(i, j) += wi * v[j];
-    }
-  }
+  core::kernels::Active().outer_accumulate(data_.data(), v.data(), w, cols_);
 }
 
 double Matrix::MaxAbsDiff(const Matrix& other) const {

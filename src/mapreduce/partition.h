@@ -2,18 +2,29 @@
 #define P3C_MAPREDUCE_PARTITION_H_
 
 // Hadoop-style partitioned shuffle for the in-process engine (DESIGN.md
-// §9): a Partitioner routes every intermediate key to one of R reduce
-// partitions at map-commit time, each partition holds one key-sorted run
-// per map task, and MergePartition k-way merges those runs into a
-// grouped, contiguous value buffer that reducers read zero-copy via
-// std::span. The per-partition merges are independent, so the shuffle
-// parallelizes across partitions instead of funnelling every pair
-// through one global sort.
+// §9, §14): a Partitioner routes every intermediate key to one of R
+// reduce partitions at map-commit time, each partition holds one
+// key-sorted run per map task, and a staged merge (plan -> chunk merges
+// -> finalize) turns those runs into a grouped, contiguous value buffer
+// that reducers read zero-copy via std::span.
+//
+// The merge is *chunked*: PlanMerge splits each partition's key range at
+// sampled splitter keys into chunks of roughly target_chunk_records
+// records, every (partition, chunk) merges independently (a stable
+// pairwise ladder of std::merge passes — sequential streaming instead of
+// a per-element heap), and FinalizePartition stitches the chunk
+// fragments back in key order. Chunk boundaries are lower-bound key
+// boundaries, so equal keys never straddle chunks and the merged output
+// is byte-identical for every chunk plan. The plan depends only on the
+// data and the chunk-size target — never on the worker count — which is
+// what keeps shuffle work flat as threads are added (§14's scaling
+// postmortem).
 
 #include <algorithm>
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <iterator>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -105,11 +116,79 @@ struct MergedPartition {
   }
 };
 
+namespace shuffle_internal {
+
+/// Stable pairwise-ladder merge of key-sorted slices into one key-sorted
+/// vector, moving elements out of the slices. Slices must be ordered by
+/// run (map-task) index: std::merge keeps first-range elements first on
+/// equal keys and adjacent pairing preserves slice order across rounds,
+/// so within a key the result is in (run index, in-run order) order —
+/// the same tie-break the former per-element k-way heap produced, at
+/// sequential-streaming cost (log2(#slices) linear passes).
+template <typename K, typename V>
+std::vector<std::pair<K, V>> LadderMergeMove(
+    std::span<const std::span<std::pair<K, V>>> slices) {
+  using Pair = std::pair<K, V>;
+  const auto key_less = [](const Pair& a, const Pair& b) {
+    return a.first < b.first;
+  };
+  const auto merge_two = [&key_less](auto first1, auto last1, auto first2,
+                                     auto last2, size_t total) {
+    std::vector<Pair> merged;
+    merged.reserve(total);
+    std::merge(std::move_iterator(first1), std::move_iterator(last1),
+               std::move_iterator(first2), std::move_iterator(last2),
+               std::back_inserter(merged), key_less);
+    return merged;
+  };
+
+  std::vector<std::vector<Pair>> level;
+  level.reserve(slices.size() / 2 + 1);
+  for (size_t i = 0; i + 1 < slices.size(); i += 2) {
+    level.push_back(merge_two(slices[i].begin(), slices[i].end(),
+                              slices[i + 1].begin(), slices[i + 1].end(),
+                              slices[i].size() + slices[i + 1].size()));
+  }
+  if (slices.size() % 2 == 1) {
+    const std::span<Pair> last = slices.back();
+    std::vector<Pair> tail;
+    tail.reserve(last.size());
+    std::move(last.begin(), last.end(), std::back_inserter(tail));
+    level.push_back(std::move(tail));
+  }
+  if (level.empty()) return {};
+  while (level.size() > 1) {
+    std::vector<std::vector<Pair>> next;
+    next.reserve(level.size() / 2 + 1);
+    for (size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(merge_two(level[i].begin(), level[i].end(),
+                               level[i + 1].begin(), level[i + 1].end(),
+                               level[i].size() + level[i + 1].size()));
+      level[i] = {};
+      level[i + 1] = {};
+    }
+    if (level.size() % 2 == 1) next.push_back(std::move(level.back()));
+    level = std::move(next);
+  }
+  return std::move(level.front());
+}
+
+}  // namespace shuffle_internal
+
 /// Partitioned shuffle buffers of one job: num_partitions × num_maps
-/// key-sorted runs plus their merged form. Concurrency contract:
-/// CommitMapOutput may run concurrently for distinct map_index values
-/// and MergePartition for distinct partitions (each touches disjoint
-/// slots); the two stages are separated by the engine's map barrier.
+/// key-sorted runs plus their merged form.
+///
+/// Stage protocol (the engine's shuffle phase):
+///   1. CommitMapOutput — concurrent for distinct map_index values
+///      (disjoint slots, lock-free); separated from the merge stages by
+///      the map barrier.
+///   2. PlanMerge — concurrent for distinct partitions.
+///   3. FinishPlan — serial; flattens the per-partition chunk lists.
+///   4. MergeChunk — concurrent for distinct chunk ids (every chunk
+///      writes only its own fragment).
+///   5. ReleaseRuns — serial; all slices have been consumed.
+///   6. FinalizePartition — concurrent for distinct partitions.
+/// Every stage boundary is a ParallelFor barrier in the runner.
 template <typename K, typename V>
 class ShuffleBuffers {
  public:
@@ -117,30 +196,42 @@ class ShuffleBuffers {
       : num_partitions_(std::max<size_t>(1, num_partitions)),
         num_maps_(num_maps),
         runs_(num_partitions_ * num_maps),
+        plans_(num_partitions_),
         merged_(num_partitions_) {}
 
   size_t num_partitions() const { return num_partitions_; }
 
   /// Routes one committed map task's output into per-partition sorted
-  /// runs. Buckets and sorts into locals first and installs with
-  /// noexcept moves only, so a throwing Partitioner leaves the buffers
-  /// untouched (task-attempt isolation). The per-key emit order of the
-  /// map task survives: the sort is stable and pairs are bucketed in
-  /// emission order.
+  /// runs. Routing happens before anything is installed and the final
+  /// installs are noexcept moves, so a throwing Partitioner leaves the
+  /// buffers untouched (task-attempt isolation). Buckets are reserved at
+  /// their exact final size — the map-commit path does no growth
+  /// reallocation. The per-key emit order of the map task survives: the
+  /// scatter keeps emission order and the sort is stable.
   void CommitMapOutput(size_t map_index, std::vector<std::pair<K, V>> pairs,
                        const Partitioner<K>& partitioner) {
     std::vector<std::vector<std::pair<K, V>>> buckets(num_partitions_);
     if (num_partitions_ == 1) {
       buckets[0] = std::move(pairs);
     } else {
-      for (auto& kv : pairs) {
-        const size_t p = partitioner.Partition(kv.first, num_partitions_);
+      std::vector<uint32_t> route(pairs.size());
+      std::vector<size_t> counts(num_partitions_, 0);
+      for (size_t i = 0; i < pairs.size(); ++i) {
+        const size_t p =
+            partitioner.Partition(pairs[i].first, num_partitions_);
         if (p >= num_partitions_) {
           throw std::out_of_range(
               "Partitioner returned partition " + std::to_string(p) +
               " for " + std::to_string(num_partitions_) + " partitions");
         }
-        buckets[p].push_back(std::move(kv));
+        route[i] = static_cast<uint32_t>(p);
+        ++counts[p];
+      }
+      for (size_t p = 0; p < num_partitions_; ++p) {
+        buckets[p].reserve(counts[p]);
+      }
+      for (size_t i = 0; i < pairs.size(); ++i) {
+        buckets[route[i]].push_back(std::move(pairs[i]));
       }
     }
     for (auto& bucket : buckets) {
@@ -153,105 +244,174 @@ class ShuffleBuffers {
     }
   }
 
-  /// K-way merges partition p's runs into its MergedPartition, grouping
-  /// equal keys. Ties between runs break toward the lower map index, so
-  /// within a key the values appear in (map task, emit order) order —
-  /// exactly the order the former global stable sort produced. Consumes
-  /// the runs (values are moved, run storage is released).
-  void MergePartition(size_t p) {
-    auto runs = std::span(runs_).subspan(p * num_maps_, num_maps_);
-    MergedPartition<K, V>& out = merged_[p];
+  /// Stage 2: splits partition p's merge into chunks of roughly
+  /// target_chunk_records records (0 means one chunk). Splitter keys are
+  /// sampled run quantiles; slice boundaries are lower_bound positions,
+  /// so equal keys land in exactly one chunk and the eventual output is
+  /// independent of the chunk plan. Deterministic: a pure function of
+  /// the run contents and the target, never of the worker count.
+  void PlanMerge(size_t p, size_t target_chunk_records) {
+    const std::span<std::vector<std::pair<K, V>>> runs = RunSpan(p);
+    PartitionPlan& plan = plans_[p];
     size_t total = 0;
     for (const auto& run : runs) total += run.size();
-    out.values.reserve(total);
+    size_t num_chunks =
+        target_chunk_records == 0
+            ? 1
+            : std::max<size_t>(1, total / target_chunk_records);
+    num_chunks = std::min(num_chunks, std::max<size_t>(1, total));
+    plan.fragments.clear();
+    plan.fragments.resize(num_chunks);
+    plan.bounds.assign((num_chunks + 1) * num_maps_, 0);
+    for (size_t m = 0; m < num_maps_; ++m) {
+      plan.bounds[num_chunks * num_maps_ + m] = runs[m].size();
+    }
+    if (num_chunks == 1) return;
 
-    struct Cursor {
-      size_t run;
-      size_t pos;
-    };
-    std::vector<Cursor> heap;
-    for (size_t m = 0; m < runs.size(); ++m) {
-      if (!runs[m].empty()) heap.push_back(Cursor{m, 0});
-    }
-    // Min-heap via std::*_heap with an inverted comparator.
-    const auto after = [&runs](const Cursor& a, const Cursor& b) {
-      const K& ka = runs[a.run][a.pos].first;
-      const K& kb = runs[b.run][b.pos].first;
-      if (ka < kb) return false;
-      if (kb < ka) return true;
-      return a.run > b.run;
-    };
-    std::make_heap(heap.begin(), heap.end(), after);
-    while (!heap.empty()) {
-      std::pop_heap(heap.begin(), heap.end(), after);
-      Cursor cur = heap.back();
-      heap.pop_back();
-      auto& kv = runs[cur.run][cur.pos];
-      if (out.group_keys.empty() || out.group_keys.back() < kv.first) {
-        out.group_offsets.push_back(out.values.size());
-        out.group_keys.push_back(std::move(kv.first));
-      }
-      out.values.push_back(std::move(kv.second));
-      if (++cur.pos < runs[cur.run].size()) {
-        heap.push_back(cur);
-        std::push_heap(heap.begin(), heap.end(), after);
+    std::vector<K> sample;
+    sample.reserve(num_maps_ * (num_chunks - 1));
+    for (const auto& run : runs) {
+      if (run.empty()) continue;
+      for (size_t c = 1; c < num_chunks; ++c) {
+        sample.push_back(run[c * run.size() / num_chunks].first);
       }
     }
-    out.group_offsets.push_back(out.values.size());
-    for (auto& run : runs) run = {};
+    std::sort(sample.begin(), sample.end());
+    for (size_t c = 1; c < num_chunks; ++c) {
+      const K& splitter = sample[c * sample.size() / num_chunks];
+      for (size_t m = 0; m < num_maps_; ++m) {
+        plan.bounds[c * num_maps_ + m] = static_cast<size_t>(
+            std::lower_bound(runs[m].begin(), runs[m].end(), splitter,
+                             [](const std::pair<K, V>& kv, const K& key) {
+                               return kv.first < key;
+                             }) -
+            runs[m].begin());
+      }
+    }
   }
 
-  /// Merged form of partition p; valid after MergePartition(p).
+  /// Stage 3: flattens all planned chunks into one global id space
+  /// (partition-major, deterministic) and returns the total chunk count.
+  size_t FinishPlan() {
+    chunk_index_.clear();
+    for (size_t p = 0; p < num_partitions_; ++p) {
+      for (size_t c = 0; c < plans_[p].fragments.size(); ++c) {
+        chunk_index_.emplace_back(static_cast<uint32_t>(p),
+                                  static_cast<uint32_t>(c));
+      }
+    }
+    return chunk_index_.size();
+  }
+
+  /// Partition owning global chunk id `chunk` (metrics attribution).
+  size_t ChunkPartition(size_t chunk) const {
+    return chunk_index_[chunk].first;
+  }
+
+  /// Stage 4: ladder-merges one chunk's run slices into its fragment.
+  void MergeChunk(size_t chunk) {
+    const auto [p, c] = chunk_index_[chunk];
+    const std::span<std::vector<std::pair<K, V>>> runs = RunSpan(p);
+    PartitionPlan& plan = plans_[p];
+    const size_t* lo = plan.bounds.data() + size_t{c} * num_maps_;
+    const size_t* hi = lo + num_maps_;
+    std::vector<std::span<std::pair<K, V>>> slices;
+    slices.reserve(num_maps_);
+    for (size_t m = 0; m < num_maps_; ++m) {
+      if (hi[m] > lo[m]) {
+        slices.push_back(
+            std::span(runs[m]).subspan(lo[m], hi[m] - lo[m]));
+      }
+    }
+    plan.fragments[c] = shuffle_internal::LadderMergeMove<K, V>(slices);
+  }
+
+  /// Stage 5: frees all run storage (every slice has been moved out).
+  void ReleaseRuns() {
+    for (auto& run : runs_) run = {};
+  }
+
+  /// Stage 6: stitches partition p's chunk fragments (already in global
+  /// key order) into its MergedPartition, grouping equal keys — the same
+  /// grouping scan the former heap merge did inline. Releases fragment
+  /// and plan storage as it goes.
+  void FinalizePartition(size_t p) {
+    PartitionPlan& plan = plans_[p];
+    MergedPartition<K, V>& out = merged_[p];
+    size_t total = 0;
+    for (const auto& fragment : plan.fragments) total += fragment.size();
+    out.values.reserve(total);
+    for (auto& fragment : plan.fragments) {
+      for (auto& kv : fragment) {
+        if (out.group_keys.empty() || out.group_keys.back() < kv.first) {
+          out.group_offsets.push_back(out.values.size());
+          out.group_keys.push_back(std::move(kv.first));
+        }
+        out.values.push_back(std::move(kv.second));
+      }
+      fragment = {};
+    }
+    out.group_offsets.push_back(out.values.size());
+    plan = PartitionPlan{};
+  }
+
+  /// All six stages for partition p, serially — the single-threaded
+  /// convenience used by tests that drive ShuffleBuffers directly.
+  void MergePartition(size_t p, size_t target_chunk_records = 0) {
+    PlanMerge(p, target_chunk_records);
+    const std::span<std::vector<std::pair<K, V>>> runs = RunSpan(p);
+    PartitionPlan& plan = plans_[p];
+    const size_t saved = chunk_index_.size();
+    for (size_t c = 0; c < plan.fragments.size(); ++c) {
+      chunk_index_.emplace_back(static_cast<uint32_t>(p),
+                                static_cast<uint32_t>(c));
+      MergeChunk(chunk_index_.size() - 1);
+    }
+    chunk_index_.resize(saved);
+    for (auto& run : runs) run = {};
+    FinalizePartition(p);
+  }
+
+  /// Merged form of partition p; valid after FinalizePartition(p).
   const MergedPartition<K, V>& partition(size_t p) const {
     return merged_[p];
   }
 
  private:
+  struct PartitionPlan {
+    /// (num_chunks + 1) rows of num_maps_ slice-begin indices; row c is
+    /// chunk c's per-run begin, row num_chunks holds the run sizes.
+    std::vector<size_t> bounds;
+    /// Chunk merge outputs, in key order across the vector.
+    std::vector<std::vector<std::pair<K, V>>> fragments;
+  };
+
+  std::span<std::vector<std::pair<K, V>>> RunSpan(size_t p) {
+    return std::span(runs_).subspan(p * num_maps_, num_maps_);
+  }
+
   size_t num_partitions_;
   size_t num_maps_;
   std::vector<std::vector<std::pair<K, V>>> runs_;  ///< [p * num_maps_ + m]
+  std::vector<PartitionPlan> plans_;
+  std::vector<std::pair<uint32_t, uint32_t>> chunk_index_;
   std::vector<MergedPartition<K, V>> merged_;
 };
 
-/// K-way merge of key-sorted pair runs into one sorted vector (ties
-/// break toward the lower run index). The map-only shuffle: per-split
-/// runs are sorted in parallel at map-commit time and only the merge is
-/// left, replacing the former O(n log n) global sort with O(n log M).
+/// Merge of key-sorted pair runs into one sorted vector (ties break
+/// toward the lower run index). The map-only shuffle: per-split runs are
+/// sorted in parallel at map-commit time and only the merge is left,
+/// replacing the former O(n log n) global sort with log2(M) sequential
+/// std::merge passes.
 template <typename K, typename V>
 std::vector<std::pair<K, V>> MergeSortedRuns(
     std::vector<std::vector<std::pair<K, V>>> runs) {
-  size_t total = 0;
-  for (const auto& run : runs) total += run.size();
-  std::vector<std::pair<K, V>> out;
-  out.reserve(total);
-
-  struct Cursor {
-    size_t run;
-    size_t pos;
-  };
-  std::vector<Cursor> heap;
-  for (size_t m = 0; m < runs.size(); ++m) {
-    if (!runs[m].empty()) heap.push_back(Cursor{m, 0});
+  std::vector<std::span<std::pair<K, V>>> slices;
+  slices.reserve(runs.size());
+  for (auto& run : runs) {
+    if (!run.empty()) slices.push_back(std::span(run));
   }
-  const auto after = [&runs](const Cursor& a, const Cursor& b) {
-    const K& ka = runs[a.run][a.pos].first;
-    const K& kb = runs[b.run][b.pos].first;
-    if (ka < kb) return false;
-    if (kb < ka) return true;
-    return a.run > b.run;
-  };
-  std::make_heap(heap.begin(), heap.end(), after);
-  while (!heap.empty()) {
-    std::pop_heap(heap.begin(), heap.end(), after);
-    Cursor cur = heap.back();
-    heap.pop_back();
-    out.push_back(std::move(runs[cur.run][cur.pos]));
-    if (++cur.pos < runs[cur.run].size()) {
-      heap.push_back(cur);
-      std::push_heap(heap.begin(), heap.end(), after);
-    }
-  }
-  return out;
+  return shuffle_internal::LadderMergeMove<K, V>(slices);
 }
 
 /// Per-job shuffle overrides, passed alongside the task factories.

@@ -35,10 +35,22 @@ namespace p3c::mr {
 struct RunnerOptions {
   /// Worker threads; 0 means hardware concurrency.
   size_t num_threads = 0;
-  /// Records per input split; 0 derives a split size that yields about
-  /// four splits per worker ("we do not artificially split the input
-  /// files" — splits grow with the data, §7.5.2).
+  /// Records per input split; 0 derives a split size from the data
+  /// alone ("we do not artificially split the input files" — splits grow
+  /// with the data, §7.5.2): about 32 map tasks per job, at least 1024
+  /// records each, independent of the worker count at typical core
+  /// counts. Deriving the task count from threads (the pre-§14 policy of
+  /// four splits per worker) made every added worker multiply the
+  /// number of shuffle runs to merge — the measured scaling inversion.
   size_t records_per_split = 0;
+  /// Target records per shuffle merge chunk; 0 means the default
+  /// (128 Ki). Each partition's merge is split at sampled key boundaries
+  /// into about partition_records / merge_chunk_records chunks that
+  /// merge independently (intra-partition parallelism for skewed or
+  /// single-partition jobs). The chunk plan never changes job output —
+  /// chunks split at key boundaries and concatenate in key order.
+  /// Tests pin small values to force many chunks on small inputs.
+  size_t merge_chunk_records = 0;
   /// Number of reduce partitions per job; 0 means one partition per
   /// worker thread. Jobs may override per job via ShuffleOptions (the
   /// src/mr wrappers cap it at their key cardinality). The partition
@@ -234,12 +246,43 @@ class LocalRunner {
       return RecordFailure(metrics, exec.acct, total_watch, map_status);
     }
 
-    // ---- Shuffle: parallel per-partition k-way merge -------------------
+    // ---- Shuffle: staged chunked merge (DESIGN.md §14) -----------------
+    // Plan (per partition) -> chunk merges (parallel across ALL chunks
+    // of all partitions, so a single skewed partition still spreads over
+    // the pool) -> finalize (per partition). Chunk plans depend only on
+    // the data, so the merge work — and the merged bytes — are identical
+    // at every thread count.
     Stopwatch shuffle_watch;
     metrics.partition_shuffle_seconds.assign(num_partitions, 0.0);
+    const size_t chunk_records = options_.merge_chunk_records > 0
+                                     ? options_.merge_chunk_records
+                                     : kDefaultMergeChunkRecords;
+    // Shuffle bodies are pure engine compute — no task attempts, nothing
+    // that can hang — so they are always capped at hardware concurrency,
+    // even in straggler configurations where ExecWidth() leaves the task
+    // phases oversubscribed.
+    const size_t shuffle_width = ThreadPool::HardwareConcurrency();
     try {
       TraceSpan shuffle_span("shuffle-phase");
-      pool_.ParallelFor(num_partitions, /*grain=*/1, [&](size_t p) {
+      pool_.ParallelForCapped(num_partitions, shuffle_width, /*grain=*/1,
+                              [&](size_t p) {
+        buffers.PlanMerge(p, chunk_records);
+      });
+      const size_t total_chunks = buffers.FinishPlan();
+      std::vector<double> chunk_seconds(total_chunks, 0.0);
+      pool_.ParallelForCapped(total_chunks, shuffle_width, /*grain=*/1,
+                              [&](size_t c) {
+        Stopwatch chunk_watch;
+        buffers.MergeChunk(c);
+        chunk_seconds[c] = chunk_watch.ElapsedSeconds();
+      });
+      buffers.ReleaseRuns();
+      for (size_t c = 0; c < total_chunks; ++c) {
+        metrics.partition_shuffle_seconds[buffers.ChunkPartition(c)] +=
+            chunk_seconds[c];
+      }
+      pool_.ParallelForCapped(num_partitions, shuffle_width, /*grain=*/1,
+                              [&](size_t p) {
         // Per-partition merge spans live on synthetic partition lanes,
         // so reducer-side skew shows up as lane-length imbalance.
         const uint32_t lane =
@@ -252,10 +295,10 @@ class LocalRunner {
         TraceSpan partition_span(
             tracing ? StringPrintf("merge partition %zu", p) : std::string(),
             std::string(), lane);
-        Stopwatch partition_watch;
-        buffers.MergePartition(p);
-        metrics.partition_shuffle_seconds[p] =
-            partition_watch.ElapsedSeconds();
+        Stopwatch finalize_watch;
+        buffers.FinalizePartition(p);
+        metrics.partition_shuffle_seconds[p] +=
+            finalize_watch.ElapsedSeconds();
       });
     } catch (const std::exception& e) {
       metrics.shuffle_seconds = shuffle_watch.ElapsedSeconds();
@@ -293,7 +336,8 @@ class LocalRunner {
     FailureSlot failure(&exec.job_cancel);
     {
       TraceSpan reduce_span("reduce-phase");
-      pool_.ParallelFor(num_partitions, /*grain=*/1, [&](size_t p) {
+      pool_.ParallelForCapped(num_partitions, ExecWidth(), /*grain=*/1,
+                              [&](size_t p) {
         const MergedPartition<K, V>& part = buffers.partition(p);
         if (part.num_groups() == 0) return;
         if (failure.has_failed()) return;
@@ -569,10 +613,41 @@ class LocalRunner {
 
   using TaskBody = std::function<Status(const TaskContext&)>;
 
+  /// Auto split policy (SplitSize): ~32 map tasks per job, never tiny.
+  static constexpr size_t kDefaultTargetSplits = 32;
+  static constexpr size_t kMinSplitRecords = 1024;
+  /// Default shuffle merge chunk target (RunnerOptions::
+  /// merge_chunk_records == 0): big enough that chunk bookkeeping is
+  /// noise, small enough that a 1M-record single-partition merge still
+  /// yields ~8 parallelizable chunks.
+  static constexpr size_t kDefaultMergeChunkRecords = size_t{128} * 1024;
+
   size_t SplitSize(size_t n) const {
     if (options_.records_per_split > 0) return options_.records_per_split;
-    const size_t target_tasks = pool_.num_threads() * 4;
-    return std::max<size_t>(1, (n + target_tasks - 1) / target_tasks);
+    // Thread-count-independent by design (DESIGN.md §14): the map-task
+    // count is derived from the data, so the number of sorted runs the
+    // shuffle merges — and with it the merge work — stays flat as
+    // workers are added. (Beyond 8 workers the task count grows again
+    // purely to keep every worker busy.)
+    const size_t target_tasks =
+        std::max<size_t>(kDefaultTargetSplits, pool_.num_threads() * 4);
+    const size_t per_split = (n + target_tasks - 1) / target_tasks;
+    return std::max<size_t>(kMinSplitRecords, per_split);
+  }
+
+  /// Claimant cap for the task phases (map/reduce): the attempts are
+  /// CPU-bound, so claimants beyond the machine's core count add context
+  /// switches without adding throughput — `--threads 8` on a 1-core box
+  /// must not run slower than `--threads 1`. The straggler machinery is
+  /// the deliberate exception: deadline kills and speculative copies
+  /// assume a victim can sit on a lane while its replacement proceeds,
+  /// so those configurations keep the full (oversubscribed) pool.
+  size_t ExecWidth() const {
+    if (options_.speculative_execution ||
+        options_.task_deadline_seconds > 0) {
+      return 0;  // uncapped
+    }
+    return ThreadPool::HardwareConcurrency();
   }
 
   /// Effective reduce-partition count: per-job override, then
@@ -1033,7 +1108,8 @@ class LocalRunner {
     // sorting it in place (retries alone never overlap, so the copy is
     // skipped when speculation is off).
     const bool isolate_combine = options_.speculative_execution;
-    pool_.ParallelFor(num_splits, [&](size_t s) {
+    pool_.ParallelForCapped(num_splits, ExecWidth(), /*grain=*/0,
+                            [&](size_t s) {
       if (failure.has_failed()) return;
       const size_t begin = s * per_split;
       const size_t end = std::min(n, begin + per_split);

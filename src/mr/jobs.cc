@@ -112,7 +112,9 @@ class SupportMapper : public Mapper<Record, int64_t, std::vector<uint64_t>> {
  public:
   explicit SupportMapper(const SupportJobConfig* config)
       : config_(config),
-        supports_(config->rssc->num_words() * 64, 0) {}
+        // One counter per live signature; Rssc::Accumulate never touches
+        // the padding lanes of its last bitmap word.
+        supports_(config->rssc->num_signatures(), 0) {}
 
   void Map(const Record& record,
            Emitter<int64_t, std::vector<uint64_t>>& out) override {

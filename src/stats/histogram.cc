@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/core/kernels/kernels.h"
+
 namespace p3c::stats {
 
 uint64_t SturgesBins(uint64_t n) {
@@ -31,18 +33,27 @@ uint64_t NumBins(BinningRule rule, uint64_t n) {
 
 size_t BinIndex(double x, size_t num_bins) {
   assert(num_bins > 0);
-  // 1-based: max(1, ceil(m * x)); convert to 0-based and clamp.
+  // 1-based: max(1, ceil(m * x)); convert to 0-based and clamp. The
+  // branches run before any double->integer cast so the formula is
+  // defined for every input: NaN and !(x > 0) land in bin 0, x >= 1 and
+  // +inf in the last bin (the old cast of an out-of-range/NaN double was
+  // UB). This is the kernel layer's Ops::histogram_bin contract — the
+  // kernel-smoke suite pins the two together.
+  if (!(x > 0.0)) return 0;
   const double scaled = std::ceil(static_cast<double>(num_bins) * x);
-  long long idx = static_cast<long long>(scaled) - 1;
-  if (idx < 0) idx = 0;
-  if (idx >= static_cast<long long>(num_bins))
-    idx = static_cast<long long>(num_bins) - 1;
-  return static_cast<size_t>(idx);
+  if (scaled >= static_cast<double>(num_bins)) return num_bins - 1;
+  return static_cast<size_t>(scaled) - 1;
 }
 
 void Histogram::Add(double x) {
   assert(!counts_.empty());
   ++counts_[BinIndex(x, counts_.size())];
+}
+
+void Histogram::AddStrided(const double* xs, size_t n, size_t stride) {
+  assert(!counts_.empty());
+  core::kernels::Active().histogram_bin(xs, n, stride, counts_.size(),
+                                        counts_.data());
 }
 
 void Histogram::Merge(const Histogram& other) {

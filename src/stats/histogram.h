@@ -41,6 +41,12 @@ class Histogram {
   /// Counts `x` in its bin per BinIndex.
   void Add(double x);
 
+  /// Counts xs[0], xs[stride], ..., xs[(n-1)*stride] — the batch entry
+  /// point, routed through the active compute kernel backend (§14).
+  /// `stride` lets a row-major block feed one attribute's histogram
+  /// directly (stride = num_dims). Bit-exact with n calls to Add().
+  void AddStrided(const double* xs, size_t n, size_t stride);
+
   /// Adds another histogram's bin counts; sizes must match. This is the
   /// reducer-side combination of per-split partial histograms (§5.1).
   void Merge(const Histogram& other);

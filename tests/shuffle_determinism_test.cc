@@ -274,5 +274,62 @@ TEST(ShuffleDeterminismTest, MapOnlyMergeMatchesSerialRun) {
   }
 }
 
+// ---- Chunked merge plan ------------------------------------------------
+//
+// The staged merge cuts each partition's runs into data-derived chunks
+// (§14's scaling fix). The chunk plan must never change the merged
+// bytes: a tiny chunk target that forces many chunks per partition has
+// to produce exactly what the single-chunk serial merge produces.
+
+TEST(ShuffleDeterminismTest, MultiChunkMergeMatchesSingleChunk) {
+  const size_t num_partitions = 3;
+  const size_t num_maps = 5;
+  const HashPartitioner<int64_t> partitioner;
+  auto fill = [&](ShuffleBuffers<int64_t, uint64_t>& buffers) {
+    for (size_t m = 0; m < num_maps; ++m) {
+      std::vector<std::pair<int64_t, uint64_t>> pairs;
+      for (size_t i = 0; i < 400; ++i) {
+        const uint64_t h = ShuffleMix64(m * 1000 + i);
+        // Few distinct keys -> long duplicate tie groups straddling the
+        // sampled splitters, the hard case for chunk boundaries.
+        pairs.emplace_back(static_cast<int64_t>(h % 17), h);
+      }
+      buffers.CommitMapOutput(m, std::move(pairs), partitioner);
+    }
+  };
+
+  ShuffleBuffers<int64_t, uint64_t> single(num_partitions, num_maps);
+  ShuffleBuffers<int64_t, uint64_t> chunked(num_partitions, num_maps);
+  fill(single);
+  fill(chunked);
+  for (size_t p = 0; p < num_partitions; ++p) {
+    single.MergePartition(p);  // default target: everything in one chunk
+    chunked.MergePartition(p, /*target_chunk_records=*/16);  // many chunks
+    const auto& a = single.partition(p);
+    const auto& b = chunked.partition(p);
+    EXPECT_EQ(b.group_keys, a.group_keys) << "partition " << p;
+    EXPECT_EQ(b.group_offsets, a.group_offsets) << "partition " << p;
+    EXPECT_EQ(b.values, a.values) << "partition " << p;
+  }
+}
+
+TEST(ShuffleDeterminismTest, TinyMergeChunksPreserveJobOutput) {
+  const auto records = MakeRecords(3000, 37);
+  const Output baseline = RunJob(records, 1, 1, /*with_combiner=*/false);
+  RunnerOptions options;
+  options.num_threads = 4;
+  options.records_per_split = 64;
+  options.merge_chunk_records = 32;  // dozens of chunks per partition
+  LocalRunner runner(options);
+  ShuffleOptions<int64_t> shuffle;
+  shuffle.num_reducers = 8;
+  auto result = runner.Run<KeyedRecord, int64_t, uint64_t,
+                           std::pair<int64_t, uint64_t>>(
+      "tiny-chunks", records, [] { return std::make_unique<KeyedMapper>(); },
+      [] { return std::make_unique<OrderHashReducer>(); }, shuffle);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(*result, baseline);
+}
+
 }  // namespace
 }  // namespace p3c::mr

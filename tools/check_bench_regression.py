@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Gate the committed/fresh bench JSON against the perf contracts.
+
+Two contracts, one per artifact (both {"machine": ..., "rows": [...]}):
+
+BENCH_shuffle.json (bench_mr_shuffle):
+  * No scaling inversion: for every (records, reducers) cell, the
+    8-thread shuffle_seconds must not exceed tolerance x the 1-thread
+    shuffle_seconds plus an absolute noise floor (default 0.5 ms). The
+    merge plan is a pure function of the data, so adding threads must
+    never add work; the noise floor exists because on a machine where
+    the thread counts resolve to the same effective width the two
+    measurements are of *identical* execution, and a strict float <=
+    between two samples of the same distribution is a coin flip.
+  * output_identical must be true in every row — a shuffle that scales
+    by changing results does not count.
+
+BENCH_kernels.json (bench_kernels):
+  * The fastest non-scalar backend must hold speedup >= floor on
+    rssc_support at every size >= --kernel-min-size (default 256).
+  * outputs_identical must be true in every row — bit-exactness is the
+    contract that makes --kernel-backend a pure performance knob.
+  * If the machine offers no non-scalar backend the speedup gate is
+    skipped (reported, not failed): the scalar reference is then the
+    only backend and there is nothing to compare.
+
+Usage:
+  tools/check_bench_regression.py \
+      [--shuffle BENCH_shuffle.json] [--kernels BENCH_kernels.json] \
+      [--shuffle-tolerance 1.0] [--noise-floor-seconds 0.0005] \
+      [--kernel-floor 2.0] [--kernel-min-size 256]
+
+The committed artifacts are checked strictly (tolerance 1.0); CI's
+perf-smoke re-runs the benches on a shared runner and checks the fresh
+numbers with a small tolerance for scheduling noise.
+
+Exit code 0 when every contract holds, 1 otherwise, 2 on bad input.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def fail(msg):
+    print(f"FAIL: {msg}")
+    return 1
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "rows" not in doc or "machine" not in doc:
+        print(f"error: {path} is not a {{'machine': ..., 'rows': [...]}} "
+              "bench artifact", file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def check_shuffle(path, tolerance, noise_floor):
+    doc = load(path)
+    rows = doc["rows"]
+    failures = 0
+    for row in rows:
+        if not row.get("output_identical", False):
+            failures += fail(
+                f"shuffle {row['records']} records / {row['threads']} threads"
+                f" / {row['reducers']} reducers: output_identical is false")
+
+    # threads -> shuffle_seconds per (records, reducers) cell.
+    cells = defaultdict(dict)
+    for row in rows:
+        cells[(row["records"], row["reducers"])][row["threads"]] = \
+            row["shuffle_seconds"]
+    checked = 0
+    for (records, reducers), by_threads in sorted(cells.items()):
+        if 1 not in by_threads:
+            continue
+        base = by_threads[1]
+        for threads, seconds in sorted(by_threads.items()):
+            if threads == 1:
+                continue
+            checked += 1
+            if seconds > base * tolerance + noise_floor:
+                failures += fail(
+                    f"scaling inversion: {records} records / {reducers} "
+                    f"reducers: {threads}-thread shuffle {seconds:.4f}s > "
+                    f"{tolerance:.2f} x 1-thread {base:.4f}s "
+                    f"+ {noise_floor * 1e3:.2f}ms noise floor")
+    print(f"{path}: {len(rows)} rows, {checked} thread-vs-1 comparisons, "
+          f"tolerance {tolerance:.2f}x + {noise_floor * 1e3:.2f}ms"
+          + (" — OK" if failures == 0 else ""))
+    return failures
+
+
+def check_kernels(path, floor, min_size):
+    doc = load(path)
+    rows = doc["rows"]
+    failures = 0
+    for row in rows:
+        if not row.get("outputs_identical", False):
+            failures += fail(
+                f"kernel {row['kernel']}/{row['size']} backend "
+                f"{row['backend']}: outputs_identical is false")
+
+    gated = [r for r in rows
+             if r["kernel"] == "rssc_support" and r["size"] >= min_size
+             and r["backend"] != "scalar"]
+    if not gated:
+        print(f"{path}: no non-scalar backend rows — speedup gate skipped "
+              "(scalar-only machine)")
+        return failures
+
+    # Best non-scalar backend per size must clear the floor.
+    by_size = defaultdict(list)
+    for row in gated:
+        by_size[row["size"]].append(row)
+    for size, size_rows in sorted(by_size.items()):
+        best = max(size_rows, key=lambda r: r["speedup"])
+        if best["speedup"] < floor:
+            failures += fail(
+                f"kernel floor: rssc_support at {size} signatures: best "
+                f"non-scalar backend {best['backend']} speedup "
+                f"{best['speedup']:.2f}x < {floor:.2f}x")
+        else:
+            print(f"{path}: rssc_support/{size}: {best['backend']} "
+                  f"{best['speedup']:.2f}x >= {floor:.2f}x")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Gate bench JSON against the perf contracts.")
+    parser.add_argument("--shuffle", default=None,
+                        help="BENCH_shuffle.json to check")
+    parser.add_argument("--kernels", default=None,
+                        help="BENCH_kernels.json to check")
+    parser.add_argument("--shuffle-tolerance", type=float, default=1.0,
+                        help="max allowed N-thread/1-thread shuffle ratio "
+                             "(default 1.0: strictly no inversion)")
+    parser.add_argument("--noise-floor-seconds", type=float, default=0.0005,
+                        help="absolute slack added to the shuffle gate "
+                             "(default 0.5 ms — sub-millisecond timer and "
+                             "scheduler noise between identical runs)")
+    parser.add_argument("--kernel-floor", type=float, default=2.0,
+                        help="min rssc_support speedup for the best "
+                             "non-scalar backend (default 2.0)")
+    parser.add_argument("--kernel-min-size", type=int, default=256,
+                        help="gate rssc_support sizes >= this (default 256)")
+    args = parser.parse_args()
+    if args.shuffle is None and args.kernels is None:
+        parser.error("nothing to check: pass --shuffle and/or --kernels")
+
+    failures = 0
+    if args.shuffle is not None:
+        failures += check_shuffle(args.shuffle, args.shuffle_tolerance,
+                                  args.noise_floor_seconds)
+    if args.kernels is not None:
+        failures += check_kernels(args.kernels, args.kernel_floor,
+                                  args.kernel_min_size)
+    if failures:
+        print(f"{failures} perf contract violation(s)")
+        return 1
+    print("all perf contracts hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,12 @@
 //                                      durable — test hook for the
 //                                      kill-and-resume CI smoke
 //                                      (all seven: mr / mr-light only)
+//           [--kernel-backend=NAME]    compute-kernel backend for the hot
+//                                      loops (DESIGN.md §14): auto (pick
+//                                      the fastest the CPU supports, the
+//                                      default) | scalar | avx2; all
+//                                      backends are bit-exact, so this
+//                                      never changes results
 //           [--log-level=LEVEL]        debug|info|warning|error|off
 //           [--k K --l L]                    (PROCLUS only)
 //           [--doc-alpha F --doc-beta F --doc-w F]        (DOC only)
@@ -60,6 +66,7 @@
 #include "src/common/logging.h"
 #include "src/common/string_util.h"
 #include "src/common/trace.h"
+#include "src/core/kernels/kernels.h"
 #include "src/core/p3c.h"
 #include "src/core/streaming.h"
 #include "src/data/generator.h"
@@ -236,6 +243,13 @@ Result<core::ClusteringResult> RunAlgo(const std::string& algo,
   params.alpha_poisson =
       args.GetDouble("alpha-poisson", params.alpha_poisson);
   const auto threads = static_cast<size_t>(args.GetInt("threads", 0));
+
+  // Process-global compute-kernel backend (DESIGN.md §14). Applies to
+  // every algorithm; validated up front so a typo fails fast instead of
+  // silently falling back to auto-detection.
+  const Status backend =
+      core::kernels::SetBackend(args.Get("kernel-backend", "auto"));
+  if (!backend.ok()) return backend;
 
   if (algo == "p3c") {
     core::P3CPipeline pipeline{core::OriginalP3CParams(), threads};

@@ -20,6 +20,12 @@
 #                                      # straggler-smoke): deadlines,
 #                                      # cancellation, speculative attempt
 #                                      # races under both sanitizers
+#   tools/run_sanitizers.sh kernel-smoke
+#                                      # kernel-backend equivalence suite
+#                                      # (ctest -L kernel-smoke): every
+#                                      # vectorized backend bit-exact vs
+#                                      # the scalar reference under both
+#                                      # sanitizers
 #   tools/run_sanitizers.sh checkpoint-smoke
 #                                      # checkpoint/resume suite (ctest -L
 #                                      # checkpoint-smoke): kill-and-resume
@@ -97,6 +103,17 @@ case "${MODE}" in
       "ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1"
     run_suite "TSan straggler-smoke" Tsan build-tsan "TSAN_OPTIONS=halt_on_error=1"
     ;;
+  kernel-smoke)
+    # The kernel-backend equivalence suite: scalar vs vectorized bit-for-
+    # bit on hostile inputs (NaN/±inf coordinates, every tail width,
+    # signed-zero softmax ties). ASan polices the vector tails — a lane
+    # read past num_words/num_signatures is exactly the class of bug a
+    # hand-written SIMD loop invites; UBSan polices the binning casts.
+    LABEL="kernel-smoke"
+    run_suite "ASan+UBSan kernel-smoke" Sanitize build-asan \
+      "ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1"
+    run_suite "TSan kernel-smoke" Tsan build-tsan "TSAN_OPTIONS=halt_on_error=1"
+    ;;
   checkpoint-smoke)
     # The checkpoint/resume suite: resume-at-every-phase-boundary
     # determinism and the hostile-checkpoint scenarios. ASan/UBSan guards
@@ -113,7 +130,7 @@ case "${MODE}" in
     "$0" tsan
     ;;
   *)
-    echo "usage: $0 [asan|tsan|all|shuffle-smoke|trace-smoke|straggler-smoke|checkpoint-smoke]" \
+    echo "usage: $0 [asan|tsan|all|shuffle-smoke|trace-smoke|straggler-smoke|kernel-smoke|checkpoint-smoke]" \
          "[ctest -R filter]" >&2
     exit 2
     ;;
