@@ -23,6 +23,7 @@
 #include "bench/bench_util.h"
 #include "src/common/atomic_file.h"
 #include "src/common/random.h"
+#include "src/common/resource.h"
 #include "src/common/stopwatch.h"
 #include "src/core/kernels/kernels.h"
 
@@ -40,7 +41,27 @@ struct Row {
   double seconds = 0.0;
   double scalar_seconds = 0.0;
   double speedup = 0.0;
+  int64_t peak_bytes = 0;
   bool outputs_identical = false;
+};
+
+/// Charges a cell's working buffers to the bench scope and reads back
+/// the window peak — the cell's peak_bytes column. The buffers are the
+/// only tracked bytes in this binary, so window peak == working set.
+class CellMemory {
+ public:
+  explicit CellMemory(const char* kernel)
+      : charge_(p3c::resource::MemScope::kBench) {
+    p3c::resource::MemoryTracker::Global().BeginPhase(kernel);
+  }
+  void Charge(int64_t bytes) { charge_.Set(charge_.bytes() + bytes); }
+  int64_t Finish() {
+    charge_.Set(0);
+    return p3c::resource::MemoryTracker::Global().EndPhase();
+  }
+
+ private:
+  p3c::resource::ScopedBytes charge_;
 };
 
 /// Times `fn` Repeats() times, returns the minimum (noise only inflates).
@@ -87,10 +108,15 @@ Row BenchRsscSupport(const Ops& ops, size_t num_signatures) {
 
   std::vector<uint64_t> expected(num_signatures);
   std::vector<uint64_t> actual(num_signatures);
+  CellMemory mem("rssc_support");
+  mem.Charge(static_cast<int64_t>(
+      (bitmaps.capacity() + expected.capacity() + actual.capacity()) *
+      sizeof(uint64_t)));
   Row row{"rssc_support", num_signatures, ops.name};
   row.scalar_seconds = run(p3c::core::kernels::ScalarOps(), expected);
   row.seconds = run(ops, actual);
   row.speedup = row.seconds > 0.0 ? row.scalar_seconds / row.seconds : 0.0;
+  row.peak_bytes = mem.Finish();
   row.outputs_identical = expected == actual;
   return row;
 }
@@ -112,10 +138,15 @@ Row BenchHistogram(const Ops& ops, size_t num_bins) {
 
   std::vector<uint64_t> expected(num_bins);
   std::vector<uint64_t> actual(num_bins);
+  CellMemory mem("histogram");
+  mem.Charge(static_cast<int64_t>(
+      xs.capacity() * sizeof(double) +
+      (expected.capacity() + actual.capacity()) * sizeof(uint64_t)));
   Row row{"histogram", num_bins, ops.name};
   row.scalar_seconds = run(p3c::core::kernels::ScalarOps(), expected);
   row.seconds = run(ops, actual);
   row.speedup = row.seconds > 0.0 ? row.scalar_seconds / row.seconds : 0.0;
+  row.peak_bytes = mem.Finish();
   row.outputs_identical = expected == actual;
   return row;
 }
@@ -144,11 +175,17 @@ Row BenchSoftmax(const Ops& ops, size_t k) {
   std::vector<double> actual;
   uint64_t hash_expected = 0;
   uint64_t hash_actual = 0;
+  CellMemory mem("gmm_softmax");
   Row row{"gmm_softmax", k, ops.name};
   row.scalar_seconds =
       run(p3c::core::kernels::ScalarOps(), expected, hash_expected);
   row.seconds = run(ops, actual, hash_actual);
+  // Charged after the runs: expected/actual materialize inside run().
+  mem.Charge(static_cast<int64_t>(
+      (logw.capacity() + expected.capacity() + actual.capacity()) *
+      sizeof(double)));
   row.speedup = row.seconds > 0.0 ? row.scalar_seconds / row.seconds : 0.0;
+  row.peak_bytes = mem.Finish();
   row.outputs_identical =
       hash_expected == hash_actual &&
       std::memcmp(expected.data(), actual.data(),
@@ -167,6 +204,10 @@ int main(int argc, char** argv) {
 
   bench::Banner("Kernel backends — scalar vs vectorized, bit-exact",
                 "the dispatch layer of DESIGN.md §14");
+
+  // Working sets are charged to the bench scope so every row carries a
+  // peak_bytes column (DESIGN.md §15).
+  resource::MemoryTracker::Global().Enable(true);
 
   std::vector<Row> rows;
   std::printf("%14s %6s %8s %12s %12s %9s %5s\n", "kernel", "size", "backend",
@@ -209,9 +250,11 @@ int main(int argc, char** argv) {
       std::fprintf(f,
                    "  {\"kernel\": \"%s\", \"size\": %zu, \"backend\": "
                    "\"%s\", \"seconds\": %.6f, \"scalar_seconds\": %.6f, "
-                   "\"speedup\": %.3f, \"outputs_identical\": %s}%s\n",
+                   "\"speedup\": %.3f, \"peak_bytes\": %lld, "
+                   "\"outputs_identical\": %s}%s\n",
                    r.kernel.c_str(), r.size, r.backend.c_str(), r.seconds,
                    r.scalar_seconds, r.speedup,
+                   static_cast<long long>(r.peak_bytes),
                    r.outputs_identical ? "true" : "false",
                    i + 1 < rows.size() ? "," : "");
     }

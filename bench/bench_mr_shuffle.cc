@@ -19,6 +19,7 @@
 
 #include "bench/bench_util.h"
 #include "src/common/atomic_file.h"
+#include "src/common/resource.h"
 #include "src/common/stopwatch.h"
 #include "src/common/string_util.h"
 #include "src/common/trace.h"
@@ -103,6 +104,7 @@ struct Row {
   double baseline_sort_seconds = 0.0;
   double shuffle_speedup = 0.0;
   double partition_skew = 0.0;
+  int64_t peak_bytes = 0;
   bool output_identical = false;
 };
 
@@ -128,6 +130,15 @@ int main(int argc, char** argv) {
   }
   mr::MetricsRegistry sweep_metrics;  // one entry per sweep cell
 
+  // Scoped memory accounting is on for the whole sweep: the charge
+  // sites are coarse (per task commit / merge chunk / 256 emits), so
+  // the overhead is uniform noise across cells, and every BENCH row
+  // gains a peak_bytes column the regression gate can hold flat across
+  // thread counts (memory, like the merge plan, must not scale with
+  // parallelism).
+  resource::MemoryTracker& mem_tracker = resource::MemoryTracker::Global();
+  mem_tracker.Enable(true);
+
   bench::Banner("Partitioned shuffle — records x threads x reducers",
                 "the engine-side analog of §7.5's scale-up argument");
 
@@ -137,9 +148,9 @@ int main(int argc, char** argv) {
   const std::vector<size_t> reducer_counts = {1, 4, 8};
 
   std::vector<Row> rows;
-  std::printf("%9s %8s %9s %9s %10s %10s %9s %6s %5s\n", "records",
+  std::printf("%9s %8s %9s %9s %10s %10s %9s %6s %8s %5s\n", "records",
               "threads", "reducers", "map(s)", "shuffle(s)", "serial(s)",
-              "speedup", "skew", "ok");
+              "speedup", "skew", "peak(MB)", "ok");
   for (size_t n : record_counts) {
     const auto records = MakeRecords(n);
     const double baseline_sort = MeasureSerialSortBaseline(records);
@@ -161,11 +172,12 @@ int main(int argc, char** argv) {
       mr::JobMetrics best;
       bool have_best = false;
       bool identical = true;
+      int64_t peak_bytes = 0;
     };
     std::vector<Cell> cells;
     for (size_t threads : thread_counts) {
       for (size_t reducers : reducer_counts) {
-        cells.push_back(Cell{threads, reducers, {}, false, true});
+        cells.push_back(Cell{threads, reducers, {}, false, true, 0});
       }
     }
     const size_t repeats = bench::Repeats();
@@ -182,11 +194,17 @@ int main(int argc, char** argv) {
         mr::LocalRunner runner(options);
         mr::ShuffleOptions<int64_t> shuffle;
         shuffle.num_reducers = cell.reducers;
+        // Memory window per run; the per-cell figure is the max across
+        // repeats (the footprint is a property of the work, so repeats
+        // agree; max is robust if a repeat ever diverges).
+        mem_tracker.BeginPhase(StringPrintf("shuffle-bench/t=%zu/r=%zu",
+                                            cell.threads, cell.reducers));
         auto result = runner.Run<KeyedRecord, int64_t, uint64_t,
                                  std::pair<int64_t, uint64_t>>(
             "shuffle-bench", records,
             [] { return std::make_unique<KeyedMapper>(); },
             [] { return std::make_unique<OrderHashReducer>(); }, shuffle);
+        cell.peak_bytes = std::max(cell.peak_bytes, mem_tracker.EndPhase());
         if (!result.ok()) {
           std::fprintf(stderr, "run failed: %s\n",
                        result.status().ToString().c_str());
@@ -226,12 +244,15 @@ int main(int argc, char** argv) {
           best.shuffle_seconds > 0.0 ? baseline_sort / best.shuffle_seconds
                                      : 0.0;
       row.partition_skew = best.partition_skew;
+      row.peak_bytes = cell.peak_bytes;
       row.output_identical = cell.identical;
       rows.push_back(row);
-      std::printf("%9zu %8zu %9zu %9.4f %10.4f %10.4f %8.2fx %6.2f %5s\n",
-                  n, cell.threads, cell.reducers, row.map_seconds,
-                  row.shuffle_seconds, baseline_sort, row.shuffle_speedup,
-                  row.partition_skew, row.output_identical ? "yes" : "NO");
+      std::printf(
+          "%9zu %8zu %9zu %9.4f %10.4f %10.4f %8.2fx %6.2f %8.1f %5s\n", n,
+          cell.threads, cell.reducers, row.map_seconds, row.shuffle_seconds,
+          baseline_sort, row.shuffle_speedup, row.partition_skew,
+          static_cast<double>(row.peak_bytes) / (1024.0 * 1024.0),
+          row.output_identical ? "yes" : "NO");
       if (!row.output_identical) {
         std::fprintf(stderr,
                      "output diverged from the serial single-reducer "
@@ -259,10 +280,12 @@ int main(int argc, char** argv) {
           "\"map_seconds\": %.6f, \"shuffle_seconds\": %.6f, "
           "\"reduce_seconds\": %.6f, \"total_seconds\": %.6f, "
           "\"baseline_sort_seconds\": %.6f, \"shuffle_speedup\": %.3f, "
-          "\"partition_skew\": %.3f, \"output_identical\": %s}%s\n",
+          "\"partition_skew\": %.3f, \"peak_bytes\": %lld, "
+          "\"output_identical\": %s}%s\n",
           r.records, r.threads, r.reducers, r.map_seconds, r.shuffle_seconds,
           r.reduce_seconds, r.total_seconds, r.baseline_sort_seconds,
           r.shuffle_speedup, r.partition_skew,
+          static_cast<long long>(r.peak_bytes),
           r.output_identical ? "true" : "false",
           i + 1 < rows.size() ? "," : "");
     }

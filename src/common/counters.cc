@@ -26,6 +26,25 @@ size_t Metric::BucketIndex(double value) {
   return std::min(idx, kNumBuckets - 1);
 }
 
+double Metric::HistogramQuantile(double q) const {
+  if (kind != MetricKind::kHistogram || count == 0) return 0.0;
+  const double clamped_q = std::min(1.0, std::max(0.0, q));
+  // Smallest rank whose cumulative bucket count reaches the quantile.
+  const auto need = static_cast<uint64_t>(std::max(
+      1.0, std::ceil(clamped_q * static_cast<double>(count))));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= need) {
+      // Bucket i holds values <= 2^i; clamp the edge to the observed
+      // range so degenerate histograms report exact values.
+      const double edge = std::ldexp(1.0, static_cast<int>(i));
+      return std::min(max, std::max(min, edge));
+    }
+  }
+  return max;
+}
+
 void Metric::MergeFrom(const Metric& other) {
   if (kind != other.kind) return;  // mixed kinds: keep ours (see header)
   switch (kind) {
@@ -88,6 +107,31 @@ std::string JsonDouble(double v) {
 }
 
 }  // namespace
+
+std::string MetricBag::ToString(const std::string& indent) const {
+  std::string out;
+  for (const auto& [name, m] : values_) {
+    out += StringPrintf("%s%-44s ", indent.c_str(), name.c_str());
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out += StringPrintf("counter    %llu",
+                            static_cast<unsigned long long>(m.count));
+        break;
+      case MetricKind::kGauge:
+        out += StringPrintf("gauge      %.6g", m.sum);
+        break;
+      case MetricKind::kHistogram:
+        out += StringPrintf(
+            "histogram  count=%llu sum=%.6g p50=%.6g p95=%.6g max=%.6g",
+            static_cast<unsigned long long>(m.count), m.sum,
+            m.HistogramQuantile(0.5), m.HistogramQuantile(0.95),
+            m.count == 0 ? 0.0 : m.max);
+        break;
+    }
+    out += "\n";
+  }
+  return out;
+}
 
 std::string MetricBag::ToJson() const {
   std::string out = "{";

@@ -45,6 +45,13 @@ struct Metric {
   /// Bucket index observing `value` lands in.
   static size_t BucketIndex(double value);
 
+  /// Estimated q-quantile (q in [0, 1]) of a histogram: the upper edge
+  /// of the power-of-two bucket where the cumulative count crosses
+  /// q x count, clamped to the observed [min, max]. Within one power
+  /// of two of the true quantile — good enough for the human-readable
+  /// summaries; 0.0 for empty histograms and non-histograms.
+  [[nodiscard]] double HistogramQuantile(double q) const;
+
   /// Kind-aware accumulation of `other` into this metric. Merging two
   /// kinds is a programming error; the counter wins and the other value
   /// is dropped (never throws — merges run on engine threads).
@@ -117,6 +124,12 @@ class MetricBag {
   /// Keys are emitted in map (lexicographic) order, so two bags with
   /// equal contents serialize byte-identically.
   [[nodiscard]] std::string ToJson() const;
+
+  /// Human-readable table, one metric per line. Histograms get
+  /// count/p50/p95/max summary columns (quantiles estimated from the
+  /// power-of-two buckets) so heartbeat and report output is readable
+  /// without JSON tooling. Every line starts with `indent`.
+  [[nodiscard]] std::string ToString(const std::string& indent = "") const;
 
  private:
   std::map<std::string, Metric> values_;

@@ -1,0 +1,174 @@
+#include "src/common/resource.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "src/common/string_util.h"
+#include "src/common/trace.h"
+
+namespace p3c::resource {
+
+const char* MemScopeName(MemScope scope) {
+  switch (scope) {
+    case MemScope::kShuffleRuns:
+      return "shuffle-runs";
+    case MemScope::kShuffleMerged:
+      return "shuffle-merged";
+    case MemScope::kEmitter:
+      return "emitter";
+    case MemScope::kRsscIndex:
+      return "rssc-index";
+    case MemScope::kSupportPartials:
+      return "support-partials";
+    case MemScope::kHistogramBins:
+      return "histogram-bins";
+    case MemScope::kGmmMatrices:
+      return "gmm-matrices";
+    case MemScope::kDataset:
+      return "dataset";
+    case MemScope::kBench:
+      return "bench";
+    case MemScope::kNumScopes:
+      break;
+  }
+  return "unknown";
+}
+
+MemoryTracker& MemoryTracker::Global() {
+  // Leaked like the Tracer: release charges may arrive from worker
+  // threads or static-duration structures after main's locals died.
+  static MemoryTracker* instance = new MemoryTracker();
+  return *instance;
+}
+
+void MemoryTracker::ApplyDelta(MemScope scope, int64_t delta) {
+  if (delta == 0) return;
+  ScopeStats& stats = scopes_[Index(scope)];
+  const int64_t scope_now =
+      stats.current.fetch_add(delta, std::memory_order_relaxed) + delta;
+  const int64_t total_now =
+      total_current_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  if (delta < 0) return;
+  MaxMerge(stats.peak, scope_now);
+  MaxMerge(window_peak_, total_now);
+  const int64_t prev_peak = total_peak_.load(std::memory_order_relaxed);
+  MaxMerge(total_peak_, total_now);
+  if (total_now <= prev_peak) return;
+  // New process-wide high water: drop a trace instant when it climbed a
+  // full grain past the last one and the tracer is listening.
+  const int64_t last = last_instant_peak_.load(std::memory_order_relaxed);
+  if (total_now - last < kTraceInstantGrainBytes) return;
+  if (!Tracer::Global().enabled()) return;
+  int64_t seen = last;
+  if (last_instant_peak_.compare_exchange_strong(seen, total_now,
+                                                 std::memory_order_relaxed)) {
+    Tracer::Global().RecordInstant(
+        "mem-high-water",
+        StringPrintf("{\"total_bytes\": %lld, \"scope\": \"%s\"}",
+                     static_cast<long long>(total_now), MemScopeName(scope)));
+  }
+}
+
+void MemoryTracker::BeginPhase(const std::string& name) {
+  std::lock_guard<std::mutex> lock(phase_mu_);
+  current_phase_ = name;
+  window_peak_.store(total_current_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+}
+
+int64_t MemoryTracker::EndPhase() {
+  std::lock_guard<std::mutex> lock(phase_mu_);
+  const int64_t peak = window_peak_.load(std::memory_order_relaxed);
+  if (!current_phase_.empty()) {
+    int64_t& slot = phase_peaks_[current_phase_];
+    slot = std::max(slot, peak);
+    current_phase_.clear();
+  }
+  return peak;
+}
+
+void MemoryTracker::ResetRun() {
+  for (ScopeStats& stats : scopes_) {
+    stats.peak.store(stats.current.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  }
+  const int64_t current = total_current_.load(std::memory_order_relaxed);
+  total_peak_.store(current, std::memory_order_relaxed);
+  window_peak_.store(current, std::memory_order_relaxed);
+  last_instant_peak_.store(current, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(phase_mu_);
+  current_phase_.clear();
+  phase_peaks_.clear();
+}
+
+void MemoryTracker::ExportGauges(MetricBag* bag) const {
+  for (size_t i = 0; i < kNumMemScopes; ++i) {
+    const int64_t peak = scopes_[i].peak.load(std::memory_order_relaxed);
+    if (peak <= 0) continue;
+    bag->SetGauge(
+        StringPrintf("mem.%s.peak_bytes",
+                     MemScopeName(static_cast<MemScope>(i))),
+        static_cast<double>(peak));
+  }
+  const int64_t total_peak = TotalPeakBytes();
+  bag->SetGauge("mem.total.peak_bytes", static_cast<double>(total_peak));
+  {
+    std::lock_guard<std::mutex> lock(phase_mu_);
+    for (const auto& [name, peak] : phase_peaks_) {
+      bag->SetGauge(StringPrintf("mem.phase.%s.peak_bytes", name.c_str()),
+                    static_cast<double>(peak));
+    }
+  }
+  if (const std::optional<RssSample> rss = SampleRss()) {
+    bag->SetGauge("mem.sampled.vm_rss_bytes",
+                  static_cast<double>(rss->vm_rss_bytes));
+    bag->SetGauge("mem.sampled.vm_hwm_bytes",
+                  static_cast<double>(rss->vm_hwm_bytes));
+    bag->SetGauge("mem.sampled.untracked_bytes",
+                  static_cast<double>(
+                      std::max<int64_t>(0, rss->vm_hwm_bytes - total_peak)));
+  }
+}
+
+std::string MemoryTracker::DebugString() const {
+  std::string out;
+  for (size_t i = 0; i < kNumMemScopes; ++i) {
+    const int64_t current = scopes_[i].current.load(std::memory_order_relaxed);
+    const int64_t peak = scopes_[i].peak.load(std::memory_order_relaxed);
+    if (current == 0 && peak == 0) continue;
+    out += StringPrintf("%s%s=%lld/%lld", out.empty() ? "" : " ",
+                        MemScopeName(static_cast<MemScope>(i)),
+                        static_cast<long long>(current),
+                        static_cast<long long>(peak));
+  }
+  out += StringPrintf("%stotal=%lld/%lld", out.empty() ? "" : " ",
+                      static_cast<long long>(TotalCurrentBytes()),
+                      static_cast<long long>(TotalPeakBytes()));
+  return out;
+}
+
+std::optional<RssSample> MemoryTracker::SampleRss() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return std::nullopt;
+  RssSample sample;
+  bool have_rss = false;
+  bool have_hwm = false;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    long long kb = 0;
+    if (std::sscanf(line, "VmRSS: %lld kB", &kb) == 1) {
+      sample.vm_rss_bytes = static_cast<int64_t>(kb) * 1024;
+      have_rss = true;
+    } else if (std::sscanf(line, "VmHWM: %lld kB", &kb) == 1) {
+      sample.vm_hwm_bytes = static_cast<int64_t>(kb) * 1024;
+      have_hwm = true;
+    }
+    if (have_rss && have_hwm) break;
+  }
+  std::fclose(f);
+  if (!have_rss || !have_hwm) return std::nullopt;
+  return sample;
+}
+
+}  // namespace p3c::resource

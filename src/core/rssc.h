@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "src/common/resource.h"
 #include "src/core/signature.h"
 
 namespace p3c::core {
@@ -70,6 +71,10 @@ class Rssc {
   size_t num_words_ = 0;
   std::vector<size_t> attrs_;
   std::vector<AttrIndex> index_;
+  /// Tracked bytes of the word-packed bitmap index (masks +
+  /// separators), set once at the end of construction; copies of the
+  /// index charge independently, and the charge dies with the index.
+  resource::ScopedBytes index_charge_{resource::MemScope::kRsscIndex};
 };
 
 }  // namespace p3c::core

@@ -2,9 +2,23 @@
 
 #include <algorithm>
 
+#include "src/common/resource.h"
+
 namespace p3c::core {
 
 namespace {
+
+/// Per-task support counters, charged to the support-partials scope
+/// through the allocator itself — the type is local to this file, so
+/// the cross-allocator-move caveat of TrackedAllocator never applies.
+using TrackedCounts =
+    std::vector<uint64_t, resource::TrackedAllocator<uint64_t>>;
+
+TrackedCounts MakeTrackedCounts(size_t k) {
+  return TrackedCounts(k, 0,
+                       resource::TrackedAllocator<uint64_t>(
+                           resource::MemScope::kSupportPartials));
+}
 
 /// Runs `fn(task, begin, end)` over `n` points split into contiguous
 /// ranges, serial when pool is null.
@@ -41,8 +55,7 @@ std::vector<uint64_t> CountSupports(const data::Dataset& dataset,
   const size_t num_tasks = NumTasks(n, pool);
   // One counter per live signature — Rssc::Accumulate never touches the
   // padding lanes of its last word (see rssc.h).
-  std::vector<std::vector<uint64_t>> partials(num_tasks,
-                                              std::vector<uint64_t>(k, 0));
+  std::vector<TrackedCounts> partials(num_tasks, MakeTrackedCounts(k));
   ForEachRange(n, pool, [&](size_t task, size_t begin, size_t end) {
     std::vector<uint64_t> scratch;
     auto& local = partials[task];
@@ -66,8 +79,7 @@ std::vector<uint64_t> CountSupportsNaive(
   if (k == 0) return {};
   const size_t n = dataset.num_points();
   const size_t num_tasks = NumTasks(n, pool);
-  std::vector<std::vector<uint64_t>> partials(num_tasks,
-                                              std::vector<uint64_t>(k, 0));
+  std::vector<TrackedCounts> partials(num_tasks, MakeTrackedCounts(k));
   ForEachRange(n, pool, [&](size_t task, size_t begin, size_t end) {
     auto& local = partials[task];
     for (size_t i = begin; i < end; ++i) {
@@ -110,6 +122,18 @@ std::vector<std::vector<data::PointId>> ComputeSupportSets(
   });
   // Tasks own contiguous ascending ranges, so concatenation in task order
   // keeps each set sorted.
+  resource::ScopedBytes partials_charge(
+      resource::MemScope::kSupportPartials);
+  if (resource::MemoryTracker::Global().enabled()) {
+    int64_t bytes = 0;
+    for (const auto& local : partials) {
+      for (const auto& ids : local) {
+        bytes +=
+            static_cast<int64_t>(ids.capacity() * sizeof(data::PointId));
+      }
+    }
+    partials_charge.Set(bytes);
+  }
   for (auto& local : partials) {
     for (size_t j = 0; j < k; ++j) {
       sets[j].insert(sets[j].end(), local[j].begin(), local[j].end());

@@ -17,6 +17,7 @@ Result<Dataset> Dataset::FromRowMajor(std::vector<double> values,
   Dataset d;
   d.num_dims_ = num_dims;
   d.values_ = std::move(values);
+  d.RechargeMem();
   return d;
 }
 
@@ -32,6 +33,7 @@ Status Dataset::AppendRow(std::span<const double> row) {
     return Status::InvalidArgument("row dimensionality mismatch");
   }
   values_.insert(values_.end(), row.begin(), row.end());
+  RechargeMem();
   return Status::OK();
 }
 

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/resource.h"
 #include "src/common/status.h"
 
 namespace p3c::data {
@@ -26,7 +27,9 @@ class Dataset {
 
   /// Creates an n x d dataset initialized to zero.
   Dataset(size_t num_points, size_t num_dims)
-      : num_dims_(num_dims), values_(num_points * num_dims, 0.0) {}
+      : num_dims_(num_dims), values_(num_points * num_dims, 0.0) {
+    RechargeMem();
+  }
 
   /// Wraps existing row-major values; `values.size()` must be a multiple
   /// of `num_dims`.
@@ -71,8 +74,18 @@ class Dataset {
   [[nodiscard]] Dataset Select(std::span<const PointId> points) const;
 
  private:
+  /// Re-syncs the tracked charge with the buffer's capacity. Called
+  /// wherever values_ may have (re)allocated; a no-op (single relaxed
+  /// load, then an equal-bytes early out) when nothing changed.
+  void RechargeMem() {
+    mem_.Set(static_cast<int64_t>(values_.capacity() * sizeof(double)));
+  }
+
   size_t num_dims_;
   std::vector<double> values_;
+  /// The dataset is usually the process's dominant allocation, so the
+  /// mem.dataset scope is what anchors tracked bytes to sampled VmHWM.
+  resource::ScopedBytes mem_{resource::MemScope::kDataset};
 };
 
 }  // namespace p3c::data

@@ -100,6 +100,11 @@ std::string MetricsRegistry::ToString() const {
                       static_cast<unsigned long long>(
                           TotalDeadlineExceeded()),
                       TotalSeconds());
+  const MetricBag merged = MergedCounters();
+  if (!merged.empty()) {
+    out += "counters:\n";
+    out += merged.ToString("  ");
+  }
   return out;
 }
 
@@ -118,7 +123,7 @@ std::string JsonArray(const std::vector<T>& values, Fn&& render) {
 
 }  // namespace
 
-std::string MetricsRegistry::ToJson() const {
+std::string MetricsRegistry::ToJson(const MetricBag* driver) const {
   std::string out = "{\n  \"jobs\": [";
   for (size_t i = 0; i < jobs_.size(); ++i) {
     const JobMetrics& j = jobs_[i];
@@ -181,6 +186,13 @@ std::string MetricsRegistry::ToJson() const {
       static_cast<unsigned long long>(TotalKilledAttempts()),
       static_cast<unsigned long long>(TotalDeadlineExceeded()),
       MergedCounters().ToJson().c_str());
+  if (driver != nullptr && !driver->empty()) {
+    // Splice the driver bag in before the closing "\n}\n", keeping the
+    // no-driver serialization byte-identical to what it always was.
+    out.erase(out.find_last_of('}') - 1);
+    out += StringPrintf(",\n  \"driver\": %s\n}\n",
+                        driver->ToJson().c_str());
+  }
   return out;
 }
 

@@ -101,7 +101,8 @@ class MetricsRegistry {
   /// Multi-line human-readable table of all jobs, including the
   /// fault-tolerance columns (attempts / failures / retried tasks) and
   /// the shuffle skew ("-" for map-only jobs, whose partition vectors
-  /// are empty).
+  /// are empty), followed by the merged counters rendered through
+  /// MetricBag::ToString (histograms with count/p50/p95/max columns).
   [[nodiscard]] std::string ToString() const;
 
   /// Machine-readable export of the whole registry: a JSON object with
@@ -109,7 +110,10 @@ class MetricsRegistry {
   /// and per-partition vectors), the aggregate totals, and the merged
   /// counters. Counter values are deterministic — byte-identical across
   /// thread counts and under injected faults; timings of course vary.
-  [[nodiscard]] std::string ToJson() const;
+  /// When `driver` is non-null its bag is emitted under a "driver" key
+  /// — the pipeline driver's own gauges (mem.* peaks, RSS samples),
+  /// which belong to no single MR job.
+  [[nodiscard]] std::string ToJson(const MetricBag* driver = nullptr) const;
 
   void Clear() { jobs_.clear(); }
 

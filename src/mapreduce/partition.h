@@ -32,6 +32,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/resource.h"
+
 namespace p3c::mr {
 
 /// splitmix64 finalizer — the engine's standard integer mix (also used by
@@ -135,7 +137,10 @@ std::vector<std::pair<K, V>> LadderMergeMove(
   const auto merge_two = [&key_less](auto first1, auto last1, auto first2,
                                      auto last2, size_t total) {
     std::vector<Pair> merged;
-    merged.reserve(total);
+    // Merge scratch is deliberately untracked: elements move out of the
+    // already-charged runs, so the ladder's transient peak is bounded by
+    // the run bytes runs_charge_ reports (DESIGN.md §15).
+    merged.reserve(total);  // NOLINT(p3c-untracked-hot-alloc)
     std::merge(std::move_iterator(first1), std::move_iterator(last1),
                std::move_iterator(first2), std::move_iterator(last2),
                std::back_inserter(merged), key_less);
@@ -143,7 +148,8 @@ std::vector<std::pair<K, V>> LadderMergeMove(
   };
 
   std::vector<std::vector<Pair>> level;
-  level.reserve(slices.size() / 2 + 1);
+  // Vector-of-vectors headers, O(#slices) — noise next to the payloads.
+  level.reserve(slices.size() / 2 + 1);  // NOLINT(p3c-untracked-hot-alloc)
   for (size_t i = 0; i + 1 < slices.size(); i += 2) {
     level.push_back(merge_two(slices[i].begin(), slices[i].end(),
                               slices[i + 1].begin(), slices[i + 1].end(),
@@ -152,14 +158,16 @@ std::vector<std::pair<K, V>> LadderMergeMove(
   if (slices.size() % 2 == 1) {
     const std::span<Pair> last = slices.back();
     std::vector<Pair> tail;
-    tail.reserve(last.size());
+    // Moves the odd slice out of the charged runs; see merge_two above.
+    tail.reserve(last.size());  // NOLINT(p3c-untracked-hot-alloc)
     std::move(last.begin(), last.end(), std::back_inserter(tail));
     level.push_back(std::move(tail));
   }
   if (level.empty()) return {};
   while (level.size() > 1) {
     std::vector<std::vector<Pair>> next;
-    next.reserve(level.size() / 2 + 1);
+    // Headers again, O(#slices); payload bytes stay covered by the runs.
+    next.reserve(level.size() / 2 + 1);  // NOLINT(p3c-untracked-hot-alloc)
     for (size_t i = 0; i + 1 < level.size(); i += 2) {
       next.push_back(merge_two(level[i].begin(), level[i].end(),
                                level[i + 1].begin(), level[i + 1].end(),
@@ -210,6 +218,7 @@ class ShuffleBuffers {
   /// scatter keeps emission order and the sort is stable.
   void CommitMapOutput(size_t map_index, std::vector<std::pair<K, V>> pairs,
                        const Partitioner<K>& partitioner) {
+    const size_t committed_pairs = pairs.size();
     std::vector<std::vector<std::pair<K, V>>> buckets(num_partitions_);
     if (num_partitions_ == 1) {
       buckets[0] = std::move(pairs);
@@ -242,6 +251,10 @@ class ShuffleBuffers {
     for (size_t p = 0; p < num_partitions_; ++p) {
       runs_[p * num_maps_ + map_index] = std::move(buckets[p]);
     }
+    // Top-level run bytes (DESIGN.md §15: shallow accounting — element
+    // payloads behind pointers show up in the RSS drift gauge instead).
+    runs_charge_.Add(static_cast<int64_t>(committed_pairs *
+                                          sizeof(std::pair<K, V>)));
   }
 
   /// Stage 2: splits partition p's merge into chunks of roughly
@@ -261,15 +274,20 @@ class ShuffleBuffers {
             : std::max<size_t>(1, total / target_chunk_records);
     num_chunks = std::min(num_chunks, std::max<size_t>(1, total));
     plan.fragments.clear();
-    plan.fragments.resize(num_chunks);
-    plan.bounds.assign((num_chunks + 1) * num_maps_, 0);
+    // Plan metadata is O(chunks x maps) size_t bookkeeping — orders of
+    // magnitude under the record payloads the charges track.
+    plan.fragments.resize(num_chunks);  // NOLINT(p3c-untracked-hot-alloc)
+    plan.bounds.assign(  // NOLINT(p3c-untracked-hot-alloc)
+        (num_chunks + 1) * num_maps_, 0);
     for (size_t m = 0; m < num_maps_; ++m) {
       plan.bounds[num_chunks * num_maps_ + m] = runs[m].size();
     }
     if (num_chunks == 1) return;
 
     std::vector<K> sample;
-    sample.reserve(num_maps_ * (num_chunks - 1));
+    // Splitter sample: one key per (run, chunk boundary) — plan-sized.
+    sample.reserve(  // NOLINT(p3c-untracked-hot-alloc)
+        num_maps_ * (num_chunks - 1));
     for (const auto& run : runs) {
       if (run.empty()) continue;
       for (size_t c = 1; c < num_chunks; ++c) {
@@ -324,11 +342,14 @@ class ShuffleBuffers {
       }
     }
     plan.fragments[c] = shuffle_internal::LadderMergeMove<K, V>(slices);
+    merged_charge_.Add(static_cast<int64_t>(plan.fragments[c].size() *
+                                            sizeof(std::pair<K, V>)));
   }
 
   /// Stage 5: frees all run storage (every slice has been moved out).
   void ReleaseRuns() {
     for (auto& run : runs_) run = {};
+    runs_charge_.ReleaseAll();
   }
 
   /// Stage 6: stitches partition p's chunk fragments (already in global
@@ -353,6 +374,15 @@ class ShuffleBuffers {
     }
     out.group_offsets.push_back(out.values.size());
     plan = PartitionPlan{};
+    // Swap the accounting from chunk fragments to the merged form:
+    // charge the MergedPartition's buffers first so the stitch-time
+    // overlap registers in the peak, then release the fragment bytes.
+    merged_charge_.Add(static_cast<int64_t>(
+        out.values.capacity() * sizeof(V) +
+        out.group_keys.capacity() * sizeof(K) +
+        out.group_offsets.capacity() * sizeof(size_t)));
+    merged_charge_.Sub(
+        static_cast<int64_t>(total * sizeof(std::pair<K, V>)));
   }
 
   /// All six stages for partition p, serially — the single-threaded
@@ -396,6 +426,12 @@ class ShuffleBuffers {
   std::vector<PartitionPlan> plans_;
   std::vector<std::pair<uint32_t, uint32_t>> chunk_index_;
   std::vector<MergedPartition<K, V>> merged_;
+  /// Scoped accounting for the two shuffle lifetimes (DESIGN.md §15):
+  /// sorted runs (released at ReleaseRuns) and fragments + merged
+  /// partitions (released when the buffers die with the job). Their
+  /// destructors balance whatever is still outstanding.
+  resource::ArenaCharge runs_charge_{resource::MemScope::kShuffleRuns};
+  resource::ArenaCharge merged_charge_{resource::MemScope::kShuffleMerged};
 };
 
 /// Merge of key-sorted pair runs into one sorted vector (ties break

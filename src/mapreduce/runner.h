@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "src/common/cancellation.h"
+#include "src/common/logging.h"
+#include "src/common/resource.h"
 #include "src/common/status.h"
 #include "src/common/stopwatch.h"
 #include "src/common/string_util.h"
@@ -109,6 +111,13 @@ struct RunnerOptions {
   MetricsRegistry* metrics = nullptr;
   /// Optional sink for merged framework counters across jobs.
   Counters* counters = nullptr;
+  /// Heartbeat progress reporting (DESIGN.md §15): every this many
+  /// seconds the watchdog thread logs one structured line (job, stage,
+  /// records processed, live task attempts, per-scope tracked bytes,
+  /// sampled RSS) at kInfo. 0 (the default) disables it entirely —
+  /// same zero-cost-when-off gating idiom as the Tracer: no thread is
+  /// started and the task paths only test a null pointer.
+  double heartbeat_seconds = 0.0;
 };
 
 /// In-process, multi-threaded MapReduce engine.
@@ -205,6 +214,11 @@ class LocalRunner {
     const size_t num_partitions = ResolveNumReducers(shuffle.num_reducers);
     metrics.num_reducers = num_partitions;
     JobExecState exec;
+    HeartbeatState heartbeat;
+    heartbeat.job_name = job_name;
+    heartbeat.acct = &exec.acct;
+    if (options_.heartbeat_seconds > 0.0) exec.heartbeat = &heartbeat;
+    HeartbeatGuard heartbeat_guard(this, &heartbeat);
     Counters job_counters;
     Tracer& tracer = Tracer::Global();
     TraceSpan job_span(
@@ -253,7 +267,12 @@ class LocalRunner {
     // the data, so the merge work — and the merged bytes — are identical
     // at every thread count.
     Stopwatch shuffle_watch;
-    metrics.partition_shuffle_seconds.assign(num_partitions, 0.0);
+    if (exec.heartbeat != nullptr) {
+      exec.heartbeat->stage.store("shuffle", std::memory_order_relaxed);
+    }
+    // Per-partition metrics, O(partitions) doubles — not a hot structure.
+    metrics.partition_shuffle_seconds.assign(  // NOLINT(p3c-untracked-hot-alloc)
+        num_partitions, 0.0);
     const size_t chunk_records = options_.merge_chunk_records > 0
                                      ? options_.merge_chunk_records
                                      : kDefaultMergeChunkRecords;
@@ -308,7 +327,9 @@ class LocalRunner {
                                         job_name.c_str(), e.what())));
     }
     metrics.shuffle_seconds = shuffle_watch.ElapsedSeconds();
-    metrics.partition_records.resize(num_partitions);
+    // Skew metrics, O(partitions) counters — not a hot structure.
+    metrics.partition_records.resize(  // NOLINT(p3c-untracked-hot-alloc)
+        num_partitions);
     uint64_t shuffled_total = 0;
     uint64_t shuffled_max = 0;
     for (size_t p = 0; p < num_partitions; ++p) {
@@ -329,6 +350,9 @@ class LocalRunner {
     // read value groups as spans into the merged buffer — zero-copy, and
     // naturally retry-safe because the views are immutable.
     Stopwatch reduce_watch;
+    if (exec.heartbeat != nullptr) {
+      exec.heartbeat->stage.store("reduce", std::memory_order_relaxed);
+    }
     std::vector<std::vector<Out>> task_outputs(num_partitions);
     // Per-group output end offsets, recorded so the final merge can
     // stitch per-key output slices back into global key order.
@@ -357,20 +381,28 @@ class LocalRunner {
               // output buffers.
               std::vector<Out> attempt_out;
               std::vector<size_t> ends;
-              ends.reserve(part.num_groups());
+              // Group-end offsets: one size_t per group, dwarfed by the
+              // charged merged partition the groups point into.
+              ends.reserve(part.num_groups());  // NOLINT(p3c-untracked-hot-alloc)
               for (size_t g = 0; g < part.num_groups(); ++g) {
                 if ((g & 63u) == 0) ctx.cancel.ThrowIfCancelled();
                 reducer->Reduce(part.key(g), part.group_values(g),
                                 attempt_out);
                 ends.push_back(attempt_out.size());
               }
-              ctx.Commit([&] {
+              // TaskContext::Commit returns void; the rule collides
+              // with AtomicFileWriter::Commit across the scanned set.
+              ctx.Commit([&] {  // NOLINT(p3c-unchecked-status)
                 task_outputs[p] = std::move(attempt_out);
                 task_group_ends[p] = std::move(ends);
               });
               return Status::OK();
             },
             lane);
+        if (st.ok() && exec.heartbeat != nullptr) {
+          exec.heartbeat->records.fetch_add(part.values.size(),
+                                            std::memory_order_relaxed);
+        }
         if (!st.ok()) failure.Set(std::move(st));
       });
     }
@@ -387,9 +419,17 @@ class LocalRunner {
     // count, partitioner, and thread count.
     std::vector<Out> output;
     {
+      if (exec.heartbeat != nullptr) {
+        exec.heartbeat->stage.store("output-merge", std::memory_order_relaxed);
+      }
       TraceSpan merge_span("output-merge");
       size_t total_out = 0;
       for (const auto& t : task_outputs) total_out += t.size();
+      // The stitched output coexists with the per-task outputs until
+      // the moves below complete, so its top-level bytes are a real
+      // peak; charge them to the emitter scope for the window.
+      resource::ScopedBytes output_mem{resource::MemScope::kEmitter};
+      output_mem.Set(static_cast<int64_t>(total_out * sizeof(Out)));
       output.reserve(total_out);
       struct Cursor {
         size_t p;
@@ -443,6 +483,11 @@ class LocalRunner {
     metrics.input_records = input.size();
     metrics.num_reducers = 0;
     JobExecState exec;
+    HeartbeatState heartbeat;
+    heartbeat.job_name = job_name;
+    heartbeat.acct = &exec.acct;
+    if (options_.heartbeat_seconds > 0.0) exec.heartbeat = &heartbeat;
+    HeartbeatGuard heartbeat_guard(this, &heartbeat);
     Counters job_counters;
     TraceSpan job_span(
         "job:" + job_name,
@@ -468,6 +513,9 @@ class LocalRunner {
     }
 
     Stopwatch shuffle_watch;
+    if (exec.heartbeat != nullptr) {
+      exec.heartbeat->stage.store("output-merge", std::memory_order_relaxed);
+    }
     std::vector<std::pair<K, V>> pairs;
     {
       TraceSpan merge_span("output-merge");
@@ -509,15 +557,80 @@ class LocalRunner {
     std::atomic<uint64_t> deadline_exceeded{0};
   };
 
+  /// Live progress counters one job exposes to the heartbeat sampler.
+  /// All relaxed atomics — the sampler renders an instantaneous
+  /// snapshot, never a synchronized one. `stage` holds string literals
+  /// only (static storage), so the sampler can read it lock-free.
+  struct HeartbeatState {
+    std::string job_name;
+    std::atomic<const char*> stage{"map"};
+    std::atomic<uint64_t> records{0};
+    std::atomic<int64_t> live_attempts{0};
+    const AttemptAccounting* acct = nullptr;
+  };
+
   /// Per-job execution state shared by every task of the job: the
   /// attempt accounting, the completed-duration populations feeding
-  /// speculation, and the job-wide cancellation source that wakes
-  /// retry-backoff sleepers the moment the job has already failed.
+  /// speculation, the job-wide cancellation source that wakes
+  /// retry-backoff sleepers the moment the job has already failed, and
+  /// the heartbeat hook (null unless --heartbeat-seconds is set — the
+  /// task paths pay one null test when heartbeat is off).
   struct JobExecState {
     AttemptAccounting acct;
     TaskDurationStats durations[3];  ///< indexed by TaskKind
     CancellationSource job_cancel;
+    HeartbeatState* heartbeat = nullptr;
   };
+
+  /// Starts the heartbeat sampler on the runner's watchdog thread for
+  /// one job and stops it on scope exit; inert when heartbeat_seconds
+  /// is 0. Declared after the HeartbeatState it samples, so the
+  /// sampler is always stopped before the state dies.
+  class HeartbeatGuard {
+   public:
+    HeartbeatGuard(LocalRunner* runner, const HeartbeatState* state) {
+      if (runner->options_.heartbeat_seconds <= 0.0) return;
+      watchdog_ = &runner->watchdog_;
+      watchdog_->StartSampler(runner->options_.heartbeat_seconds,
+                              [state] { EmitHeartbeat(*state); });
+    }
+    ~HeartbeatGuard() {
+      if (watchdog_ != nullptr) watchdog_->StopSampler();
+    }
+
+    HeartbeatGuard(const HeartbeatGuard&) = delete;
+    HeartbeatGuard& operator=(const HeartbeatGuard&) = delete;
+
+   private:
+    TaskWatchdog* watchdog_ = nullptr;
+  };
+
+  /// One heartbeat line: progress counters, tracked per-scope bytes
+  /// (when the MemoryTracker is on), and sampled RSS (where /proc
+  /// exists). Runs on the watchdog thread under its mutex — reads
+  /// relaxed atomics, formats, logs; nothing blocking.
+  static void EmitHeartbeat(const HeartbeatState& state) {
+    std::string line = StringPrintf(
+        "heartbeat job=%s stage=%s records=%llu live_attempts=%lld "
+        "attempts=%llu",
+        state.job_name.c_str(), state.stage.load(std::memory_order_relaxed),
+        static_cast<unsigned long long>(
+            state.records.load(std::memory_order_relaxed)),
+        static_cast<long long>(
+            state.live_attempts.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            state.acct == nullptr
+                ? 0
+                : state.acct->attempts.load(std::memory_order_relaxed)));
+    const resource::MemoryTracker& tracker =
+        resource::MemoryTracker::Global();
+    if (tracker.enabled()) line += " mem{" + tracker.DebugString() + "}";
+    if (const auto rss = resource::MemoryTracker::SampleRss()) {
+      line += StringPrintf(" rss_bytes=%lld",
+                           static_cast<long long>(rss->vm_rss_bytes));
+    }
+    P3C_LOG(kInfo) << line;
+  }
 
   /// First-error-wins slot shared by the tasks of one phase: the first
   /// task to exhaust its attempts parks its Status here and later tasks
@@ -841,6 +954,9 @@ class LocalRunner {
     if (speculative) {
       exec.acct.speculative.fetch_add(1, std::memory_order_relaxed);
     }
+    if (exec.heartbeat != nullptr) {
+      exec.heartbeat->live_attempts.fetch_add(1, std::memory_order_relaxed);
+    }
     Tracer& tracer = Tracer::Global();
     const bool tracing = tracer.enabled();
     // Speculative copies run on their own thread and therefore on
@@ -885,6 +1001,9 @@ class LocalRunner {
           Status::Internal(StringPrintf("uncaught exception: %s", e.what()));
     } catch (...) {
       out.status = Status::Internal("uncaught non-standard exception");
+    }
+    if (exec.heartbeat != nullptr) {
+      exec.heartbeat->live_attempts.fetch_sub(1, std::memory_order_relaxed);
     }
     return out;
   }
@@ -1049,7 +1168,13 @@ class LocalRunner {
       // Cooperative cancellation checkpoint: a wide-emit mapper that
       // never returns to the engine's record loop is still killable.
       // One relaxed load every 256 emits; null tokens never cancel.
-      if (((++emit_calls_) & 255u) == 0) cancel_.ThrowIfCancelled();
+      // The memory charge refreshes at the same cadence — bounded
+      // staleness without per-emit tracker traffic.
+      if (((++emit_calls_) & 255u) == 0) {
+        cancel_.ThrowIfCancelled();
+        mem_.Set(static_cast<int64_t>(pairs_.capacity() *
+                                      sizeof(std::pair<K, V>)));
+      }
       bytes_ += SerializedSize(key) + SerializedSize(value);
       pairs_.emplace_back(std::move(key), std::move(value));
     }
@@ -1062,11 +1187,19 @@ class LocalRunner {
     /// reserving the split size up front removes the early reallocation
     /// churn of wide-emit jobs. The capacity is transient — commit moves
     /// the pairs into tight shuffle buckets.
-    void Reserve(size_t expected_pairs) { pairs_.reserve(expected_pairs); }
+    void Reserve(size_t expected_pairs) {
+      pairs_.reserve(expected_pairs);
+      mem_.Set(static_cast<int64_t>(pairs_.capacity() *
+                                    sizeof(std::pair<K, V>)));
+    }
 
     std::vector<std::pair<K, V>> pairs_;
     Counters counters_;
     uint64_t bytes_ = 0;
+    /// Scoped charge shadowing pairs_'s top-level capacity; moves with
+    /// the emitter, released on destruction (or explicitly after the
+    /// pairs are handed to the shuffle).
+    resource::ScopedBytes mem_{resource::MemScope::kEmitter};
 
    private:
     CancellationToken cancel_{};
@@ -1133,7 +1266,19 @@ class LocalRunner {
               mapper->Map(record, out);
             }
             mapper->Cleanup(out);
-            ctx.Commit([&] { emitters[s] = std::move(out); });
+            if (resource::MemoryTracker::Global().enabled()) {
+              // Deterministic task-footprint gauge: serialized emit
+              // bytes, identical for every attempt copy of this task.
+              // It rides the attempt-local counters, so failed
+              // attempts drop it with the attempt and the job-level
+              // merge (gauge = max) is exactly-once under retry and
+              // speculation.
+              out.counters_.SetGauge("mem.task.peak_bytes",
+                                     static_cast<double>(out.bytes_));
+            }
+            // TaskContext::Commit returns void (see above).
+            ctx.Commit(  // NOLINT(p3c-unchecked-status)
+                [&] { emitters[s] = std::move(out); });
             return Status::OK();
           });
       if (st.ok() && combiner_factory != nullptr) {
@@ -1157,7 +1302,15 @@ class LocalRunner {
       if (st.ok()) {
         map_output_records.fetch_add(emitters[s].pairs_.size(),
                                      std::memory_order_relaxed);
+        if (exec.heartbeat != nullptr) {
+          exec.heartbeat->records.fetch_add(split.size(),
+                                            std::memory_order_relaxed);
+        }
         st = commit(s, std::move(emitters[s].pairs_));
+        // The pairs now live in the shuffle buffers (charged there);
+        // drop the emitter's charge instead of holding it until the
+        // emitters vector dies at the end of the phase.
+        emitters[s].mem_.Set(0);
       }
       if (!st.ok()) failure.Set(std::move(st));
     });
@@ -1221,9 +1374,12 @@ class LocalRunner {
       combined.emplace_back(pairs[i].first, std::move(result));
       i = j;
     }
-    ctx.Commit([&] {
+    // TaskContext::Commit returns void (see above).
+    ctx.Commit([&] {  // NOLINT(p3c-unchecked-status)
       out.pairs_ = std::move(combined);
       out.bytes_ = bytes;
+      out.mem_.Set(static_cast<int64_t>(out.pairs_.capacity() *
+                                        sizeof(std::pair<K, V>)));
     });
     return Status::OK();
   }

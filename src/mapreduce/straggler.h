@@ -126,6 +126,31 @@ class TaskWatchdog {
     entries_.erase(id);
   }
 
+  /// Installs a periodic sampler (the heartbeat reporter, DESIGN.md
+  /// §15) that runs `fn` on the watchdog thread every
+  /// `interval_seconds`, reusing this thread instead of spawning a
+  /// second monitor. One sampler at a time (a runner executes jobs
+  /// sequentially); installing a new one replaces the old. `fn` runs
+  /// under the watchdog mutex, same contract as the kill/launch
+  /// closures — keep it short (read counters, format, log).
+  void StartSampler(double interval_seconds, std::function<void()> fn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sampler_fn_ = std::move(fn);
+    sampler_interval_ = interval_seconds;
+    sampler_next_ =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(interval_seconds));
+    EnsureThreadLocked();
+    cv_.notify_all();
+  }
+
+  /// Removes the sampler. On return `fn` is not running and will never
+  /// run again (it only executes under the mutex held here).
+  void StopSampler() {
+    std::lock_guard<std::mutex> lock(mu_);
+    sampler_fn_ = nullptr;
+  }
+
   /// Called by the runner when a speculative copy finishes, releasing
   /// its concurrency slot (acquired by the watchdog at launch time).
   void OnSpeculativeFinished() {
@@ -213,6 +238,15 @@ class TaskWatchdog {
           }
         }
       }
+      if (sampler_fn_) {
+        if (now >= sampler_next_) {
+          sampler_fn_();
+          sampler_next_ =
+              now + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(sampler_interval_));
+        }
+        next_wake = std::min(next_wake, sampler_next_);
+      }
       cv_.wait_until(lock, next_wake);
     }
   }
@@ -224,6 +258,10 @@ class TaskWatchdog {
   uint64_t next_id_ = 1;
   size_t active_speculative_ = 0;
   std::unordered_map<uint64_t, Entry> entries_;
+  // Heartbeat sampler state, all under mu_.
+  std::function<void()> sampler_fn_;
+  double sampler_interval_ = 0.0;
+  Clock::time_point sampler_next_{};
 };
 
 }  // namespace p3c::mr

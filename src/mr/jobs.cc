@@ -5,6 +5,7 @@
 #include <functional>
 #include <memory>
 
+#include "src/common/resource.h"
 #include "src/core/rssc.h"
 #include "src/stats/descriptive.h"
 
@@ -23,7 +24,9 @@ class VectorSumReducer
               std::vector<KeyedDoubles>& out) override {
     std::vector<double> acc;
     for (const auto& v : values) {
-      if (acc.empty()) acc.assign(v.size(), 0.0);
+      // Per-group accumulator, moved into the emitted payload whose
+      // top-level bytes the emitter charge already covers.
+      if (acc.empty()) acc.assign(v.size(), 0.0);  // NOLINT(p3c-untracked-hot-alloc)
       for (size_t i = 0; i < v.size() && i < acc.size(); ++i) acc[i] += v[i];
     }
     out.emplace_back(key, std::move(acc));
@@ -41,7 +44,8 @@ class CountSumReducer
       override {
     std::vector<uint64_t> acc;
     for (const auto& v : values) {
-      if (acc.empty()) acc.assign(v.size(), 0);
+      // Per-group accumulator; see VectorSumReducer above.
+      if (acc.empty()) acc.assign(v.size(), 0);  // NOLINT(p3c-untracked-hot-alloc)
       for (size_t i = 0; i < v.size() && i < acc.size(); ++i) acc[i] += v[i];
     }
     out.emplace_back(key, std::move(acc));
@@ -71,7 +75,10 @@ class HistogramMapper : public Mapper<Record, int64_t, std::vector<uint64_t>> {
   explicit HistogramMapper(const HistogramJobConfig* config)
       : config_(config),
         local_(config->dataset->num_dims(),
-               stats::Histogram(config->bins)) {}
+               stats::Histogram(config->bins)) {
+    mem_.Set(static_cast<int64_t>(local_.size() * config->bins *
+                                  sizeof(uint64_t)));
+  }
 
   void Map(const Record& record,
            Emitter<int64_t, std::vector<uint64_t>>& out) override {
@@ -97,6 +104,7 @@ class HistogramMapper : public Mapper<Record, int64_t, std::vector<uint64_t>> {
   const HistogramJobConfig* config_;
   std::vector<stats::Histogram> local_;
   uint64_t points_ = 0;
+  resource::ScopedBytes mem_{resource::MemScope::kHistogramBins};
 };
 
 // ---------------------------------------------------------------------------
@@ -159,7 +167,9 @@ class MomentMapper : public Mapper<Record, int64_t, std::vector<double>> {
         dim_(config->model->dim()),
         w_(k_, 0.0),
         w2_(k_, 0.0),
-        lsum_(k_, linalg::Vector(dim_, 0.0)) {}
+        lsum_(k_, linalg::Vector(dim_, 0.0)) {
+    mem_.Set(static_cast<int64_t>((2 * k_ + k_ * dim_) * sizeof(double)));
+  }
 
   void Map(const Record& record,
            Emitter<int64_t, std::vector<double>>& out) override {
@@ -180,7 +190,8 @@ class MomentMapper : public Mapper<Record, int64_t, std::vector<double>> {
     // Payload layout: [wC, wC2, lC...] (§5.4's first EM job statistics).
     for (size_t c = 0; c < k_; ++c) {
       std::vector<double> stats;
-      stats.reserve(dim_ + 2);
+      // Emit payload (dim+2 doubles), covered by the emitter charge.
+      stats.reserve(dim_ + 2);  // NOLINT(p3c-untracked-hot-alloc)
       stats.push_back(w_[c]);
       stats.push_back(w2_[c]);
       stats.insert(stats.end(), lsum_[c].begin(), lsum_[c].end());
@@ -198,6 +209,7 @@ class MomentMapper : public Mapper<Record, int64_t, std::vector<double>> {
   std::vector<linalg::Vector> lsum_;
   double log_likelihood_ = 0.0;
   std::vector<std::pair<uint32_t, double>> contributions_;
+  resource::ScopedBytes mem_{resource::MemScope::kGmmMatrices};
 };
 
 struct CovarianceJobConfig {
@@ -213,7 +225,9 @@ class CovarianceMapper : public Mapper<Record, int64_t, std::vector<double>> {
       : config_(config),
         k_(config->model->num_components()),
         dim_(config->model->dim()),
-        acc_(k_, linalg::Matrix(dim_, dim_)) {}
+        acc_(k_, linalg::Matrix(dim_, dim_)) {
+    mem_.Set(static_cast<int64_t>(k_ * dim_ * dim_ * sizeof(double)));
+  }
 
   void Map(const Record& record,
            Emitter<int64_t, std::vector<double>>& out) override {
@@ -240,6 +254,7 @@ class CovarianceMapper : public Mapper<Record, int64_t, std::vector<double>> {
   size_t dim_;
   std::vector<linalg::Matrix> acc_;
   std::vector<std::pair<uint32_t, double>> contributions_;
+  resource::ScopedBytes mem_{resource::MemScope::kGmmMatrices};
 };
 
 // ---------------------------------------------------------------------------
@@ -385,9 +400,13 @@ class ClusterHistogramMapper
     auto& cluster_local = local_[static_cast<size_t>(c)];
     const size_t d = config_->dataset->num_dims();
     if (cluster_local.empty()) {
-      cluster_local.assign(
-          d, stats::Histogram((*config_->bins_per_cluster)[static_cast<size_t>(
-                 c)]));
+      const size_t bins =
+          (*config_->bins_per_cluster)[static_cast<size_t>(c)];
+      cluster_local.assign(d, stats::Histogram(bins));
+      // Lazy materialization is once per (cluster, task), so the charge
+      // update stays off the per-record path.
+      mem_bytes_ += static_cast<int64_t>(d * bins * sizeof(uint64_t));
+      mem_.Set(mem_bytes_);
     }
     const auto row = config_->dataset->Row(record);
     for (size_t j = 0; j < d; ++j) cluster_local[j].Add(row[j]);
@@ -406,6 +425,8 @@ class ClusterHistogramMapper
  private:
   const ClusterHistogramJobConfig* config_;
   std::vector<std::vector<stats::Histogram>> local_;
+  int64_t mem_bytes_ = 0;
+  resource::ScopedBytes mem_{resource::MemScope::kHistogramBins};
 };
 
 // ---------------------------------------------------------------------------
@@ -434,8 +455,12 @@ class TighteningMapper : public Mapper<Record, int64_t, std::vector<double>> {
     auto& lo = lo_[static_cast<size_t>(c)];
     auto& hi = hi_[static_cast<size_t>(c)];
     if (lo.empty()) {
-      lo.assign(attrs.size(), std::numeric_limits<double>::infinity());
-      hi.assign(attrs.size(), -std::numeric_limits<double>::infinity());
+      // Per-cluster min/max bounds: O(k x attrs) doubles per task,
+      // noise next to the charged dataset the rows come from.
+      lo.assign(  // NOLINT(p3c-untracked-hot-alloc)
+          attrs.size(), std::numeric_limits<double>::infinity());
+      hi.assign(  // NOLINT(p3c-untracked-hot-alloc)
+          attrs.size(), -std::numeric_limits<double>::infinity());
     }
     const auto row = config_->dataset->Row(record);
     for (size_t a = 0; a < attrs.size(); ++a) {
@@ -448,7 +473,8 @@ class TighteningMapper : public Mapper<Record, int64_t, std::vector<double>> {
     for (size_t c = 0; c < lo_.size(); ++c) {
       if (lo_[c].empty()) continue;
       std::vector<double> payload;
-      payload.reserve(lo_[c].size() * 2);
+      // Emit payload (2 x attrs doubles), covered by the emitter charge.
+      payload.reserve(lo_[c].size() * 2);  // NOLINT(p3c-untracked-hot-alloc)
       payload.insert(payload.end(), lo_[c].begin(), lo_[c].end());
       payload.insert(payload.end(), hi_[c].begin(), hi_[c].end());
       out.Emit(static_cast<int64_t>(c), std::move(payload));
@@ -587,9 +613,12 @@ Result<MomentSums> RunMomentJob(LocalRunner& runner,
   if (!run.ok()) return run.status();
   auto& out = *run;
   MomentSums sums;
-  sums.w.assign(model.num_components(), 0.0);
-  sums.w2.assign(model.num_components(), 0.0);
-  sums.lsum.assign(model.num_components(), linalg::Vector(model.dim(), 0.0));
+  // Driver-side fold of the job output: O(k x dim) doubles, deliberately
+  // untracked — the kGmmMatrices scope covers the per-task copies.
+  sums.w.assign(model.num_components(), 0.0);  // NOLINT(p3c-untracked-hot-alloc)
+  sums.w2.assign(model.num_components(), 0.0);  // NOLINT(p3c-untracked-hot-alloc)
+  sums.lsum.assign(  // NOLINT(p3c-untracked-hot-alloc)
+      model.num_components(), linalg::Vector(model.dim(), 0.0));
   for (auto& [key, stats] : out) {
     if (key == kLogLikelihoodKey) {
       sums.log_likelihood = stats.empty() ? 0.0 : stats[0];
@@ -647,7 +676,9 @@ Result<std::vector<MvbBall>> RunMvbBallJob(
   for (auto& [key, payload] : out) {
     if (key < 0 || payload.empty()) continue;
     MvbBall& ball = balls[static_cast<size_t>(key)];
-    ball.center.assign(payload.begin(), payload.end() - 1);
+    // Driver-side fold, O(k x dim) doubles — deliberately untracked.
+    ball.center.assign(  // NOLINT(p3c-untracked-hot-alloc)
+        payload.begin(), payload.end() - 1);
     ball.radius = payload.back();
   }
   return balls;
@@ -689,7 +720,10 @@ Result<std::vector<std::vector<stats::Histogram>>> RunClusterHistogramJob(
   const size_t d = dataset.num_dims();
   std::vector<std::vector<stats::Histogram>> histograms(num_clusters);
   for (size_t c = 0; c < num_clusters; ++c) {
-    histograms[c].assign(d, stats::Histogram(bins_per_cluster[c]));
+    // Driver-side result histograms; the per-task copies are what the
+    // kHistogramBins scope tracks (ClusterHistogramMapper charges them).
+    histograms[c].assign(  // NOLINT(p3c-untracked-hot-alloc)
+        d, stats::Histogram(bins_per_cluster[c]));
   }
   for (auto& [key, counts] : out) {
     const auto c = static_cast<size_t>(key / static_cast<int64_t>(d));
@@ -718,7 +752,8 @@ Result<std::vector<std::vector<core::Interval>>> RunTighteningJob(
     if (key < 0) continue;
     const auto c = static_cast<size_t>(key);
     const size_t half = payload.size() / 2;
-    intervals[c].resize(half);
+    // Driver-side result intervals, O(k x attrs) — deliberately untracked.
+    intervals[c].resize(half);  // NOLINT(p3c-untracked-hot-alloc)
     for (size_t a = 0; a < half; ++a) {
       intervals[c][a] = core::Interval{attrs[c][a], payload[a],
                                        payload[half + a]};
@@ -731,8 +766,12 @@ Result<SupportSetJobResult> RunSupportSetJob(
     LocalRunner& runner, const data::Dataset& dataset,
     const std::vector<core::Signature>& signatures) {
   SupportSetJobResult result;
-  result.support_sets.resize(signatures.size());
-  result.unique_assignment.assign(dataset.num_points(), -1);
+  // Driver-side result: signature headers plus one int32 per point —
+  // an order under the dataset's charged doubles; deliberately untracked.
+  result.support_sets.resize(  // NOLINT(p3c-untracked-hot-alloc)
+      signatures.size());
+  result.unique_assignment.assign(  // NOLINT(p3c-untracked-hot-alloc)
+      dataset.num_points(), -1);
   if (signatures.empty()) return result;
   const std::vector<Record> records = MakeRecords(dataset);
   const core::Rssc rssc(signatures);

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "src/common/logging.h"
+#include "src/common/resource.h"
 #include "src/common/stopwatch.h"
 #include "src/common/string_util.h"
 #include "src/common/trace.h"
@@ -45,6 +46,28 @@ namespace {
 /// pathological phase (every attempt deadline-killed, every job re-run)
 /// degrades into a bounded, explained failure instead of wedging the
 /// caller.
+/// RAII memory-phase window on the global MemoryTracker. Repeated
+/// windows with the same name (job retries, the EM loop) max-merge into
+/// one mem.phase.<name>.peak_bytes gauge; inactive (tracker off) it is
+/// two relaxed loads.
+class PhaseMemWindow {
+ public:
+  explicit PhaseMemWindow(const char* phase) {
+    if (resource::MemoryTracker::Global().enabled()) {
+      active_ = true;
+      resource::MemoryTracker::Global().BeginPhase(phase);
+    }
+  }
+  ~PhaseMemWindow() {
+    if (active_) resource::MemoryTracker::Global().EndPhase();
+  }
+  PhaseMemWindow(const PhaseMemWindow&) = delete;
+  PhaseMemWindow& operator=(const PhaseMemWindow&) = delete;
+
+ private:
+  bool active_ = false;
+};
+
 template <typename Fn>
 auto RunPipelineJob(const JobRetryPolicy& policy, const char* phase,
                     Fn&& fn) -> decltype(fn()) {
@@ -53,6 +76,7 @@ auto RunPipelineJob(const JobRetryPolicy& policy, const char* phase,
   // retry shows as a second phase slice with the failure instant
   // between them.
   TraceSpan phase_span(std::string("phase:") + phase);
+  PhaseMemWindow mem_window(phase);
   Stopwatch budget_watch;
   const size_t max_attempts = std::max<size_t>(1, policy.max_job_attempts);
   Status last;
@@ -387,6 +411,20 @@ Result<core::ClusteringResult> P3CMR::Cluster(const data::Dataset& dataset) {
   metrics_.Clear();
   counters_.Clear();
   driver_metrics_.Clear();
+  // Memory run boundary: clear peaks/phase windows from any previous
+  // run, and export the run's gauges into driver_metrics_ on every exit
+  // path (success and failure alike — a failed run's peaks still matter).
+  if (resource::MemoryTracker::Global().enabled()) {
+    resource::MemoryTracker::Global().ResetRun();
+  }
+  struct GaugeExportOnExit {
+    MetricBag* bag;
+    ~GaugeExportOnExit() {
+      if (resource::MemoryTracker::Global().enabled()) {
+        resource::MemoryTracker::Global().ExportGauges(bag);
+      }
+    }
+  } gauge_export{&driver_metrics_};
   if (dataset.num_points() == 0 || dataset.num_dims() == 0) {
     return Status::InvalidArgument("dataset is empty");
   }

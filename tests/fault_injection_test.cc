@@ -8,11 +8,13 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "src/common/resource.h"
 #include "src/core/p3c.h"
 #include "src/data/generator.h"
 #include "src/mapreduce/fault.h"
@@ -86,8 +88,9 @@ struct RunOutcome {
   MetricsRegistry metrics;
 };
 
-RunOutcome RunKeyedSum(FaultInjector* injector, size_t max_attempts,
-                       bool with_combiner = false) {
+RunOutcome RunKeyedSum(
+    FaultInjector* injector, size_t max_attempts, bool with_combiner = false,
+    const std::function<void(RunnerOptions&)>& tweak = {}) {
   RunOutcome outcome;
   RunnerOptions options;
   options.num_threads = 4;
@@ -97,6 +100,7 @@ RunOutcome RunKeyedSum(FaultInjector* injector, size_t max_attempts,
   options.fault_injector = injector;
   options.metrics = &outcome.metrics;
   options.counters = &outcome.counters;
+  if (tweak) tweak(options);
   LocalRunner runner(options);
   const auto records = MakeRecords(1000);
   const auto mapper = [] { return std::make_unique<KeyedSumMapper>(); };
@@ -153,6 +157,85 @@ TEST(FaultInjectionTest, FlakyMapTaskYieldsIdenticalOutputAndCounters) {
             clean.metrics.jobs().front().task_attempts + 2u);
   EXPECT_EQ(flaky.metrics.TotalTaskFailures(), 2u);
   EXPECT_EQ(flaky.metrics.TotalRetriedTasks(), 2u);
+}
+
+// ---- Exactly-once memory accounting (DESIGN.md §15) ------------------
+
+/// Turns the global memory tracker on for one test and restores the
+/// disabled default afterwards, clearing run state at both edges so no
+/// peaks leak into neighbouring tests in this binary.
+class ScopedMemoryTracking {
+ public:
+  ScopedMemoryTracking() {
+    resource::MemoryTracker::Global().Enable(true);
+    resource::MemoryTracker::Global().ResetRun();
+  }
+  ~ScopedMemoryTracking() {
+    resource::MemoryTracker::Global().Enable(false);
+    resource::MemoryTracker::Global().ResetRun();
+  }
+};
+
+TEST(FaultInjectionTest, TaskPeakGaugeIsExactlyOnceUnderRetry) {
+  ScopedMemoryTracking tracking;
+  const RunOutcome clean = RunKeyedSum(nullptr, 4);
+  ASSERT_TRUE(clean.result.ok());
+  const double clean_peak = clean.counters.GetGauge("mem.task.peak_bytes");
+  EXPECT_GT(clean_peak, 0.0);
+
+  ScriptedFaultInjector injector;
+  injector.FailOnce("keyed-sum", /*task_index=*/2, /*attempt=*/0);
+  injector.FailOnce("keyed-sum", /*task_index=*/5, /*attempt=*/0);
+  const RunOutcome flaky = RunKeyedSum(&injector, 4);
+  ASSERT_TRUE(flaky.result.ok()) << flaky.result.status().ToString();
+  EXPECT_EQ(injector.injected_faults(), 2u);
+
+  // mem.task.peak_bytes rides the attempt-local counters: a failed
+  // attempt's gauge dies with the attempt, the retry recomputes the
+  // same deterministic bytes, and the cross-task max-merge counts each
+  // peak exactly once — so the merged gauge matches the clean run.
+  EXPECT_EQ(*flaky.result, *clean.result);
+  EXPECT_EQ(flaky.counters.GetGauge("mem.task.peak_bytes"), clean_peak);
+  EXPECT_EQ(flaky.counters.values(), clean.counters.values());
+}
+
+TEST(FaultInjectionTest, TaskPeakGaugeIsExactlyOnceUnderSpeculation) {
+  ScopedMemoryTracking tracking;
+  const RunOutcome clean = RunKeyedSum(nullptr, 4);
+  ASSERT_TRUE(clean.result.ok());
+
+  // A pure straggler: the primary copy of map task 7 sleeps 30 s (with
+  // an OK status — slow but correct), so the speculative duplicate must
+  // rescue the job (straggler_test idiom).
+  ScriptedFaultInjector injector;
+  ScriptedFaultInjector::Rule rule;
+  rule.job_substring = "keyed-sum";
+  rule.kind = TaskKind::kMap;
+  rule.task_index = 7;
+  rule.attempt = 0;
+  rule.speculative = false;
+  rule.delay_seconds = 30.0;
+  rule.status = Status::OK();
+  injector.AddRule(std::move(rule));
+
+  const RunOutcome spec =
+      RunKeyedSum(&injector, 4, /*with_combiner=*/false, [](RunnerOptions& o) {
+        o.speculative_execution = true;
+        o.speculative_slowness_factor = 1.5;
+        o.speculative_min_samples = 3;
+        o.speculative_min_runtime_seconds = 0.01;
+      });
+  ASSERT_TRUE(spec.result.ok()) << spec.result.status().ToString();
+  ASSERT_EQ(spec.metrics.num_jobs(), 1u);
+  EXPECT_GE(spec.metrics.jobs().front().speculative_attempts, 1u);
+
+  // Both copies of the duplicated task compute the same bytes and only
+  // the winner's counters merge, so the job gauge neither doubles nor
+  // drifts: byte-identical to the speculation-free run.
+  EXPECT_EQ(*spec.result, *clean.result);
+  EXPECT_EQ(spec.counters.GetGauge("mem.task.peak_bytes"),
+            clean.counters.GetGauge("mem.task.peak_bytes"));
+  EXPECT_EQ(spec.counters.values(), clean.counters.values());
 }
 
 TEST(FaultInjectionTest, CrashingTasksAreCaughtAndRetried) {

@@ -12,6 +12,11 @@ BENCH_shuffle.json (bench_mr_shuffle):
     the thread counts resolve to the same effective width the two
     measurements are of *identical* execution, and a strict float <=
     between two samples of the same distribution is a coin flip.
+  * No memory inversion: when rows carry peak_bytes (DESIGN.md §15),
+    the N-thread tracked peak must not exceed --peak-tolerance x the
+    1-thread peak of the same cell — the shuffle's buffers are sized by
+    the data, not the thread count. Skipped (reported) when the column
+    is absent, so older artifacts still check.
   * output_identical must be true in every row — a shuffle that scales
     by changing results does not count.
 
@@ -20,6 +25,10 @@ BENCH_kernels.json (bench_kernels):
     rssc_support at every size >= --kernel-min-size (default 256).
   * outputs_identical must be true in every row — bit-exactness is the
     contract that makes --kernel-backend a pure performance knob.
+  * When rows carry peak_bytes, backends of one (kernel, size) cell
+    must agree within --peak-tolerance of the smallest — the working
+    set is fixed by the cell, so a backend that needs more memory is a
+    regression. Skipped (reported) when the column is absent.
   * If the machine offers no non-scalar backend the speedup gate is
     skipped (reported, not failed): the scalar reference is then the
     only backend and there is nothing to compare.
@@ -28,7 +37,8 @@ Usage:
   tools/check_bench_regression.py \
       [--shuffle BENCH_shuffle.json] [--kernels BENCH_kernels.json] \
       [--shuffle-tolerance 1.0] [--noise-floor-seconds 0.0005] \
-      [--kernel-floor 2.0] [--kernel-min-size 256]
+      [--kernel-floor 2.0] [--kernel-min-size 256] \
+      [--peak-tolerance 1.25]
 
 The committed artifacts are checked strictly (tolerance 1.0); CI's
 perf-smoke re-runs the benches on a shared runner and checks the fresh
@@ -58,21 +68,66 @@ def load(path):
     return doc
 
 
-def check_shuffle(path, tolerance, noise_floor):
+def field(row, key, path, index):
+    """row[key] with a diagnostic naming the file, row, and key on
+    absence — a malformed artifact should say what is wrong where, not
+    die with a raw KeyError."""
+    if key not in row:
+        print(f"error: {path}: rows[{index}] has no '{key}' key "
+              f"(row keys: {', '.join(sorted(row.keys())) or 'none'})",
+              file=sys.stderr)
+        sys.exit(2)
+    return row[key]
+
+
+def check_peaks(path, label, cells, tolerance):
+    """Shared memory gate: cells maps a cell id -> {variant: peak_bytes}.
+    Every variant's peak must stay within tolerance x the cell's
+    smallest. Returns (failures, comparisons)."""
+    failures = 0
+    checked = 0
+    for cell, by_variant in sorted(cells.items()):
+        if len(by_variant) < 2:
+            continue
+        base_variant, base = min(by_variant.items(), key=lambda kv: kv[1])
+        if base <= 0:
+            continue
+        for variant, peak in sorted(by_variant.items()):
+            if variant == base_variant:
+                continue
+            checked += 1
+            if peak > base * tolerance:
+                failures += fail(
+                    f"memory regression: {label} {cell}: {variant} peak "
+                    f"{peak} bytes > {tolerance:.2f} x {base_variant} "
+                    f"peak {base} bytes")
+    return failures, checked
+
+
+def check_shuffle(path, tolerance, noise_floor, peak_tolerance):
     doc = load(path)
     rows = doc["rows"]
     failures = 0
-    for row in rows:
+    for i, row in enumerate(rows):
         if not row.get("output_identical", False):
             failures += fail(
-                f"shuffle {row['records']} records / {row['threads']} threads"
-                f" / {row['reducers']} reducers: output_identical is false")
+                f"shuffle {field(row, 'records', path, i)} records / "
+                f"{field(row, 'threads', path, i)} threads / "
+                f"{field(row, 'reducers', path, i)} reducers: "
+                "output_identical is false")
 
     # threads -> shuffle_seconds per (records, reducers) cell.
     cells = defaultdict(dict)
-    for row in rows:
-        cells[(row["records"], row["reducers"])][row["threads"]] = \
-            row["shuffle_seconds"]
+    peak_cells = defaultdict(dict)
+    have_peaks = True
+    for i, row in enumerate(rows):
+        key = (field(row, "records", path, i), field(row, "reducers", path, i))
+        threads = field(row, "threads", path, i)
+        cells[key][threads] = field(row, "shuffle_seconds", path, i)
+        if "peak_bytes" in row:
+            peak_cells[key][f"{threads}-thread"] = row["peak_bytes"]
+        else:
+            have_peaks = False
     checked = 0
     for (records, reducers), by_threads in sorted(cells.items()):
         if 1 not in by_threads:
@@ -88,25 +143,57 @@ def check_shuffle(path, tolerance, noise_floor):
                     f"reducers: {threads}-thread shuffle {seconds:.4f}s > "
                     f"{tolerance:.2f} x 1-thread {base:.4f}s "
                     f"+ {noise_floor * 1e3:.2f}ms noise floor")
+    if have_peaks and rows:
+        peak_failures, peak_checked = check_peaks(
+            path, "shuffle cell", peak_cells, peak_tolerance)
+        failures += peak_failures
+        print(f"{path}: {peak_checked} peak_bytes comparisons, tolerance "
+              f"{peak_tolerance:.2f}x")
+    else:
+        print(f"{path}: no peak_bytes column — memory gate skipped "
+              "(artifact predates DESIGN.md §15)")
     print(f"{path}: {len(rows)} rows, {checked} thread-vs-1 comparisons, "
           f"tolerance {tolerance:.2f}x + {noise_floor * 1e3:.2f}ms"
           + (" — OK" if failures == 0 else ""))
     return failures
 
 
-def check_kernels(path, floor, min_size):
+def check_kernels(path, floor, min_size, peak_tolerance):
     doc = load(path)
     rows = doc["rows"]
     failures = 0
-    for row in rows:
+    for i, row in enumerate(rows):
         if not row.get("outputs_identical", False):
             failures += fail(
-                f"kernel {row['kernel']}/{row['size']} backend "
-                f"{row['backend']}: outputs_identical is false")
+                f"kernel {field(row, 'kernel', path, i)}/"
+                f"{field(row, 'size', path, i)} backend "
+                f"{field(row, 'backend', path, i)}: "
+                "outputs_identical is false")
 
-    gated = [r for r in rows
-             if r["kernel"] == "rssc_support" and r["size"] >= min_size
-             and r["backend"] != "scalar"]
+    peak_cells = defaultdict(dict)
+    have_peaks = bool(rows)
+    for i, row in enumerate(rows):
+        if "peak_bytes" in row:
+            cell = (field(row, "kernel", path, i),
+                    field(row, "size", path, i))
+            peak_cells[cell][field(row, "backend", path, i)] = \
+                row["peak_bytes"]
+        else:
+            have_peaks = False
+    if have_peaks:
+        peak_failures, peak_checked = check_peaks(
+            path, "kernel cell", peak_cells, peak_tolerance)
+        failures += peak_failures
+        print(f"{path}: {peak_checked} peak_bytes comparisons, tolerance "
+              f"{peak_tolerance:.2f}x")
+    else:
+        print(f"{path}: no peak_bytes column — memory gate skipped "
+              "(artifact predates DESIGN.md §15)")
+
+    gated = [r for i, r in enumerate(rows)
+             if field(r, "kernel", path, i) == "rssc_support"
+             and field(r, "size", path, i) >= min_size
+             and field(r, "backend", path, i) != "scalar"]
     if not gated:
         print(f"{path}: no non-scalar backend rows — speedup gate skipped "
               "(scalar-only machine)")
@@ -117,7 +204,8 @@ def check_kernels(path, floor, min_size):
     for row in gated:
         by_size[row["size"]].append(row)
     for size, size_rows in sorted(by_size.items()):
-        best = max(size_rows, key=lambda r: r["speedup"])
+        best = max(size_rows,
+                   key=lambda r: field(r, "speedup", path, rows.index(r)))
         if best["speedup"] < floor:
             failures += fail(
                 f"kernel floor: rssc_support at {size} signatures: best "
@@ -148,6 +236,11 @@ def main():
                              "non-scalar backend (default 2.0)")
     parser.add_argument("--kernel-min-size", type=int, default=256,
                         help="gate rssc_support sizes >= this (default 256)")
+    parser.add_argument("--peak-tolerance", type=float, default=1.25,
+                        help="max allowed peak_bytes ratio between variants "
+                             "of one cell (default 1.25; the tracked "
+                             "footprint is deterministic, the slack covers "
+                             "capacity-growth rounding)")
     args = parser.parse_args()
     if args.shuffle is None and args.kernels is None:
         parser.error("nothing to check: pass --shuffle and/or --kernels")
@@ -155,10 +248,11 @@ def main():
     failures = 0
     if args.shuffle is not None:
         failures += check_shuffle(args.shuffle, args.shuffle_tolerance,
-                                  args.noise_floor_seconds)
+                                  args.noise_floor_seconds,
+                                  args.peak_tolerance)
     if args.kernels is not None:
         failures += check_kernels(args.kernels, args.kernel_floor,
-                                  args.kernel_min_size)
+                                  args.kernel_min_size, args.peak_tolerance)
     if failures:
         print(f"{failures} perf contract violation(s)")
         return 1

@@ -43,6 +43,19 @@
 //                              temp+fsync+rename writer so a crash
 //                              never leaves a truncated file. Tests
 //                              are exempt.
+//   p3c-untracked-hot-alloc    A container growth call (.reserve/
+//                              .resize/.assign) or `new T[n]` inside a
+//                              blessed hot-structure file (shuffle
+//                              partitions/runner, RSSC, support
+//                              counters, the MR mappers) with no
+//                              memory-accounting identifier
+//                              (ScopedBytes/ArenaCharge/charge/mem_/
+//                              TrackedAllocator/MemoryTracker) within
+//                              16 lines — the allocation would be
+//                              invisible to the mem.<scope>.peak_bytes
+//                              gauges of DESIGN.md §15. Allocations
+//                              deliberately left untracked carry an
+//                              explanatory NOLINT.
 
 #include <set>
 #include <string>

@@ -18,6 +18,15 @@
 //                                      completed duration (> 1)
 //           [--phase-budget S]         wall-clock budget per pipeline
 //                                      phase in seconds (0 = off)
+//           [--heartbeat-seconds S]    periodic structured progress line
+//                                      (stage, records, live attempts,
+//                                      tracked memory) at info level
+//                                      every S seconds (0 = off)
+//           [--track-memory]           scoped memory accounting: per-phase
+//                                      mem.*.peak_bytes gauges in
+//                                      --metrics-out plus mem-high-water
+//                                      instants in --trace-out
+//                                      (DESIGN.md §15)
 //           [--checkpoint-dir DIR]     durable phase checkpoints: persist
 //                                      driver state after each completed
 //                                      phase and resume a re-run of the
@@ -64,6 +73,7 @@
 #include "src/common/atomic_file.h"
 #include "src/common/cancellation.h"
 #include "src/common/logging.h"
+#include "src/common/resource.h"
 #include "src/common/string_util.h"
 #include "src/common/trace.h"
 #include "src/core/kernels/kernels.h"
@@ -303,6 +313,13 @@ Result<core::ClusteringResult> RunAlgo(const std::string& algo,
           "--phase-budget must be >= 0 seconds (0 disables the budget)");
     }
     options.retry.phase_budget_seconds = phase_budget;
+    const double heartbeat = args.GetDouble("heartbeat-seconds", 0.0);
+    if (heartbeat < 0.0) {
+      return Status::InvalidArgument(
+          "--heartbeat-seconds must be >= 0 seconds (0 disables the "
+          "heartbeat)");
+    }
+    options.runner.heartbeat_seconds = heartbeat;
     options.checkpoint_dir = args.Get("checkpoint-dir", "");
     options.cancel = ShutdownSource().token();
     std::unique_ptr<CrashAfterPhaseInjector> crash_injector;
@@ -324,9 +341,10 @@ Result<core::ClusteringResult> RunAlgo(const std::string& algo,
     const std::string metrics_out = args.Get("metrics-out", "");
     if (!metrics_out.empty()) {
       // Written even when clustering failed: the per-job table up to the
-      // failure is exactly what a post-mortem needs.
-      const Status st =
-          AtomicWriteFile(metrics_out, pipeline.metrics().ToJson());
+      // failure is exactly what a post-mortem needs. The driver bag
+      // carries the mem.*.peak_bytes gauges when --track-memory is on.
+      const Status st = AtomicWriteFile(
+          metrics_out, pipeline.metrics().ToJson(&pipeline.driver_metrics()));
       if (!st.ok()) return st;
       std::printf("wrote MR metrics to %s\n", metrics_out.c_str());
     }
@@ -546,6 +564,13 @@ int main(int argc, char** argv) {
                   "' (want debug|info|warning|error|off)");
     }
     SetLogLevel(level);
+  }
+
+  // Scoped memory accounting (DESIGN.md §15): flipped before anything
+  // instrumented exists — including the dataset, whose load precedes
+  // RunAlgo — the run boundary the tracker's toggle contract requires.
+  if (args.Has("track-memory")) {
+    resource::MemoryTracker::Global().Enable(true);
   }
 
   const std::string trace_out = args.Get("trace-out", "");

@@ -32,6 +32,12 @@
 #                                      # determinism plus every hostile-
 #                                      # checkpoint scenario under both
 #                                      # sanitizers
+#   tools/run_sanitizers.sh resource-smoke
+#                                      # resource observability suite (ctest
+#                                      # -L resource-smoke): memory-ledger
+#                                      # balance, adapter charge/release
+#                                      # symmetry, and tracking-on output
+#                                      # identity under both sanitizers
 #
 # The fault-tolerance machinery (task retry, first-error-wins failure
 # slots, exception capture in ParallelFor) is concurrency-heavy; TSan on
@@ -125,12 +131,24 @@ case "${MODE}" in
       "ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1"
     run_suite "TSan checkpoint-smoke" Tsan build-tsan "TSAN_OPTIONS=halt_on_error=1"
     ;;
+  resource-smoke)
+    # The resource observability suite (DESIGN.md §15): every adapter
+    # must release exactly the bytes it charged. ASan is the natural
+    # reviewer — a ledger/allocation mismatch in TrackedAllocator
+    # surfaces as a leak or over-free, and detect_leaks=1 polices the
+    # tracker's own structures; TSan exercises the relaxed-atomic
+    # charge path and ArenaCharge's concurrent Add/Sub clamping.
+    LABEL="resource-smoke"
+    run_suite "ASan+UBSan resource-smoke" Sanitize build-asan \
+      "ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1"
+    run_suite "TSan resource-smoke" Tsan build-tsan "TSAN_OPTIONS=halt_on_error=1"
+    ;;
   all)
     "$0" asan
     "$0" tsan
     ;;
   *)
-    echo "usage: $0 [asan|tsan|all|shuffle-smoke|trace-smoke|straggler-smoke|kernel-smoke|checkpoint-smoke]" \
+    echo "usage: $0 [asan|tsan|all|shuffle-smoke|trace-smoke|straggler-smoke|kernel-smoke|checkpoint-smoke|resource-smoke]" \
          "[ctest -R filter]" >&2
     exit 2
     ;;
