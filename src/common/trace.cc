@@ -60,18 +60,14 @@ void Tracer::RecordBegin(std::string name, std::string args_json,
   event.phase = 'B';
   event.name = std::move(name);
   event.args_json = std::move(args_json);
-  // Tracer::Append returns void; the rule collides with
-  // AtomicFileWriter::Append across the scanned set.
-  Append(std::move(event), lane_override);  // NOLINT(p3c-unchecked-status)
+  Append(std::move(event), lane_override);
 }
 
 void Tracer::RecordEnd(uint32_t lane_override) {
   if (!enabled()) return;
   TraceEvent event;
   event.phase = 'E';
-  // Tracer::Append returns void; the rule collides with
-  // AtomicFileWriter::Append across the scanned set.
-  Append(std::move(event), lane_override);  // NOLINT(p3c-unchecked-status)
+  Append(std::move(event), lane_override);
 }
 
 void Tracer::RecordInstant(std::string name, std::string args_json,
@@ -81,9 +77,7 @@ void Tracer::RecordInstant(std::string name, std::string args_json,
   event.phase = 'i';
   event.name = std::move(name);
   event.args_json = std::move(args_json);
-  // Tracer::Append returns void; the rule collides with
-  // AtomicFileWriter::Append across the scanned set.
-  Append(std::move(event), lane_override);  // NOLINT(p3c-unchecked-status)
+  Append(std::move(event), lane_override);
 }
 
 void Tracer::RecordFlowStart(uint64_t flow_id, std::string name,
@@ -93,9 +87,7 @@ void Tracer::RecordFlowStart(uint64_t flow_id, std::string name,
   event.phase = 's';
   event.flow_id = flow_id;
   event.name = std::move(name);
-  // Tracer::Append returns void; the rule collides with
-  // AtomicFileWriter::Append across the scanned set.
-  Append(std::move(event), lane_override);  // NOLINT(p3c-unchecked-status)
+  Append(std::move(event), lane_override);
 }
 
 void Tracer::RecordFlowEnd(uint64_t flow_id, std::string name,
@@ -105,9 +97,7 @@ void Tracer::RecordFlowEnd(uint64_t flow_id, std::string name,
   event.phase = 'f';
   event.flow_id = flow_id;
   event.name = std::move(name);
-  // Tracer::Append returns void; the rule collides with
-  // AtomicFileWriter::Append across the scanned set.
-  Append(std::move(event), lane_override);  // NOLINT(p3c-unchecked-status)
+  Append(std::move(event), lane_override);
 }
 
 void Tracer::NameLane(uint32_t lane, std::string name) {
@@ -124,8 +114,7 @@ void Tracer::NameLane(uint32_t lane, std::string name) {
   event.name = "thread_name";
   event.args_json = StringPrintf("{\"name\": \"%s\"}",
                                  JsonEscape(name).c_str());
-  // Tracer::Append returns void; see the call sites above.
-  Append(std::move(event), lane);  // NOLINT(p3c-unchecked-status)
+  Append(std::move(event), lane);
 }
 
 std::string Tracer::ToJson() const {

@@ -61,6 +61,10 @@ class Tracer {
   /// Synthetic lanes for per-shuffle-partition spans sit above this
   /// offset so they can never collide with real thread lanes.
   static constexpr uint32_t kPartitionLaneBase = 1u << 20;
+  /// Lane id base for worker-process slots of the process backend
+  /// (lane = kWorkerLaneBase + slot index), clear of both thread ids
+  /// and partition lanes.
+  static constexpr uint32_t kWorkerLaneBase = 1u << 21;
 
   static Tracer& Global();
 

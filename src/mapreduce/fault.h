@@ -87,6 +87,18 @@ class FaultInjector {
     (void)commit;
     return Status::OK();
   }
+
+  /// Worker-kill crash point: consulted by the worker-process backend
+  /// right after `attempt`'s TASK frame went out on the wire. A
+  /// non-zero return is a signal number the backend delivers to the
+  /// worker that just accepted the task — SIGKILL for a genuine
+  /// mid-task crash, SIGSTOP for a frozen worker the heartbeat must
+  /// catch. Returning 0 injects nothing. The in-process backend never
+  /// consults this hook.
+  virtual int OnWorkerKill(const TaskAttempt& attempt) {
+    (void)attempt;
+    return 0;
+  }
 };
 
 /// Script-driven injector: fails exactly the (job, kind, task, attempt)
@@ -229,6 +241,61 @@ class ScriptedFaultInjector : public FaultInjector {
                                commit.phase_index));
   }
 
+  /// Worker-kill rule for OnWorkerKill: delivers `signum` to the worker
+  /// process that just accepted a matching task attempt.
+  struct WorkerRule {
+    /// Substring of the job name; empty matches every job.
+    std::string job_substring;
+    /// Unset fields match every kind / task / attempt.
+    std::optional<TaskKind> kind;
+    std::optional<size_t> task_index;
+    std::optional<size_t> attempt;
+    /// How many workers this rule kills before burning out.
+    size_t fires = 1;
+    /// Signal delivered to the worker (SIGKILL, SIGSTOP, ...).
+    int signum = 9;
+  };
+
+  void AddWorkerRule(WorkerRule rule) {
+    std::lock_guard<std::mutex> lock(mu_);
+    worker_rules_.push_back(std::move(rule));
+  }
+
+  /// Convenience: one-shot `signum` (default SIGKILL) to the worker
+  /// running `attempt` of `task` in jobs matching `job_substring`.
+  void KillWorkerOnce(std::string job_substring, size_t task_index,
+                      size_t attempt, int signum = 9) {
+    WorkerRule rule;
+    rule.job_substring = std::move(job_substring);
+    rule.task_index = task_index;
+    rule.attempt = attempt;
+    rule.signum = signum;
+    AddWorkerRule(std::move(rule));
+  }
+
+  int OnWorkerKill(const TaskAttempt& attempt) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (WorkerRule& rule : worker_rules_) {
+      if (rule.fires == 0) continue;
+      if (!rule.job_substring.empty() &&
+          attempt.job_name.find(rule.job_substring) == std::string::npos) {
+        continue;
+      }
+      if (rule.kind.has_value() && *rule.kind != attempt.kind) continue;
+      if (rule.task_index.has_value() &&
+          *rule.task_index != attempt.task_index) {
+        continue;
+      }
+      if (rule.attempt.has_value() && *rule.attempt != attempt.attempt) {
+        continue;
+      }
+      if (rule.fires != kUnlimitedFires) --rule.fires;
+      ++injected_;
+      return rule.signum;
+    }
+    return 0;
+  }
+
   Status OnAttemptStart(const TaskAttempt& attempt) override {
     // Match and consume the rule under the lock, but perform blocking
     // actions (delay, hang) outside it — a hanging attempt must not
@@ -295,6 +362,7 @@ class ScriptedFaultInjector : public FaultInjector {
   mutable std::mutex mu_;
   std::vector<Rule> rules_;
   std::vector<PhaseRule> phase_rules_;
+  std::vector<WorkerRule> worker_rules_;
   uint64_t injected_ = 0;
 };
 

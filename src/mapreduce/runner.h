@@ -25,11 +25,14 @@
 #include "src/common/threadpool.h"
 #include "src/common/trace.h"
 #include "src/mapreduce/counters.h"
+#include "src/mapreduce/executor.h"
 #include "src/mapreduce/fault.h"
 #include "src/mapreduce/job.h"
 #include "src/mapreduce/metrics.h"
 #include "src/mapreduce/partition.h"
 #include "src/mapreduce/straggler.h"
+#include "src/mapreduce/wire.h"
+#include "src/mapreduce/worker_backend.h"
 
 namespace p3c::mr {
 
@@ -111,6 +114,19 @@ struct RunnerOptions {
   MetricsRegistry* metrics = nullptr;
   /// Optional sink for merged framework counters across jobs.
   Counters* counters = nullptr;
+  /// Task-execution backend (DESIGN.md §16). kInProcess runs task
+  /// bodies inline on the pool threads (the engine's native path);
+  /// kProcess runs map and reduce attempts in forked worker processes
+  /// — real crash isolation: a SIGKILLed worker is a failed attempt,
+  /// retried by the normal machinery. Output and counter JSON are
+  /// byte-identical across backends.
+  Backend backend = Backend::kInProcess;
+  /// Process backend: worker processes per phase pool; 0 means one
+  /// worker per pool thread.
+  size_t num_workers = 0;
+  /// Process backend: a worker silent for this long is declared hung,
+  /// SIGKILLed, and respawned (workers heartbeat at a quarter of it).
+  double worker_heartbeat_seconds = 10.0;
   /// Heartbeat progress reporting (DESIGN.md §15): every this many
   /// seconds the watchdog thread logs one structured line (job, stage,
   /// records processed, live task attempts, per-scope tracked bytes,
@@ -162,13 +178,36 @@ struct RunnerOptions {
 class LocalRunner {
  public:
   explicit LocalRunner(RunnerOptions options = {})
-      : options_(std::move(options)), pool_(options_.num_threads) {}
+      : options_(std::move(options)), pool_(options_.num_threads) {
+    if (options_.backend == Backend::kProcess) {
+      WorkerBackendOptions wb;
+      wb.num_workers = options_.num_workers > 0 ? options_.num_workers
+                                                : pool_.num_threads();
+      wb.heartbeat_seconds = options_.worker_heartbeat_seconds;
+      wb.fault_injector = options_.fault_injector;
+      auto workers = std::make_unique<WorkerPoolExecutor>(std::move(wb));
+      worker_executor_ = workers.get();
+      executor_ = std::move(workers);
+    } else {
+      executor_ = std::make_unique<InProcessExecutor>();
+    }
+  }
 
   LocalRunner(const LocalRunner&) = delete;
   LocalRunner& operator=(const LocalRunner&) = delete;
 
   const RunnerOptions& options() const { return options_; }
   ThreadPool& pool() { return pool_; }
+  /// The active task-execution backend ("inprocess" | "process").
+  const TaskExecutor& executor() const { return *executor_; }
+  /// Driver-side observability of the process backend (worker spawns,
+  /// respawns, kills, spawn failures, peak worker RSS). An empty bag on
+  /// the in-process backend. Deliberately separate from job counters so
+  /// backend bookkeeping never perturbs the deterministic counter JSON.
+  MetricBag SnapshotWorkerMetrics() const {
+    if (worker_executor_ == nullptr) return MetricBag();
+    return worker_executor_->SnapshotMetrics();
+  }
 
   /// Runs a full map-shuffle-reduce job and returns the concatenated
   /// reducer outputs (in key order), or the failure of the first task
@@ -358,8 +397,74 @@ class LocalRunner {
     // stitch per-key output slices back into global key order.
     std::vector<std::vector<size_t>> task_group_ends(num_partitions);
     FailureSlot failure(&exec.job_cancel);
+
+    // Shared attempt computation of one reduce partition: the inline
+    // body and the worker-process child run exactly this (the child
+    // with a default, never-cancelling token — workers are stopped
+    // with signals, not cooperatively).
+    auto compute_partition = [&](size_t p, const CancellationToken& cancel) {
+      const MergedPartition<K, V>& part = buffers.partition(p);
+      std::unique_ptr<Reducer<K, V, Out>> reducer = reducer_factory();
+      // Fresh output per attempt copy; the merged partition is
+      // read-only so a failed attempt leaves the shuffled input
+      // intact, and racing speculative copies never share output
+      // buffers.
+      std::pair<std::vector<Out>, std::vector<size_t>> result;
+      // Group-end offsets: one size_t per group, dwarfed by the
+      // charged merged partition the groups point into.
+      result.second.reserve(  // NOLINT(p3c-untracked-hot-alloc)
+          part.num_groups());
+      for (size_t g = 0; g < part.num_groups(); ++g) {
+        if ((g & 63u) == 0) cancel.ThrowIfCancelled();
+        reducer->Reduce(part.key(g), part.group_values(g), result.first);
+        result.second.push_back(result.first.size());
+      }
+      return result;
+    };
+
+    // Remote form of the reduce phase, when Out can cross the process
+    // boundary: the child reduces its partition from the merged
+    // buffers it inherited at fork and ships back the outputs plus
+    // group-end offsets; the driver decodes and commits through the
+    // same CAS slot as the inline body.
+    PhaseTaskFn reduce_run;
+    PhaseCommitFn reduce_commit;
+    if constexpr (wire::kIsWireSerializable<Out>) {
+      reduce_run = [&](uint64_t p) -> Result<std::string> {
+        auto result =
+            compute_partition(static_cast<size_t>(p), CancellationToken{});
+        wire::WireWriter w;
+        w.Put(result.first);
+        w.Put(std::vector<uint64_t>(result.second.begin(),
+                                    result.second.end()));
+        return w.Take();
+      };
+      reduce_commit = [&task_outputs, &task_group_ends](
+                          const TaskContext& ctx, uint64_t p,
+                          std::string payload) -> Status {
+        wire::WireReader r(payload, "reduce task payload");
+        std::vector<Out> out;
+        std::vector<uint64_t> ends;
+        r.Get(&out);
+        r.Get(&ends);
+        P3C_RETURN_NOT_OK(r.Finish());
+        ctx.Commit([&] {
+          task_outputs[p] = std::move(out);
+          // One u64 per reduce group, dwarfed by task_outputs above;
+          // deliberately untracked (the size_t/uint64_t conversion is
+          // why this is an assign and not a move).
+          task_group_ends[p].assign(  // NOLINT(p3c-untracked-hot-alloc)
+              ends.begin(), ends.end());
+        });
+        return Status::OK();
+      };
+    }
+
     {
       TraceSpan reduce_span("reduce-phase");
+      ScopedExecutorPhase reduce_phase(
+          executor_.get(), job_name, TaskKind::kReduce, num_partitions,
+          std::move(reduce_run), std::move(reduce_commit));
       pool_.ParallelForCapped(num_partitions, ExecWidth(), /*grain=*/1,
                               [&](size_t p) {
         const MergedPartition<K, V>& part = buffers.partition(p);
@@ -373,28 +478,10 @@ class LocalRunner {
         Status st = ExecuteTask(
             job_name, TaskKind::kReduce, p, exec,
             [&](const TaskContext& ctx) {
-              std::unique_ptr<Reducer<K, V, Out>> reducer =
-                  reducer_factory();
-              // Fresh output per attempt copy; the merged partition is
-              // read-only so a failed attempt leaves the shuffled input
-              // intact, and racing speculative copies never share
-              // output buffers.
-              std::vector<Out> attempt_out;
-              std::vector<size_t> ends;
-              // Group-end offsets: one size_t per group, dwarfed by the
-              // charged merged partition the groups point into.
-              ends.reserve(part.num_groups());  // NOLINT(p3c-untracked-hot-alloc)
-              for (size_t g = 0; g < part.num_groups(); ++g) {
-                if ((g & 63u) == 0) ctx.cancel.ThrowIfCancelled();
-                reducer->Reduce(part.key(g), part.group_values(g),
-                                attempt_out);
-                ends.push_back(attempt_out.size());
-              }
-              // TaskContext::Commit returns void; the rule collides
-              // with AtomicFileWriter::Commit across the scanned set.
-              ctx.Commit([&] {  // NOLINT(p3c-unchecked-status)
-                task_outputs[p] = std::move(attempt_out);
-                task_group_ends[p] = std::move(ends);
+              auto result = compute_partition(p, ctx.cancel);
+              ctx.Commit([&] {
+                task_outputs[p] = std::move(result.first);
+                task_group_ends[p] = std::move(result.second);
               });
               return Status::OK();
             },
@@ -698,33 +785,9 @@ class LocalRunner {
     std::shared_ptr<CopyControl> spec_ctl;
   };
 
-  /// Per-copy view handed to task bodies. Bodies must (a) poll `cancel`
-  /// in their long loops (emit / per-record / per-group) and surface it
-  /// via ThrowIfCancelled, and (b) publish their side effects only
-  /// through Commit. The CAS commit slot is shared by all copies of all
-  /// attempts of one task, so exactly one copy ever commits — racing
-  /// copies compute identical results from the same immutable input,
-  /// and whichever loses the CAS simply discards its (identical) work.
-  struct TaskContext {
-    size_t attempt = 0;
-    bool speculative = false;
-    CancellationToken cancel{};
-    std::atomic<bool>* commit_slot = nullptr;
-
-    template <typename Fn>
-    bool Commit(Fn&& fn) const {
-      bool expected = false;
-      if (commit_slot == nullptr ||
-          commit_slot->compare_exchange_strong(expected, true,
-                                               std::memory_order_acq_rel)) {
-        std::forward<Fn>(fn)();
-        return true;
-      }
-      return false;
-    }
-  };
-
-  using TaskBody = std::function<Status(const TaskContext&)>;
+  // TaskContext and TaskBody (the per-copy view and the in-memory body
+  // form) live in executor.h since the backend split — they are the
+  // currency both backends trade in.
 
   /// Auto split policy (SplitSize): ~32 map tasks per job, never tiny.
   static constexpr size_t kDefaultTargetSplits = 32;
@@ -991,7 +1054,16 @@ class LocalRunner {
         st = options_.fault_injector->OnAttemptStart(TaskAttempt{
             job_name, kind, task, attempt, speculative, ctx.cancel});
       }
-      if (st.ok()) st = body(ctx);
+      if (st.ok()) {
+        // The backend seam: the in-process executor runs `body` inline
+        // right here; the process backend ships the task to a worker
+        // process (falling back to `body` for task kinds without an
+        // installed remote form — combine tasks, degraded pools).
+        st = executor_->RunCopy(
+            TaskAttempt{job_name, kind, task, attempt, speculative,
+                        ctx.cancel},
+            ctx, body);
+      }
       out.status = std::move(st);
     } catch (const CancelledError&) {
       out.status = Status::Internal("task attempt cancelled");
@@ -1241,44 +1313,89 @@ class LocalRunner {
     // sorting it in place (retries alone never overlap, so the copy is
     // skipped when speculation is off).
     const bool isolate_combine = options_.speculative_execution;
-    pool_.ParallelForCapped(num_splits, ExecWidth(), /*grain=*/0,
-                            [&](size_t s) {
-      if (failure.has_failed()) return;
+
+    // Shared attempt computation: the inline body and the worker-
+    // process child run exactly this, so the two backends cannot
+    // diverge. A worker child passes a default (never-cancelling)
+    // token — workers are stopped with signals, not cooperatively.
+    auto compute_split = [&](size_t s, const CancellationToken& cancel) {
       const size_t begin = s * per_split;
       const size_t end = std::min(n, begin + per_split);
       std::span<const Record> split = input.subspan(begin, end - begin);
+      // Fresh emitter per attempt copy: records, counters, and byte
+      // accounting of a failed attempt are discarded wholesale; only
+      // the winning copy's output is committed to the split slot.
+      VectorEmitter<Record, K, V> out;
+      out.set_cancel(cancel);
+      out.Reserve(split.size());
+      std::unique_ptr<Mapper<Record, K, V>> mapper = mapper_factory();
+      mapper->Setup(s, split, out);
+      size_t record_index = 0;
+      for (const Record& record : split) {
+        // Cooperative cancellation checkpoint for mappers that
+        // emit rarely (the emitter checkpoint never fires).
+        if ((record_index++ & 63u) == 0) cancel.ThrowIfCancelled();
+        mapper->Map(record, out);
+      }
+      mapper->Cleanup(out);
+      if (resource::MemoryTracker::Global().enabled()) {
+        // Deterministic task-footprint gauge: serialized emit bytes,
+        // identical for every attempt copy of this task (and for a
+        // worker child, whose tracker enabled flag is inherited at
+        // fork). It rides the attempt-local counters, so failed
+        // attempts drop it with the attempt and the job-level merge
+        // (gauge = max) is exactly-once under retry and speculation.
+        out.counters_.SetGauge("mem.task.peak_bytes",
+                               static_cast<double>(out.bytes_));
+      }
+      return out;
+    };
+
+    // Remote form of the map phase, when K/V can cross the process
+    // boundary: the child computes the split and serializes the
+    // emitter's observable state; the driver decodes it and commits
+    // through the same CAS slot the inline body uses. Jobs whose types
+    // are not wire-serializable leave the fns null and run inline on
+    // every backend.
+    PhaseTaskFn map_run;
+    PhaseCommitFn map_commit;
+    if constexpr (wire::kIsWireSerializable<std::pair<K, V>>) {
+      map_run = [&](uint64_t s) -> Result<std::string> {
+        VectorEmitter<Record, K, V> out =
+            compute_split(static_cast<size_t>(s), CancellationToken{});
+        wire::WireWriter w;
+        w.PutU64(out.bytes_);
+        wire::EncodeMetricBag(out.counters_.Snapshot(), w);
+        w.Put(out.pairs_);
+        return w.Take();
+      };
+      map_commit = [&emitters](const TaskContext& ctx, uint64_t s,
+                               std::string payload) -> Status {
+        wire::WireReader r(payload, "map task payload");
+        VectorEmitter<Record, K, V> out;
+        out.bytes_ = r.GetU64();
+        auto bag = wire::DecodeMetricBag(r);
+        P3C_RETURN_NOT_OK(bag.status());
+        r.Get(&out.pairs_);
+        P3C_RETURN_NOT_OK(r.Finish());
+        out.counters_.MergeBag(*bag);
+        out.mem_.Set(static_cast<int64_t>(out.pairs_.capacity() *
+                                          sizeof(std::pair<K, V>)));
+        ctx.Commit([&] { emitters[s] = std::move(out); });
+        return Status::OK();
+      };
+    }
+    ScopedExecutorPhase map_phase(executor_.get(), job_name, TaskKind::kMap,
+                                  num_splits, std::move(map_run),
+                                  std::move(map_commit));
+
+    pool_.ParallelForCapped(num_splits, ExecWidth(), /*grain=*/0,
+                            [&](size_t s) {
+      if (failure.has_failed()) return;
       Status st = ExecuteTask(
           job_name, TaskKind::kMap, s, exec, [&](const TaskContext& ctx) {
-            // Fresh emitter per attempt copy: records, counters, and
-            // byte accounting of a failed attempt are discarded
-            // wholesale; only the winning copy's output is committed
-            // to the split slot below.
-            VectorEmitter<Record, K, V> out;
-            out.set_cancel(ctx.cancel);
-            out.Reserve(split.size());
-            std::unique_ptr<Mapper<Record, K, V>> mapper = mapper_factory();
-            mapper->Setup(s, split, out);
-            size_t record_index = 0;
-            for (const Record& record : split) {
-              // Cooperative cancellation checkpoint for mappers that
-              // emit rarely (the emitter checkpoint never fires).
-              if ((record_index++ & 63u) == 0) ctx.cancel.ThrowIfCancelled();
-              mapper->Map(record, out);
-            }
-            mapper->Cleanup(out);
-            if (resource::MemoryTracker::Global().enabled()) {
-              // Deterministic task-footprint gauge: serialized emit
-              // bytes, identical for every attempt copy of this task.
-              // It rides the attempt-local counters, so failed
-              // attempts drop it with the attempt and the job-level
-              // merge (gauge = max) is exactly-once under retry and
-              // speculation.
-              out.counters_.SetGauge("mem.task.peak_bytes",
-                                     static_cast<double>(out.bytes_));
-            }
-            // TaskContext::Commit returns void (see above).
-            ctx.Commit(  // NOLINT(p3c-unchecked-status)
-                [&] { emitters[s] = std::move(out); });
+            VectorEmitter<Record, K, V> out = compute_split(s, ctx.cancel);
+            ctx.Commit([&] { emitters[s] = std::move(out); });
             return Status::OK();
           });
       if (st.ok() && combiner_factory != nullptr) {
@@ -1303,7 +1420,9 @@ class LocalRunner {
         map_output_records.fetch_add(emitters[s].pairs_.size(),
                                      std::memory_order_relaxed);
         if (exec.heartbeat != nullptr) {
-          exec.heartbeat->records.fetch_add(split.size(),
+          const size_t split_records =
+              std::min(n, (s + 1) * per_split) - s * per_split;
+          exec.heartbeat->records.fetch_add(split_records,
                                             std::memory_order_relaxed);
         }
         st = commit(s, std::move(emitters[s].pairs_));
@@ -1374,8 +1493,7 @@ class LocalRunner {
       combined.emplace_back(pairs[i].first, std::move(result));
       i = j;
     }
-    // TaskContext::Commit returns void (see above).
-    ctx.Commit([&] {  // NOLINT(p3c-unchecked-status)
+    ctx.Commit([&] {
       out.pairs_ = std::move(combined);
       out.bytes_ = bytes;
       out.mem_.Set(static_cast<int64_t>(out.pairs_.capacity() *
@@ -1388,9 +1506,16 @@ class LocalRunner {
   ThreadPool pool_;
   /// Deadline/speculation monitor; its thread starts lazily on the
   /// first registered attempt, so runners with straggler control
-  /// disabled never create it. Declared last: destroyed (and joined)
-  /// first, while the pool and options are still alive.
+  /// disabled never create it. Destroyed (and joined) after the
+  /// executor, while the pool and options are still alive.
   TaskWatchdog watchdog_;
+  /// Pluggable task-execution backend (executor.h); every attempt copy
+  /// funnels through executor_->RunCopy. Declared last so a process
+  /// backend's worker pool is torn down before anything it observes.
+  std::unique_ptr<TaskExecutor> executor_;
+  /// Aliases executor_ when the process backend is active (worker
+  /// metrics access); null on the in-process backend.
+  WorkerPoolExecutor* worker_executor_ = nullptr;
 };
 
 }  // namespace p3c::mr

@@ -129,33 +129,25 @@ bool BlobReader::Take(void* dst, size_t len) {
 
 uint32_t BlobReader::GetU32() {
   uint32_t v = 0;
-  // BlobReader::Take returns bool (out-of-bounds already clamps);
-  // the rule collides with FailureSlot::Take across the set.
-  Take(&v, sizeof(v));  // NOLINT(p3c-unchecked-status)
+  Take(&v, sizeof(v));
   return v;
 }
 
 uint64_t BlobReader::GetU64() {
   uint64_t v = 0;
-  // BlobReader::Take returns bool (out-of-bounds already clamps);
-  // the rule collides with FailureSlot::Take across the set.
-  Take(&v, sizeof(v));  // NOLINT(p3c-unchecked-status)
+  Take(&v, sizeof(v));
   return v;
 }
 
 int32_t BlobReader::GetI32() {
   int32_t v = 0;
-  // BlobReader::Take returns bool (out-of-bounds already clamps);
-  // the rule collides with FailureSlot::Take across the set.
-  Take(&v, sizeof(v));  // NOLINT(p3c-unchecked-status)
+  Take(&v, sizeof(v));
   return v;
 }
 
 double BlobReader::GetDouble() {
   double v = 0.0;
-  // BlobReader::Take returns bool (out-of-bounds already clamps);
-  // the rule collides with FailureSlot::Take across the set.
-  Take(&v, sizeof(v));  // NOLINT(p3c-unchecked-status)
+  Take(&v, sizeof(v));
   return v;
 }
 

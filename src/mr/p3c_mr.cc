@@ -419,12 +419,19 @@ Result<core::ClusteringResult> P3CMR::Cluster(const data::Dataset& dataset) {
   }
   struct GaugeExportOnExit {
     MetricBag* bag;
+    LocalRunner* runner;
     ~GaugeExportOnExit() {
       if (resource::MemoryTracker::Global().enabled()) {
         resource::MemoryTracker::Global().ExportGauges(bag);
       }
+      // Worker-backend observability (DESIGN.md §16): spawn/respawn/
+      // kill counters and the peak worker RSS gauge land next to the
+      // checkpoint and memory bookkeeping — driver-side only, never in
+      // the deterministic job counters. Empty on the in-process
+      // backend.
+      bag->MergeFrom(runner->SnapshotWorkerMetrics());
     }
-  } gauge_export{&driver_metrics_};
+  } gauge_export{&driver_metrics_, runner_.get()};
   if (dataset.num_points() == 0 || dataset.num_dims() == 0) {
     return Status::InvalidArgument("dataset is empty");
   }

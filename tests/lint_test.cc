@@ -103,6 +103,35 @@ TEST(LintUncheckedStatus, SilentOnCheckedUses) {
   EXPECT_TRUE(RunLint("src/a.cc", src).empty());
 }
 
+TEST(LintUncheckedStatus, SilentOnAmbiguousBareName) {
+  // The registry-collision shape that used to false-positive: a void
+  // member shares its final name with an unrelated Status-returning
+  // function, so a bare call to the void one cannot be attributed.
+  const std::string src = R"cc(
+    Status AtomicFileWriter::Append(const std::string& s);
+    struct Tracer { void Append(TraceEvent event); };
+    void Tracer::RecordEnd(TraceEvent event) {
+      Append(event);
+    }
+  )cc";
+  EXPECT_TRUE(RunLint("src/a.cc", src).empty());
+}
+
+TEST(LintUncheckedStatus, QualifiedCallStillFlaggedDespiteAmbiguity) {
+  const std::string src = R"cc(
+    Status io::Flush(int fd);
+    void Pipe::Flush(int fd);
+    void f() {
+      io::Flush(3);
+      Flush(3);
+    }
+  )cc";
+  const auto diags = RunLint("src/a.cc", src);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "p3c-unchecked-status");
+  EXPECT_EQ(diags[0].line, 5);
+}
+
 TEST(LintUncheckedStatus, DeclarationsAreNotCallSites) {
   const std::string src = R"cc(
     Status DoWrite(int x);
@@ -451,6 +480,25 @@ TEST(LintRegistry, CollectsStatusAndResultDeclarations) {
   EXPECT_EQ(registry.names.count("Drain"), 1u);
   EXPECT_EQ(registry.names.count("NotADecl"), 0u);
   EXPECT_EQ(registry.names.count("s"), 0u);
+}
+
+TEST(LintRegistry, CollectsQualifiedNamesAndCollisions) {
+  StatusFnRegistry registry;
+  CollectStatusReturning(Lex(R"cc(
+    Status AtomicFileWriter::Commit();
+    void TaskContext::Commit(Fn fn);
+    Status Append(const std::string& s);
+    void Tracer::Append(TraceEvent event, uint32_t lane);
+    Result<std::string> Drain();
+  )cc"),
+                         &registry);
+  EXPECT_EQ(registry.qualified.count("AtomicFileWriter::Commit"), 1u);
+  EXPECT_EQ(registry.names.count("Commit"), 1u);
+  EXPECT_EQ(registry.names.count("Append"), 1u);
+  // Both collide with a non-Status declaration; Drain does not.
+  EXPECT_EQ(registry.non_status.count("Commit"), 1u);
+  EXPECT_EQ(registry.non_status.count("Append"), 1u);
+  EXPECT_EQ(registry.non_status.count("Drain"), 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -129,19 +129,42 @@ void RuleUncheckedStatus(const std::string& path, const LexedFile& file,
       continue;
     }
     // Walk a qualified/member chain: a (:: . ->)-separated identifier
-    // sequence; `last` ends up as the called name.
+    // sequence; `last` ends up as the called name, `qual` as the
+    // `::`-joined qualification since the most recent member access.
     size_t j = i;
     std::string last;
+    std::string qual;
+    bool pure_qualified = true;
     while (IsIdent(t, j)) {
       last = t[j].text;
+      if (!qual.empty()) qual += "::";
+      qual += last;
       ++j;
-      if (IsPunct(t, j, "::") || IsPunct(t, j, ".") || IsPunct(t, j, "->")) {
+      if (IsPunct(t, j, "::")) {
         ++j;
+        continue;
+      }
+      if (IsPunct(t, j, ".") || IsPunct(t, j, "->")) {
+        ++j;
+        pure_qualified = false;
+        qual.clear();
         continue;
       }
       break;
     }
-    if (!IsPunct(t, j, "(") || registry.names.count(last) == 0) continue;
+    if (!IsPunct(t, j, "(")) continue;
+    // An explicitly qualified call is matched against the qualified
+    // declaration names. A bare or member call is flagged only when
+    // its final name is unambiguous across the scanned set — a name
+    // also declared with a non-Status return type somewhere
+    // (Commit/Append/Take) cannot be attributed without type
+    // information, and a false positive here costs more than the
+    // false negative.
+    const bool qualified_hit = pure_qualified && qual != last &&
+                               registry.qualified.count(qual) > 0;
+    const bool bare_hit = registry.names.count(last) > 0 &&
+                          registry.non_status.count(last) == 0;
+    if (!qualified_hit && !bare_hit) continue;
     const size_t after = MatchParen(t, j);
     if (after == kNpos || !IsPunct(t, after, ";")) continue;
     out->push_back(
@@ -496,6 +519,12 @@ std::string FormatDiagnostic(const Diagnostic& d) {
 void CollectStatusReturning(const LexedFile& file,
                             StatusFnRegistry* registry) {
   const Tokens& t = file.tokens;
+  // Pass 1: Status/Result declarations. Walk `Foo::Bar::Baz` to the
+  // final name; require '(' right after so variable declarations
+  // (`Status st = ...;`) are not recorded. `claimed` remembers where
+  // these name chains start so pass 2 does not re-read a
+  // `Result<...> Name(` declaration as a non-Status one.
+  std::set<size_t> claimed;
   for (size_t i = 0; i < t.size(); ++i) {
     if (!IsIdent(t, i)) continue;
     size_t name_begin = kNpos;
@@ -506,9 +535,45 @@ void CollectStatusReturning(const LexedFile& file,
       if (after != kNpos && IsIdent(t, after)) name_begin = after;
     }
     if (name_begin == kNpos) continue;
-    // Walk `Foo::Bar::Baz` to the final name; require '(' right after
-    // so variable declarations (`Status st = ...;`) are not recorded.
     size_t j = name_begin;
+    std::string last;
+    std::string qual;
+    while (IsIdent(t, j)) {
+      last = t[j].text;
+      if (!qual.empty()) qual += "::";
+      qual += last;
+      ++j;
+      if (IsPunct(t, j, "::")) {
+        ++j;
+        continue;
+      }
+      break;
+    }
+    if (IsPunct(t, j, "(") && !IsStatementKeyword(last)) {
+      claimed.insert(name_begin);
+      registry->names.insert(last);
+      if (qual != last) registry->qualified.insert(qual);
+    }
+  }
+  // Pass 2: every other `Type Name(` / `Type Qualified::Name(`
+  // declaration. A final name recorded here collides with any
+  // same-named Status declaration, making bare calls to it ambiguous
+  // (`void Tracer::Append` vs `Status AtomicFileWriter::Append`). The
+  // preceding token must plausibly end a return type — an identifier
+  // or a template/pointer/reference tail — so ordinary call sites
+  // (always preceded by punctuation or a statement keyword) are never
+  // misread as declarations.
+  for (size_t i = 1; i < t.size(); ++i) {
+    if (!IsIdent(t, i) || claimed.count(i) > 0) continue;
+    const Token& prev = t[i - 1];
+    const bool after_type =
+        (prev.kind == TokKind::kIdentifier && prev.text != "Status" &&
+         prev.text != "Result" && !IsStatementKeyword(prev.text)) ||
+        (prev.kind == TokKind::kPunct &&
+         (prev.text == ">" || prev.text == ">>" || prev.text == "&" ||
+          prev.text == "*"));
+    if (!after_type) continue;
+    size_t j = i;
     std::string last;
     while (IsIdent(t, j)) {
       last = t[j].text;
@@ -520,7 +585,7 @@ void CollectStatusReturning(const LexedFile& file,
       break;
     }
     if (IsPunct(t, j, "(") && !IsStatementKeyword(last)) {
-      registry->names.insert(last);
+      registry->non_status.insert(last);
     }
   }
 }

@@ -75,15 +75,36 @@ struct Diagnostic {
 /// "file:line: error: message [rule]" — clang-style, clickable.
 std::string FormatDiagnostic(const Diagnostic& d);
 
-/// Names of functions declared (anywhere in the scanned set) to return
-/// `Status` or `Result<T>`. Built in a first pass over every input
-/// file so call sites in one file see declarations from another.
+/// Functions declared (anywhere in the scanned set) to return `Status`
+/// or `Result<T>`. Built in a first pass over every input file so call
+/// sites in one file see declarations from another.
+///
+/// The registry is keyed three ways so that an unqualified name shared
+/// between a Status-returning function and an unrelated void/bool one
+/// (`AtomicFileWriter::Commit` vs `TaskContext::Commit`,
+/// `AtomicFileWriter::Append` vs `Tracer::Append`) cannot produce
+/// false positives: a bare or member call is flagged only when its
+/// final name is unambiguous across the whole scanned set, while an
+/// explicitly `Qualified::Call(...)` is matched against the qualified
+/// declaration names and flagged regardless of bare-name ambiguity.
+/// The deliberate trade-off: a *member* call that drops a Status on an
+/// ambiguous name is not flagged — attribution would need real type
+/// information, and a silent false positive costs more than this
+/// false negative.
 struct StatusFnRegistry {
+  /// Final (unqualified) declaration names: `Commit`, `WriteFrame`.
   std::set<std::string> names;
+  /// Qualified declaration names as written: `AtomicFileWriter::Commit`.
+  std::set<std::string> qualified;
+  /// Final names that also appear as a non-Status/Result declaration
+  /// somewhere in the scanned set — ambiguous as bare-call targets.
+  std::set<std::string> non_status;
 };
 
 /// Scans one file's tokens for `Status Name(` / `Result<...> Name(`
-/// declarations and records `Name`.
+/// declarations, recording `Name` (and `Qualified::Name` when written
+/// qualified), plus every other `Type Name(` declaration whose final
+/// name could collide with one of them.
 void CollectStatusReturning(const LexedFile& file, StatusFnRegistry* registry);
 
 /// All rule IDs, in diagnostic order.

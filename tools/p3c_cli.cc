@@ -22,6 +22,18 @@
 //                                      (stage, records, live attempts,
 //                                      tracked memory) at info level
 //                                      every S seconds (0 = off)
+//           [--backend=NAME]           task-execution backend (DESIGN.md
+//                                      §16): inprocess (threads in the
+//                                      driver, the default) | process
+//                                      (forked worker processes — real
+//                                      crash isolation, byte-identical
+//                                      results)
+//           [--num-workers N]          worker processes per phase for
+//                                      --backend=process (0 = one per
+//                                      pool thread)
+//           [--worker-heartbeat-seconds S]  a worker silent for S seconds
+//                                      is declared hung, SIGKILLed, and
+//                                      respawned (default 10)
 //           [--track-memory]           scoped memory accounting: per-phase
 //                                      mem.*.peak_bytes gauges in
 //                                      --metrics-out plus mem-high-water
@@ -88,6 +100,7 @@
 #include "src/eval/rnia.h"
 #include "src/eval/serialization.h"
 #include "src/mapreduce/fault.h"
+#include "src/mapreduce/worker_backend.h"
 #include "src/mr/p3c_mr.h"
 
 namespace {
@@ -320,6 +333,24 @@ Result<core::ClusteringResult> RunAlgo(const std::string& algo,
           "heartbeat)");
     }
     options.runner.heartbeat_seconds = heartbeat;
+    Result<mr::Backend> parsed_backend =
+        mr::ParseBackend(args.Get("backend", "inprocess"));
+    if (!parsed_backend.ok()) return parsed_backend.status();
+    options.runner.backend = *parsed_backend;
+    const int64_t num_workers = args.GetInt("num-workers", 0);
+    if (num_workers < 0) {
+      return Status::InvalidArgument(
+          "--num-workers must be >= 0 (0 means one worker per pool thread)");
+    }
+    options.runner.num_workers = static_cast<size_t>(num_workers);
+    const double worker_heartbeat = args.GetDouble(
+        "worker-heartbeat-seconds", options.runner.worker_heartbeat_seconds);
+    if (worker_heartbeat <= 0.0) {
+      return Status::InvalidArgument(
+          "--worker-heartbeat-seconds must be > 0 (a silent worker is "
+          "declared hung and respawned after this long)");
+    }
+    options.runner.worker_heartbeat_seconds = worker_heartbeat;
     options.checkpoint_dir = args.Get("checkpoint-dir", "");
     options.cancel = ShutdownSource().token();
     std::unique_ptr<CrashAfterPhaseInjector> crash_injector;
@@ -550,6 +581,16 @@ int main(int argc, char** argv) {
                      "shutdown signal received: stopping at the next phase "
                      "boundary\n");
         ShutdownSource().Cancel();
+        // Process backend: forward the shutdown to live worker
+        // processes too. The cancellation path tears pools down at the
+        // phase boundary, but a worker wedged in a long task would
+        // otherwise outlive a Ctrl-C'd driver.
+        const size_t forwarded = mr::SignalLiveWorkers(SIGTERM);
+        if (forwarded > 0) {
+          std::fprintf(stderr,
+                       "forwarded shutdown to %zu worker process(es)\n",
+                       forwarded);
+        }
         return;
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
@@ -588,6 +629,14 @@ int main(int argc, char** argv) {
   const int exit_code = RunCommand(command, args);
   watcher_done.store(true, std::memory_order_relaxed);
   signal_watcher.join();
+
+  // Final worker sweep: if a shutdown signal arrived, any worker still
+  // alive after the driver unwound is killed and reaped here so the CLI
+  // never exits leaving orphaned worker processes behind.
+  if (g_signal_flag != 0) {
+    mr::SignalLiveWorkers(SIGKILL);
+    mr::ReapWorkers();
+  }
 
   if (!trace_out.empty()) {
     const Status st = Tracer::Global().WriteJson(trace_out);

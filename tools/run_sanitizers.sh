@@ -38,6 +38,13 @@
 #                                      # balance, adapter charge/release
 #                                      # symmetry, and tracking-on output
 #                                      # identity under both sanitizers
+#   tools/run_sanitizers.sh worker-smoke
+#                                      # multi-process worker backend suite
+#                                      # (ctest -L worker-smoke): wire
+#                                      # protocol, backend determinism, and
+#                                      # real SIGKILL/SIGSTOP crash recovery
+#                                      # under ASan only (TSan forbids
+#                                      # forking a multithreaded process)
 #
 # The fault-tolerance machinery (task retry, first-error-wins failure
 # slots, exception capture in ParallelFor) is concurrency-heavy; TSan on
@@ -143,12 +150,25 @@ case "${MODE}" in
       "ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1"
     run_suite "TSan resource-smoke" Tsan build-tsan "TSAN_OPTIONS=halt_on_error=1"
     ;;
+  worker-smoke)
+    # The multi-process worker backend suite (DESIGN.md §16): checksummed
+    # wire framing, cross-backend byte-identity, and crash recovery that
+    # SIGKILLs/SIGSTOPs REAL worker processes mid-task. ASan only: the
+    # backend forks from the driver's multithreaded pool, which TSan
+    # rejects by design ("ThreadSanitizer: fork with running threads is
+    # not supported"); ASan + detect_leaks still polices the driver-side
+    # slot bookkeeping, and the forked children exit via _exit so the
+    # leak checker never runs in a child.
+    LABEL="worker-smoke"
+    run_suite "ASan+UBSan worker-smoke" Sanitize build-asan \
+      "ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1"
+    ;;
   all)
     "$0" asan
     "$0" tsan
     ;;
   *)
-    echo "usage: $0 [asan|tsan|all|shuffle-smoke|trace-smoke|straggler-smoke|kernel-smoke|checkpoint-smoke|resource-smoke]" \
+    echo "usage: $0 [asan|tsan|all|shuffle-smoke|trace-smoke|straggler-smoke|kernel-smoke|checkpoint-smoke|resource-smoke|worker-smoke]" \
          "[ctest -R filter]" >&2
     exit 2
     ;;
