@@ -14,17 +14,17 @@ bool CancellationToken::WaitFor(double seconds) const {
     return false;
   }
   if (state_->cancelled.load(std::memory_order_relaxed)) return true;
-  std::unique_lock<std::mutex> lock(state_->mu);
-  return state_->cv.wait_for(
-      lock, std::chrono::duration<double>(seconds),
+  MutexLock lock(state_->mu);
+  return state_->cv.WaitFor(
+      state_->mu, std::chrono::duration<double>(seconds),
       [this] { return state_->cancelled.load(std::memory_order_relaxed); });
 }
 
 void CancellationToken::WaitForCancel() const {
   if (state_ == nullptr) return;
   if (state_->cancelled.load(std::memory_order_relaxed)) return;
-  std::unique_lock<std::mutex> lock(state_->mu);
-  state_->cv.wait(lock, [this] {
+  MutexLock lock(state_->mu);
+  state_->cv.Wait(state_->mu, [this] {
     return state_->cancelled.load(std::memory_order_relaxed);
   });
 }
@@ -34,10 +34,10 @@ void CancellationSource::Cancel() {
   // flag, decide to wait, and then miss the notify (the classic lost
   // wakeup); polls still see the flag with a plain relaxed load.
   {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(state_->mu);
     state_->cancelled.store(true, std::memory_order_relaxed);
   }
-  state_->cv.notify_all();
+  state_->cv.NotifyAll();
 }
 
 }  // namespace p3c

@@ -23,10 +23,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <exception>
 #include <memory>
-#include <mutex>
+
+#include "src/common/sync.h"
 
 namespace p3c {
 
@@ -44,12 +44,19 @@ class CancelledError : public std::exception {
 namespace internal {
 
 /// State shared between one source and its tokens. The flag is atomic
-/// so polls never touch the mutex; the mutex/condvar pair exists only
-/// for WaitFor sleepers.
+/// so polls never touch the mutex (deliberately NOT guarded_by: it is
+/// read lock-free everywhere); the mutex/condvar pair exists only for
+/// the WaitFor sleep/wake protocol — Cancel() stores under `mu` so a
+/// sleeper cannot check, decide to wait, and miss the notify.
+///
+/// Lock order: the watchdog's kill closures call Cancel() while
+/// holding TaskWatchdog::mu_, so `mu` sits BELOW the watchdog lock in
+/// the order graph and must never be held while calling into the
+/// watchdog.
 struct CancellationState {
   std::atomic<bool> cancelled{false};
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu{"CancellationState::mu"};
+  CondVar cv;
 };
 
 }  // namespace internal

@@ -2,8 +2,9 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 #include <utility>
+
+#include "src/common/sync.h"
 
 namespace p3c {
 
@@ -14,8 +15,12 @@ std::atomic<LogLevel> g_log_level{LogLevel::kWarning};
 // Guards sink replacement *and* emission, so SetLogSink never races a
 // concurrently emitting mapper thread. Leaked to survive static
 // destruction (worker threads may log late).
-std::mutex& LogMutex() {
-  static std::mutex* mu = new std::mutex;
+//
+// Lock order: LogMutex() is held while the sink runs, and the capture
+// sink takes its State::mu inside — LogMutex before capture mu, never
+// the reverse (lines() takes only the capture mu).
+Mutex& LogMutex() {
+  static Mutex* mu = new Mutex("logging::LogMutex");
   return *mu;
 }
 
@@ -70,15 +75,15 @@ bool ParseLogLevel(const std::string& name, LogLevel* out) {
 }
 
 LogSink SetLogSink(LogSink sink) {
-  std::lock_guard<std::mutex> lock(LogMutex());
+  MutexLock lock(LogMutex());
   LogSink previous = std::move(GlobalSink());
   GlobalSink() = std::move(sink);
   return previous;
 }
 
 struct ScopedLogCapture::State {
-  mutable std::mutex mu;
-  std::vector<std::string> lines;
+  mutable Mutex mu{"ScopedLogCapture::State::mu"};
+  std::vector<std::string> lines P3C_GUARDED_BY(mu);
 };
 
 ScopedLogCapture::ScopedLogCapture() : state_(std::make_shared<State>()) {
@@ -88,7 +93,7 @@ ScopedLogCapture::ScopedLogCapture() : state_(std::make_shared<State>()) {
     char prefix[256];
     std::snprintf(prefix, sizeof(prefix), "[%s %s:%d] ", LevelTag(level),
                   file, line);
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(state->mu);
     state->lines.push_back(prefix + message);
   });
 }
@@ -96,7 +101,7 @@ ScopedLogCapture::ScopedLogCapture() : state_(std::make_shared<State>()) {
 ScopedLogCapture::~ScopedLogCapture() { SetLogSink(std::move(previous_)); }
 
 std::vector<std::string> ScopedLogCapture::lines() const {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   return state_->lines;
 }
 
@@ -114,7 +119,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   const std::string message = stream_.str();
-  std::lock_guard<std::mutex> lock(LogMutex());
+  MutexLock lock(LogMutex());
   const LogSink& sink = GlobalSink();
   if (sink) {
     sink(level_, file_, line_, message);

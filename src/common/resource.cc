@@ -71,14 +71,14 @@ void MemoryTracker::ApplyDelta(MemScope scope, int64_t delta) {
 }
 
 void MemoryTracker::BeginPhase(const std::string& name) {
-  std::lock_guard<std::mutex> lock(phase_mu_);
+  MutexLock lock(phase_mu_);
   current_phase_ = name;
   window_peak_.store(total_current_.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
 }
 
 int64_t MemoryTracker::EndPhase() {
-  std::lock_guard<std::mutex> lock(phase_mu_);
+  MutexLock lock(phase_mu_);
   const int64_t peak = window_peak_.load(std::memory_order_relaxed);
   if (!current_phase_.empty()) {
     int64_t& slot = phase_peaks_[current_phase_];
@@ -97,7 +97,7 @@ void MemoryTracker::ResetRun() {
   total_peak_.store(current, std::memory_order_relaxed);
   window_peak_.store(current, std::memory_order_relaxed);
   last_instant_peak_.store(current, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(phase_mu_);
+  MutexLock lock(phase_mu_);
   current_phase_.clear();
   phase_peaks_.clear();
 }
@@ -114,7 +114,7 @@ void MemoryTracker::ExportGauges(MetricBag* bag) const {
   const int64_t total_peak = TotalPeakBytes();
   bag->SetGauge("mem.total.peak_bytes", static_cast<double>(total_peak));
   {
-    std::lock_guard<std::mutex> lock(phase_mu_);
+    MutexLock lock(phase_mu_);
     for (const auto& [name, peak] : phase_peaks_) {
       bag->SetGauge(StringPrintf("mem.phase.%s.peak_bytes", name.c_str()),
                     static_cast<double>(peak));

@@ -33,11 +33,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 
 #include "src/common/counters.h"
+#include "src/common/sync.h"
 
 namespace p3c::resource {
 
@@ -170,9 +170,12 @@ class MemoryTracker {
   std::atomic<int64_t> window_peak_{0};
   std::atomic<int64_t> last_instant_peak_{0};
 
-  mutable std::mutex phase_mu_;
-  std::string current_phase_;              // under phase_mu_
-  std::map<std::string, int64_t> phase_peaks_;  // under phase_mu_
+  /// Guards only the phase-window bookkeeping; the hot Charge() path
+  /// never touches it (atomics above). Leaf lock: nothing else is
+  /// acquired while it is held.
+  mutable Mutex phase_mu_{"MemoryTracker::phase_mu_"};
+  std::string current_phase_ P3C_GUARDED_BY(phase_mu_);
+  std::map<std::string, int64_t> phase_peaks_ P3C_GUARDED_BY(phase_mu_);
 };
 
 /// Value-semantic charge for a single owner (one task-local buffer).

@@ -1,0 +1,240 @@
+#ifndef P3C_COMMON_SYNC_H_
+#define P3C_COMMON_SYNC_H_
+
+/// Capability-annotated synchronization layer (DESIGN.md §17).
+///
+/// Every mutex in the engine goes through these wrappers instead of the
+/// raw `std::` primitives (enforced by the `p3c-naked-mutex` lint
+/// rule). The wrappers buy two things the raw types cannot:
+///
+///  1. **Compile-time lock discipline.** Under Clang the types carry
+///     thread-safety capability attributes, so `-Wthread-safety`
+///     proves at compile time that every `P3C_GUARDED_BY` member is
+///     only touched with its mutex held and every `P3C_REQUIRES`
+///     helper is only called from a locked context. This runs on every
+///     Clang build — including the fork-based worker backend that TSan
+///     can never execute (DESIGN.md §16). GCC builds compile the
+///     attributes away to nothing.
+///
+///  2. **Runtime lock-order checking** in debug builds (any build
+///     without NDEBUG — the Sanitize/Tsan build types and plain Debug).
+///     Mutexes constructed with a name participate in a global
+///     lock-order graph fed by per-thread held-lock stacks; acquiring
+///     locks in an order that closes a cycle — a potential deadlock —
+///     aborts immediately with the full cycle and both acquisition
+///     stacks, instead of hanging some future run. Unnamed mutexes
+///     (short-lived locals) skip the graph but still detect
+///     self-recursive locking.
+///
+/// `CondVar` deliberately has **no predicate-free wait**: every wait
+/// site must pass a predicate, making spurious-wakeup safety a
+/// property of the API instead of a per-call-site review item.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+
+// ---------------------------------------------------------------------------
+// Clang thread-safety attribute macros. Empty under GCC/MSVC.
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__)
+#define P3C_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define P3C_THREAD_ANNOTATION_(x)
+#endif
+
+#define P3C_CAPABILITY(x) P3C_THREAD_ANNOTATION_(capability(x))
+#define P3C_SCOPED_CAPABILITY P3C_THREAD_ANNOTATION_(scoped_lockable)
+#define P3C_GUARDED_BY(x) P3C_THREAD_ANNOTATION_(guarded_by(x))
+#define P3C_PT_GUARDED_BY(x) P3C_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define P3C_REQUIRES(...) \
+  P3C_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define P3C_REQUIRES_SHARED(...) \
+  P3C_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+#define P3C_ACQUIRE(...) \
+  P3C_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define P3C_ACQUIRE_SHARED(...) \
+  P3C_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define P3C_RELEASE(...) \
+  P3C_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define P3C_RELEASE_SHARED(...) \
+  P3C_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define P3C_TRY_ACQUIRE(...) \
+  P3C_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define P3C_EXCLUDES(...) P3C_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define P3C_ASSERT_CAPABILITY(x) P3C_THREAD_ANNOTATION_(assert_capability(x))
+#define P3C_RETURN_CAPABILITY(x) P3C_THREAD_ANNOTATION_(lock_returned(x))
+#define P3C_NO_THREAD_SAFETY_ANALYSIS \
+  P3C_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace p3c {
+
+class CondVar;
+
+/// Exclusive mutex. Construct with a string-literal name to enroll it
+/// in the debug lock-order graph; the name should identify the lock's
+/// *role* (e.g. "ThreadPool::mu_"), and all instances sharing a role
+/// share a graph node — lock order is a property of lock classes, not
+/// individual objects. The name must outlive the mutex (string
+/// literals do).
+class P3C_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  explicit Mutex(const char* name) : name_(name) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() P3C_ACQUIRE();
+  void Unlock() P3C_RELEASE();
+  /// Non-blocking acquire; on success the lock still enters the
+  /// held-lock stack (a held try-lock constrains other threads' order
+  /// just like a blocking one).
+  bool TryLock() P3C_TRY_ACQUIRE(true);
+
+  [[nodiscard]] const char* name() const { return name_; }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;  // NOLINT(p3c-naked-mutex): the one wrapped instance
+  const char* name_ = nullptr;
+};
+
+/// Reader/writer mutex with the same naming + order-checking contract
+/// as Mutex. Writer side via Lock/Unlock, reader side via
+/// ReaderLock/ReaderUnlock (use the scoped types below).
+class P3C_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  explicit SharedMutex(const char* name) : name_(name) {}
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() P3C_ACQUIRE();
+  void Unlock() P3C_RELEASE();
+  void ReaderLock() P3C_ACQUIRE_SHARED();
+  void ReaderUnlock() P3C_RELEASE_SHARED();
+
+  [[nodiscard]] const char* name() const { return name_; }
+
+ private:
+  std::shared_mutex mu_;  // NOLINT(p3c-naked-mutex): the one wrapped instance
+  const char* name_ = nullptr;
+};
+
+/// Scoped exclusive lock (the only way most code should take a Mutex).
+class P3C_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) P3C_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() P3C_RELEASE() { mu_.Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  Mutex& mu_;
+};
+
+/// Scoped exclusive lock over the writer side of a SharedMutex.
+class P3C_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) P3C_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() P3C_RELEASE() { mu_.Unlock(); }
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Scoped shared (reader) lock over a SharedMutex.
+class P3C_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) P3C_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.ReaderLock();
+  }
+  ~ReaderMutexLock() P3C_RELEASE_SHARED() { mu_.ReaderUnlock(); }
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable bound to p3c::Mutex. Every wait takes a
+/// predicate — there is deliberately no predicate-free overload, so a
+/// spurious wakeup can never escape a wait site (the underlying
+/// `std::condition_variable` re-checks the predicate on every wake).
+///
+/// The caller must hold `mu` (typically via a live MutexLock); the
+/// wait atomically releases it while blocked and re-acquires it before
+/// returning, so the P3C_REQUIRES contract holds on both edges.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void NotifyOne() noexcept { cv_.notify_one(); }
+  void NotifyAll() noexcept { cv_.notify_all(); }
+
+  /// Blocks until `pred()` is true.
+  template <class Pred>
+  void Wait(Mutex& mu, Pred pred) P3C_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the duration of the
+    // wait, then release the adoption so the caller's scoped lock
+    // still owns the unlock.
+    std::unique_lock<std::mutex> native(  // NOLINT(p3c-naked-mutex): condvar interop
+        mu.mu_, std::adopt_lock);
+    cv_.wait(native, std::move(pred));
+    native.release();
+  }
+
+  /// Blocks until `pred()` is true or `timeout` elapses; returns the
+  /// final `pred()` value.
+  template <class Rep, class Period, class Pred>
+  bool WaitFor(Mutex& mu, std::chrono::duration<Rep, Period> timeout,
+               Pred pred) P3C_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(  // NOLINT(p3c-naked-mutex): condvar interop
+        mu.mu_, std::adopt_lock);
+    const bool ok = cv_.wait_for(native, timeout, std::move(pred));
+    native.release();
+    return ok;
+  }
+
+  /// Blocks until `pred()` is true or `deadline` passes; returns the
+  /// final `pred()` value.
+  template <class Clock, class Duration, class Pred>
+  bool WaitUntil(Mutex& mu, std::chrono::time_point<Clock, Duration> deadline,
+                 Pred pred) P3C_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(  // NOLINT(p3c-naked-mutex): condvar interop
+        mu.mu_, std::adopt_lock);
+    const bool ok = cv_.wait_until(native, deadline, std::move(pred));
+    native.release();
+    return ok;
+  }
+
+ private:
+  std::condition_variable cv_;  // NOLINT(p3c-naked-mutex): the one wrapped instance
+};
+
+namespace sync_internal {
+
+/// True when the runtime lock-order checker is compiled in (debug
+/// builds: Sanitize, Tsan, Debug — anything without NDEBUG).
+bool LockOrderCheckerEnabled();
+
+/// Test hook: forgets every recorded edge. The checker aborts on the
+/// first cycle, so tests that *establish* orders must be able to clear
+/// state between cases.
+void ResetLockOrderGraphForTest();
+
+}  // namespace sync_internal
+
+}  // namespace p3c
+
+#endif  // P3C_COMMON_SYNC_H_

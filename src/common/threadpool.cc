@@ -20,25 +20,25 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_task_.notify_all();
+  cv_task_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push(std::move(task));
     ++pending_;
   }
-  cv_task_.notify_one();
+  cv_task_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_done_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(mu_);
+  cv_done_.Wait(mu_, [this]() P3C_REQUIRES(mu_) { return pending_ == 0; });
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
@@ -66,23 +66,27 @@ void ThreadPool::ParallelForCapped(size_t n, size_t max_workers, size_t grain,
   if (grain == 0) grain = std::max<size_t>(1, n / (width * 8));
   const size_t num_claims = (n + grain - 1) / grain;
   const size_t closures = std::min(num_claims, width);
+  // Claim counter: relaxed is enough — claiming only needs atomicity
+  // (each index handed out once); all inter-thread ordering for the
+  // claimed work goes through the pool's queue mutex and Wait barrier.
   std::atomic<size_t> next{0};
   // First-error-wins capture: an exception escaping `fn` on a worker
   // must surface on the caller, not std::terminate the process. Workers
   // stop claiming ranges once a throw is seen.
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
-  std::mutex error_mu;
+  Mutex error_mu;
   for (size_t c = 0; c < closures; ++c) {
     Submit([&next, n, grain, &fn, &failed, &first_error, &error_mu] {
-      for (size_t begin = next.fetch_add(grain); begin < n;
-           begin = next.fetch_add(grain)) {
+      for (size_t begin = next.fetch_add(grain, std::memory_order_relaxed);
+           begin < n;
+           begin = next.fetch_add(grain, std::memory_order_relaxed)) {
         if (failed.load(std::memory_order_acquire)) return;
         const size_t end = std::min(n, begin + grain);
         try {
           for (size_t i = begin; i < end; ++i) fn(i);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(error_mu);
+          MutexLock lock(error_mu);
           if (!failed.load(std::memory_order_relaxed)) {
             first_error = std::current_exception();
             failed.store(true, std::memory_order_release);
@@ -100,8 +104,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      cv_task_.Wait(mu_, [this]() P3C_REQUIRES(mu_) {
+        return stop_ || !queue_.empty();
+      });
       if (queue_.empty()) {
         if (stop_) return;
         continue;
@@ -111,9 +117,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --pending_;
-      if (pending_ == 0) cv_done_.notify_all();
+      if (pending_ == 0) cv_done_.NotifyAll();
     }
   }
 }

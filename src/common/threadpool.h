@@ -2,13 +2,13 @@
 #define P3C_COMMON_THREADPOOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "src/common/sync.h"
 
 namespace p3c {
 
@@ -76,12 +76,12 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_done_;
-  size_t pending_ = 0;  // queued + running tasks
-  bool stop_ = false;
+  Mutex mu_{"ThreadPool::mu_"};
+  std::queue<std::function<void()>> queue_ P3C_GUARDED_BY(mu_);
+  CondVar cv_task_;
+  CondVar cv_done_;
+  size_t pending_ P3C_GUARDED_BY(mu_) = 0;  // queued + running tasks
+  bool stop_ P3C_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace p3c

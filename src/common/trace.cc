@@ -38,7 +38,7 @@ Tracer::ThreadBuffer& Tracer::LocalBuffer() {
   if (local == nullptr) {
     local = std::make_shared<ThreadBuffer>(
         next_tid_.fetch_add(1, std::memory_order_relaxed));
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    WriterMutexLock lock(registry_mu_);
     buffers_.push_back(local);
   }
   return *local;
@@ -49,7 +49,7 @@ void Tracer::Append(TraceEvent event, uint32_t lane_override) {
   event.ts_us = NowMicros();
   event.seq = seq_.fetch_add(1, std::memory_order_relaxed);
   event.tid = lane_override != 0 ? lane_override : buffer.tid;
-  std::lock_guard<std::mutex> lock(buffer.mu);
+  MutexLock lock(buffer.mu);
   buffer.events.push_back(std::move(event));
 }
 
@@ -103,7 +103,7 @@ void Tracer::RecordFlowEnd(uint64_t flow_id, std::string name,
 void Tracer::NameLane(uint32_t lane, std::string name) {
   if (!enabled()) return;
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    WriterMutexLock lock(registry_mu_);
     for (uint32_t named : named_lanes_) {
       if (named == lane) return;
     }
@@ -123,9 +123,9 @@ std::string Tracer::ToJson() const {
   // the trace-smoke validator and human readers do).
   std::vector<TraceEvent> events;
   {
-    std::lock_guard<std::mutex> registry_lock(registry_mu_);
+    ReaderMutexLock registry_lock(registry_mu_);
     for (const auto& buffer : buffers_) {
-      std::lock_guard<std::mutex> lock(buffer->mu);
+      MutexLock lock(buffer->mu);
       events.insert(events.end(), buffer->events.begin(),
                     buffer->events.end());
     }
@@ -164,19 +164,19 @@ Status Tracer::WriteJson(const std::string& path) const {
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> registry_lock(registry_mu_);
+  WriterMutexLock registry_lock(registry_mu_);
   for (const auto& buffer : buffers_) {
-    std::lock_guard<std::mutex> lock(buffer->mu);
+    MutexLock lock(buffer->mu);
     buffer->events.clear();
   }
   named_lanes_.clear();  // a fresh run re-emits its lane metadata
 }
 
 size_t Tracer::NumEvents() const {
-  std::lock_guard<std::mutex> registry_lock(registry_mu_);
+  ReaderMutexLock registry_lock(registry_mu_);
   size_t n = 0;
   for (const auto& buffer : buffers_) {
-    std::lock_guard<std::mutex> lock(buffer->mu);
+    MutexLock lock(buffer->mu);
     n += buffer->events.size();
   }
   return n;

@@ -31,12 +31,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/sync.h"
 
 namespace p3c {
 
@@ -121,11 +121,15 @@ class Tracer {
   /// buffer's own mutex — uncontended until an exporter walks the
   /// registry — and the registry holds shared ownership so buffers
   /// survive thread exit.
+  ///
+  /// Lock order: registry_mu_ (shared or exclusive) is always taken
+  /// BEFORE any ThreadBuffer::mu; recording threads take only their own
+  /// buffer's mu and never the registry.
   struct ThreadBuffer {
     explicit ThreadBuffer(uint32_t tid_in) : tid(tid_in) {}
     const uint32_t tid;
-    mutable std::mutex mu;
-    std::vector<TraceEvent> events;
+    mutable Mutex mu{"Tracer::ThreadBuffer::mu"};
+    std::vector<TraceEvent> events P3C_GUARDED_BY(mu);
   };
 
   Tracer();
@@ -139,9 +143,14 @@ class Tracer {
   std::atomic<uint32_t> next_tid_{1};
   uint64_t epoch_ns_ = 0;
 
-  mutable std::mutex registry_mu_;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
-  std::vector<uint32_t> named_lanes_;  // NameLane dedup, under registry_mu_
+  /// Reader/writer split: exporters (ToJson/NumEvents) take the shared
+  /// side so concurrent exports never serialize; registration and lane
+  /// naming take the exclusive side.
+  mutable SharedMutex registry_mu_{"Tracer::registry_mu_"};
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_
+      P3C_GUARDED_BY(registry_mu_);
+  std::vector<uint32_t> named_lanes_
+      P3C_GUARDED_BY(registry_mu_);  // NameLane dedup
 };
 
 /// RAII duration span: records B at construction and the matching E at

@@ -3,10 +3,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "src/common/counters.h"
+#include "src/common/sync.h"
 
 namespace p3c::mr {
 
@@ -18,9 +18,12 @@ namespace p3c::mr {
 /// (Observe) — see src/common/counters.h for the merge semantics that
 /// keep all three deterministic across thread counts.
 ///
-/// Mapper/reducer tasks accumulate into task-local Counters instances
-/// and the runner merges them after each phase, so no locking happens
-/// on the hot path; `Merge` takes the lock once per task.
+/// Every member takes `mu_`, so a Counters instance is safe to share:
+/// task-local instances see only uncontended acquisitions (one owner),
+/// and the cross-job sink can be read (Snapshot/ToJson) while a late
+/// straggler merge is still landing. The per-op cost for task-local
+/// accumulation is one uncontended lock, dwarfed by the string-keyed
+/// map lookup it guards.
 ///
 /// Exactly-once semantics under retry: a task attempt accumulates into
 /// an attempt-local instance that is dropped with the attempt on
@@ -32,43 +35,62 @@ class Counters {
   Counters() = default;
 
   // Movable for collecting task-local instances; not copyable to avoid
-  // accidentally duplicating counts.
-  Counters(Counters&& other) noexcept : bag_(std::move(other.bag_)) {}
-  Counters& operator=(Counters&& other) noexcept {
+  // accidentally duplicating counts. Moving requires external
+  // exclusivity on *both* sides (nobody may use an object while it is
+  // moved from) — locking both would mean acquiring two locks of the
+  // same lock class, which the debug lock-order checker forbids.
+  Counters(Counters&& other) noexcept P3C_NO_THREAD_SAFETY_ANALYSIS
+      : bag_(std::move(other.bag_)) {}
+  Counters& operator=(Counters&& other) noexcept
+      P3C_NO_THREAD_SAFETY_ANALYSIS {
     bag_ = std::move(other.bag_);
     return *this;
   }
 
-  /// Adds `delta` to the named counter (task-local use; not thread-safe).
+  /// Adds `delta` to the named counter.
   void Increment(const std::string& name, uint64_t delta = 1) {
+    MutexLock lock(mu_);
     bag_.Increment(name, delta);
   }
 
   /// Sets the named gauge (task-local last-write-wins; cross-task merge
   /// takes the maximum).
   void SetGauge(const std::string& name, double value) {
+    MutexLock lock(mu_);
     bag_.SetGauge(name, value);
   }
 
   /// Records one observation into the named histogram.
   void Observe(const std::string& name, double value) {
+    MutexLock lock(mu_);
     bag_.Observe(name, value);
   }
 
   /// Current counter value; 0 for unknown names.
-  uint64_t Get(const std::string& name) const { return bag_.Get(name); }
+  uint64_t Get(const std::string& name) const {
+    MutexLock lock(mu_);
+    return bag_.Get(name);
+  }
   /// Current gauge level; 0.0 for unknown names.
   double GetGauge(const std::string& name) const {
+    MutexLock lock(mu_);
     return bag_.GetGauge(name);
   }
-  /// Full metric (any kind), or nullptr when unknown.
+  /// Full metric (any kind), or nullptr when unknown. The pointer stays
+  /// valid across later inserts (std::map nodes are stable) but not
+  /// across Clear(); callers that race merges should copy under
+  /// Snapshot() instead.
   const Metric* Find(const std::string& name) const {
+    MutexLock lock(mu_);
     return bag_.Find(name);
   }
 
   /// Thread-safe accumulation of a task-local instance into this one.
-  void Merge(const Counters& other) {
-    std::lock_guard<std::mutex> lock(mu_);
+  /// Reads `other` without its lock: the merging thread owns the
+  /// task-local instance exclusively by the time it merges (the
+  /// attempt has finished).
+  void Merge(const Counters& other) P3C_NO_THREAD_SAFETY_ANALYSIS {
+    MutexLock lock(mu_);
     bag_.MergeFrom(other.bag_);
   }
 
@@ -77,25 +99,40 @@ class Counters {
   /// completed phase, so a resumed pipeline reports the same merged
   /// counters as an uninterrupted one.
   void MergeBag(const MetricBag& bag) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     bag_.MergeFrom(bag);
   }
 
-  const std::map<std::string, Metric>& values() const {
+  /// Copy of the name → Metric map, taken under the lock. A copy (not
+  /// a reference) so callers can never observe a half-landed merge.
+  std::map<std::string, Metric> values() const {
+    MutexLock lock(mu_);
     return bag_.values();
   }
 
   /// Copyable snapshot of the merged metrics (JobMetrics embeds one).
-  MetricBag Snapshot() const { return bag_; }
+  /// Safe against a concurrently landing Merge — this is the export
+  /// path the run report and checkpoint writer use.
+  MetricBag Snapshot() const {
+    MutexLock lock(mu_);
+    return bag_;
+  }
 
-  /// JSON object of every metric (see MetricBag::ToJson).
-  std::string ToJson() const { return bag_.ToJson(); }
+  /// JSON object of every metric (see MetricBag::ToJson), rendered from
+  /// a consistent snapshot.
+  std::string ToJson() const {
+    MutexLock lock(mu_);
+    return bag_.ToJson();
+  }
 
-  void Clear() { bag_.Clear(); }
+  void Clear() {
+    MutexLock lock(mu_);
+    bag_.Clear();
+  }
 
  private:
-  MetricBag bag_;
-  std::mutex mu_;
+  MetricBag bag_ P3C_GUARDED_BY(mu_);
+  mutable Mutex mu_{"mr::Counters::mu_"};
 };
 
 }  // namespace p3c::mr

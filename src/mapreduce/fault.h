@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstdint>
 #include <limits>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -12,6 +11,7 @@
 
 #include "src/common/cancellation.h"
 #include "src/common/status.h"
+#include "src/common/sync.h"
 #include "src/common/string_util.h"
 
 namespace p3c::mr {
@@ -143,7 +143,7 @@ class ScriptedFaultInjector : public FaultInjector {
   };
 
   void AddRule(Rule rule) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     rules_.push_back(std::move(rule));
   }
 
@@ -197,7 +197,7 @@ class ScriptedFaultInjector : public FaultInjector {
   };
 
   void AddPhaseRule(PhaseRule rule) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     phase_rules_.push_back(std::move(rule));
   }
 
@@ -213,7 +213,7 @@ class ScriptedFaultInjector : public FaultInjector {
     PhaseRule fired;
     bool matched = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       for (PhaseRule& rule : phase_rules_) {
         if (rule.fires == 0) continue;
         if (!rule.phase_substring.empty() &&
@@ -257,7 +257,7 @@ class ScriptedFaultInjector : public FaultInjector {
   };
 
   void AddWorkerRule(WorkerRule rule) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     worker_rules_.push_back(std::move(rule));
   }
 
@@ -274,7 +274,7 @@ class ScriptedFaultInjector : public FaultInjector {
   }
 
   int OnWorkerKill(const TaskAttempt& attempt) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (WorkerRule& rule : worker_rules_) {
       if (rule.fires == 0) continue;
       if (!rule.job_substring.empty() &&
@@ -303,7 +303,7 @@ class ScriptedFaultInjector : public FaultInjector {
     Rule fired;
     bool matched = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       for (Rule& rule : rules_) {
         if (rule.fires == 0) continue;
         if (!rule.job_substring.empty() &&
@@ -354,16 +354,18 @@ class ScriptedFaultInjector : public FaultInjector {
   }
 
   uint64_t injected_faults() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return injected_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<Rule> rules_;
-  std::vector<PhaseRule> phase_rules_;
-  std::vector<WorkerRule> worker_rules_;
-  uint64_t injected_ = 0;
+  /// Leaf lock: held only around rule matching and bookkeeping; every
+  /// blocking action (delay, hang) happens after it is released.
+  mutable Mutex mu_{"ScriptedFaultInjector::mu_"};
+  std::vector<Rule> rules_ P3C_GUARDED_BY(mu_);
+  std::vector<PhaseRule> phase_rules_ P3C_GUARDED_BY(mu_);
+  std::vector<WorkerRule> worker_rules_ P3C_GUARDED_BY(mu_);
+  uint64_t injected_ P3C_GUARDED_BY(mu_) = 0;
 };
 
 /// Seeded pseudo-random injector: attempt k of a task fails with

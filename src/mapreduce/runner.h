@@ -4,12 +4,10 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
@@ -22,6 +20,7 @@
 #include "src/common/status.h"
 #include "src/common/stopwatch.h"
 #include "src/common/string_util.h"
+#include "src/common/sync.h"
 #include "src/common/threadpool.h"
 #include "src/common/trace.h"
 #include "src/mapreduce/counters.h"
@@ -731,7 +730,7 @@ class LocalRunner {
 
     void Set(Status status) {
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (!failed_.load(std::memory_order_relaxed)) {
           status_ = std::move(status);
           failed_.store(true, std::memory_order_release);
@@ -743,13 +742,17 @@ class LocalRunner {
       return failed_.load(std::memory_order_acquire);
     }
     Status Take() {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       return status_;
     }
 
    private:
-    std::mutex mu_;
-    Status status_;
+    /// Leaf lock (Cancel() is called after it is released, so the
+    /// cancellation mutex is never nested under it).
+    Mutex mu_{"FailureSlot::mu_"};
+    Status status_ P3C_GUARDED_BY(mu_);
+    /// Atomic (not guarded): has_failed() is the workers' per-task
+    /// short-circuit poll and must stay lock-free.
     std::atomic<bool> failed_{false};
     CancellationSource* wake_ = nullptr;
   };
@@ -775,14 +778,17 @@ class LocalRunner {
   /// watchdog). Guarded by `mu`; the worker always joins `spec_thread`
   /// before the attempt resolves, so copy-local state outlives both
   /// copies.
+  /// Lock order: the watchdog's launch closure takes `mu` while
+  /// holding TaskWatchdog::mu_, so `mu` sits below the watchdog lock;
+  /// nothing is acquired while `mu` is held.
   struct AttemptRace {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool spec_launched = false;
-    bool spec_done = false;
-    CopyOutcome spec_outcome;
-    std::thread spec_thread;
-    std::shared_ptr<CopyControl> spec_ctl;
+    Mutex mu{"AttemptRace::mu"};
+    CondVar cv;
+    bool spec_launched P3C_GUARDED_BY(mu) = false;
+    bool spec_done P3C_GUARDED_BY(mu) = false;
+    CopyOutcome spec_outcome P3C_GUARDED_BY(mu);
+    std::thread spec_thread P3C_GUARDED_BY(mu);
+    std::shared_ptr<CopyControl> spec_ctl P3C_GUARDED_BY(mu);
   };
 
   // TaskContext and TaskBody (the per-copy view and the in-memory body
@@ -960,7 +966,7 @@ class LocalRunner {
     std::shared_ptr<CopyControl> spec_ctl;
     std::thread spec_thread;
     {
-      std::unique_lock<std::mutex> lock(race->mu);
+      MutexLock lock(race->mu);
       spec_launched = race->spec_launched;
       if (spec_launched) {
         spec_ctl = race->spec_ctl;
@@ -969,7 +975,10 @@ class LocalRunner {
           spec_ctl->loser_killed.store(true, std::memory_order_relaxed);
           spec_ctl->cancel.Cancel();
         }
-        race->cv.wait(lock, [&] { return race->spec_done; });
+        race->cv.Wait(race->mu,
+                      [&race]() P3C_REQUIRES(race->mu) {
+                        return race->spec_done;
+                      });
         spec = std::move(race->spec_outcome);
         spec_thread = std::move(race->spec_thread);
       }
@@ -1091,7 +1100,7 @@ class LocalRunner {
                              const TaskBody& body, uint32_t lane,
                              std::atomic<bool>& commit_slot,
                              TaskWatchdog* watchdog) {
-    std::lock_guard<std::mutex> lock(race->mu);
+    MutexLock lock(race->mu);
     if (race->spec_launched) return;
     race->spec_launched = true;
     race->spec_ctl = std::make_shared<CopyControl>();
@@ -1134,11 +1143,11 @@ class LocalRunner {
         primary_ctl->cancel.Cancel();
       }
       {
-        std::lock_guard<std::mutex> inner(race->mu);
+        MutexLock inner(race->mu);
         race->spec_outcome = std::move(out);
         race->spec_done = true;
       }
-      race->cv.notify_all();
+      race->cv.NotifyAll();
       watchdog->OnSpeculativeFinished();
     });
   }

@@ -13,19 +13,21 @@
 //
 // Lock ordering: watchdog `mu_` is taken FIRST, then any lock the kill
 // or launch closures take (the attempt race mutex, the cancellation
-// state mutex). Runner code deregisters an entry (watchdog `mu_`)
+// state mutex) and the TaskDurationStats lock the speculation check
+// reads through. Runner code deregisters an entry (watchdog `mu_`)
 // before inspecting race state, never while holding the race mutex.
+// The debug lock-order checker enforces these edges by lock name.
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "src/common/sync.h"
 
 namespace p3c::mr {
 
@@ -37,7 +39,7 @@ namespace p3c::mr {
 class TaskDurationStats {
  public:
   void Add(double seconds) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     samples_.push_back(seconds);
   }
 
@@ -46,7 +48,7 @@ class TaskDurationStats {
   /// until enough siblings have finished (Hadoop's
   /// MINIMUM_COMPLETE_NUMBER_TO_SPECULATE).
   double Median(size_t min_samples) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (samples_.empty() || samples_.size() < std::max<size_t>(1, min_samples)) {
       return -1.0;
     }
@@ -57,13 +59,16 @@ class TaskDurationStats {
   }
 
   size_t count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return samples_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<double> samples_;
+  /// Leaf lock, but sits BELOW TaskWatchdog::mu_ in the order graph:
+  /// the watchdog's speculation check calls Median() while holding its
+  /// own mutex. Nothing is acquired while this lock is held.
+  mutable Mutex mu_{"TaskDurationStats::mu_"};
+  std::vector<double> samples_ P3C_GUARDED_BY(mu_);
 };
 
 /// Monitors in-flight task attempts. One instance per LocalRunner; the
@@ -108,12 +113,13 @@ class TaskWatchdog {
   /// is stamped here so registration latency never counts against the
   /// deadline.
   uint64_t Register(Entry entry) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     entry.start = Clock::now();
     const uint64_t id = next_id_++;
     entries_.emplace(id, std::move(entry));
     EnsureThreadLocked();
-    cv_.notify_all();
+    ++epoch_;
+    cv_.NotifyAll();
     return id;
   }
 
@@ -122,7 +128,7 @@ class TaskWatchdog {
   /// under the same mutex), so the caller may inspect the race state
   /// they mutate.
   void Deregister(uint64_t id) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     entries_.erase(id);
   }
 
@@ -134,33 +140,35 @@ class TaskWatchdog {
   /// under the watchdog mutex, same contract as the kill/launch
   /// closures — keep it short (read counters, format, log).
   void StartSampler(double interval_seconds, std::function<void()> fn) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     sampler_fn_ = std::move(fn);
     sampler_interval_ = interval_seconds;
     sampler_next_ =
         Clock::now() + std::chrono::duration_cast<Clock::duration>(
                            std::chrono::duration<double>(interval_seconds));
     EnsureThreadLocked();
-    cv_.notify_all();
+    ++epoch_;
+    cv_.NotifyAll();
   }
 
   /// Removes the sampler. On return `fn` is not running and will never
   /// run again (it only executes under the mutex held here).
   void StopSampler() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     sampler_fn_ = nullptr;
   }
 
   /// Called by the runner when a speculative copy finishes, releasing
   /// its concurrency slot (acquired by the watchdog at launch time).
   void OnSpeculativeFinished() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (active_speculative_ > 0) --active_speculative_;
-    cv_.notify_all();
+    ++epoch_;
+    cv_.NotifyAll();
   }
 
   size_t active_speculative() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return active_speculative_;
   }
 
@@ -169,9 +177,10 @@ class TaskWatchdog {
   void Shutdown() {
     std::thread to_join;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       shutdown_ = true;
-      cv_.notify_all();
+      ++epoch_;
+      cv_.NotifyAll();
       to_join = std::move(thread_);
     }
     if (to_join.joinable()) to_join.join();
@@ -184,14 +193,14 @@ class TaskWatchdog {
   /// wake-ups are scheduled exactly.
   static constexpr std::chrono::milliseconds kPollInterval{2};
 
-  void EnsureThreadLocked() {
+  void EnsureThreadLocked() P3C_REQUIRES(mu_) {
     if (thread_.joinable()) return;
     shutdown_ = false;
     thread_ = std::thread([this] { Loop(); });
   }
 
   void Loop() {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     while (!shutdown_) {
       const Clock::time_point now = Clock::now();
       // Default wake-up far in the future; tightened below by the
@@ -247,21 +256,32 @@ class TaskWatchdog {
         }
         next_wake = std::min(next_wake, sampler_next_);
       }
-      cv_.wait_until(lock, next_wake);
+      // Predicate-looped wait (spurious wakeups re-wait): wake at
+      // `next_wake`, or as soon as any state change bumped `epoch_` —
+      // a newly registered entry may carry an *earlier* deadline than
+      // the one this pass computed, so a plain sleep-to-next_wake
+      // would miss it.
+      const uint64_t seen = epoch_;
+      cv_.WaitUntil(mu_, next_wake, [this, seen]() P3C_REQUIRES(mu_) {
+        return shutdown_ || epoch_ != seen;
+      });
     }
   }
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::thread thread_;
-  bool shutdown_ = false;
-  uint64_t next_id_ = 1;
-  size_t active_speculative_ = 0;
-  std::unordered_map<uint64_t, Entry> entries_;
+  mutable Mutex mu_{"TaskWatchdog::mu_"};
+  CondVar cv_;
+  std::thread thread_ P3C_GUARDED_BY(mu_);
+  bool shutdown_ P3C_GUARDED_BY(mu_) = false;
+  /// Bumped (under mu_) by every state change the Loop must react to;
+  /// the Loop's wait predicate re-waits until it moves or shutdown.
+  uint64_t epoch_ P3C_GUARDED_BY(mu_) = 0;
+  uint64_t next_id_ P3C_GUARDED_BY(mu_) = 1;
+  size_t active_speculative_ P3C_GUARDED_BY(mu_) = 0;
+  std::unordered_map<uint64_t, Entry> entries_ P3C_GUARDED_BY(mu_);
   // Heartbeat sampler state, all under mu_.
-  std::function<void()> sampler_fn_;
-  double sampler_interval_ = 0.0;
-  Clock::time_point sampler_next_{};
+  std::function<void()> sampler_fn_ P3C_GUARDED_BY(mu_);
+  double sampler_interval_ P3C_GUARDED_BY(mu_) = 0.0;
+  Clock::time_point sampler_next_ P3C_GUARDED_BY(mu_){};
 };
 
 }  // namespace p3c::mr

@@ -9,9 +9,7 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstring>
-#include <mutex>
 #include <thread>
 #include <unordered_set>
 #include <utility>
@@ -20,6 +18,7 @@
 #include "src/common/logging.h"
 #include "src/common/resource.h"
 #include "src/common/string_util.h"
+#include "src/common/sync.h"
 #include "src/common/trace.h"
 #include "src/mapreduce/wire.h"
 
@@ -30,8 +29,12 @@ namespace {
 // Process-global live-worker registry (CLI signal forwarding / reaping)
 // ---------------------------------------------------------------------------
 
-std::mutex& RegistryMutex() {
-  static std::mutex* mu = new std::mutex;
+// Leaked so late reapers (CLI atexit paths) stay safe. The registry
+// set below is only ever touched under this lock; it is a function-
+// local static, which the capability annotations cannot name, so the
+// discipline is by convention here.
+Mutex& RegistryMutex() {
+  static Mutex* mu = new Mutex("worker::RegistryMutex");
   return *mu;
 }
 
@@ -41,12 +44,12 @@ std::unordered_set<pid_t>& Registry() {
 }
 
 void RegisterWorker(pid_t pid) {
-  std::lock_guard<std::mutex> lock(RegistryMutex());
+  MutexLock lock(RegistryMutex());
   Registry().insert(pid);
 }
 
 void UnregisterWorker(pid_t pid) {
-  std::lock_guard<std::mutex> lock(RegistryMutex());
+  MutexLock lock(RegistryMutex());
   Registry().erase(pid);
 }
 
@@ -83,7 +86,10 @@ std::string DescribeExit(int wait_status) {
 [[noreturn]] void WorkerChildMain(int rfd, int wfd, const PhaseTaskFn& run,
                                   double ping_seconds) {
   ::signal(SIGPIPE, SIG_IGN);
-  std::mutex write_mu;
+  // Deliberately unnamed: the forked child inherits the forking
+  // thread's held-lock stack (SpawnLocked forks under the pool mutex),
+  // and an unnamed mutex stays out of the inherited order graph.
+  Mutex write_mu;
   {
     wire::HelloFrame hello;
     hello.pid = static_cast<uint64_t>(::getpid());
@@ -102,7 +108,7 @@ std::string DescribeExit(int wait_status) {
       slept += 0.005;
       if (slept + 1e-9 < ping_seconds) continue;
       slept = 0.0;
-      std::lock_guard<std::mutex> lock(write_mu);
+      MutexLock lock(write_mu);
       if (!wire::WriteFrame(wfd, wire::FrameType::kPing, "").ok()) return;
     }
   });
@@ -149,7 +155,7 @@ std::string DescribeExit(int wait_status) {
       if (const auto rss = resource::MemoryTracker::SampleRss()) {
         result.peak_rss_bytes = rss->vm_rss_bytes;
       }
-      std::lock_guard<std::mutex> lock(write_mu);
+      MutexLock lock(write_mu);
       if (!wire::WriteFrame(wfd, wire::FrameType::kResult,
                             wire::EncodeResultFrame(result))
                .ok()) {
@@ -191,31 +197,39 @@ struct WorkerPoolExecutor::Impl {
 
   WorkerBackendOptions options;
 
-  std::mutex mu;
-  std::condition_variable free_cv;
-  std::vector<Slot> slots;
-  bool phase_active = false;
-  bool phase_remote = false;
-  TaskKind phase_kind = TaskKind::kMap;
-  std::string phase_job;
-  PhaseTaskFn run;
-  PhaseCommitFn commit;
+  /// Guards the slot inventory and phase state. A *leased* slot's
+  /// fields are exclusively the leaseholder's and are touched without
+  /// `mu` (the lease flag itself only flips under `mu`).
+  ///
+  /// Lock order: mu → metrics_mu (Count under SpawnLocked), and
+  /// mu → worker::RegistryMutex (Register/UnregisterWorker); never the
+  /// reverse.
+  Mutex mu{"WorkerPoolExecutor::Impl::mu"};
+  CondVar free_cv;
+  std::vector<Slot> slots P3C_GUARDED_BY(mu);
+  bool phase_active P3C_GUARDED_BY(mu) = false;
+  bool phase_remote P3C_GUARDED_BY(mu) = false;
+  TaskKind phase_kind P3C_GUARDED_BY(mu) = TaskKind::kMap;
+  std::string phase_job P3C_GUARDED_BY(mu);
+  PhaseTaskFn run P3C_GUARDED_BY(mu);
+  PhaseCommitFn commit P3C_GUARDED_BY(mu);
   /// Spawn failed: the rest of this phase executes inline.
-  bool degraded = false;
-  bool degraded_logged = false;
+  bool degraded P3C_GUARDED_BY(mu) = false;
+  bool degraded_logged P3C_GUARDED_BY(mu) = false;
 
-  mutable std::mutex metrics_mu;
-  MetricBag metrics;
+  /// Leaf lock below `mu` in the order graph.
+  mutable Mutex metrics_mu{"WorkerPoolExecutor::Impl::metrics_mu"};
+  MetricBag metrics P3C_GUARDED_BY(metrics_mu);
 
   // -- metrics helpers ------------------------------------------------------
 
   void Count(const char* name, uint64_t delta = 1) {
-    std::lock_guard<std::mutex> lock(metrics_mu);
+    MutexLock lock(metrics_mu);
     metrics.Increment(name, delta);
   }
 
   void GaugeMax(const char* name, double value) {
-    std::lock_guard<std::mutex> lock(metrics_mu);
+    MutexLock lock(metrics_mu);
     if (value > metrics.GetGauge(name)) metrics.SetGauge(name, value);
   }
 
@@ -240,7 +254,7 @@ struct WorkerPoolExecutor::Impl {
   /// Forks one worker for the installed phase. Called with `mu` held
   /// (the slot fd inventory must be stable while the child closes the
   /// other slots' pipes).
-  Status SpawnLocked(Slot& slot) {
+  Status SpawnLocked(Slot& slot) P3C_REQUIRES(mu) {
     if (g_force_spawn_failure.load(std::memory_order_relaxed)) {
       return Status::Internal("worker spawn failed (forced by test hook)");
     }
@@ -326,10 +340,10 @@ struct WorkerPoolExecutor::Impl {
 
   void ReleaseSlot(Slot& slot) {
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       slot.leased = false;
     }
-    free_cv.notify_one();
+    free_cv.NotifyOne();
   }
 
   /// Marks the pool degraded (inline execution for the rest of the
@@ -337,7 +351,7 @@ struct WorkerPoolExecutor::Impl {
   void Degrade(const Status& why) {
     bool log_it = false;
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       degraded = true;
       if (!degraded_logged) {
         degraded_logged = true;
@@ -359,49 +373,63 @@ struct WorkerPoolExecutor::Impl {
   /// degraded to inline execution. Throws CancelledError when `cancel`
   /// fires while waiting.
   Slot* LeaseSlot(const CancellationToken& cancel) {
-    std::unique_lock<std::mutex> lock(mu);
     for (;;) {
       cancel.ThrowIfCancelled();
-      if (degraded) return nullptr;
       Slot* chosen = nullptr;
-      for (Slot& slot : slots) {
-        if (slot.leased) continue;
-        // Prefer a live worker over respawning a dead slot.
-        if (chosen == nullptr || (!chosen->live && slot.live)) {
-          chosen = &slot;
+      {
+        MutexLock lock(mu);
+        if (degraded) return nullptr;
+        for (Slot& slot : slots) {
+          if (slot.leased) continue;
+          // Prefer a live worker over respawning a dead slot.
+          if (chosen == nullptr || (!chosen->live && slot.live)) {
+            chosen = &slot;
+          }
         }
-      }
-      if (chosen != nullptr) {
+        if (chosen == nullptr) {
+          // Predicate-looped wait: wake when a lease frees up or the
+          // pool degrades. Cancellation is not signalled through
+          // free_cv, so the 50ms bound re-runs the outer loop's
+          // cancellation check regardless.
+          free_cv.WaitFor(mu, std::chrono::milliseconds(50),
+                          [this]() P3C_REQUIRES(mu) {
+                            if (degraded) return true;
+                            for (const Slot& slot : slots) {
+                              if (!slot.leased) return true;
+                            }
+                            return false;
+                          });
+          continue;
+        }
         chosen->leased = true;
-        if (!chosen->live) {
-          // Respawn path. Backoff outside `mu` (the slot is leased, so
-          // it is exclusively ours), re-checking cancellation.
-          lock.unlock();
-          const double backoff = std::min(
-              0.02 * static_cast<double>(
-                         uint64_t{1} << std::min<uint64_t>(
-                             chosen->consecutive_respawns, 6)),
-              0.5);
-          if (chosen->consecutive_respawns > 0 && backoff > 0.0 &&
-              cancel.WaitFor(backoff)) {
-            ReleaseSlot(*chosen);
-            throw CancelledError();
-          }
-          chosen->consecutive_respawns += 1;
-          lock.lock();
-          const Status st = SpawnLocked(*chosen);
-          lock.unlock();
-          if (!st.ok()) {
-            Degrade(st);
-            ReleaseSlot(*chosen);
-            return nullptr;
-          }
-          Count("worker.respawn_total");
-          TraceWorker(*chosen, "worker respawn");
-        }
-        return chosen;
       }
-      free_cv.wait_for(lock, std::chrono::milliseconds(50));
+      if (chosen->live) return chosen;
+      // Respawn path, outside `mu` (the slot is leased, so it is
+      // exclusively ours), re-checking cancellation across the backoff.
+      const double backoff = std::min(
+          0.02 * static_cast<double>(
+                     uint64_t{1} << std::min<uint64_t>(
+                         chosen->consecutive_respawns, 6)),
+          0.5);
+      if (chosen->consecutive_respawns > 0 && backoff > 0.0 &&
+          cancel.WaitFor(backoff)) {
+        ReleaseSlot(*chosen);
+        throw CancelledError();
+      }
+      chosen->consecutive_respawns += 1;
+      Status st;
+      {
+        MutexLock lock(mu);
+        st = SpawnLocked(*chosen);
+      }
+      if (!st.ok()) {
+        Degrade(st);
+        ReleaseSlot(*chosen);
+        return nullptr;
+      }
+      Count("worker.respawn_total");
+      TraceWorker(*chosen, "worker respawn");
+      return chosen;
     }
   }
 
@@ -551,7 +579,7 @@ struct WorkerPoolExecutor::Impl {
   }
 
   void ShutdownAllWorkers() {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     for (Slot& slot : slots) {
       if (!slot.live) continue;
       // Best-effort graceful shutdown; a wedged worker is killed below.
@@ -605,7 +633,7 @@ void WorkerPoolExecutor::BeginPhase(const std::string& job_name,
                                     PhaseTaskFn run, PhaseCommitFn commit) {
   Impl& impl = *impl_;
   {
-    std::lock_guard<std::mutex> lock(impl.mu);
+    MutexLock lock(impl.mu);
     impl.phase_active = true;
     impl.phase_kind = kind;
     impl.phase_job = job_name;
@@ -622,7 +650,7 @@ void WorkerPoolExecutor::BeginPhase(const std::string& job_name,
   // tasks.
   const size_t workers = std::min(impl.options.num_workers,
                                   std::max<size_t>(1, num_tasks));
-  std::lock_guard<std::mutex> lock(impl.mu);
+  MutexLock lock(impl.mu);
   impl.slots.resize(workers);
   for (size_t i = 0; i < workers; ++i) {
     impl.slots[i].index = i;
@@ -636,7 +664,7 @@ void WorkerPoolExecutor::BeginPhase(const std::string& job_name,
             << "); degrading to in-process execution for this phase";
       }
       {
-        std::lock_guard<std::mutex> mlock(impl.metrics_mu);
+        MutexLock mlock(impl.metrics_mu);
         impl.metrics.Increment("worker.spawn_failures");
       }
       break;
@@ -647,7 +675,7 @@ void WorkerPoolExecutor::BeginPhase(const std::string& job_name,
 void WorkerPoolExecutor::EndPhase() {
   Impl& impl = *impl_;
   impl.ShutdownAllWorkers();
-  std::lock_guard<std::mutex> lock(impl.mu);
+  MutexLock lock(impl.mu);
   impl.phase_active = false;
   impl.phase_remote = false;
   impl.run = nullptr;
@@ -660,7 +688,7 @@ Status WorkerPoolExecutor::RunCopy(const TaskAttempt& attempt,
   Impl& impl = *impl_;
   PhaseCommitFn commit;
   {
-    std::lock_guard<std::mutex> lock(impl.mu);
+    MutexLock lock(impl.mu);
     const bool remote = impl.phase_active && impl.phase_remote &&
                         !impl.degraded && impl.phase_kind == attempt.kind &&
                         !impl.slots.empty();
@@ -679,14 +707,14 @@ Status WorkerPoolExecutor::RunCopy(const TaskAttempt& attempt,
 }
 
 MetricBag WorkerPoolExecutor::SnapshotMetrics() const {
-  std::lock_guard<std::mutex> lock(impl_->metrics_mu);
+  MutexLock lock(impl_->metrics_mu);
   return impl_->metrics;
 }
 
 size_t SignalLiveWorkers(int signum) {
   std::vector<pid_t> pids;
   {
-    std::lock_guard<std::mutex> lock(RegistryMutex());
+    MutexLock lock(RegistryMutex());
     pids.assign(Registry().begin(), Registry().end());
   }
   size_t signalled = 0;
@@ -699,7 +727,7 @@ size_t SignalLiveWorkers(int signum) {
 size_t ReapWorkers() {
   std::vector<pid_t> pids;
   {
-    std::lock_guard<std::mutex> lock(RegistryMutex());
+    MutexLock lock(RegistryMutex());
     pids.assign(Registry().begin(), Registry().end());
   }
   size_t reaped = 0;
@@ -714,7 +742,7 @@ size_t ReapWorkers() {
 }
 
 size_t LiveWorkerCount() {
-  std::lock_guard<std::mutex> lock(RegistryMutex());
+  MutexLock lock(RegistryMutex());
   return Registry().size();
 }
 

@@ -431,6 +431,155 @@ TEST(LintUntrackedHotAlloc, NolintSuppresses) {
 }
 
 // ---------------------------------------------------------------------------
+// p3c-naked-mutex
+// ---------------------------------------------------------------------------
+
+TEST(LintNakedMutex, FiresOnEveryRawPrimitive) {
+  const std::string src = R"cc(
+    struct S {
+      std::mutex mu;
+      std::shared_mutex smu;
+      std::condition_variable cv;
+      void f() {
+        std::lock_guard<std::mutex> lock(mu);
+        std::unique_lock<std::mutex> ulock(mu);
+        std::shared_lock<std::shared_mutex> slock(smu);
+        std::scoped_lock all(mu);
+      }
+    };
+  )cc";
+  const auto diags = RunLint("src/common/thing.h", src);
+  // mutex, shared_mutex, condition_variable, lock_guard + its <mutex>
+  // argument, unique_lock + argument, shared_lock + argument,
+  // scoped_lock.
+  EXPECT_EQ(diags.size(), 10u);
+  for (const auto& d : diags) EXPECT_EQ(d.rule, "p3c-naked-mutex");
+}
+
+TEST(LintNakedMutex, SilentOnTheSyncWrappers) {
+  const std::string src = R"cc(
+    struct S {
+      Mutex mu{"S::mu"};
+      SharedMutex smu{"S::smu"};
+      CondVar cv;
+      void f() {
+        MutexLock lock(mu);
+        ReaderMutexLock rlock(smu);
+        cv.Wait(mu, [this]() { return true; });
+      }
+    };
+  )cc";
+  EXPECT_TRUE(RunLint("src/common/thing.h", src).empty());
+}
+
+TEST(LintNakedMutex, SilentOnUnrelatedStdNames) {
+  const std::string src = R"cc(
+    std::vector<int> v;
+    std::string s;
+    std::atomic<bool> flag{false};
+  )cc";
+  EXPECT_TRUE(RunLint("src/common/thing.h", src).empty());
+}
+
+TEST(LintNakedMutex, LibraryCodeOnly) {
+  const std::string src = R"cc(
+    std::mutex mu;
+  )cc";
+  EXPECT_EQ(RunLint("src/common/thing.cc", src).size(), 1u);
+  EXPECT_TRUE(RunLint("tools/some_tool.cc", src).empty());
+  EXPECT_TRUE(RunLint("tests/some_test.cc", src).empty());
+  EXPECT_TRUE(RunLint("bench/some_bench.cc", src).empty());
+}
+
+// sync.h itself wraps the raw primitives and is NOT path-exempted: it
+// suppresses per wrapped line with a justified NOLINT, the form the
+// DESIGN.md §17 ledger counts.
+TEST(LintNakedMutex, NolintSuppressesInsideSyncWrapper) {
+  const std::string src = R"cc(
+    class Mutex {
+     private:
+      std::mutex mu_;  // NOLINT(p3c-naked-mutex): the one wrapped instance
+    };
+  )cc";
+  EXPECT_TRUE(RunLint("src/common/sync.h", src).empty());
+}
+
+// The real sync.h/sync.cc must lint clean through their own NOLINTs —
+// this is the zero-blanket-suppressions acceptance gate in miniature.
+TEST(LintNakedMutex, TheRealSyncLayerLintsClean) {
+  for (const char* path : {"src/common/sync.h", "src/common/sync.cc"}) {
+    std::ifstream in(std::string(P3C_SOURCE_DIR) + "/" + path);
+    ASSERT_TRUE(in.good()) << path;
+    std::string src((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    EXPECT_TRUE(RunLint(path, src).empty()) << path;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// p3c-implicit-seq-cst
+// ---------------------------------------------------------------------------
+
+TEST(LintImplicitSeqCst, FiresOnBareAtomicOps) {
+  const std::string src = R"cc(
+    void f(std::atomic<int>& a, std::atomic<int>* p) {
+      int x = a.load();
+      a.store(1);
+      a.fetch_add(2);
+      p->fetch_sub(3);
+      int e = 0;
+      a.compare_exchange_strong(e, 1);
+    }
+  )cc";
+  const auto diags = RunLint("src/common/thing.cc", src);
+  EXPECT_EQ(diags.size(), 5u);
+  for (const auto& d : diags) EXPECT_EQ(d.rule, "p3c-implicit-seq-cst");
+}
+
+TEST(LintImplicitSeqCst, SilentWithExplicitOrders) {
+  const std::string src = R"cc(
+    void f(std::atomic<int>& a) {
+      int x = a.load(std::memory_order_relaxed);
+      a.store(1, std::memory_order_release);
+      a.fetch_add(2, std::memory_order_acq_rel);
+      int e = 0;
+      // Both compare_exchange forms: single-order and two-order.
+      a.compare_exchange_weak(e, 1, std::memory_order_acq_rel);
+      a.compare_exchange_strong(e, 1, std::memory_order_acquire,
+                                std::memory_order_relaxed);
+    }
+  )cc";
+  EXPECT_TRUE(RunLint("src/common/thing.cc", src).empty());
+}
+
+TEST(LintImplicitSeqCst, SilentOnNonAtomicMethodNames) {
+  const std::string src = R"cc(
+    void f(Queue& q, Config& c) {
+      q.exchange_rates();
+      c.loader();
+      c.storekeeper(1);
+    }
+  )cc";
+  EXPECT_TRUE(RunLint("src/common/thing.cc", src).empty());
+}
+
+TEST(LintImplicitSeqCst, LibraryCodeOnlyAndNolint) {
+  const std::string src = R"cc(
+    void f(std::atomic<int>& a) {
+      a.store(1);
+    }
+  )cc";
+  EXPECT_EQ(RunLint("src/common/thing.cc", src).size(), 1u);
+  EXPECT_TRUE(RunLint("tests/a_test.cc", src).empty());
+  const std::string suppressed = R"cc(
+    void f(std::atomic<int>& a) {
+      a.store(1);  // NOLINT(p3c-implicit-seq-cst)
+    }
+  )cc";
+  EXPECT_TRUE(RunLint("src/common/thing.cc", suppressed).empty());
+}
+
+// ---------------------------------------------------------------------------
 // NOLINT suppressions
 // ---------------------------------------------------------------------------
 
@@ -548,6 +697,79 @@ TEST(LintBinary, HeaderSelfContainmentMode) {
       " { return v.size(); }\n");
   EXPECT_EQ(RunBinary("--check-headers --root=/ " + good), 0);
   EXPECT_EQ(RunBinary("--check-headers --root=/ " + bad), 1);
+}
+
+// Like RunBinary but keeps stdout, for the --json contract.
+int RunBinaryCapture(const std::string& args, std::string* stdout_text) {
+  FILE* pipe = popen(
+      (std::string(P3C_LINT_BIN) + " " + args + " 2> /dev/null").c_str(), "r");
+  if (pipe == nullptr) return -1;
+  std::string captured;
+  char buf[4096];
+  size_t got = 0;
+  while ((got = fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    captured.append(buf, got);
+  }
+  const int rc = pclose(pipe);
+  *stdout_text = captured;
+  return WEXITSTATUS(rc);
+}
+
+// --json keeps the 0/1/2 exit-code contract byte-for-byte: machine
+// consumers (the CI annotation step) branch on the same codes the
+// human-format mode uses.
+TEST(LintBinaryJson, ExitCodesUnchangedUnderJson) {
+  const std::string clean = WriteFixture(
+      "lint_json_clean.cc", "int Add(int a, int b) { return a + b; }\n");
+  const std::string dirty = WriteFixture(
+      "lint_json_dirty.cc",
+      "Status DoWrite(int x);\nvoid f() { DoWrite(1); }\n");
+  std::string out;
+  EXPECT_EQ(RunBinaryCapture("--json " + clean, &out), 0);
+  EXPECT_EQ(RunBinaryCapture("--json " + dirty, &out), 1);
+  EXPECT_EQ(RunBinaryCapture("--json --rules=no-such-rule " + dirty, &out), 2);
+  EXPECT_EQ(RunBinaryCapture("--json /no/such/file.cc", &out), 2);
+  EXPECT_EQ(RunBinaryCapture("--json", &out), 2);
+}
+
+TEST(LintBinaryJson, CleanTreeEmitsEmptyArray) {
+  const std::string clean = WriteFixture(
+      "lint_json_empty.cc", "int Add(int a, int b) { return a + b; }\n");
+  std::string out;
+  ASSERT_EQ(RunBinaryCapture("--json " + clean, &out), 0);
+  EXPECT_EQ(out, "[]\n");
+}
+
+TEST(LintBinaryJson, RecordsCarryFileLineRuleMessage) {
+  const std::string dirty = WriteFixture(
+      "lint_json_fields.cc",
+      "Status DoWrite(int x);\nvoid f() { DoWrite(1); }\n");
+  std::string out;
+  ASSERT_EQ(RunBinaryCapture("--json " + dirty, &out), 1);
+  // Array shape and the four required fields of each record.
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_EQ(out.back(), '\n');
+  EXPECT_NE(out.find("]"), std::string::npos);
+  EXPECT_NE(out.find("\"file\": \"" + dirty + "\""), std::string::npos);
+  EXPECT_NE(out.find("\"line\": 2"), std::string::npos);
+  EXPECT_NE(out.find("\"rule\": \"p3c-unchecked-status\""),
+            std::string::npos);
+  EXPECT_NE(out.find("\"message\": \""), std::string::npos);
+  // The human format must not leak into the machine stream.
+  EXPECT_EQ(out.find(": error: "), std::string::npos);
+}
+
+TEST(LintBinaryJson, CheckHeadersModeSpeaksJsonToo) {
+  const std::string bad = WriteFixture(
+      "lint_json_bad.h",
+      "inline std::size_t F(const std::vector<int>& v)"
+      " { return v.size(); }\n");
+  std::string out;
+  ASSERT_EQ(RunBinaryCapture("--check-headers --root=/ --json " + bad, &out),
+            1);
+  EXPECT_NE(out.find("\"rule\": \"p3c-header-self-contained\""),
+            std::string::npos);
+  EXPECT_NE(out.find("\"file\": \"" + bad + "\""), std::string::npos);
 }
 
 #endif  // P3C_LINT_BIN

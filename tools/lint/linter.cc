@@ -509,6 +509,88 @@ void RuleUntrackedHotAlloc(const std::string& path, const LexedFile& file,
   }
 }
 
+// ---------------------------------------------------------------------------
+// p3c-naked-mutex
+// ---------------------------------------------------------------------------
+
+// The std:: synchronization primitives that must instead go through the
+// capability-annotated wrappers in src/common/sync.h (DESIGN.md §17).
+// Raw primitives carry no thread-safety attributes, so Clang's
+// -Wthread-safety cannot see locks taken through them, and they skip
+// the debug lock-order checker.
+bool IsNakedSyncName(const std::string& s) {
+  return s == "mutex" || s == "timed_mutex" || s == "recursive_mutex" ||
+         s == "recursive_timed_mutex" || s == "shared_mutex" ||
+         s == "shared_timed_mutex" || s == "lock_guard" ||
+         s == "unique_lock" || s == "scoped_lock" || s == "shared_lock" ||
+         s == "condition_variable" || s == "condition_variable_any";
+}
+
+void RuleNakedMutex(const std::string& path, const LexedFile& file,
+                    std::vector<Diagnostic>* out) {
+  if (!PathStartsWith(path, "src/")) return;
+  const Tokens& t = file.tokens;
+  for (size_t i = 0; i + 2 < t.size(); ++i) {
+    if (!IsIdent(t, i, "std") || !IsPunct(t, i + 1, "::") ||
+        !IsIdent(t, i + 2)) {
+      continue;
+    }
+    const std::string& s = t[i + 2].text;
+    if (!IsNakedSyncName(s)) continue;
+    out->push_back(
+        {path, t[i + 2].line, "p3c-naked-mutex",
+         "raw 'std::" + s +
+             "' in library code; use Mutex/MutexLock/CondVar from "
+             "src/common/sync.h so -Wthread-safety and the debug "
+             "lock-order checker see it"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// p3c-implicit-seq-cst
+// ---------------------------------------------------------------------------
+
+bool IsAtomicOpName(const std::string& s) {
+  return s == "load" || s == "store" || s == "exchange" ||
+         s == "fetch_add" || s == "fetch_sub" || s == "fetch_and" ||
+         s == "fetch_or" || s == "fetch_xor" ||
+         s == "compare_exchange_weak" || s == "compare_exchange_strong";
+}
+
+void RuleImplicitSeqCst(const std::string& path, const LexedFile& file,
+                        std::vector<Diagnostic>* out) {
+  if (!PathStartsWith(path, "src/")) return;
+  const Tokens& t = file.tokens;
+  for (size_t i = 0; i + 2 < t.size(); ++i) {
+    if (!(IsPunct(t, i, ".") || IsPunct(t, i, "->")) || !IsIdent(t, i + 1) ||
+        !IsPunct(t, i + 2, "(")) {
+      continue;
+    }
+    const std::string& m = t[i + 1].text;
+    if (!IsAtomicOpName(m)) continue;
+    const size_t after = MatchParen(t, i + 2);
+    if (after == kNpos) continue;
+    // An explicit order is any std::memory_order_* constant (or
+    // scoped std::memory_order::* spelling) in the argument list; the
+    // compare_exchange two-order form passes the same test.
+    bool has_order = false;
+    for (size_t j = i + 3; j + 1 < after; ++j) {
+      if (IsIdent(t, j) && t[j].text.rfind("memory_order", 0) == 0) {
+        has_order = true;
+        break;
+      }
+    }
+    if (has_order) continue;
+    out->push_back(
+        {path, t[i + 1].line, "p3c-implicit-seq-cst",
+         "atomic '." + m +
+             "(...)' defaults to seq_cst; the cost doctrine requires every "
+             "memory order to be an explicit, reviewed decision — spell it "
+             "out (std::memory_order_relaxed on documented hot gates, "
+             "acquire/release where ordering is load-bearing)"});
+  }
+}
+
 }  // namespace
 
 std::string FormatDiagnostic(const Diagnostic& d) {
@@ -595,7 +677,8 @@ const std::vector<std::string>& AllRules() {
       "p3c-unchecked-status",   "p3c-unordered-emit",
       "p3c-cancellation-poll",  "p3c-no-iostream",
       "p3c-banned-nondeterminism", "p3c-raw-file-write",
-      "p3c-untracked-hot-alloc",
+      "p3c-untracked-hot-alloc", "p3c-naked-mutex",
+      "p3c-implicit-seq-cst",
   };
   return kRules;
 }
@@ -621,6 +704,10 @@ std::vector<Diagnostic> LintSource(const std::string& path,
       RuleRawFileWrite(path, file, &raw);
     } else if (rule == "p3c-untracked-hot-alloc") {
       RuleUntrackedHotAlloc(path, file, &raw);
+    } else if (rule == "p3c-naked-mutex") {
+      RuleNakedMutex(path, file, &raw);
+    } else if (rule == "p3c-implicit-seq-cst") {
+      RuleImplicitSeqCst(path, file, &raw);
     }
   }
   std::vector<Diagnostic> kept;

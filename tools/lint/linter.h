@@ -56,6 +56,25 @@
 //                              gauges of DESIGN.md §15. Allocations
 //                              deliberately left untracked carry an
 //                              explanatory NOLINT.
+//   p3c-naked-mutex            std::mutex/lock_guard/unique_lock/
+//                              scoped_lock/condition_variable (and
+//                              their timed/recursive/shared variants)
+//                              in src/ — locking must go through the
+//                              capability-annotated wrappers in
+//                              src/common/sync.h so Clang's
+//                              -Wthread-safety and the debug
+//                              lock-order checker see every
+//                              acquisition (DESIGN.md §17). sync.h
+//                              itself suppresses per wrapped line.
+//   p3c-implicit-seq-cst       An atomic .load()/.store()/.fetch_*()/
+//                              .exchange()/compare_exchange_*() in
+//                              src/ without an explicit
+//                              std::memory_order argument — the
+//                              default seq_cst is the most expensive
+//                              order, so every order must be a
+//                              visible, reviewed decision (the cost
+//                              doctrine's hot gates are documented
+//                              relaxed loads).
 
 #include <set>
 #include <string>

@@ -2,13 +2,17 @@
 // the rule catalogue, DESIGN.md §12 for the policy).
 //
 // Usage:
-//   p3c_lint [--rules=r1,r2,...] FILE...          lint mode (default)
-//   p3c_lint --check-headers [--root=DIR] [--cxx=BIN] HEADER...
+//   p3c_lint [--rules=r1,r2,...] [--json] FILE...  lint mode (default)
+//   p3c_lint --check-headers [--root=DIR] [--cxx=BIN] [--json] HEADER...
 //
 // Lint mode runs two passes: first every file is scanned for
 // Status/Result-returning declarations (so call sites in one file see
 // declarations from another), then the enabled rules run per file.
-// Diagnostics go to stdout in clang style.
+// Diagnostics go to stdout in clang style, or — with --json — as a
+// JSON array of {"file","line","rule","message"} records so CI and
+// editors can consume findings without scraping text. The summary
+// stays on stderr and the exit-code contract is unchanged in both
+// modes.
 //
 // --check-headers verifies header self-containment: each header gets a
 // one-include translation unit compiled with `-fsyntax-only` from
@@ -95,10 +99,53 @@ bool CheckHeaderSelfContained(const std::string& root,
   return rc == 0;
 }
 
+/// Minimal JSON string escaping (quotes, backslashes, control chars) —
+/// diagnostic messages and paths are ASCII by construction.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// One {"file","line","rule","message"} record.
+std::string JsonRecord(const p3c::lint::Diagnostic& d) {
+  return "{\"file\": \"" + JsonEscape(d.file) +
+         "\", \"line\": " + std::to_string(d.line) + ", \"rule\": \"" +
+         JsonEscape(d.rule) + "\", \"message\": \"" + JsonEscape(d.message) +
+         "\"}";
+}
+
 int Usage() {
   std::cerr
-      << "usage: p3c_lint [--rules=r1,r2,...] FILE...\n"
-      << "       p3c_lint --check-headers [--root=DIR] [--cxx=BIN] "
+      << "usage: p3c_lint [--rules=r1,r2,...] [--json] FILE...\n"
+      << "       p3c_lint --check-headers [--root=DIR] [--cxx=BIN] [--json] "
          "HEADER...\n"
       << "       p3c_lint --list-rules\n";
   return 2;
@@ -115,11 +162,14 @@ int main(int argc, char** argv) {
     cxx = env;
   }
   bool check_headers = false;
+  bool json = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--check-headers") {
       check_headers = true;
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg.rfind("--root=", 0) == 0) {
       root = arg.substr(7);
     } else if (arg.rfind("--cxx=", 0) == 0) {
@@ -152,16 +202,25 @@ int main(int argc, char** argv) {
 
   if (check_headers) {
     int failures = 0;
+    if (json) std::cout << "[";
     for (const std::string& header : files) {
       std::string output;
       if (!CheckHeaderSelfContained(root, header, cxx, &output)) {
         ++failures;
-        std::cout << header
-                  << ":1: error: header is not self-contained "
-                     "[p3c-header-self-contained]\n"
-                  << output;
+        if (json) {
+          if (failures > 1) std::cout << ",";
+          std::cout << "\n  "
+                    << JsonRecord({header, 1, "p3c-header-self-contained",
+                                   "header is not self-contained: " + output});
+        } else {
+          std::cout << header
+                    << ":1: error: header is not self-contained "
+                       "[p3c-header-self-contained]\n"
+                    << output;
+        }
       }
     }
+    if (json) std::cout << (failures > 0 ? "\n]\n" : "]\n");
     std::cerr << "p3c_lint: " << files.size() << " header(s) checked, "
               << failures << " not self-contained\n";
     return failures == 0 ? 0 : 1;
@@ -182,13 +241,20 @@ int main(int argc, char** argv) {
 
   // Pass 2: rules.
   size_t count = 0;
+  if (json) std::cout << "[";
   for (const auto& [path, content] : sources) {
     for (const p3c::lint::Diagnostic& d :
          p3c::lint::LintSource(path, content, registry, rules)) {
-      std::cout << p3c::lint::FormatDiagnostic(d) << "\n";
+      if (json) {
+        if (count > 0) std::cout << ",";
+        std::cout << "\n  " << JsonRecord(d);
+      } else {
+        std::cout << p3c::lint::FormatDiagnostic(d) << "\n";
+      }
       ++count;
     }
   }
+  if (json) std::cout << (count > 0 ? "\n]\n" : "]\n");
   std::cerr << "p3c_lint: " << sources.size() << " file(s) checked, " << count
             << " diagnostic(s)\n";
   return count == 0 ? 0 : 1;

@@ -45,6 +45,14 @@
 #                                      # real SIGKILL/SIGSTOP crash recovery
 #                                      # under ASan only (TSan forbids
 #                                      # forking a multithreaded process)
+#   tools/run_sanitizers.sh sync-smoke
+#                                      # annotated sync layer suite (ctest
+#                                      # -L sync-smoke): the lock-order
+#                                      # checker's inversion/recursion death
+#                                      # tests fire here because Sanitize/
+#                                      # Tsan build without NDEBUG (under
+#                                      # the tier-1 RelWithDebInfo build
+#                                      # they GTEST_SKIP)
 #
 # The fault-tolerance machinery (task retry, first-error-wins failure
 # slots, exception capture in ParallelFor) is concurrency-heavy; TSan on
@@ -163,12 +171,24 @@ case "${MODE}" in
     run_suite "ASan+UBSan worker-smoke" Sanitize build-asan \
       "ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1"
     ;;
+  sync-smoke)
+    # The annotated sync layer suite (DESIGN.md §17). These builds omit
+    # NDEBUG, so the debug lock-order checker is compiled in and the
+    # seeded inversion/recursion death tests actually fire — this mode
+    # is the regression gate proving the checker aborts with a report
+    # naming both locks. TSan additionally reviews the CondVar
+    # adopt/release interop and the checker's own bookkeeping.
+    LABEL="sync-smoke"
+    run_suite "ASan+UBSan sync-smoke" Sanitize build-asan \
+      "ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1"
+    run_suite "TSan sync-smoke" Tsan build-tsan "TSAN_OPTIONS=halt_on_error=1"
+    ;;
   all)
     "$0" asan
     "$0" tsan
     ;;
   *)
-    echo "usage: $0 [asan|tsan|all|shuffle-smoke|trace-smoke|straggler-smoke|kernel-smoke|checkpoint-smoke|resource-smoke|worker-smoke]" \
+    echo "usage: $0 [asan|tsan|all|shuffle-smoke|trace-smoke|straggler-smoke|kernel-smoke|checkpoint-smoke|resource-smoke|worker-smoke|sync-smoke]" \
          "[ctest -R filter]" >&2
     exit 2
     ;;
